@@ -1,0 +1,109 @@
+//! The traditional client-server publish-subscribe baseline (paper §1):
+//! a central broker decouples publishers from subscribers but must carry
+//! **every** publication to **every** subscriber. This cost model is the
+//! foil for the supervised approach, whose supervisor handles only
+//! subscribe/unsubscribe (O(1) messages each) and *zero* publication
+//! traffic.
+
+use std::collections::BTreeMap;
+
+/// Message-count model of a central broker serving topic-based pub-sub.
+#[derive(Clone, Debug, Default)]
+pub struct Broker {
+    /// topic → subscriber count.
+    topics: BTreeMap<u32, usize>,
+    /// Messages the broker has processed (in + out).
+    pub server_msgs: u64,
+    /// Publications routed.
+    pub publications: u64,
+}
+
+impl Broker {
+    /// New broker with no topics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A client subscribes to `topic`: one message in, one ack out.
+    pub fn subscribe(&mut self, topic: u32) {
+        *self.topics.entry(topic).or_insert(0) += 1;
+        self.server_msgs += 2;
+    }
+
+    /// A client unsubscribes: one in, one out.
+    pub fn unsubscribe(&mut self, topic: u32) {
+        if let Some(c) = self.topics.get_mut(&topic) {
+            *c = c.saturating_sub(1);
+        }
+        self.server_msgs += 2;
+    }
+
+    /// A publication on `topic`: one message in, one out **per
+    /// subscriber** — the broker's Θ(subscribers) fan-out.
+    pub fn publish(&mut self, topic: u32) {
+        let subs = self.topics.get(&topic).copied().unwrap_or(0) as u64;
+        self.server_msgs += 1 + subs;
+        self.publications += 1;
+    }
+
+    /// Subscribers currently on `topic`.
+    pub fn subscribers(&self, topic: u32) -> usize {
+        self.topics.get(&topic).copied().unwrap_or(0)
+    }
+
+    /// Broker messages per publication so far.
+    pub fn msgs_per_publication(&self) -> f64 {
+        if self.publications == 0 {
+            0.0
+        } else {
+            self.server_msgs as f64 / self.publications as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_scales_with_subscribers() {
+        let mut b = Broker::new();
+        for _ in 0..100 {
+            b.subscribe(1);
+        }
+        let before = b.server_msgs;
+        b.publish(1);
+        assert_eq!(b.server_msgs - before, 101, "1 in + 100 out");
+    }
+
+    #[test]
+    fn unsubscribe_reduces_fanout() {
+        let mut b = Broker::new();
+        b.subscribe(2);
+        b.subscribe(2);
+        b.unsubscribe(2);
+        let before = b.server_msgs;
+        b.publish(2);
+        assert_eq!(b.server_msgs - before, 2);
+        assert_eq!(b.subscribers(2), 1);
+    }
+
+    #[test]
+    fn per_publication_average() {
+        let mut b = Broker::new();
+        for _ in 0..10 {
+            b.subscribe(1);
+        }
+        for _ in 0..5 {
+            b.publish(1);
+        }
+        assert!(b.msgs_per_publication() > 11.0);
+    }
+
+    #[test]
+    fn unknown_topic_publish_costs_one() {
+        let mut b = Broker::new();
+        b.publish(42);
+        assert_eq!(b.server_msgs, 1);
+    }
+}

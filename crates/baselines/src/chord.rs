@@ -1,0 +1,212 @@
+//! A Chord overlay [13]: nodes at hashed points on the `2⁶⁴` identifier
+//! circle, each holding a successor pointer and `log`-many fingers
+//! (`successor(p + 2^i)`). Used as congestion comparator (E10): random
+//! placement makes arc lengths — and hence finger in-degrees and routing
+//! transit loads — uneven, which is exactly the imbalance the supervised
+//! skip ring avoids by construction.
+
+use crate::metrics;
+use skippub_bits::Hash128;
+
+/// A Chord ring over `n` nodes.
+#[derive(Clone, Debug)]
+pub struct Chord {
+    /// Sorted hashed points of the members.
+    points: Vec<u64>,
+}
+
+impl Chord {
+    /// Builds a Chord ring of `n` nodes with points derived by hashing
+    /// `(seed, index)` — the paper's "hashing nodes to pseudorandom
+    /// positions".
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0);
+        let mut points: Vec<u64> = (0..n as u64)
+            .map(|i| {
+                let mut b = Vec::with_capacity(16);
+                b.extend_from_slice(&seed.to_le_bytes());
+                b.extend_from_slice(&i.to_le_bytes());
+                Hash128::of_bytes(&b).words()[0]
+            })
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+        // Collisions on 64-bit points are ~impossible at test scale, but
+        // keep n honest if they happen.
+        Chord { points }
+    }
+
+    /// Number of members.
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Index of `successor(p)`: the first member at or after `p`
+    /// (wrapping).
+    pub fn successor(&self, p: u64) -> usize {
+        match self.points.binary_search(&p) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == self.points.len() {
+                    0
+                } else {
+                    i
+                }
+            }
+        }
+    }
+
+    /// Finger targets of member `i`: `successor(point_i + 2^k)` for
+    /// `k = 0..64`, deduplicated, excluding `i` itself.
+    pub fn fingers(&self, i: usize) -> Vec<usize> {
+        let base = self.points[i];
+        let mut out: Vec<usize> = (0..64)
+            .map(|k| self.successor(base.wrapping_add(1u64 << k)))
+            .filter(|&j| j != i)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Directed finger adjacency (out-edges).
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        (0..self.n()).map(|i| self.fingers(i)).collect()
+    }
+
+    /// Undirected view (for diameter/broadcast comparisons with the
+    /// undirected skip ring).
+    pub fn adjacency_undirected(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n()];
+        for (i, fs) in self.adjacency().into_iter().enumerate() {
+            for f in fs {
+                adj[i].push(f);
+                adj[f].push(i);
+            }
+        }
+        for v in &mut adj {
+            v.sort_unstable();
+            v.dedup();
+        }
+        adj
+    }
+
+    /// Greedy Chord routing from member `from` towards point `target`:
+    /// repeatedly jump to the closest preceding finger. Returns the node
+    /// index sequence ending at `successor(target)`.
+    pub fn route(&self, from: usize, target: u64) -> Vec<usize> {
+        let dest = self.successor(target);
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut guard = 0;
+        while cur != dest && guard < 128 {
+            // Distance remaining, clockwise.
+            let dist = |i: usize| self.points[dest].wrapping_sub(self.points[i]);
+            let here = dist(cur);
+            let next = self
+                .fingers(cur)
+                .into_iter()
+                .min_by_key(|&f| dist(f))
+                .expect("n > 1 has fingers");
+            if dist(next) >= here {
+                // No progress (tiny rings): step to immediate successor.
+                let succ = (cur + 1) % self.n();
+                path.push(succ);
+                cur = succ;
+            } else {
+                path.push(next);
+                cur = next;
+            }
+            guard += 1;
+        }
+        path
+    }
+
+    /// Routing transit loads over `samples` seeded random (source, key)
+    /// pairs.
+    pub fn sampled_transit_loads(&self, samples: usize, seed: u64) -> Vec<usize> {
+        let n = self.n();
+        let paths = (0..samples as u64).map(move |s| {
+            let mut b = Vec::with_capacity(16);
+            b.extend_from_slice(&seed.to_le_bytes());
+            b.extend_from_slice(&s.to_le_bytes());
+            let h = Hash128::of_bytes(&b).words();
+            self.route((h[0] % n as u64) as usize, h[1])
+        });
+        metrics::transit_loads(n, paths)
+    }
+
+    /// Arc length (key-space interval owned) of each member — the root of
+    /// Chord's imbalance: random points make arcs uneven by a `Θ(log n)`
+    /// factor, while the supervised skip ring's arcs differ by ≤ 2×.
+    pub fn arc_lengths(&self) -> Vec<u64> {
+        let n = self.n();
+        (0..n)
+            .map(|i| self.points[(i + 1) % n].wrapping_sub(self.points[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_wraps() {
+        let c = Chord::new(8, 1);
+        assert_eq!(c.successor(u64::MAX), c.successor(c.points[0]));
+        for (i, &p) in c.points.iter().enumerate() {
+            assert_eq!(c.successor(p), i);
+        }
+    }
+
+    #[test]
+    fn fingers_are_logarithmic() {
+        let c = Chord::new(128, 2);
+        for i in 0..c.n() {
+            let f = c.fingers(i).len();
+            assert!(f <= 64, "finger table too large: {f}");
+            assert!(f >= 3, "finger table too small: {f}");
+        }
+    }
+
+    #[test]
+    fn routing_reaches_destination() {
+        let c = Chord::new(64, 3);
+        for s in 0..16u64 {
+            let target = s.wrapping_mul(0x9E3779B97F4A7C15);
+            let path = c.route((s % 64) as usize, target);
+            assert_eq!(*path.last().unwrap(), c.successor(target));
+            assert!(path.len() <= 20, "path too long: {}", path.len());
+        }
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let c = Chord::new(100, 4);
+        let adj = c.adjacency_undirected();
+        let d = metrics::bfs_hops(&adj, 0);
+        assert!(d.iter().all(|&x| x != usize::MAX));
+    }
+
+    #[test]
+    fn arcs_are_uneven() {
+        let c = Chord::new(256, 5);
+        let arcs = c.arc_lengths();
+        let max = *arcs.iter().max().unwrap() as f64;
+        let mean = arcs.iter().map(|&a| a as f64).sum::<f64>() / arcs.len() as f64;
+        assert!(
+            max / mean > 2.5,
+            "random placement should be noticeably uneven (max/mean = {})",
+            max / mean
+        );
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let c = Chord::new(1, 6);
+        assert_eq!(c.n(), 1);
+        assert!(c.fingers(0).is_empty());
+        assert_eq!(c.route(0, 12345), vec![0]);
+    }
+}

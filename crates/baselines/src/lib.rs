@@ -1,0 +1,35 @@
+//! # skippub-baselines
+//!
+//! Comparator systems for the paper's prose claims:
+//!
+//! * [`Chord`] — a Chord overlay \[13\]: hashed node points and finger
+//!   tables. The paper (§1.3) claims the skip ring achieves *better
+//!   congestion* "as the supervised approach allows a much more balanced
+//!   distribution of the nodes" — experiment E10 measures degree spread,
+//!   routing-transit load and broadcast load against this implementation.
+//! * [`SkipGraph`] — a randomized skip graph \[10\] with membership
+//!   vectors, the second comparator of that claim.
+//! * [`Broker`] — the traditional client-server pub-sub of §1: a single
+//!   broker carrying every publish; baseline for supervisor-load
+//!   comparisons (the supervisor handles *no* publications).
+//! * [`RingCast`] — ring-only publication routing in the spirit of
+//!   PSVR [20, 21], which delivers publications in `O(n)` steps; the
+//!   baseline that makes flooding's `O(log n)` visible (E9).
+//!
+//! All baselines are topology/cost models (the paper compares costs, not
+//! implementations): they expose the same measurement surface
+//! ([`metrics`]) as the ideal skip ring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod chord;
+pub mod metrics;
+mod ringcast;
+mod skipgraph;
+
+pub use broker::Broker;
+pub use chord::Chord;
+pub use ringcast::RingCast;
+pub use skipgraph::SkipGraph;

@@ -1,0 +1,150 @@
+//! Shared topology measurements: degree spread, BFS broadcast, routing
+//! transit load. All baselines (and the ideal skip ring) reduce to an
+//! adjacency list for these.
+
+use std::collections::VecDeque;
+
+/// Degree statistics over an adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeSpread {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub avg: f64,
+}
+
+/// Computes degree spread.
+pub fn degree_spread(adj: &[Vec<usize>]) -> DegreeSpread {
+    let degs: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let min = degs.iter().copied().min().unwrap_or(0);
+    let max = degs.iter().copied().max().unwrap_or(0);
+    let avg = if degs.is_empty() {
+        0.0
+    } else {
+        degs.iter().sum::<usize>() as f64 / degs.len() as f64
+    };
+    DegreeSpread { min, max, avg }
+}
+
+/// BFS hop distance from `start` to every node (`usize::MAX` when
+/// unreachable).
+pub fn bfs_hops(adj: &[Vec<usize>], start: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; adj.len()];
+    dist[start] = 0;
+    let mut q = VecDeque::from([start]);
+    while let Some(u) = q.pop_front() {
+        for &v in &adj[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `start`; panics if the graph is disconnected.
+pub fn eccentricity(adj: &[Vec<usize>], start: usize) -> usize {
+    let d = bfs_hops(adj, start);
+    let m = d.iter().copied().max().unwrap_or(0);
+    assert_ne!(m, usize::MAX, "graph is disconnected");
+    m
+}
+
+/// Graph diameter (max eccentricity). Quadratic; experiment scale only.
+pub fn diameter(adj: &[Vec<usize>]) -> usize {
+    (0..adj.len())
+        .map(|s| eccentricity(adj, s))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Broadcast load: BFS from `root`; each node's load is the number of
+/// children it forwards to in the BFS tree (the flooding fan-out actually
+/// used). Returns per-node loads.
+pub fn broadcast_loads(adj: &[Vec<usize>], root: usize) -> Vec<usize> {
+    let mut load = vec![0usize; adj.len()];
+    let mut dist = vec![usize::MAX; adj.len()];
+    dist[root] = 0;
+    let mut q = VecDeque::from([root]);
+    while let Some(u) = q.pop_front() {
+        for &v in &adj[u] {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                load[u] += 1;
+                q.push_back(v);
+            }
+        }
+    }
+    load
+}
+
+/// Transit load over a set of routed paths: `paths` yields node-index
+/// sequences; every *interior* node of a path gains one unit of load.
+pub fn transit_loads(n: usize, paths: impl Iterator<Item = Vec<usize>>) -> Vec<usize> {
+    let mut load = vec![0usize; n];
+    for p in paths {
+        if p.len() > 2 {
+            for &v in &p[1..p.len() - 1] {
+                load[v] += 1;
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spread_of_path() {
+        let s = degree_spread(&path_graph(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.avg - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bfs_and_diameter() {
+        let g = path_graph(6);
+        assert_eq!(bfs_hops(&g, 0)[5], 5);
+        assert_eq!(diameter(&g), 5);
+        assert_eq!(eccentricity(&g, 2), 3);
+    }
+
+    #[test]
+    fn broadcast_load_of_star() {
+        let mut g = vec![vec![]; 5];
+        for i in 1..5 {
+            g[0].push(i);
+            g[i].push(0);
+        }
+        let load = broadcast_loads(&g, 0);
+        assert_eq!(load[0], 4);
+        assert_eq!(load[1..].iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn transit_counts_interiors_only() {
+        let loads = transit_loads(4, [vec![0, 1, 2, 3], vec![0, 3]].into_iter());
+        assert_eq!(loads, vec![0, 1, 1, 0]);
+    }
+}

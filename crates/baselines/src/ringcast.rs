@@ -1,0 +1,95 @@
+//! Ring-only publication routing in the spirit of PSVR [20, 21]: the
+//! related work arranges nodes in a cycle (with shortcuts used only for
+//! routing-table maintenance) and "delivers new publications for topics
+//! to subscribers only after O(n) steps". This model measures that
+//! delivery cost so E9 can contrast it with skip-ring flooding's
+//! `O(log n)`.
+
+/// A cost model of ring-sequential publication dissemination.
+#[derive(Clone, Copy, Debug)]
+pub struct RingCast {
+    n: usize,
+}
+
+impl RingCast {
+    /// A ring of `n` subscribers.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        RingCast { n }
+    }
+
+    /// Number of subscribers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Steps until the subscriber `hops_away` positions around the ring
+    /// receives a publication forwarded in both directions.
+    pub fn delivery_steps(&self, hops_away: usize) -> usize {
+        let cw = hops_away % self.n;
+        cw.min(self.n - cw)
+    }
+
+    /// Steps until **all** subscribers have the publication: half the
+    /// ring when forwarded in both directions — `Θ(n)`.
+    pub fn broadcast_steps(&self) -> usize {
+        self.n / 2
+    }
+
+    /// Total messages of one broadcast: every edge carries it once per
+    /// direction front, `n − 1` forwards plus the origin's 2 sends.
+    pub fn broadcast_msgs(&self) -> usize {
+        if self.n == 1 {
+            0
+        } else {
+            self.n
+        }
+    }
+
+    /// Ring adjacency for graph-level comparisons.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        (0..self.n)
+            .map(|i| {
+                if self.n == 1 {
+                    Vec::new()
+                } else if self.n == 2 {
+                    vec![1 - i]
+                } else {
+                    vec![(i + self.n - 1) % self.n, (i + 1) % self.n]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn broadcast_is_linear() {
+        assert_eq!(RingCast::new(16).broadcast_steps(), 8);
+        assert_eq!(RingCast::new(1024).broadcast_steps(), 512);
+    }
+
+    #[test]
+    fn delivery_takes_shorter_arc() {
+        let r = RingCast::new(10);
+        assert_eq!(r.delivery_steps(3), 3);
+        assert_eq!(r.delivery_steps(7), 3);
+        assert_eq!(r.delivery_steps(0), 0);
+    }
+
+    #[test]
+    fn adjacency_diameter_matches() {
+        let r = RingCast::new(12);
+        assert_eq!(metrics::diameter(&r.adjacency()), 6);
+    }
+
+    #[test]
+    fn tiny_rings() {
+        assert_eq!(RingCast::new(1).broadcast_msgs(), 0);
+        assert_eq!(RingCast::new(2).adjacency(), vec![vec![1], vec![0]]);
+    }
+}

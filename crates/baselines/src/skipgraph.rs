@@ -1,0 +1,181 @@
+//! A randomized skip graph [10]: every node draws an infinite random
+//! membership vector; at level `i`, nodes sharing an `i`-bit prefix form a
+//! doubly-linked list sorted by key. Degrees are `O(log n)` w.h.p. but —
+//! unlike the supervised skip ring — randomized: level populations are
+//! binomially split, so degree and search-load distributions have heavier
+//! tails (comparator for E10).
+
+use crate::metrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A skip graph over `n` nodes keyed `0..n`.
+#[derive(Clone, Debug)]
+pub struct SkipGraph {
+    /// `membership[v]` = random bit vector (LSB-first levels).
+    membership: Vec<u64>,
+    /// `levels[v][i]` = (left, right) neighbours of `v` in its level-`i`
+    /// list, if any.
+    levels: Vec<Vec<(Option<usize>, Option<usize>)>>,
+}
+
+impl SkipGraph {
+    /// Builds a skip graph of `n` nodes with seeded membership vectors.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let membership: Vec<u64> = (0..n).map(|_| rng.random()).collect();
+        // Level 0 list: all nodes in key order. Higher levels: filter by
+        // membership prefix.
+        let mut levels: Vec<Vec<(Option<usize>, Option<usize>)>> = vec![Vec::new(); n];
+        let mut groups: Vec<Vec<usize>> = vec![(0..n).collect()];
+        let mut level = 0usize;
+        while !groups.is_empty() && level < 64 {
+            let mut next_groups = Vec::new();
+            for g in &groups {
+                // Link neighbours within this group at `level`.
+                for (pos, &v) in g.iter().enumerate() {
+                    let left = if pos > 0 { Some(g[pos - 1]) } else { None };
+                    let right = if pos + 1 < g.len() {
+                        Some(g[pos + 1])
+                    } else {
+                        None
+                    };
+                    while levels[v].len() <= level {
+                        levels[v].push((None, None));
+                    }
+                    levels[v][level] = (left, right);
+                }
+                if g.len() > 1 {
+                    let (zeros, ones): (Vec<usize>, Vec<usize>) =
+                        g.iter().partition(|&&v| (membership[v] >> level) & 1 == 0);
+                    if zeros.len() > 1 {
+                        next_groups.push(zeros);
+                    }
+                    if ones.len() > 1 {
+                        next_groups.push(ones);
+                    }
+                }
+            }
+            groups = next_groups;
+            level += 1;
+        }
+        SkipGraph { membership, levels }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Number of levels node `v` participates in.
+    pub fn height(&self, v: usize) -> usize {
+        self.levels[v].len()
+    }
+
+    /// Undirected adjacency (all level lists merged, deduplicated).
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n()];
+        for (v, lv) in self.levels.iter().enumerate() {
+            for &(l, r) in lv {
+                for u in [l, r].into_iter().flatten() {
+                    adj[v].push(u);
+                    adj[u].push(v);
+                }
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        adj
+    }
+
+    /// Skip-graph search from `from` to key `target`: descend from the
+    /// highest common level, moving toward the target without
+    /// overshooting. Returns the visited node sequence.
+    pub fn search(&self, from: usize, target: usize) -> Vec<usize> {
+        let mut path = vec![from];
+        let mut cur = from;
+        let mut level = self.height(cur).saturating_sub(1);
+        let mut guard = 0;
+        while cur != target && guard < 4 * 64 {
+            guard += 1;
+            let (l, r) = self.levels[cur].get(level).copied().unwrap_or((None, None));
+            let step = if target > cur {
+                r.filter(|&x| x <= target)
+            } else {
+                l.filter(|&x| x >= target)
+            };
+            match step {
+                Some(nxt) => {
+                    cur = nxt;
+                    path.push(cur);
+                    level = self.height(cur).saturating_sub(1).min(level);
+                }
+                None => {
+                    if level == 0 {
+                        break; // adjacent at level 0 yet not target: done
+                    }
+                    level -= 1;
+                }
+            }
+        }
+        path
+    }
+
+    /// Search transit loads over `samples` seeded random pairs.
+    pub fn sampled_transit_loads(&self, samples: usize, seed: u64) -> Vec<usize> {
+        let n = self.n();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs: Vec<(usize, usize)> = (0..samples)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        metrics::transit_loads(n, pairs.into_iter().map(|(a, b)| self.search(a, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_are_logarithmic() {
+        let g = SkipGraph::new(256, 1);
+        let max_h = (0..g.n()).map(|v| g.height(v)).max().unwrap();
+        assert!(max_h >= 6, "too flat: {max_h}");
+        assert!(max_h <= 30, "too tall: {max_h}");
+    }
+
+    #[test]
+    fn graph_is_connected_with_log_diameter() {
+        let g = SkipGraph::new(128, 2);
+        let adj = g.adjacency();
+        let d = metrics::diameter(&adj);
+        assert!(d <= 24, "diameter {d} not logarithmic-ish");
+    }
+
+    #[test]
+    fn search_finds_targets() {
+        let g = SkipGraph::new(100, 3);
+        for (a, b) in [(0usize, 99usize), (50, 3), (7, 7), (99, 0), (13, 87)] {
+            let p = g.search(a, b);
+            assert_eq!(*p.last().unwrap(), b, "search {a}→{b} got {p:?}");
+            assert!(p.len() <= 40, "path too long: {}", p.len());
+        }
+    }
+
+    #[test]
+    fn degrees_are_logarithmic() {
+        let g = SkipGraph::new(200, 4);
+        let spread = metrics::degree_spread(&g.adjacency());
+        assert!(spread.max <= 40, "max degree {} too high", spread.max);
+        assert!(spread.avg >= 2.0);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = SkipGraph::new(1, 5);
+        assert_eq!(g.search(0, 0), vec![0]);
+    }
+}

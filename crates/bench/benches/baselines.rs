@@ -1,0 +1,64 @@
+//! Baseline-overlay benchmarks backing experiment E10's comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skippub_baselines::{metrics, Chord, RingCast, SkipGraph};
+use skippub_ringmath::IdealSkipRing;
+
+fn bench_chord(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord");
+    let chord = Chord::new(256, 1);
+    g.bench_function("route n=256", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(0x9E3779B97F4A7C15);
+            std::hint::black_box(chord.route((k % 256) as usize, k))
+        })
+    });
+    g.bench_function("build n=256", |b| {
+        b.iter(|| std::hint::black_box(Chord::new(256, 2)))
+    });
+    g.finish();
+}
+
+fn bench_skipgraph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("skipgraph");
+    let sg = SkipGraph::new(256, 1);
+    g.bench_function("search n=256", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 97) % 256;
+            std::hint::black_box(sg.search(k, (k * 31) % 256))
+        })
+    });
+    g.bench_function("build n=256", |b| {
+        b.iter(|| std::hint::black_box(SkipGraph::new(256, 2)))
+    });
+    g.finish();
+}
+
+fn bench_broadcast_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast");
+    let sr = IdealSkipRing::new(256);
+    let zero = *sr.labels().first().unwrap();
+    g.bench_function("skip-ring BFS n=256", |b| {
+        b.iter(|| std::hint::black_box(sr.bfs_hops(zero).len()))
+    });
+    let ring = RingCast::new(256);
+    g.bench_function("ring model n=256", |b| {
+        b.iter(|| std::hint::black_box(ring.broadcast_steps()))
+    });
+    let chord = Chord::new(256, 3);
+    let adj = chord.adjacency_undirected();
+    g.bench_function("chord broadcast loads n=256", |b| {
+        b.iter(|| std::hint::black_box(metrics::broadcast_loads(&adj, 0).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chord,
+    bench_skipgraph,
+    bench_broadcast_models
+);
+criterion_main!(benches);

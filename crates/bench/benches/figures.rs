@@ -1,0 +1,61 @@
+//! Figure reproductions as benchmarks: the cost of regenerating each
+//! figure's artefact.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skippub_bits::BitStr;
+use skippub_core::{scenarios, ProtocolConfig, SkipRingSim};
+use skippub_trie::{sync, PatriciaTrie, Publication};
+
+/// Figure 1: protocol-build SR(16) from a cold start until legitimate.
+fn fig1_skipring16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(20);
+    g.bench_function("bootstrap SR(16) to legitimacy", |b| {
+        let cfg = ProtocolConfig::topology_only();
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                SkipRingSim::from_world(scenarios::cold_world(16, seed, cfg), cfg)
+            },
+            |mut sim| {
+                let (_, ok) = sim.run_until_legit(2000);
+                assert!(ok);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Figure 2: the u/v trie pair reconciliation.
+fn fig2_trie_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    let raw = |k: &str| Publication::with_raw_key(k.parse::<BitStr>().unwrap(), 0, Vec::new());
+    g.bench_function("figure-2 reconciliation", |b| {
+        b.iter_batched(
+            || {
+                let mut u = PatriciaTrie::new();
+                for k in ["000", "010", "100", "101"] {
+                    u.insert(raw(k));
+                }
+                let mut v = PatriciaTrie::new();
+                for k in ["000", "010", "100"] {
+                    v.insert(raw(k));
+                }
+                (u, v)
+            },
+            |(mut u, mut v)| {
+                let stats = sync::sync_pair(&mut u, &mut v, 8);
+                assert!(stats.converged);
+                (u, v)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig1_skipring16, fig2_trie_sync);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Substrate micro-benches: label algebra, hashing, Patricia trie,
+//! simulator throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skippub_bits::{publication_key, BitStr, Hash128};
+use skippub_ringmath::{shortcut, IdealSkipRing, Label};
+use skippub_trie::{sync, PatriciaTrie, Publication};
+
+fn bench_labels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("labels");
+    g.bench_function("l(x) forward", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            std::hint::black_box(Label::from_index(x))
+        })
+    });
+    g.bench_function("l_inverse", |b| {
+        let labels: Vec<Label> = (0..1024).map(Label::from_index).collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % labels.len();
+            std::hint::black_box(labels[i].index())
+        })
+    });
+    g.bench_function("shortcut derivation (SR(1024) min node)", |b| {
+        let sr = IdealSkipRing::new(1024);
+        let zero: Label = "0".parse().unwrap();
+        let (l, r) = sr.ring_neighbors(zero);
+        b.iter(|| std::hint::black_box(shortcut::expected_shortcuts(zero, l, r)))
+    });
+    g.bench_function("ideal SR(256) construction", |b| {
+        b.iter(|| std::hint::black_box(IdealSkipRing::new(256)))
+    });
+    g.finish();
+}
+
+fn bench_bits_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bits+hash");
+    g.bench_function("bitstr push/pop 256", |b| {
+        b.iter(|| {
+            let mut s = BitStr::with_capacity(256);
+            for i in 0..256 {
+                s.push(i % 3 == 0);
+            }
+            while s.pop().is_some() {}
+            std::hint::black_box(s)
+        })
+    });
+    g.bench_function("hash128 of 64B", |b| {
+        let data = [0xA5u8; 64];
+        b.iter(|| std::hint::black_box(Hash128::of_bytes(&data)))
+    });
+    g.bench_function("publication_key", |b| {
+        b.iter(|| std::hint::black_box(publication_key(7, b"some payload bytes", 64)))
+    });
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trie");
+    let pubs: Vec<Publication> = (0..512u64)
+        .map(|i| Publication::new(i % 13, format!("payload {i}").into_bytes()))
+        .collect();
+    g.bench_function("insert 512", |b| {
+        b.iter_batched(
+            PatriciaTrie::new,
+            |mut t| {
+                for p in &pubs {
+                    t.insert(p.clone());
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut full = PatriciaTrie::new();
+    for p in &pubs {
+        full.insert(p.clone());
+    }
+    g.bench_function("check (hit)", |b| {
+        let root = full.root_summary().unwrap();
+        b.iter(|| std::hint::black_box(full.check(&root)))
+    });
+    g.bench_function("prefix query", |b| {
+        let prefix: BitStr = "0101".parse().unwrap();
+        b.iter(|| std::hint::black_box(full.publications_with_prefix(&prefix).len()))
+    });
+    g.bench_function("sync_pair disjoint 64+64", |b| {
+        b.iter_batched(
+            || {
+                let mut a = PatriciaTrie::new();
+                let mut bt = PatriciaTrie::new();
+                for i in 0..64u64 {
+                    a.insert(Publication::new(1, format!("a{i}").into_bytes()));
+                    bt.insert(Publication::new(2, format!("b{i}").into_bytes()));
+                }
+                (a, bt)
+            },
+            |(mut a, mut bt)| {
+                let stats = sync::sync_pair(&mut a, &mut bt, 64);
+                assert!(stats.converged);
+                (a, bt)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sim(c: &mut Criterion) {
+    use skippub_core::{scenarios, ProtocolConfig, SkipRingSim};
+    let mut g = c.benchmark_group("sim");
+    g.bench_function("legit round n=64", |b| {
+        let cfg = ProtocolConfig::topology_only();
+        let mut sim = SkipRingSim::from_world(scenarios::legit_world(64, 1, cfg), cfg);
+        b.iter(|| sim.run_round())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_labels,
+    bench_bits_hash,
+    bench_trie,
+    bench_sim
+);
+criterion_main!(benches);

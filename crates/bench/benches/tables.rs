@@ -1,0 +1,201 @@
+//! One benchmark per quantitative-claim experiment (the "tables" of
+//! EXPERIMENTS.md), each at a representative scale. The bench time is the
+//! cost of regenerating the table's data point; the harness prints the
+//! values themselves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use skippub_bench::scales::{N, PUBS};
+use skippub_core::scenarios::{self, Adversary};
+use skippub_core::{Actor, ProtocolConfig, SkipRingSim};
+use skippub_trie::Publication;
+
+/// E4 / Theorem 5: a 100-round steady-state probe window.
+fn tab_probe_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_probe_rate");
+    g.sample_size(20);
+    g.bench_function(format!("legit window n={N}"), |b| {
+        let cfg = ProtocolConfig::topology_only();
+        let mut sim = SkipRingSim::from_world(scenarios::legit_world(N, 1, cfg), cfg);
+        b.iter(|| {
+            for _ in 0..100 {
+                sim.run_round();
+            }
+        })
+    });
+    g.finish();
+}
+
+/// E5 / Theorem 7: one subscribe + one settle round.
+fn tab_op_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_op_overhead");
+    g.sample_size(20);
+    g.bench_function(format!("subscribe into n={N}"), |b| {
+        let cfg = ProtocolConfig::topology_only();
+        b.iter_batched(
+            || SkipRingSim::from_world(scenarios::legit_world(N, 2, cfg), cfg),
+            |mut sim| {
+                sim.add_subscriber_eager();
+                sim.run_round();
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// E6 / Theorem 8: convergence from a random adversarial state.
+fn tab_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_convergence");
+    g.sample_size(10);
+    for adv in [Adversary::RandomState, Adversary::Partitioned(4)] {
+        g.bench_function(format!("{} n=32", adv.name()), |b| {
+            let cfg = ProtocolConfig::topology_only();
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    SkipRingSim::from_world(adversarial(32, seed, cfg, adv), cfg)
+                },
+                |mut sim| {
+                    let (_, ok) = sim.run_until_legit(40_000);
+                    assert!(ok);
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn adversarial(
+    n: usize,
+    seed: u64,
+    cfg: ProtocolConfig,
+    adv: Adversary,
+) -> skippub_sim::World<Actor> {
+    scenarios::adversarial_world(n, seed, cfg, adv)
+}
+
+/// E8 / Theorem 17: anti-entropy convergence of scattered publications.
+fn tab_pub_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_pub_convergence");
+    g.sample_size(10);
+    g.bench_function(format!("n=16 pubs={PUBS}"), |b| {
+        let cfg = ProtocolConfig {
+            flooding: false,
+            ..ProtocolConfig::default()
+        };
+        b.iter_batched(
+            || {
+                let mut sim = SkipRingSim::from_world(scenarios::legit_world(16, 3, cfg), cfg);
+                let ids = sim.subscriber_ids();
+                for i in 0..PUBS {
+                    let host = ids[(i * 5 + 1) % ids.len()];
+                    let p = Publication::new(host.0, format!("p{i}").into_bytes());
+                    sim.world
+                        .node_mut(host)
+                        .and_then(Actor::subscriber_mut)
+                        .map(|s| s.trie.insert(p));
+                }
+                sim
+            },
+            |mut sim| {
+                let (_, ok) = sim.run_until_pubs_converged(20_000);
+                assert!(ok);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// E9 / §4.3: flooding a publication through SR(N) until delivered.
+fn tab_flooding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_flooding");
+    g.sample_size(20);
+    g.bench_function(format!("flood n={N}"), |b| {
+        let cfg = ProtocolConfig::default();
+        b.iter_batched(
+            || SkipRingSim::from_world(scenarios::legit_world(N, 4, cfg), cfg),
+            |mut sim| {
+                let src = sim.subscriber_ids()[0];
+                sim.publish(src, b"flash".to_vec()).unwrap();
+                let (_, ok) = sim.run_until_pubs_converged(200);
+                assert!(ok);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// E11 / §3.3: crash burst recovery.
+fn tab_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_churn");
+    g.sample_size(10);
+    g.bench_function(format!("crash 1/8 of n={N}"), |b| {
+        let cfg = ProtocolConfig::topology_only();
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                SkipRingSim::from_world(scenarios::legit_world(N, seed, cfg), cfg)
+            },
+            |mut sim| {
+                let victims: Vec<_> = sim
+                    .subscriber_ids()
+                    .into_iter()
+                    .step_by(8)
+                    .take(N / 8)
+                    .collect();
+                for &v in &victims {
+                    sim.crash(v);
+                }
+                for _ in 0..3 {
+                    sim.run_round();
+                }
+                for &v in &victims {
+                    sim.report_crash(v);
+                }
+                let (_, ok) = sim.run_until_legit(40_000);
+                assert!(ok);
+                sim
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// E12 / closure: steady-state window cost (maintenance-only traffic).
+fn tab_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab_closure");
+    g.sample_size(20);
+    g.bench_function(format!("closure window n={N}"), |b| {
+        let cfg = ProtocolConfig::default();
+        let mut sim = SkipRingSim::from_world(scenarios::legit_world(N, 5, cfg), cfg);
+        b.iter(|| {
+            for _ in 0..50 {
+                sim.run_round();
+            }
+            assert!(sim.is_legitimate());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    tab_probe_rate,
+    tab_op_overhead,
+    tab_convergence,
+    tab_pub_convergence,
+    tab_flooding,
+    tab_churn,
+    tab_closure
+);
+criterion_main!(benches);

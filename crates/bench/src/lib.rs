@@ -1,0 +1,27 @@
+//! # skippub-bench
+//!
+//! Criterion benchmarks, one group per reproduced figure/table plus
+//! substrate micro-benches. The benches measure the *cost* of each
+//! reproduced artefact at a fixed scale; the experiment harness
+//! (`skippub-harness`) regenerates the artefacts' *values*.
+//!
+//! Targets:
+//!
+//! * `substrates` — label algebra, bit strings, hashing, Patricia-trie
+//!   operations, simulator round throughput.
+//! * `figures` — Figure 1 (SR(16) protocol construction) and Figure 2
+//!   (two-trie reconciliation).
+//! * `tables` — one bench per quantitative-claim experiment (E4–E12) at a
+//!   representative n.
+//! * `baselines` — Chord routing, skip-graph search, broadcast load
+//!   computation.
+
+#![forbid(unsafe_code)]
+
+/// Shared fixed scales so bench names stay comparable across runs.
+pub mod scales {
+    /// Default ring size used by table benches.
+    pub const N: usize = 64;
+    /// Publication count for anti-entropy benches.
+    pub const PUBS: usize = 64;
+}

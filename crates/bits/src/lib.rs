@@ -1,0 +1,28 @@
+//! # skippub-bits
+//!
+//! Foundation types shared by every other `skippub` crate:
+//!
+//! * [`BitStr`] — a compact, arbitrary-length, MSB-first bit string. The
+//!   paper ("Self-Stabilizing Supervised Publish-Subscribe Systems",
+//!   Feldmann et al.) works over the alphabet `Σ = {0,1}` everywhere:
+//!   subscriber *labels* are bit strings, Patricia-trie node labels are bit
+//!   strings, and publication keys are fixed-length bit strings produced by
+//!   a hash function.
+//! * [`Hash128`] — the non-cryptographic, collision-resistant-in-practice
+//!   128-bit hash used for Merkle-style Patricia-trie node hashes (paper
+//!   §4.2). The paper explicitly notes that one-way/cryptographic hashes
+//!   are *not* required ("we do not require our scheme to be
+//!   cryptographically secure"), only practical collision resistance, so a
+//!   strong mixing hash suffices and keeps the crate dependency-free.
+//!
+//! Both types are `#![no_std]`-shaped in spirit (no I/O, no globals) and are
+//! exercised heavily by property-based tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitstr;
+mod hash;
+
+pub use bitstr::{BitStr, BitStrBits, ParseBitStrError};
+pub use hash::{publication_key, Hash128};

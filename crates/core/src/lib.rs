@@ -1,0 +1,71 @@
+//! # skippub-core
+//!
+//! The paper's contribution, in full: a **self-stabilizing supervised skip
+//! ring** (`BuildSR`) and, on top of it, a **self-stabilizing topic-based
+//! publish-subscribe system** (Feldmann, Kolb, Scheideler, Strothmann:
+//! *Self-Stabilizing Supervised Publish-Subscribe Systems*).
+//!
+//! ## Architecture
+//!
+//! * [`Subscriber`] — the per-node state machine: `BuildList`
+//!   linearization (Algorithm 1), extended `BuildRing` with corrupted-label
+//!   repair (Algorithm 2, §2.2), the subscriber half of `BuildSR`
+//!   (Algorithm 4: configurations, probabilistic supervisor probes,
+//!   shortcut maintenance per §3.2.2) and the publication layer
+//!   (Algorithm 5 anti-entropy + §4.3 flooding).
+//! * [`Supervisor`] — the supervisor half of `BuildSR` (Algorithm 3):
+//!   label database with local self-repair (`CheckLabels`), round-robin
+//!   configuration dissemination, constant-message subscribe/unsubscribe,
+//!   and the single failure detector of §3.3.
+//! * [`Actor`] — supervisor-or-subscriber, pluggable into
+//!   [`skippub_sim::World`] (and driven identically by the threaded
+//!   runtime in `skippub-net`).
+//! * [`checker`] — executable legitimate-state predicates (Definition 1):
+//!   convergence/closure are verified from *global snapshots*, never by
+//!   the protocol itself.
+//! * [`scenarios`] — legitimate / cold / adversarial world builders.
+//! * [`SkipRingSim`] — the high-level single-topic API.
+//! * [`topics`] — the multi-topic system of §4 (one `BuildSR` per topic).
+//! * [`sharding`] — consistent-hashing of topics onto multiple
+//!   supervisors (§1.3 scaling remark).
+//!
+//! ## Entry point
+//!
+//! ```
+//! use skippub_core::{ProtocolConfig, SkipRingSim};
+//!
+//! let mut sim = SkipRingSim::new(7, ProtocolConfig::default());
+//! let alice = sim.add_subscriber();
+//! let bob = sim.add_subscriber();
+//! let (_, ok) = sim.run_until_legit(200);
+//! assert!(ok);
+//! sim.publish(alice, b"hello".to_vec()).unwrap();
+//! let (_, ok) = sim.run_until_pubs_converged(50);
+//! assert!(ok);
+//! assert_eq!(sim.subscriber(bob).unwrap().trie.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actor;
+mod api;
+pub mod checker;
+mod config;
+pub mod hierarchy;
+mod msg;
+mod publish;
+pub mod scenarios;
+pub mod sharding;
+mod subscriber;
+mod supervisor;
+#[cfg(test)]
+mod token_tests;
+pub mod topics;
+
+pub use actor::Actor;
+pub use api::SkipRingSim;
+pub use config::{ProbeMode, ProtocolConfig};
+pub use msg::{Msg, NodeRef};
+pub use subscriber::{Counters, Subscriber};
+pub use supervisor::{Supervisor, SupervisorCounters};

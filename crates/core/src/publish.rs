@@ -1,0 +1,346 @@
+//! Publication dissemination (Algorithm 5 + §4.3 flooding), implemented on
+//! [`Subscriber`].
+//!
+//! Two complementary mechanisms, exactly as in the paper:
+//!
+//! * **Anti-entropy** (`PublishTimeout` / `CheckTrie` / `CheckAndPublish`
+//!   / `Publish`): the self-stabilizing layer. Every timeout, a subscriber
+//!   sends its Patricia-trie root to one random direct ring neighbour;
+//!   hash mismatches are drilled down Merkle-style and exactly the missing
+//!   publications are shipped (Theorem 17 guarantees system-wide
+//!   convergence to the union of all publications).
+//! * **Flooding** (`PublishNew`): the fast path. A fresh publication is
+//!   broadcast along *all* edges; since the skip ring has diameter
+//!   `O(log n)`, delivery takes `O(log n)` hops. Flooding alone is not
+//!   self-stabilizing (late joiners / lossy pasts); anti-entropy repairs
+//!   whatever flooding misses ("we do not rely on flooding to show
+//!   convergence", §4.3).
+
+use crate::msg::Msg;
+use crate::subscriber::Subscriber;
+use skippub_bits::BitStr;
+use skippub_sim::{Ctx, NodeId};
+use skippub_trie::{CheckOutcome, NodeSummary, Publication};
+
+impl Subscriber {
+    /// `PublishTimeout` (Algorithm 5 lines 1–4): send the trie root to a
+    /// random direct ring neighbour.
+    pub(crate) fn publish_timeout(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(root) = self.trie.root_summary() else {
+            return;
+        };
+        let candidates: Vec<NodeId> = {
+            let mut c: Vec<NodeId> = [self.left, self.right, self.ring]
+                .into_iter()
+                .flatten()
+                .map(|r| r.id)
+                .filter(|&id| id != self.id)
+                .collect();
+            c.sort_unstable_by_key(|id| id.0);
+            c.dedup();
+            c
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        let pick = candidates[ctx.random_range(candidates.len())];
+        ctx.send(
+            pick,
+            Msg::CheckTrie {
+                sender: self.id,
+                tuples: vec![root],
+            },
+        );
+    }
+
+    /// Handles `CheckTrie(sender, tuples)` (Algorithm 5 lines 11–23).
+    pub(crate) fn on_check_trie(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        sender: NodeId,
+        tuples: Vec<NodeSummary>,
+    ) {
+        if sender == self.id {
+            return;
+        }
+        for tuple in tuples {
+            match self.trie.check(&tuple) {
+                CheckOutcome::Match => {}
+                CheckOutcome::LeafConflict => self.counters.leaf_conflicts += 1,
+                CheckOutcome::Descend(c0, c1) => {
+                    ctx.send(
+                        sender,
+                        Msg::CheckTrie {
+                            sender: self.id,
+                            tuples: vec![c0, c1],
+                        },
+                    );
+                }
+                CheckOutcome::Missing {
+                    cover,
+                    publish_prefix,
+                } => {
+                    ctx.send(
+                        sender,
+                        Msg::CheckAndPublish {
+                            sender: self.id,
+                            tuples: cover.into_iter().collect(),
+                            prefix: publish_prefix,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Handles `CheckAndPublish(sender, tuples, prefix)` (Algorithm 5
+    /// lines 25–28): keep checking, and ship everything under `prefix`.
+    pub(crate) fn on_check_and_publish(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        sender: NodeId,
+        tuples: Vec<NodeSummary>,
+        prefix: BitStr,
+    ) {
+        if sender == self.id {
+            return;
+        }
+        self.on_check_trie(ctx, sender, tuples);
+        let pubs: Vec<Publication> = self
+            .trie
+            .publications_with_prefix(&prefix)
+            .into_iter()
+            .cloned()
+            .collect();
+        if !pubs.is_empty() {
+            ctx.send(sender, Msg::Publish { pubs });
+        }
+    }
+
+    /// Handles `Publish(P)` (Algorithm 5 lines 6–9).
+    pub(crate) fn on_publish(&mut self, pubs: Vec<Publication>) {
+        for p in pubs {
+            if self.trie.insert(p) {
+                self.counters.pubs_via_sync += 1;
+            }
+        }
+    }
+
+    /// Handles `PublishNew(p)` (Algorithm 5 lines 30–34): insert if new
+    /// and keep flooding; drop if already known.
+    pub(crate) fn on_publish_new(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        publication: Publication,
+        hops: u32,
+    ) {
+        if self.trie.contains_key(publication.key()) {
+            return;
+        }
+        let inserted = self.trie.insert(publication.clone());
+        if inserted {
+            self.counters.pubs_via_flood += 1;
+            self.counters.flood_hops.push(hops);
+            self.flood(ctx, publication, hops + 1);
+        }
+    }
+
+    /// Local operation: the user of this subscriber publishes `payload`.
+    /// Inserts into the own trie and, when enabled, floods (§4.3).
+    /// Returns the derived publication key.
+    pub fn publish_local(&mut self, ctx: &mut Ctx<'_, Msg>, payload: Vec<u8>) -> BitStr {
+        let p = Publication::with_key_bits(self.id.0, payload, self.cfg.key_bits);
+        let key = p.key().clone();
+        if self.trie.insert(p.clone()) && self.cfg.flooding {
+            self.flood(ctx, p, 1);
+        }
+        key
+    }
+
+    /// Broadcast along all edges: `{left, right, ring} ∪ shortcuts`.
+    fn flood(&self, ctx: &mut Ctx<'_, Msg>, p: Publication, hops: u32) {
+        if !self.cfg.flooding {
+            return;
+        }
+        let mut targets: Vec<NodeId> = [self.left, self.right, self.ring]
+            .into_iter()
+            .flatten()
+            .map(|r| r.id)
+            .chain(self.shortcuts.values().copied().flatten())
+            .filter(|&id| id != self.id)
+            .collect();
+        targets.sort_unstable_by_key(|id| id.0);
+        targets.dedup();
+        for t in targets {
+            ctx.send(
+                t,
+                Msg::PublishNew {
+                    publication: p.clone(),
+                    hops,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::msg::NodeRef;
+    use skippub_ringmath::Label;
+
+    fn lab(s: &str) -> Label {
+        s.parse().unwrap()
+    }
+
+    fn sub(id: u64, label: &str) -> Subscriber {
+        let mut s = Subscriber::new(NodeId(id), NodeId(0), ProtocolConfig::default());
+        s.label = Some(lab(label));
+        s
+    }
+
+    fn run(
+        s: &mut Subscriber,
+        f: impl FnOnce(&mut Subscriber, &mut Ctx<'_, Msg>),
+    ) -> Vec<(NodeId, Msg)> {
+        skippub_sim::testing::run_handler(s.id, 7, |ctx| f(s, ctx))
+    }
+
+    #[test]
+    fn publish_local_inserts_and_floods() {
+        let mut s = sub(3, "0");
+        s.right = Some(NodeRef::new(lab("01"), NodeId(4)));
+        s.ring = Some(NodeRef::new(lab("11"), NodeId(5)));
+        s.shortcuts.insert(lab("1"), Some(NodeId(6)));
+        let sent = run(&mut s, |s, ctx| {
+            s.publish_local(ctx, b"hello".to_vec());
+        });
+        assert_eq!(s.trie.len(), 1);
+        let flooded: Vec<NodeId> = sent
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::PublishNew { .. }))
+            .map(|(to, _)| *to)
+            .collect();
+        assert_eq!(flooded, vec![NodeId(4), NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn publish_new_forwards_once() {
+        let mut s = sub(3, "0");
+        s.right = Some(NodeRef::new(lab("01"), NodeId(4)));
+        let p = Publication::new(9, b"x".to_vec());
+        let sent = run(&mut s, |s, ctx| s.on_publish_new(ctx, p.clone(), 1));
+        assert_eq!(sent.len(), 1, "forwarded to the one neighbour");
+        assert_eq!(s.counters.flood_hops, vec![1]);
+        // Second arrival is dropped.
+        let sent = run(&mut s, |s, ctx| s.on_publish_new(ctx, p.clone(), 2));
+        assert!(sent.is_empty());
+        assert_eq!(s.trie.len(), 1);
+    }
+
+    #[test]
+    fn publish_timeout_targets_ring_neighbors_only() {
+        let mut s = sub(3, "0");
+        s.right = Some(NodeRef::new(lab("01"), NodeId(4)));
+        s.ring = Some(NodeRef::new(lab("11"), NodeId(5)));
+        s.shortcuts.insert(lab("1"), Some(NodeId(6)));
+        run(&mut s, |s, ctx| {
+            s.publish_local(ctx, b"x".to_vec());
+        });
+        for _ in 0..20 {
+            let sent = run(&mut s, |s, ctx| s.publish_timeout(ctx));
+            assert_eq!(sent.len(), 1);
+            let (to, m) = &sent[0];
+            assert!(matches!(m, Msg::CheckTrie { .. }));
+            assert!(
+                [NodeId(4), NodeId(5)].contains(to),
+                "shortcut {to:?} must not receive anti-entropy probes"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trie_sends_no_probe() {
+        let mut s = sub(3, "0");
+        s.right = Some(NodeRef::new(lab("01"), NodeId(4)));
+        let sent = run(&mut s, |s, ctx| s.publish_timeout(ctx));
+        assert!(sent.is_empty());
+    }
+
+    #[test]
+    fn check_trie_mismatch_descends() {
+        let mut a = sub(3, "0");
+        let mut b = sub(4, "1");
+        run(&mut a, |s, ctx| {
+            s.publish_local(ctx, b"one".to_vec());
+            s.publish_local(ctx, b"two".to_vec());
+        });
+        run(&mut b, |s, ctx| {
+            s.publish_local(ctx, b"three".to_vec());
+        });
+        let root_b = b.trie.root_summary().unwrap();
+        let sent = run(&mut a, |s, ctx| {
+            s.on_check_trie(ctx, NodeId(4), vec![root_b]);
+        });
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(
+            &sent[0].1,
+            Msg::CheckAndPublish { .. } | Msg::CheckTrie { .. }
+        ));
+    }
+
+    #[test]
+    fn full_exchange_converges_two_nodes() {
+        // Run the message exchange by hand until quiescent.
+        let mut a = sub(3, "0");
+        let mut b = sub(4, "1");
+        a.right = Some(NodeRef::new(lab("1"), NodeId(4)));
+        a.ring = Some(NodeRef::new(lab("1"), NodeId(4)));
+        b.left = Some(NodeRef::new(lab("0"), NodeId(3)));
+        b.ring = Some(NodeRef::new(lab("0"), NodeId(3)));
+        run(&mut a, |s, ctx| {
+            for i in 0..10u32 {
+                s.publish_local(ctx, format!("a{i}").into_bytes());
+            }
+        });
+        run(&mut b, |s, ctx| {
+            for i in 0..7u32 {
+                s.publish_local(ctx, format!("b{i}").into_bytes());
+            }
+        });
+        let mut queue: Vec<(NodeId, Msg)> = Vec::new();
+        // Alternate initiations until both roots agree.
+        for round in 0..8 {
+            if a.trie.root_hash() == b.trie.root_hash() {
+                break;
+            }
+            let (init, _other) = if round % 2 == 0 {
+                (&mut a, &mut b)
+            } else {
+                (&mut b, &mut a)
+            };
+            queue.extend(run(init, |s, ctx| s.publish_timeout(ctx)));
+            while let Some((to, msg)) = queue.pop() {
+                let target = if to == NodeId(3) { &mut a } else { &mut b };
+                let more = skippub_sim::testing::run_handler(to, 1, |ctx| match msg {
+                    Msg::CheckTrie { sender, tuples } => target.on_check_trie(ctx, sender, tuples),
+                    Msg::CheckAndPublish {
+                        sender,
+                        tuples,
+                        prefix,
+                    } => target.on_check_and_publish(ctx, sender, tuples, prefix),
+                    Msg::Publish { pubs } => target.on_publish(pubs),
+                    Msg::PublishNew { publication, hops } => {
+                        target.on_publish_new(ctx, publication, hops)
+                    }
+                    _ => {}
+                });
+                queue.extend(more);
+            }
+        }
+        assert_eq!(a.trie.root_hash(), b.trie.root_hash());
+        assert_eq!(a.trie.len(), 17);
+        assert_eq!(b.trie.len(), 17);
+    }
+}

@@ -1,0 +1,575 @@
+//! The supervisor half of `BuildSR` (Algorithm 3, §3.1).
+//!
+//! The supervisor keeps a `database ⊂ {0,1}* × V` mapping labels to
+//! subscribers. In its `Timeout` it (a) repairs the database locally
+//! (`CheckLabels`, corruption classes (i)–(iv) of §3.1), (b) evicts
+//! crashed subscribers reported by its failure detector (§3.3), and (c)
+//! sends **one** configuration per timeout, round-robin (`next`), keeping
+//! its steady-state message rate at exactly 1/interval. Subscribe and
+//! unsubscribe each cost the supervisor a *constant* number of messages
+//! (Theorem 7): one `SetData` for subscribe, two for unsubscribe.
+
+use crate::msg::{Msg, NodeRef};
+use skippub_ringmath::Label;
+use skippub_sim::{Ctx, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Supervisor-side experiment counters.
+#[derive(Clone, Debug, Default)]
+pub struct SupervisorCounters {
+    /// Configurations pushed by the round-robin `Timeout`.
+    pub roundrobin_configs: u64,
+    /// `SetData` messages triggered by subscribe operations.
+    pub subscribe_msgs: u64,
+    /// `SetData` messages triggered by unsubscribe operations.
+    pub unsubscribe_msgs: u64,
+    /// Database repairs performed (entries relabelled or removed).
+    pub repairs: u64,
+    /// Crashed subscribers evicted via the failure detector.
+    pub evictions: u64,
+    /// §6 tokens issued.
+    pub tokens_issued: u64,
+    /// §6 tokens that completed a circulation.
+    pub tokens_returned: u64,
+}
+
+/// The supervisor of one topic (one `BuildSR` instance).
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    /// The supervisor's own ID.
+    pub id: NodeId,
+    /// `database`: label → subscriber. `None` values model the paper's
+    /// corrupted `(label, ⊥)` tuples (class (i)) and only ever exist in
+    /// adversarial initial states.
+    pub database: BTreeMap<Label, Option<NodeId>>,
+    /// Round-robin pointer for configuration dissemination.
+    pub next: u64,
+    /// Failure-detector output: subscribers believed crashed (§3.3).
+    /// Fed by [`Supervisor::suspect`]; an eventually-correct detector in
+    /// the harness reports every real crash after a bounded delay.
+    pub suspected: BTreeSet<NodeId>,
+    /// §6 token mode: when `true`, the supervisor issues a verification
+    /// token instead of pushing round-robin configurations.
+    pub token_enabled: bool,
+    /// Current token issue number.
+    pub token_seq: u64,
+    /// Whether a token is believed to be in circulation.
+    pub token_outstanding: bool,
+    /// Timeouts since the current token was issued (regeneration clock).
+    pub token_age: u64,
+    /// Experiment counters.
+    pub counters: SupervisorCounters,
+}
+
+impl Supervisor {
+    /// A fresh supervisor with an empty database.
+    pub fn new(id: NodeId) -> Self {
+        Supervisor {
+            id,
+            database: BTreeMap::new(),
+            next: 0,
+            suspected: BTreeSet::new(),
+            token_enabled: false,
+            token_seq: 0,
+            token_outstanding: false,
+            token_age: 0,
+            counters: SupervisorCounters::default(),
+        }
+    }
+
+    /// Current subscriber count `n = |database|`.
+    pub fn n(&self) -> usize {
+        self.database.len()
+    }
+
+    /// Failure-detector input: mark `v` as crashed.
+    pub fn suspect(&mut self, v: NodeId) {
+        self.suspected.insert(v);
+    }
+
+    /// Looks up the entry for subscriber `v` (first match in label order).
+    fn label_of(&self, v: NodeId) -> Option<Label> {
+        self.database
+            .iter()
+            .find(|(_, node)| **node == Some(v))
+            .map(|(l, _)| *l)
+    }
+
+    /// `CheckMultipleCopies(v)` (Algorithm 3 lines 31–37): keep only the
+    /// lowest-label entry for `v`.
+    fn check_multiple_copies(&mut self, v: NodeId) {
+        let mut seen = false;
+        let dups: Vec<Label> = self
+            .database
+            .iter()
+            .filter_map(|(l, node)| {
+                if *node == Some(v) {
+                    if seen {
+                        return Some(*l);
+                    }
+                    seen = true;
+                }
+                None
+            })
+            .collect();
+        for l in dups {
+            self.database.remove(&l);
+            self.counters.repairs += 1;
+        }
+    }
+
+    /// `CheckLabels` (Algorithm 3 lines 38–45) extended with duplicate-
+    /// subscriber elimination: after this runs, the database is exactly a
+    /// bijection `{l(0), …, l(n−1)} → V`. All work is local — no messages.
+    pub fn check_labels(&mut self) {
+        // (i): remove (label, ⊥) tuples.
+        let before = self.database.len();
+        self.database.retain(|_, v| v.is_some());
+        self.counters.repairs += (before - self.database.len()) as u64;
+        // (ii): multiple labels for one subscriber — keep the lowest.
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let dups: Vec<Label> = self
+            .database
+            .iter()
+            .filter_map(|(l, node)| {
+                let v = node.expect("no ⊥ after pass (i)");
+                if !seen.insert(v) {
+                    Some(*l)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for l in dups {
+            self.database.remove(&l);
+            self.counters.repairs += 1;
+        }
+        // (iii)/(iv): re-pack labels onto the valid slots l(0..n).
+        let n = self.database.len() as u64;
+        let is_valid_slot = |l: &Label| matches!(l.index(), Some(i) if i < n);
+        // Pool of entries parked on invalid slots, ordered by "maximum j
+        // first" (the paper's relabelling choice); labels outside l's
+        // image sort after everything by construction of the sort key.
+        let mut pool: Vec<(Label, NodeId)> = self
+            .database
+            .iter()
+            .filter(|(l, _)| !is_valid_slot(l))
+            .map(|(l, v)| (*l, v.expect("no ⊥")))
+            .collect();
+        pool.sort_by_key(|(l, _)| (l.index().unwrap_or(u64::MAX), l.frac(), l.len()));
+        // pool is ascending; pop() takes the maximum first.
+        for i in 0..n {
+            let slot = Label::from_index(i);
+            if !self.database.contains_key(&slot) {
+                let (old, v) = pool.pop().expect("counting argument: a spare entry exists");
+                self.database.remove(&old);
+                self.database.insert(slot, Some(v));
+                self.counters.repairs += 1;
+            }
+        }
+        debug_assert!(pool.iter().all(|(l, _)| is_valid_slot(l)) || pool.is_empty());
+    }
+
+    /// Evicts subscribers the failure detector reported (§3.3). Local.
+    fn evict_suspected(&mut self) {
+        if self.suspected.is_empty() {
+            return;
+        }
+        let victims = std::mem::take(&mut self.suspected);
+        let before = self.database.len();
+        self.database.retain(|_, v| match v {
+            Some(node) => !victims.contains(node),
+            None => true,
+        });
+        self.counters.evictions += (before - self.database.len()) as u64;
+    }
+
+    /// Ring predecessor/successor of `label` in the database (wrapping),
+    /// excluding the entry itself. `None` when the database holds fewer
+    /// than two entries.
+    fn neighbors_of(&self, label: Label) -> (Option<NodeRef>, Option<NodeRef>) {
+        if self.database.len() < 2 {
+            return (None, None);
+        }
+        let to_ref = |(l, v): (&Label, &Option<NodeId>)| v.map(|id| NodeRef::new(*l, id));
+        let pred = self
+            .database
+            .range(..label)
+            .next_back()
+            .and_then(to_ref)
+            .or_else(|| {
+                self.database
+                    .iter()
+                    .rfind(|(l, _)| **l != label)
+                    .and_then(to_ref)
+            });
+        let succ = self
+            .database
+            .range((std::ops::Bound::Excluded(label), std::ops::Bound::Unbounded))
+            .next()
+            .and_then(to_ref)
+            .or_else(|| {
+                self.database
+                    .iter()
+                    .find(|(l, _)| **l != label)
+                    .and_then(to_ref)
+            });
+        (pred, succ)
+    }
+
+    /// Sends `v` (which holds `label`) its configuration.
+    fn send_config(&self, ctx: &mut Ctx<'_, Msg>, label: Label, v: NodeId) {
+        let (pred, succ) = self.neighbors_of(label);
+        ctx.send(
+            v,
+            Msg::SetData {
+                pred,
+                label: Some(label),
+                succ,
+            },
+        );
+    }
+
+    /// `Subscribe(v)` (Algorithm 3 lines 6–12).
+    pub(crate) fn on_subscribe(&mut self, ctx: &mut Ctx<'_, Msg>, v: NodeId) {
+        if v == self.id {
+            return;
+        }
+        self.check_labels(); // keep the insert slot l(n) well-defined
+        match self.label_of(v) {
+            None => {
+                let n = self.database.len() as u64;
+                let label = Label::from_index(n);
+                self.database.insert(label, Some(v));
+                self.send_config(ctx, label, v);
+                self.counters.subscribe_msgs += 1;
+            }
+            Some(label) => {
+                // Already subscribed: just (re-)send the configuration.
+                self.send_config(ctx, label, v);
+            }
+        }
+    }
+
+    /// `Unsubscribe(v)` (Algorithm 3 lines 13–23): the subscriber holding
+    /// the *last* label takes over `v`'s label so the label set stays
+    /// `{l(0), …, l(n−2)}`; `v` receives the departure permission.
+    pub(crate) fn on_unsubscribe(&mut self, ctx: &mut Ctx<'_, Msg>, v: NodeId) {
+        if v == self.id {
+            return;
+        }
+        self.check_labels();
+        self.check_multiple_copies(v);
+        if let Some(label_v) = self.label_of(v) {
+            let n = self.database.len() as u64;
+            let last = Label::from_index(n - 1);
+            if n > 1 && label_v != last {
+                let w = self.database.remove(&last).flatten().expect("repaired db");
+                self.database.insert(label_v, Some(w));
+                // paper-note: Alg. 3 line 20 writes SetData(pred_v,
+                // label_u, succ_v) with inconsistent naming; the intent is
+                // v's old label and its ring neighbours (DESIGN.md §5.1).
+                self.send_config(ctx, label_v, w);
+                self.counters.unsubscribe_msgs += 1;
+            } else {
+                self.database.remove(&label_v);
+            }
+        }
+        ctx.send(
+            v,
+            Msg::SetData {
+                pred: None,
+                label: None,
+                succ: None,
+            },
+        );
+        self.counters.unsubscribe_msgs += 1;
+    }
+
+    /// `GetConfiguration(u)` (Algorithm 3 lines 24–30). Note the
+    /// configuration goes to `u` — which may differ from the requester
+    /// (§3.2.1 action (iii)). When `u` is unknown, the requester (if any)
+    /// is told to drop its references to `u` — the §3.3 extension that
+    /// propagates the supervisor-side failure detector's knowledge at
+    /// constant cost.
+    pub(crate) fn on_get_configuration(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        u: NodeId,
+        requester: Option<NodeId>,
+    ) {
+        if u == self.id {
+            return;
+        }
+        self.check_multiple_copies(u);
+        match self.label_of(u) {
+            Some(label) => self.send_config(ctx, label, u),
+            None => {
+                ctx.send(
+                    u,
+                    Msg::SetData {
+                        pred: None,
+                        label: None,
+                        succ: None,
+                    },
+                );
+                if let Some(req) = requester {
+                    if req != u {
+                        ctx.send(req, Msg::RemoveConnections { node: u });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The supervisor `Timeout` (Algorithm 3 lines 1–5), or the §6 token
+    /// bookkeeping when token mode is on.
+    pub(crate) fn timeout(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.evict_suspected();
+        self.check_labels();
+        let n = self.database.len() as u64;
+        if n == 0 {
+            self.token_outstanding = false;
+            return;
+        }
+        if self.token_enabled {
+            self.token_timeout(ctx, n);
+            return;
+        }
+        self.next = (self.next + 1) % n;
+        let label = Label::from_index(self.next);
+        if let Some(Some(v)) = self.database.get(&label).copied() {
+            self.send_config(ctx, label, v);
+            self.counters.roundrobin_configs += 1;
+        }
+    }
+
+    /// §6 token mode: (re-)issue the verification token when none is in
+    /// circulation, or when the current one failed to return within a
+    /// generous ring-circumference bound (lost to a crash or a corrupted
+    /// pointer cycle — its TTL kills it).
+    fn token_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, n: u64) {
+        self.token_age += 1;
+        let lost_after = 2 * n + 16;
+        if self.token_outstanding && self.token_age <= lost_after {
+            return;
+        }
+        // Issue to the subscriber holding l(0) — the ring minimum.
+        if let Some(Some(entry)) = self.database.get(&Label::from_index(0)).copied() {
+            self.token_seq += 1;
+            self.token_outstanding = true;
+            self.token_age = 0;
+            let ttl = (4 * n + 16) as u32;
+            ctx.send(
+                entry,
+                Msg::Token {
+                    seq: self.token_seq,
+                    ttl,
+                },
+            );
+            self.counters.tokens_issued += 1;
+        }
+    }
+
+    /// Handles the token coming home from the ring maximum.
+    pub(crate) fn on_token_return(&mut self, seq: u64) {
+        if self.token_enabled && seq == self.token_seq {
+            self.token_outstanding = false;
+            self.token_age = 0;
+            self.counters.tokens_returned += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab(s: &str) -> Label {
+        s.parse().unwrap()
+    }
+
+    fn run(
+        s: &mut Supervisor,
+        f: impl FnOnce(&mut Supervisor, &mut Ctx<'_, Msg>),
+    ) -> Vec<(NodeId, Msg)> {
+        skippub_sim::testing::run_handler(s.id, 5, |ctx| f(s, ctx))
+    }
+
+    fn db_labels(s: &Supervisor) -> Vec<String> {
+        s.database.keys().map(|l| l.to_string()).collect()
+    }
+
+    #[test]
+    fn subscribe_assigns_sequential_labels() {
+        let mut s = Supervisor::new(NodeId(0));
+        for i in 1..=4 {
+            let sent = run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(i)));
+            assert_eq!(sent.len(), 1, "subscribe costs exactly one message");
+        }
+        assert_eq!(db_labels(&s), ["0", "01", "1", "11"]);
+        assert_eq!(s.counters.subscribe_msgs, 4);
+    }
+
+    #[test]
+    fn duplicate_subscribe_resends_config() {
+        let mut s = Supervisor::new(NodeId(0));
+        run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(1)));
+        let sent = run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(1)));
+        assert_eq!(s.n(), 1);
+        assert_eq!(sent.len(), 1);
+        match &sent[0].1 {
+            Msg::SetData { label, .. } => assert_eq!(*label, Some(lab("0"))),
+            m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn subscribe_config_has_ring_neighbors() {
+        let mut s = Supervisor::new(NodeId(0));
+        for i in 1..=3 {
+            run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(i)));
+        }
+        // Fourth subscriber gets l(3) = "11" with pred "1" and succ "0".
+        let sent = run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(4)));
+        match &sent[0].1 {
+            Msg::SetData { pred, label, succ } => {
+                assert_eq!(*label, Some(lab("11")));
+                assert_eq!(pred.unwrap().label, lab("1"));
+                assert_eq!(succ.unwrap().label, lab("0"));
+            }
+            m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn unsubscribe_relabels_last() {
+        let mut s = Supervisor::new(NodeId(0));
+        for i in 1..=4 {
+            run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(i)));
+        }
+        // Node 2 holds l(1) = "1"; node 4 holds l(3) = "11" and must take
+        // over "1".
+        let sent = run(&mut s, |s, ctx| s.on_unsubscribe(ctx, NodeId(2)));
+        assert_eq!(sent.len(), 2, "unsubscribe costs exactly two messages");
+        assert_eq!(db_labels(&s), ["0", "01", "1"]);
+        assert_eq!(s.database[&lab("1")], Some(NodeId(4)));
+        // One SetData to the relabelled node, one permission to the leaver.
+        let to_w = sent.iter().find(|(to, _)| *to == NodeId(4)).unwrap();
+        match &to_w.1 {
+            Msg::SetData { label, .. } => assert_eq!(*label, Some(lab("1"))),
+            m => panic!("unexpected {m:?}"),
+        }
+        let to_v = sent.iter().find(|(to, _)| *to == NodeId(2)).unwrap();
+        assert!(matches!(to_v.1, Msg::SetData { label: None, .. }));
+    }
+
+    #[test]
+    fn unsubscribe_last_label_just_removes() {
+        let mut s = Supervisor::new(NodeId(0));
+        for i in 1..=3 {
+            run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(i)));
+        }
+        let sent = run(&mut s, |s, ctx| s.on_unsubscribe(ctx, NodeId(3)));
+        assert_eq!(db_labels(&s), ["0", "1"]);
+        assert_eq!(sent.len(), 1, "only the permission message");
+    }
+
+    #[test]
+    fn unsubscribe_unknown_still_grants_permission() {
+        let mut s = Supervisor::new(NodeId(0));
+        let sent = run(&mut s, |s, ctx| s.on_unsubscribe(ctx, NodeId(9)));
+        assert_eq!(sent.len(), 1);
+        assert!(matches!(sent[0].1, Msg::SetData { label: None, .. }));
+    }
+
+    #[test]
+    fn check_labels_repairs_all_corruption_classes() {
+        let mut s = Supervisor::new(NodeId(0));
+        // (i) ⊥ value, (ii) duplicate node, (iii) missing l(1),
+        // (iv) label with index ≥ n.
+        s.database.insert(lab("0"), Some(NodeId(1)));
+        s.database.insert(lab("11"), Some(NodeId(2))); // l(3) but n will be 3
+        s.database.insert(lab("0001"), None); // class (i)
+        s.database.insert(lab("001"), Some(NodeId(1))); // class (ii) dup of node 1
+        s.check_labels();
+        assert_eq!(db_labels(&s), ["0", "1"]);
+        let nodes: BTreeSet<NodeId> = s.database.values().map(|v| v.unwrap()).collect();
+        assert_eq!(nodes.len(), 2);
+        assert!(s.counters.repairs >= 3);
+    }
+
+    #[test]
+    fn check_labels_handles_non_canonical_labels() {
+        let mut s = Supervisor::new(NodeId(0));
+        // "10" is not in the image of l.
+        s.database.insert(lab("10"), Some(NodeId(1)));
+        s.database.insert(lab("110"), Some(NodeId(2)));
+        s.check_labels();
+        assert_eq!(db_labels(&s), ["0", "1"]);
+    }
+
+    #[test]
+    fn timeout_round_robin_sends_one_config() {
+        let mut s = Supervisor::new(NodeId(0));
+        for i in 1..=3 {
+            run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(i)));
+        }
+        let mut recipients = BTreeSet::new();
+        for _ in 0..3 {
+            let sent = run(&mut s, |s, ctx| s.timeout(ctx));
+            assert_eq!(sent.len(), 1);
+            recipients.insert(sent[0].0);
+        }
+        assert_eq!(recipients.len(), 3, "round robin must cover everyone");
+    }
+
+    #[test]
+    fn timeout_on_empty_db_is_silent() {
+        let mut s = Supervisor::new(NodeId(0));
+        let sent = run(&mut s, |s, ctx| s.timeout(ctx));
+        assert!(sent.is_empty());
+    }
+
+    #[test]
+    fn eviction_removes_and_repacks() {
+        let mut s = Supervisor::new(NodeId(0));
+        for i in 1..=4 {
+            run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(i)));
+        }
+        s.suspect(NodeId(1));
+        s.suspect(NodeId(3));
+        run(&mut s, |s, ctx| s.timeout(ctx));
+        assert_eq!(s.n(), 2);
+        assert_eq!(db_labels(&s), ["0", "1"]);
+        let nodes: BTreeSet<NodeId> = s.database.values().map(|v| v.unwrap()).collect();
+        assert_eq!(nodes, BTreeSet::from([NodeId(2), NodeId(4)]));
+        assert_eq!(s.counters.evictions, 2);
+    }
+
+    #[test]
+    fn get_configuration_for_unknown_resets() {
+        let mut s = Supervisor::new(NodeId(0));
+        let sent = run(&mut s, |s, ctx| {
+            s.on_get_configuration(ctx, NodeId(7), None)
+        });
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, NodeId(7));
+        assert!(matches!(sent[0].1, Msg::SetData { label: None, .. }));
+    }
+
+    #[test]
+    fn neighbors_wrap_around() {
+        let mut s = Supervisor::new(NodeId(0));
+        for i in 1..=4 {
+            run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(i)));
+        }
+        // Labels sorted: 0(n1), 01(n3), 1(n2), 11(n4).
+        let (pred, succ) = s.neighbors_of(lab("0"));
+        assert_eq!(pred.unwrap().label, lab("11"));
+        assert_eq!(succ.unwrap().label, lab("01"));
+        let (pred, succ) = s.neighbors_of(lab("11"));
+        assert_eq!(pred.unwrap().label, lab("1"));
+        assert_eq!(succ.unwrap().label, lab("0"));
+    }
+}

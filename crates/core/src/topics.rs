@@ -1,0 +1,292 @@
+//! Multi-topic publish-subscribe (§4): one `BuildSR` instance per topic.
+//!
+//! "To construct a publish-subscribe system out of our self-stabilizing
+//! supervised overlay network, we basically run a BuildSR protocol for
+//! each topic t ∈ T at the supervisor. … By assigning the topic number to
+//! each message that is sent out, we can identify the appropriate protocol
+//! at the receiver."
+//!
+//! The supervisor's per-timeout work is therefore **linear in the number
+//! of topics but independent of the number of subscribers** (experiment
+//! E13 measures exactly this).
+
+use crate::config::ProtocolConfig;
+use crate::msg::Msg;
+use crate::subscriber::Subscriber;
+use crate::supervisor::Supervisor;
+use skippub_sim::{Ctx, NodeId, Protocol};
+use std::collections::BTreeMap;
+
+/// Topic identifier (`t ∈ T ⊂ N`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TopicId(pub u32);
+
+/// A topic-tagged protocol message.
+#[derive(Clone, Debug)]
+pub struct TopicMsg {
+    /// Which `BuildSR` instance the message belongs to.
+    pub topic: TopicId,
+    /// The inner message.
+    pub msg: Msg,
+}
+
+/// A multi-topic process: a supervisor hosting one database per topic, or
+/// a client subscribed to any subset of topics.
+#[derive(Clone, Debug)]
+pub enum MultiActor {
+    /// The supervisor: one `BuildSR` supervisor instance per topic.
+    Supervisor {
+        /// Per-topic supervisor state.
+        topics: BTreeMap<TopicId, Supervisor>,
+        /// Own id.
+        id: NodeId,
+    },
+    /// A client: one `BuildSR` subscriber instance per subscribed topic.
+    Client {
+        /// Per-topic subscriber state.
+        topics: BTreeMap<TopicId, Subscriber>,
+        /// Own id.
+        id: NodeId,
+        /// The (hard-coded) supervisor.
+        supervisor: NodeId,
+        /// Configuration applied to newly joined topics.
+        cfg: ProtocolConfig,
+    },
+}
+
+impl MultiActor {
+    /// New multi-topic supervisor.
+    pub fn new_supervisor(id: NodeId) -> Self {
+        MultiActor::Supervisor {
+            topics: BTreeMap::new(),
+            id,
+        }
+    }
+
+    /// New client with no subscriptions.
+    pub fn new_client(id: NodeId, supervisor: NodeId, cfg: ProtocolConfig) -> Self {
+        MultiActor::Client {
+            topics: BTreeMap::new(),
+            id,
+            supervisor,
+            cfg,
+        }
+    }
+
+    /// Client-side: start a `BuildSR` instance for `topic` ("Once a
+    /// subscriber wants to subscribe to some topic t ∈ T, it starts
+    /// running a new BuildSR protocol for topic t").
+    pub fn join_topic(&mut self, topic: TopicId) {
+        if let MultiActor::Client {
+            topics,
+            id,
+            supervisor,
+            cfg,
+        } = self
+        {
+            topics
+                .entry(topic)
+                .or_insert_with(|| Subscriber::new(*id, *supervisor, *cfg));
+        }
+    }
+
+    /// Client-side: request departure from `topic`; the instance is
+    /// dropped once the supervisor grants permission (observed as the
+    /// label being cleared).
+    pub fn leave_topic(&mut self, topic: TopicId) {
+        if let MultiActor::Client { topics, .. } = self {
+            if let Some(s) = topics.get_mut(&topic) {
+                s.wants_membership = false;
+            }
+        }
+    }
+
+    /// The subscriber instance for `topic`, if any.
+    pub fn topic_subscriber(&self, topic: TopicId) -> Option<&Subscriber> {
+        match self {
+            MultiActor::Client { topics, .. } => topics.get(&topic),
+            MultiActor::Supervisor { .. } => None,
+        }
+    }
+
+    /// Mutable subscriber instance for `topic`.
+    pub fn topic_subscriber_mut(&mut self, topic: TopicId) -> Option<&mut Subscriber> {
+        match self {
+            MultiActor::Client { topics, .. } => topics.get_mut(&topic),
+            MultiActor::Supervisor { .. } => None,
+        }
+    }
+
+    /// The supervisor instance for `topic`, if this is the supervisor.
+    pub fn topic_supervisor(&self, topic: TopicId) -> Option<&Supervisor> {
+        match self {
+            MultiActor::Supervisor { topics, .. } => topics.get(&topic),
+            MultiActor::Client { .. } => None,
+        }
+    }
+
+    /// Topics this actor currently participates in.
+    pub fn topic_ids(&self) -> Vec<TopicId> {
+        match self {
+            MultiActor::Supervisor { topics, .. } => topics.keys().copied().collect(),
+            MultiActor::Client { topics, .. } => topics.keys().copied().collect(),
+        }
+    }
+}
+
+/// Adapter: runs a single-topic handler inside a topic-tagged context by
+/// translating sends into [`TopicMsg`]s.
+fn with_topic_ctx(topic: TopicId, ctx: &mut Ctx<'_, TopicMsg>, f: impl FnOnce(&mut Ctx<'_, Msg>)) {
+    // Collect the inner sends through a detached context, then re-tag.
+    // Randomness: derive a per-call seed from the outer ctx so behaviour
+    // stays deterministic per world seed.
+    let seed = (u64::from(topic.0) << 32) ^ ctx.random_range(usize::MAX) as u64;
+    let sent = skippub_sim::testing::run_handler(ctx.me(), seed, f);
+    for (to, msg) in sent {
+        ctx.send(to, TopicMsg { topic, msg });
+    }
+}
+
+impl Protocol for MultiActor {
+    type Msg = TopicMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TopicMsg>, tm: TopicMsg) {
+        let TopicMsg { topic, msg } = tm;
+        match self {
+            MultiActor::Supervisor { topics, id } => {
+                // The supervisor lazily instantiates a topic on first
+                // contact ("topics … predefined by the supervisor" — we
+                // model the predefined set as "whatever is contacted").
+                let sup = topics.entry(topic).or_insert_with(|| Supervisor::new(*id));
+                with_topic_ctx(topic, ctx, |ictx| {
+                    crate::actor::dispatch_supervisor(sup, ictx, msg)
+                });
+            }
+            MultiActor::Client { topics, .. } => {
+                if let Some(sub) = topics.get_mut(&topic) {
+                    with_topic_ctx(topic, ctx, |ictx| {
+                        crate::actor::dispatch_subscriber(sub, ictx, msg)
+                    });
+                }
+                // Messages for topics we never joined: corrupted content,
+                // consumed silently.
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, TopicMsg>) {
+        match self {
+            MultiActor::Supervisor { topics, .. } => {
+                // One round-robin config per topic per timeout — the §4
+                // "linear in |T|, independent of subscribers" overhead.
+                for (t, sup) in topics.iter_mut() {
+                    with_topic_ctx(*t, ctx, |ictx| sup.timeout(ictx));
+                }
+            }
+            MultiActor::Client { topics, .. } => {
+                let mut done: Vec<TopicId> = Vec::new();
+                for (t, sub) in topics.iter_mut() {
+                    with_topic_ctx(*t, ctx, |ictx| sub.timeout(ictx));
+                    // "Upon unsubscribing, the subscriber may remove the
+                    // respective BuildSR protocol, once it gets the
+                    // permission from the supervisor."
+                    if !sub.wants_membership && sub.label.is_none() {
+                        done.push(*t);
+                    }
+                }
+                for t in done {
+                    topics.remove(&t);
+                }
+            }
+        }
+    }
+
+    fn msg_kind(tm: &TopicMsg) -> &'static str {
+        tm.msg.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skippub_sim::World;
+
+    const SUP: NodeId = NodeId(0);
+
+    fn multi_world(clients: u64, seed: u64) -> World<MultiActor> {
+        let mut w = World::new(seed);
+        w.add_node(SUP, MultiActor::new_supervisor(SUP));
+        for i in 1..=clients {
+            w.add_node(
+                NodeId(i),
+                MultiActor::new_client(NodeId(i), SUP, ProtocolConfig::topology_only()),
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn two_topics_stabilize_independently() {
+        let mut w = multi_world(6, 21);
+        let (ta, tb) = (TopicId(1), TopicId(2));
+        for i in 1..=6u64 {
+            let a = w.node_mut(NodeId(i)).unwrap();
+            if i <= 4 {
+                a.join_topic(ta);
+            }
+            if i >= 3 {
+                a.join_topic(tb);
+            }
+        }
+        for _ in 0..250 {
+            w.run_round();
+        }
+        let sup = w.node(SUP).unwrap();
+        assert_eq!(sup.topic_supervisor(ta).unwrap().n(), 4);
+        assert_eq!(sup.topic_supervisor(tb).unwrap().n(), 4);
+        // Per-topic subscriber state must carry per-topic labels.
+        let n3 = w.node(NodeId(3)).unwrap();
+        assert!(n3.topic_subscriber(ta).unwrap().label.is_some());
+        assert!(n3.topic_subscriber(tb).unwrap().label.is_some());
+    }
+
+    #[test]
+    fn leaving_a_topic_drops_the_instance() {
+        let mut w = multi_world(3, 22);
+        let t = TopicId(9);
+        for i in 1..=3u64 {
+            w.node_mut(NodeId(i)).unwrap().join_topic(t);
+        }
+        for _ in 0..80 {
+            w.run_round();
+        }
+        w.node_mut(NodeId(2)).unwrap().leave_topic(t);
+        for _ in 0..120 {
+            w.run_round();
+        }
+        assert!(w.node(NodeId(2)).unwrap().topic_subscriber(t).is_none());
+        assert_eq!(w.node(SUP).unwrap().topic_supervisor(t).unwrap().n(), 2);
+    }
+
+    #[test]
+    fn unjoined_topic_messages_are_consumed() {
+        let mut w = multi_world(1, 23);
+        w.inject(
+            NodeId(1),
+            TopicMsg {
+                topic: TopicId(77),
+                msg: Msg::SetData {
+                    pred: None,
+                    label: None,
+                    succ: None,
+                },
+            },
+        );
+        w.run_round();
+        assert!(w
+            .node(NodeId(1))
+            .unwrap()
+            .topic_subscriber(TopicId(77))
+            .is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! E3 — Lemma 3: skip-ring degrees are `O(log n)` worst-case, ≤ 4 on
+//! average, with `|E_R ∪ E_S| = 4n − 4` directed reference slots for full
+//! systems.
+
+use crate::table::f2;
+use crate::{Report, Scale, Table};
+use skippub_ringmath::{analytics, IdealSkipRing};
+
+/// Runs E3.
+pub fn run(scale: Scale, _seed: u64) -> Report {
+    let sweep: &[usize] = scale.pick(
+        &[16usize, 64, 256][..],
+        &[16usize, 64, 256, 1024, 4096, 8192][..],
+    );
+    let mut t = Table::new(
+        "degrees and edges vs Lemma 3",
+        &[
+            "n",
+            "max deg",
+            "bound 2(log n)",
+            "avg deg",
+            "paper avg ≤",
+            "directed edges",
+            "4n−4",
+        ],
+    );
+    let mut verdicts = Vec::new();
+    let mut all_bounded = true;
+    let mut all_avg = true;
+    let mut all_edges = true;
+    for &n in sweep {
+        let sr = IdealSkipRing::new(n);
+        let stats = sr.degree_stats();
+        let log_n = analytics::max_level(n as u64) as usize;
+        let bound = 2 * log_n;
+        all_bounded &= stats.max_degree <= bound;
+        all_avg &= stats.avg_degree <= 4.0 + 1e-9;
+        let closed = analytics::directed_edges_full(n as u64);
+        if n.is_power_of_two() {
+            all_edges &= stats.directed_edges as u64 == closed;
+        }
+        t.row(vec![
+            n.to_string(),
+            stats.max_degree.to_string(),
+            bound.to_string(),
+            f2(stats.avg_degree),
+            "4.00".to_string(),
+            stats.directed_edges.to_string(),
+            closed.to_string(),
+        ]);
+    }
+    // Per-label-length worst case for one representative n.
+    let n = *sweep.last().expect("non-empty sweep");
+    let sr = IdealSkipRing::new(n);
+    let adj = sr.adjacency();
+    let log_n = analytics::max_level(n as u64);
+    let mut by_k = Table::new(
+        format!("degree by label length (n = {n})"),
+        &[
+            "k = |label|",
+            "f(k) nodes",
+            "max deg",
+            "Lemma-3 bound 2(log n − k + 1)",
+        ],
+    );
+    let mut per_k_ok = true;
+    for k in 1..=log_n {
+        let nodes: Vec<_> = sr.labels().iter().filter(|l| l.len() == k).collect();
+        let max_deg = nodes.iter().map(|l| adj[l].len()).max().unwrap_or(0);
+        let bound = analytics::degree_bound(k, log_n);
+        per_k_ok &= max_deg as u64 <= bound;
+        by_k.row(vec![
+            k.to_string(),
+            nodes.len().to_string(),
+            max_deg.to_string(),
+            bound.to_string(),
+        ]);
+    }
+    verdicts.push(("max degree ≤ 2·log n for every n".into(), all_bounded));
+    verdicts.push(("average degree ≤ 4 for every n".into(), all_avg));
+    verdicts.push((
+        "directed edge count = 4n − 4 at powers of two".into(),
+        all_edges,
+    ));
+    verdicts.push((
+        "per-label-length degrees respect 2(log n − k + 1)".into(),
+        per_k_ok,
+    ));
+
+    Report {
+        id: "E3",
+        artefact: "Lemma 3",
+        claim: "degree: logarithmic worst case, constant (≤4) average; |E_R ∪ E_S| = 4n−4",
+        tables: vec![t, by_k],
+        verdicts,
+    }
+}

@@ -1,0 +1,101 @@
+//! E5 — Theorem 7: in a legitimate state, subscribe and unsubscribe cost
+//! the supervisor (and the subscriber) a **constant** number of messages,
+//! independent of `n` — the headline advantage over both brokers (Θ(n)
+//! publish fan-out) and pure P2P joins (Θ(log n) routing).
+
+use crate::table::f2;
+use crate::{Report, Scale, Table};
+use skippub_core::{scenarios, ProtocolConfig, SkipRingSim};
+
+/// Runs E5.
+pub fn run(scale: Scale, seed: u64) -> Report {
+    let sweep: &[usize] = scale.pick(&[8usize, 32][..], &[8usize, 32, 128, 512, 2048][..]);
+    let ops = scale.pick(10u64, 40u64);
+    let cfg = ProtocolConfig::topology_only();
+    let mut t = Table::new(
+        "supervisor messages per operation (marginal over background)",
+        &["n", "op", "sup msgs/op", "paper"],
+    );
+    let mut verdicts = Vec::new();
+    let mut sub_const = true;
+    let mut unsub_const = true;
+
+    for &n in sweep {
+        // --- subscribes ---
+        let mut sim = SkipRingSim::from_world(scenarios::legit_world(n, seed, cfg), cfg);
+        let sup = sim.supervisor_id();
+        // Background supervisor rate: 1 round-robin config per round plus
+        // probe responses. Measure it first.
+        let before = sim.metrics().clone();
+        let warm = 50u64;
+        for _ in 0..warm {
+            sim.run_round();
+        }
+        let bg = sim.metrics().diff(&before);
+        let bg_rate = bg.sent_by(sup) as f64 / warm as f64;
+        // Now the ops, one per round.
+        let before = sim.metrics().clone();
+        for _ in 0..ops {
+            sim.add_subscriber_eager();
+            sim.run_round();
+        }
+        let d = sim.metrics().diff(&before);
+        let per_sub = (d.sent_by(sup) as f64 - bg_rate * ops as f64) / ops as f64;
+        sub_const &= per_sub <= 4.0;
+        t.row(vec![
+            n.to_string(),
+            "subscribe".into(),
+            f2(per_sub),
+            "1 SetData".into(),
+        ]);
+
+        // --- unsubscribes ---
+        let mut sim = SkipRingSim::from_world(scenarios::legit_world(n, seed ^ 1, cfg), cfg);
+        let sup = sim.supervisor_id();
+        let (_, ok) = sim.run_until_legit(10);
+        debug_assert!(ok);
+        let before = sim.metrics().clone();
+        for _ in 0..warm {
+            sim.run_round();
+        }
+        let bg = sim.metrics().diff(&before);
+        let bg_rate = bg.sent_by(sup) as f64 / warm as f64;
+        let victims: Vec<_> = sim
+            .subscriber_ids()
+            .into_iter()
+            .take(ops as usize)
+            .collect();
+        let before = sim.metrics().clone();
+        let mut rounds = 0u64;
+        for v in victims {
+            sim.unsubscribe(v);
+            sim.run_round();
+            rounds += 1;
+        }
+        let d = sim.metrics().diff(&before);
+        let per_unsub = (d.sent_by(sup) as f64 - bg_rate * rounds as f64) / ops as f64;
+        unsub_const &= per_unsub <= 5.0;
+        t.row(vec![
+            n.to_string(),
+            "unsubscribe".into(),
+            f2(per_unsub),
+            "2 SetData".into(),
+        ]);
+    }
+    verdicts.push((
+        "subscribe costs O(1) supervisor messages at every n".into(),
+        sub_const,
+    ));
+    verdicts.push((
+        "unsubscribe costs O(1) supervisor messages at every n".into(),
+        unsub_const,
+    ));
+
+    Report {
+        id: "E5",
+        artefact: "Theorem 7",
+        claim: "constant supervisor message overhead per subscribe/unsubscribe, independent of n",
+        tables: vec![t],
+        verdicts,
+    }
+}

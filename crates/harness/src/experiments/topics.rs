@@ -1,0 +1,134 @@
+//! E13 — §4 + §1.3: the supervisor's message load is **linear in the
+//! number of topics** but **independent of the number of subscribers**;
+//! consistent-hashing shards flatten the per-supervisor load.
+
+use crate::table::f2;
+use crate::{Report, Scale, Table};
+use skippub_core::sharding::SupervisorShards;
+use skippub_core::topics::{MultiActor, TopicId};
+use skippub_core::ProtocolConfig;
+use skippub_sim::{NodeId, World};
+
+const SUP: NodeId = NodeId(0);
+
+fn multi_world(topics: usize, subs_per_topic: usize, seed: u64) -> World<MultiActor> {
+    let mut w = World::new(seed);
+    w.add_node(SUP, MultiActor::new_supervisor(SUP));
+    // Distinct clients per topic (worst case for the supervisor).
+    let mut next = 1u64;
+    for t in 0..topics {
+        for _ in 0..subs_per_topic {
+            let id = NodeId(next);
+            next += 1;
+            let mut c = MultiActor::new_client(id, SUP, ProtocolConfig::topology_only());
+            c.join_topic(TopicId(t as u32));
+            w.add_node(id, c);
+        }
+    }
+    w
+}
+
+/// Runs E13.
+pub fn run(scale: Scale, seed: u64) -> Report {
+    let topic_sweep: &[usize] = scale.pick(&[1usize, 4][..], &[1usize, 4, 16, 64][..]);
+    let subs_sweep: &[usize] = scale.pick(&[4usize, 8][..], &[4usize, 16, 64][..]);
+    let warmup = scale.pick(120u64, 400u64);
+    let measure = scale.pick(60u64, 200u64);
+
+    let mut t = Table::new(
+        "supervisor load vs topics × subscribers (steady state)",
+        &["topics", "subs/topic", "sup msgs/round", "per topic"],
+    );
+    let mut loads: Vec<(usize, usize, f64)> = Vec::new();
+    for &topics in topic_sweep {
+        for &subs in subs_sweep {
+            let mut w = multi_world(topics, subs, seed);
+            for _ in 0..warmup {
+                w.run_round();
+            }
+            let before = w.metrics().clone();
+            for _ in 0..measure {
+                w.run_round();
+            }
+            let d = w.metrics().diff(&before);
+            let rate = d.sent_by(SUP) as f64 / measure as f64;
+            loads.push((topics, subs, rate));
+            t.row(vec![
+                topics.to_string(),
+                subs.to_string(),
+                f2(rate),
+                f2(rate / topics as f64),
+            ]);
+        }
+    }
+    // Shape checks: linear in topics (at fixed subs), flat in subscribers
+    // (at fixed topics).
+    let max_topics = *topic_sweep.last().expect("nonempty");
+    let min_topics = topic_sweep[0];
+    let subs0 = subs_sweep[0];
+    let rate_at = |t: usize, s: usize| {
+        loads
+            .iter()
+            .find(|(tt, ss, _)| *tt == t && *ss == s)
+            .map(|(_, _, r)| *r)
+            .expect("measured")
+    };
+    let linear_in_topics = {
+        let lo = rate_at(min_topics, subs0) / min_topics as f64;
+        let hi = rate_at(max_topics, subs0) / max_topics as f64;
+        hi <= lo * 1.75 && lo <= hi * 1.75
+    };
+    let flat_in_subs = {
+        let lo = rate_at(max_topics, subs_sweep[0]);
+        let hi = rate_at(max_topics, *subs_sweep.last().expect("nonempty"));
+        hi <= lo * 1.6 + 1.0
+    };
+
+    // Sharded supervisors: static consistent-hash split of per-topic load.
+    let shard_counts: &[usize] = &[1, 2, 4, 8];
+    let total_topics = scale.pick(64usize, 512usize);
+    let mut shard_table = Table::new(
+        format!("consistent-hash sharding of {total_topics} topics (§1.3)"),
+        &["supervisors", "max topics/supervisor", "ideal", "imbalance"],
+    );
+    let mut sharding_helps = true;
+    let mut prev_max = usize::MAX;
+    for &k in shard_counts {
+        let sups: Vec<NodeId> = (100..100 + k as u64).map(NodeId).collect();
+        let shards = SupervisorShards::new(&sups, 64);
+        let load = shards.load((0..total_topics as u32).map(TopicId));
+        let max = load.values().copied().max().unwrap_or(0);
+        let ideal = total_topics.div_ceil(k);
+        sharding_helps &= max <= prev_max;
+        prev_max = max;
+        shard_table.row(vec![
+            k.to_string(),
+            max.to_string(),
+            ideal.to_string(),
+            f2(max as f64 / ideal as f64),
+        ]);
+    }
+
+    let verdicts = vec![
+        (
+            "supervisor load grows linearly with topics".to_string(),
+            linear_in_topics,
+        ),
+        (
+            "supervisor load independent of subscriber count".to_string(),
+            flat_in_subs,
+        ),
+        (
+            "sharding monotonically reduces max per-supervisor load".to_string(),
+            sharding_helps,
+        ),
+    ];
+
+    Report {
+        id: "E13",
+        artefact: "§4 remark + §1.3 scaling",
+        claim: "supervisor message load is linear in |T|, independent of subscribers; shards flatten it",
+        tables: vec![t, shard_table],
+        verdicts,
+    }
+}

@@ -1,0 +1,79 @@
+//! # skippub-harness
+//!
+//! Experiment drivers reproducing **every figure and every quantitative
+//! claim** of the paper (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for recorded results). Each experiment builds its
+//! workload, runs the protocol in the deterministic simulator, and emits
+//! a table whose "paper" column carries the claimed value next to the
+//! measured one.
+//!
+//! Run them via the `experiments` binary:
+//!
+//! ```text
+//! cargo run -p skippub-harness --release --bin experiments -- all
+//! cargo run -p skippub-harness --release --bin experiments -- convergence --scale full --seed 7
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;
+
+/// Experiment scale: `Small` keeps every experiment under ~a second (used
+/// by tests); `Full` runs the sweeps recorded in EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sweeps for CI/tests.
+    Small,
+    /// The full recorded sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Picks `small` or `full` depending on scale.
+    pub fn pick<T: Copy>(self, small: T, full: T) -> T {
+        match self {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// One experiment's rendered result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment ID (e.g. "E4").
+    pub id: &'static str,
+    /// Paper artefact reproduced (e.g. "Theorem 5").
+    pub artefact: &'static str,
+    /// One-line claim under test.
+    pub claim: &'static str,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Pass/fail verdicts ("shape" checks, not exact-number checks).
+    pub verdicts: Vec<(String, bool)>,
+}
+
+impl Report {
+    /// Whether every verdict holds.
+    pub fn ok(&self) -> bool {
+        self.verdicts.iter().all(|(_, ok)| *ok)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "━━━ {} — {} ━━━", self.id, self.artefact)?;
+        writeln!(f, "claim: {}", self.claim)?;
+        for t in &self.tables {
+            writeln!(f, "\n{t}")?;
+        }
+        for (v, ok) in &self.verdicts {
+            writeln!(f, "[{}] {v}", if *ok { "PASS" } else { "FAIL" })?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,34 @@
+//! # skippub-net
+//!
+//! A threaded actor runtime for the `skippub` protocols: every node runs
+//! on its own OS thread, messages travel through a "wire" thread that
+//! applies seeded random delays (hence reordering — the paper's non-FIFO
+//! channels), and crashes are abrupt thread terminations whose pending
+//! messages evaporate (§3.3 semantics).
+//!
+//! The protocol logic is **exactly** the state machines of
+//! [`skippub_core`] — the same `Actor` type the deterministic simulator
+//! drives — so concurrent executions cannot diverge semantically from
+//! simulated ones. The runtime exists to demonstrate (and stress) the
+//! protocol under true asynchrony: the paper's model places no bound on
+//! relative execution speeds, and neither does this runtime.
+//!
+//! ```no_run
+//! use skippub_net::{NetConfig, Network};
+//!
+//! let mut net = Network::start(NetConfig::default());
+//! let a = net.spawn_subscriber();
+//! let _b = net.spawn_subscriber();
+//! assert!(net.await_legitimate(std::time::Duration::from_secs(10)));
+//! net.publish(a, b"hello".to_vec());
+//! assert!(net.await_pubs_converged(std::time::Duration::from_secs(10)));
+//! net.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runtime;
+mod wire;
+
+pub use runtime::{NetConfig, Network};

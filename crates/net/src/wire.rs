@@ -1,0 +1,172 @@
+//! The wire: a delay-and-reorder message fabric between node threads.
+//!
+//! Every send is stamped with a random delivery delay; the wire thread
+//! keeps a min-heap over due times and forwards each message to the
+//! destination's channel when due. Two messages sent back-to-back can
+//! therefore arrive in either order (non-FIFO), while every message is
+//! eventually delivered (reliable, finite delay) — the paper's channel
+//! model.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skippub_core::Msg;
+use skippub_sim::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Events a node thread receives.
+pub(crate) enum NodeEvent {
+    /// A protocol message arrived.
+    Deliver(Msg),
+    /// Graceful stop.
+    Stop,
+}
+
+/// Shared routing table: node → inbox sender.
+pub(crate) type Registry = Arc<RwLock<BTreeMap<NodeId, Sender<NodeEvent>>>>;
+
+/// Wire-level counters.
+#[derive(Default)]
+pub(crate) struct WireStats {
+    pub sent: AtomicU64,
+    pub delivered: AtomicU64,
+    pub dropped: AtomicU64,
+}
+
+pub(crate) struct WireHandle {
+    pub tx: Sender<WireEvent>,
+    pub stats: Arc<WireStats>,
+}
+
+/// Events the wire thread receives.
+pub(crate) enum WireEvent {
+    Send { to: NodeId, msg: Msg },
+    Stop,
+}
+
+struct Pending {
+    due: Instant,
+    seq: u64,
+    to: NodeId,
+    msg: Msg,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Spawns the wire thread. Messages are held for a random delay in
+/// `[min_delay, max_delay]` before being forwarded.
+pub(crate) fn spawn_wire(
+    registry: Registry,
+    seed: u64,
+    min_delay: Duration,
+    max_delay: Duration,
+) -> (WireHandle, std::thread::JoinHandle<()>) {
+    let (tx, rx): (Sender<WireEvent>, Receiver<WireEvent>) = bounded(65536);
+    let stats = Arc::new(WireStats::default());
+    let stats2 = Arc::clone(&stats);
+    let handle = std::thread::Builder::new()
+        .name("skippub-wire".into())
+        .spawn(move || wire_loop(rx, registry, stats2, seed, min_delay, max_delay))
+        .expect("spawn wire thread");
+    (WireHandle { tx, stats }, handle)
+}
+
+fn wire_loop(
+    rx: Receiver<WireEvent>,
+    registry: Registry,
+    stats: Arc<WireStats>,
+    seed: u64,
+    min_delay: Duration,
+    max_delay: Duration,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut heap: BinaryHeap<Reverse<Pending>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut stopping = false;
+    loop {
+        // Forward everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
+            let Reverse(p) = heap.pop().expect("peeked");
+            let guard = registry.read();
+            match guard.get(&p.to) {
+                Some(tx) => match tx.try_send(NodeEvent::Deliver(p.msg)) {
+                    Ok(()) => {
+                        stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(ev)) => {
+                        // Back-pressure: retry shortly.
+                        drop(guard);
+                        let msg = match ev {
+                            NodeEvent::Deliver(m) => m,
+                            NodeEvent::Stop => continue,
+                        };
+                        seq += 1;
+                        heap.push(Reverse(Pending {
+                            due: now + Duration::from_millis(1),
+                            seq,
+                            to: p.to,
+                            msg,
+                        }));
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+                None => {
+                    // Crashed / unknown destination: consumed silently.
+                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if stopping && heap.is_empty() {
+            return;
+        }
+        let wait = heap
+            .peek()
+            .map(|Reverse(p)| p.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(10))
+            .min(Duration::from_millis(10));
+        match rx.recv_timeout(wait) {
+            Ok(WireEvent::Send { to, msg }) => {
+                stats.sent.fetch_add(1, Ordering::Relaxed);
+                let span = max_delay.saturating_sub(min_delay);
+                let jitter = if span.is_zero() {
+                    Duration::ZERO
+                } else {
+                    Duration::from_nanos(rng.random_range(0..=span.as_nanos() as u64))
+                };
+                seq += 1;
+                heap.push(Reverse(Pending {
+                    due: Instant::now() + min_delay + jitter,
+                    seq,
+                    to,
+                    msg,
+                }));
+            }
+            Ok(WireEvent::Stop) => stopping = true,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Closed-form quantities from the paper's lemmas and theorems.
+//!
+//! These are the "paper says" columns of the experiment tables: Lemma 3's
+//! label-population function `f(k)` and degree formulas, and Theorem 5's
+//! expected configuration-request rate `Σ_k f(k)/(2^k·k²) < 1`.
+
+/// Number of subscribers holding a label of length `k` in a *full* (power
+/// of two) system of `n = 2^L` nodes (Lemma 3): `f(1) = 2`, `f(k) = 2^{k−1}`
+/// for `k > 1`.
+pub fn f_full(k: u8) -> u64 {
+    match k {
+        0 => 0,
+        1 => 2,
+        k => 1u64 << (k - 1),
+    }
+}
+
+/// Number of subscribers with label length `k` among `l(0), …, l(n−1)`,
+/// valid for arbitrary `n` (partial top level).
+pub fn f_partial(k: u8, n: u64) -> u64 {
+    if k == 0 || n == 0 {
+        return 0;
+    }
+    // |l(x)| = k ⇔ x ∈ [2^{k−1}, 2^k) for k ≥ 2, and x ∈ {0,1} for k = 1.
+    let lo = if k == 1 { 0 } else { 1u64 << (k - 1) };
+    let hi = 1u64.checked_shl(k as u32).unwrap_or(u64::MAX);
+    n.clamp(lo, hi) - lo
+}
+
+/// Base-ring level `⌈log₂ n⌉` — the maximum label length in a legitimate
+/// state with `n` subscribers.
+pub fn max_level(n: u64) -> u8 {
+    if n <= 1 {
+        0
+    } else {
+        (64 - (n - 1).leading_zeros()) as u8
+    }
+}
+
+/// Lemma 3's worst-case degree bound `2·(log n − k + 1)` for a node with
+/// label length `k` in a full system.
+pub fn degree_bound(k: u8, log_n: u8) -> u64 {
+    2 * (log_n.saturating_sub(k) as u64 + 1)
+}
+
+/// Lemma 3's directed edge count `|E_R ∪ E_S| = 4n − 4` (exact for `n` a
+/// power of two).
+pub fn directed_edges_full(n: u64) -> u64 {
+    4 * n - 4
+}
+
+/// Subscriber probe probability from §3.2.1 action (ii) as implemented:
+/// a subscriber with label length `k ≥ 2` asks for its configuration with
+/// probability `1/(2^k · k²)` per timeout. For `k = 1` the probability is
+/// halved (`1/4`): Theorem 5's proof accounts `2^{k−1}` subscribers per
+/// label length, but length 1 actually has **two** labels ("0" and "1",
+/// Lemma 3's `f(1) = 2`); taking the paper's formula verbatim would make
+/// the k=1 term alone equal 1 and break the theorem's `< 1` bound. Halving
+/// `p(1)` restores the proof's series `Σ 1/(2k²) = π²/12 ≈ 0.822`
+/// (documented in DESIGN.md note 5).
+pub fn probe_probability(k: u8) -> f64 {
+    match k {
+        0 => 0.0,
+        1 => 0.25,
+        k => 1.0 / (2f64.powi(k as i32) * (k as f64) * (k as f64)),
+    }
+}
+
+/// Theorem 5's expected number of configuration requests arriving at the
+/// supervisor per timeout interval: `Σ_{k=1}^{log n} f(k)·p(k) = Σ 1/(2k²)`
+/// for full systems; computed with `f_partial` for arbitrary `n`.
+/// Always `< 1` (it converges to `π²/12 ≈ 0.822` as `n → ∞`).
+pub fn expected_probe_rate(n: u64) -> f64 {
+    (1..=max_level(n).max(1))
+        .map(|k| f_partial(k, n) as f64 * probe_probability(k))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_full_matches_lemma3() {
+        assert_eq!(f_full(1), 2);
+        assert_eq!(f_full(2), 2);
+        assert_eq!(f_full(3), 4);
+        assert_eq!(f_full(4), 8);
+        // Σ f(k) for k=1..L equals 2^L.
+        for log_n in 1..20u8 {
+            let total: u64 = (1..=log_n).map(f_full).sum();
+            assert_eq!(total, 1u64 << log_n);
+        }
+    }
+
+    #[test]
+    fn f_partial_sums_to_n() {
+        for n in 1..500u64 {
+            let total: u64 = (1..=64u8).map(|k| f_partial(k, n)).sum();
+            assert_eq!(total, n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn f_partial_equals_full_at_powers() {
+        for log_n in 1..16u8 {
+            let n = 1u64 << log_n;
+            for k in 1..=log_n {
+                assert_eq!(f_partial(k, n), f_full(k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_level_values() {
+        assert_eq!(max_level(1), 0);
+        assert_eq!(max_level(2), 1);
+        assert_eq!(max_level(3), 2);
+        assert_eq!(max_level(4), 2);
+        assert_eq!(max_level(5), 3);
+        assert_eq!(max_level(16), 4);
+        assert_eq!(max_level(17), 5);
+    }
+
+    #[test]
+    fn probe_rate_below_one_for_all_n() {
+        for n in [2u64, 4, 16, 100, 1 << 10, 1 << 20, 1 << 40] {
+            let rate = expected_probe_rate(n);
+            assert!(rate < 1.0, "n={n}: rate {rate}");
+            assert!(rate > 0.4, "n={n}: rate {rate} suspiciously low");
+        }
+    }
+
+    #[test]
+    fn probe_rate_theorem5_value() {
+        // With p(1) halved (see probe_probability docs) a full level k
+        // contributes exactly f(k)·p(k) = 1/(2k²), so the expected rate is
+        // Theorem 5's series Σ_{k=1}^{log n} 1/(2k²) → π²/12 ≈ 0.8224.
+        let rate = expected_probe_rate(1 << 30);
+        let series: f64 = (1..=30u32)
+            .map(|k| 1.0 / (2.0 * (k as f64) * (k as f64)))
+            .sum();
+        assert!(
+            (rate - series).abs() < 1e-9,
+            "rate {rate} vs series {series}"
+        );
+    }
+
+    #[test]
+    fn degree_bound_values() {
+        assert_eq!(degree_bound(4, 4), 2);
+        assert_eq!(degree_bound(1, 4), 8);
+        assert_eq!(degree_bound(5, 4), 2);
+        assert_eq!(directed_edges_full(16), 60);
+    }
+}

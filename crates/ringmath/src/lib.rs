@@ -1,0 +1,31 @@
+//! # skippub-ringmath
+//!
+//! The label algebra of the **supervised skip ring** (paper §2.1):
+//!
+//! * [`Label`] — a subscriber label `y ∈ {0,1}*` together with the paper's
+//!   evaluation `r(y) = Σ yᵢ/2ⁱ ∈ [0,1)`, represented exactly as a dyadic
+//!   fraction `frac/2⁶⁴` (no floating point anywhere).
+//! * [`Label::from_index`] — the paper's label function
+//!   `l(x) = x_{d-1} … x₀ x_d` that moves the leading bit of `x`'s binary
+//!   representation to the units place, generating the sequence
+//!   `0, 1, 01, 11, 001, 011, 101, 111, 0001, …`.
+//! * [`shortcut`] — the §3.2.2 local shortcut-label derivation
+//!   (`r(s) = 2·r(w) − r(v)` recursion) by which a subscriber computes all
+//!   its shortcut labels purely from its two ring neighbours.
+//! * [`IdealSkipRing`] — the ground-truth `SR(n)` topology of Definition 2
+//!   (ring edges `E_R` plus per-level shortcut edges `E_S`), used by the
+//!   legitimate-state checker, the tests, and experiments E1/E3/E9/E10.
+//! * [`analytics`] — closed forms from Lemma 3 and Theorem 5 (degree
+//!   bounds, `f(k)` label-population counts, expected probe rate) that the
+//!   experiment tables print as their "paper" column.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+mod ideal;
+mod label;
+pub mod shortcut;
+
+pub use ideal::{DegreeStats, IdealSkipRing, LeveledEdge};
+pub use label::Label;

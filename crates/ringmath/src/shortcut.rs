@@ -1,0 +1,155 @@
+//! Local shortcut-label derivation (paper §3.2.2).
+//!
+//! A subscriber `v` computes the labels it must hold shortcuts to *purely*
+//! from its own label and the labels of its two direct ring neighbours:
+//! if the neighbour `w` has a longer label than `v`, then `w` was inserted
+//! between `v` and some older node `s` with `r(s) = 2·r(w) − r(v) (mod 1)`,
+//! and the rule recurses on `s` until the derived label is no longer than
+//! `v`'s. Every intermediate label (including the final one) is a shortcut
+//! target of `v`.
+//!
+//! All arithmetic is exact: `r` values are `u64` numerators over `2⁶⁴` and
+//! the doubling rule is wrapping integer arithmetic (the ring is `[0,1)`
+//! with 1 ≡ 0, represented by the subscriber with label `"0"`).
+
+use crate::Label;
+
+/// A derived shortcut target: the label `v` must connect to, and the level
+/// `max(|v|, |s|)` the edge lives on (Definition 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShortcutTarget {
+    /// Label of the shortcut partner.
+    pub label: Label,
+    /// Skip-ring level of the edge.
+    pub level: u8,
+}
+
+/// Derives the chain of shortcut labels on one side of `v`, starting from
+/// the direct ring neighbour `neighbor` on that side.
+///
+/// Returns the labels in derivation order (decreasing length). The
+/// recursion provably terminates because each derived label is strictly
+/// shorter than its predecessor; a belt-and-braces guard of 64 iterations
+/// protects against adversarially corrupted (non-canonical) inputs.
+///
+/// ```
+/// use skippub_ringmath::{shortcut::derive_side, Label};
+/// // Paper example (§3.2.2): v = 1/4 with left neighbour 3/16 yields
+/// // shortcuts 1/8 then 0.
+/// let v: Label = "01".parse().unwrap();
+/// let left: Label = "0011".parse().unwrap();
+/// let chain = derive_side(v, left);
+/// assert_eq!(chain.len(), 2);
+/// assert_eq!(chain[0].label.r_fraction(), "1/8");
+/// assert_eq!(chain[1].label.r_fraction(), "0");
+/// ```
+pub fn derive_side(v: Label, neighbor: Label) -> Vec<ShortcutTarget> {
+    let mut out = Vec::new();
+    let mut w = neighbor;
+    let mut guard = 0u8;
+    while w.len() > v.len() && guard < Label::MAX_LEN {
+        // r(s) = 2·r(w) − r(v)  (mod 1)
+        let s_frac = w.frac().wrapping_shl(1).wrapping_sub(v.frac());
+        let s = Label::canonical(s_frac);
+        out.push(ShortcutTarget {
+            label: s,
+            level: s.len().max(v.len()),
+        });
+        w = s;
+        guard += 1;
+    }
+    out
+}
+
+/// All shortcut targets of `v` given both direct ring neighbours, in
+/// (side, derivation-order). The same label may appear on both sides (for
+/// instance both level-1 shortcuts of `"0"` point at `"1"` on a 2-node
+/// base ring); callers that need a set should dedupe.
+pub fn derive_all(v: Label, left: Label, right: Label) -> Vec<ShortcutTarget> {
+    let mut out = derive_side(v, left);
+    out.extend(derive_side(v, right));
+    out
+}
+
+/// The deduplicated set of `(level, label)` shortcut entries of `v`,
+/// sorted by level then label — the exact content `v.shortcuts` must have
+/// in a legitimate state. Used by the checker and by `SetData` handling.
+pub fn expected_shortcuts(v: Label, left: Label, right: Label) -> Vec<ShortcutTarget> {
+    let mut all = derive_all(v, left, right);
+    all.sort_by_key(|t| (t.level, t.label));
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab(s: &str) -> Label {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn paper_worked_example_left() {
+        // §3.2.2: label 1/4, left ring neighbour 3/16 in SR(16):
+        //   s1 = 2·3/16 − 1/4 = 1/8; s2 = 2·1/8 − 1/4 = 0; stop (|0| = 1 < 2).
+        let chain = derive_side(lab("01"), lab("0011"));
+        let labels: Vec<String> = chain.iter().map(|t| t.label.r_fraction()).collect();
+        assert_eq!(labels, ["1/8", "0"]);
+        assert_eq!(chain[0].level, 3);
+        assert_eq!(chain[1].level, 2);
+    }
+
+    #[test]
+    fn paper_worked_example_right() {
+        // Same node's right side: neighbour 5/16 → 3/8 then 1/2.
+        let chain = derive_side(lab("01"), lab("0101"));
+        let labels: Vec<String> = chain.iter().map(|t| t.label.r_fraction()).collect();
+        assert_eq!(labels, ["3/8", "1/2"]);
+    }
+
+    #[test]
+    fn wraps_around_one() {
+        // v = "1" (1/2) with right-side chain passing through 3/4:
+        // 2·3/4 − 1/2 = 1 ≡ 0 → label "0".
+        let chain = derive_side(lab("1"), lab("101"));
+        let labels: Vec<String> = chain.iter().map(|t| t.label.to_string()).collect();
+        assert_eq!(labels, ["11", "0"]);
+    }
+
+    #[test]
+    fn shorter_neighbor_derives_nothing() {
+        assert!(derive_side(lab("001"), lab("01")).is_empty());
+        assert!(derive_side(lab("01"), lab("01")).is_empty());
+    }
+
+    #[test]
+    fn zero_label_full_ladder() {
+        // "0" with right neighbour 1/16 in SR(16): ladder 1/8, 1/4, 1/2.
+        let chain = derive_side(lab("0"), lab("0001"));
+        let labels: Vec<String> = chain.iter().map(|t| t.label.r_fraction()).collect();
+        assert_eq!(labels, ["1/8", "1/4", "1/2"]);
+        let levels: Vec<u8> = chain.iter().map(|t| t.level).collect();
+        assert_eq!(levels, [3, 2, 1]);
+    }
+
+    #[test]
+    fn dedupes_shared_level1_target() {
+        // SR(4): node "0" has left "11" and right "01"; both sides derive
+        // the same level-1 target "1", which must be deduplicated.
+        // left: 2·3/4 − 0 = 3/2 ≡ 1/2 = "1"; right: 2·1/4 − 0 = 1/2 = "1".
+        let set = expected_shortcuts(lab("0"), lab("11"), lab("01"));
+        let strs: Vec<String> = set.iter().map(|t| t.label.to_string()).collect();
+        assert_eq!(strs, vec!["1".to_string()]);
+        assert_eq!(set[0].level, 1);
+    }
+
+    #[test]
+    fn corrupted_input_terminates() {
+        // Non-canonical, adversarial labels must not loop forever.
+        let v = Label::from_parts(0, 64).unwrap(); // "000…0"
+        let w = Label::from_parts(u64::MAX, 64).unwrap();
+        let chain = derive_side(v, w);
+        assert!(chain.len() <= 64);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the label algebra and shortcut derivation.
+
+use proptest::prelude::*;
+use skippub_ringmath::{analytics, shortcut, IdealSkipRing, Label};
+
+proptest! {
+    #[test]
+    fn label_index_roundtrip(x in any::<u64>()) {
+        let l = Label::from_index(x);
+        prop_assert_eq!(l.index(), Some(x));
+        prop_assert!(l.is_canonical());
+    }
+
+    #[test]
+    fn label_length_is_floor_log(x in 1u64..) {
+        let l = Label::from_index(x);
+        prop_assert_eq!(l.len() as u32, 64 - x.leading_zeros());
+    }
+
+    #[test]
+    fn labels_injective(a in any::<u64>(), b in any::<u64>()) {
+        if a != b {
+            prop_assert_ne!(Label::from_index(a), Label::from_index(b));
+            // r is injective on canonical labels too.
+            prop_assert_ne!(Label::from_index(a).frac(), Label::from_index(b).frac());
+        }
+    }
+
+    #[test]
+    fn generation_interleaving(x in 2u64..u64::MAX / 2) {
+        // l(x) for x in generation d lands strictly between two
+        // consecutive earlier labels: its fraction is an odd multiple of
+        // 2^-(d+1) where all earlier labels are multiples of 2^-d.
+        let l = Label::from_index(x);
+        let len = l.len() as u32;
+        let unit = 1u64 << (64 - len);
+        prop_assert_eq!(l.frac() % unit, 0);
+        prop_assert_eq!((l.frac() / unit) % 2, 1, "fraction must be odd multiple of 2^-len");
+    }
+
+    #[test]
+    fn ring_distance_symmetric_bounded(a in any::<u64>(), b in any::<u64>()) {
+        let (la, lb) = (Label::from_index(a), Label::from_index(b));
+        prop_assert_eq!(la.ring_distance(&lb), lb.ring_distance(&la));
+        prop_assert!(la.ring_distance(&lb) <= 1u64 << 63);
+    }
+
+    #[test]
+    fn derivation_terminates_and_shrinks(vf in any::<u64>(), vl in 1u8..=64, wf in any::<u64>(), wl in 1u8..=64) {
+        // Even for adversarial (non-canonical) labels the chain is finite
+        // and strictly decreasing in length.
+        let v = Label::from_parts(vf, vl).unwrap();
+        let w = Label::from_parts(wf, wl).unwrap();
+        let chain = shortcut::derive_side(v, w);
+        prop_assert!(chain.len() <= 64);
+        let mut prev = w.len();
+        for t in &chain {
+            prop_assert!(t.label.len() < prev, "chain must strictly shrink");
+            prev = t.label.len();
+        }
+        if let Some(last) = chain.last() {
+            prop_assert!(last.label.len() <= v.len());
+        }
+    }
+
+    #[test]
+    fn ideal_ring_adjacency_closed(n in 2usize..180) {
+        let sr = IdealSkipRing::new(n);
+        let adj = sr.adjacency();
+        // Symmetric, no self-loops, all nodes present.
+        prop_assert_eq!(adj.len(), n);
+        for (u, vs) in &adj {
+            for v in vs {
+                prop_assert_ne!(u, v);
+                prop_assert!(adj[v].contains(u), "adjacency must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_degree_bounds(n in 2usize..180) {
+        let sr = IdealSkipRing::new(n);
+        let stats = sr.degree_stats();
+        let log_n = analytics::max_level(n as u64) as usize;
+        prop_assert!(stats.max_degree <= 2 * (log_n + 1),
+            "n={n} max degree {} above Lemma-3 bound", stats.max_degree);
+        prop_assert!(stats.avg_degree <= 4.5, "n={n} avg {}", stats.avg_degree);
+    }
+
+    #[test]
+    fn ideal_diameter_logarithmic(n in 2usize..140) {
+        let sr = IdealSkipRing::new(n);
+        let log_n = analytics::max_level(n as u64) as usize;
+        prop_assert!(sr.diameter() <= 2 * log_n + 2,
+            "n={n} diameter {} not O(log n)", sr.diameter());
+    }
+
+    #[test]
+    fn f_partial_consistent_with_ideal(n in 1usize..300) {
+        let sr = IdealSkipRing::new(n);
+        for k in 1..=8u8 {
+            let count = sr.labels().iter().filter(|l| l.len() == k).count() as u64;
+            prop_assert_eq!(count, analytics::f_partial(k, n as u64), "n={} k={}", n, k);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # skippub-sim
+//!
+//! A deterministic, seeded simulator for the paper's system model (§1.1):
+//!
+//! * every node has a **channel** holding an arbitrary finite number of
+//!   in-flight messages;
+//! * delivery is **reliable but unordered** (non-FIFO) with unbounded
+//!   finite delay — modelled by random-order draining plus, in chaos mode,
+//!   random per-message holding with a forced-delivery age bound (fair
+//!   message receipt);
+//! * every node has a periodic `Timeout` action executed **weakly fairly**;
+//! * channels may start with **corrupted messages** and node variables may
+//!   start with arbitrary values — adversarial initial states are inputs,
+//!   not accidents;
+//! * nodes may **crash without warning**: messages to a crashed node are
+//!   consumed without invoking any action (§3.3).
+//!
+//! Protocols implement [`Protocol`] as pure state machines; the same state
+//! machines are also driven by the threaded runtime in `skippub-net`, so
+//! simulated and concurrent executions cannot diverge semantically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+pub mod testing;
+mod world;
+
+pub use metrics::Metrics;
+pub use world::{ChaosConfig, Ctx, NodeId, Protocol, World};

@@ -1,0 +1,106 @@
+//! Message accounting for experiments.
+
+use crate::NodeId;
+use std::collections::BTreeMap;
+
+/// Cumulative message counters maintained by the [`World`](crate::World).
+///
+/// Experiments measure *rates* by cloning the metrics before a window and
+/// calling [`Metrics::diff`] after it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages handed to the transport (including ones later dropped
+    /// because the destination crashed).
+    pub sent_total: u64,
+    /// Messages delivered to a node's handler.
+    pub delivered_total: u64,
+    /// Messages consumed without any action because the destination does
+    /// not exist / has crashed (paper §3.3 semantics).
+    pub dropped: u64,
+    /// Rounds executed (round mode and chaos mode each count 1 per call).
+    pub rounds: u64,
+    /// Sent messages by protocol-defined kind.
+    pub sent_by_kind: BTreeMap<&'static str, u64>,
+    /// Sent messages per sender.
+    pub sent_by_node: BTreeMap<NodeId, u64>,
+    /// Delivered messages per receiver.
+    pub received_by_node: BTreeMap<NodeId, u64>,
+}
+
+impl Metrics {
+    /// Counter delta `self − earlier` (all counters are monotone).
+    pub fn diff(&self, earlier: &Metrics) -> Metrics {
+        let map_diff = |a: &BTreeMap<&'static str, u64>, b: &BTreeMap<&'static str, u64>| {
+            a.iter()
+                .map(|(k, v)| (*k, v - b.get(k).copied().unwrap_or(0)))
+                .filter(|&(_, v)| v > 0)
+                .collect()
+        };
+        let node_diff = |a: &BTreeMap<NodeId, u64>, b: &BTreeMap<NodeId, u64>| {
+            a.iter()
+                .map(|(k, v)| (*k, v - b.get(k).copied().unwrap_or(0)))
+                .filter(|&(_, v)| v > 0)
+                .collect()
+        };
+        Metrics {
+            sent_total: self.sent_total - earlier.sent_total,
+            delivered_total: self.delivered_total - earlier.delivered_total,
+            dropped: self.dropped - earlier.dropped,
+            rounds: self.rounds - earlier.rounds,
+            sent_by_kind: map_diff(&self.sent_by_kind, &earlier.sent_by_kind),
+            sent_by_node: node_diff(&self.sent_by_node, &earlier.sent_by_node),
+            received_by_node: node_diff(&self.received_by_node, &earlier.received_by_node),
+        }
+    }
+
+    /// Messages of `kind` sent so far.
+    pub fn kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Messages sent by `node` so far.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.sent_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Messages received by `node` so far.
+    pub fn received_by(&self, node: NodeId) -> u64 {
+        self.received_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn note_sent(&mut self, from: NodeId, kind: &'static str) {
+        self.sent_total += 1;
+        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+        *self.sent_by_node.entry(from).or_insert(0) += 1;
+    }
+
+    pub(crate) fn note_delivered(&mut self, to: NodeId) {
+        self.delivered_total += 1;
+        *self.received_by_node.entry(to).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_subtracts() {
+        let mut early = Metrics::default();
+        early.note_sent(NodeId(1), "a");
+        let mut late = early.clone();
+        late.note_sent(NodeId(1), "a");
+        late.note_sent(NodeId(2), "b");
+        late.note_delivered(NodeId(2));
+        late.rounds = 3;
+        let d = late.diff(&early);
+        assert_eq!(d.sent_total, 2);
+        assert_eq!(d.kind("a"), 1);
+        assert_eq!(d.kind("b"), 1);
+        assert_eq!(d.sent_by(NodeId(1)), 1);
+        assert_eq!(d.sent_by(NodeId(2)), 1);
+        assert_eq!(d.received_by(NodeId(2)), 1);
+        assert_eq!(d.rounds, 3);
+        assert_eq!(d.kind("zzz"), 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Test support: run a protocol handler against a detached [`Ctx`] and
+//! capture its outbound messages, without building a whole [`crate::World`].
+
+use crate::world::{detached_ctx_run, Ctx, NodeId};
+
+/// Runs `f` with a context for node `me` backed by a seeded RNG; returns
+/// every `(destination, message)` pair the handler sent.
+pub fn run_handler<M>(me: NodeId, seed: u64, f: impl FnOnce(&mut Ctx<'_, M>)) -> Vec<(NodeId, M)> {
+    detached_ctx_run(me, seed, f)
+}

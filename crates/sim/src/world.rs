@@ -1,0 +1,602 @@
+//! The simulated world: nodes, channels, schedulers, crash injection.
+
+use crate::Metrics;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Unique node identifier (`v.id ∈ N` in the paper). The protocol layer
+/// reserves an ID for the supervisor; the simulator treats all nodes
+/// uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A protocol state machine driven by the world.
+///
+/// Handlers receive a [`Ctx`] for sending messages and drawing randomness;
+/// they must not block and must not communicate through any other channel
+/// (the paper's model: local variables + messages only).
+pub trait Protocol {
+    /// The wire message type.
+    type Msg: Clone;
+
+    /// Handles one delivered message (the remote action call
+    /// `⟨label⟩(⟨parameters⟩)`).
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, msg: Self::Msg);
+
+    /// The periodic `Timeout` action.
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Classifies a message for metrics (e.g. `"GetConfiguration"`).
+    fn msg_kind(_msg: &Self::Msg) -> &'static str {
+        "msg"
+    }
+}
+
+/// Handler-side context: the only way a node interacts with the world.
+pub struct Ctx<'a, M> {
+    me: NodeId,
+    round: u64,
+    out: &'a mut Vec<(NodeId, M)>,
+    rng: &'a mut StdRng,
+}
+
+impl<M> Ctx<'_, M> {
+    /// The executing node's own ID.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current round number (diagnostics only — protocols must not branch
+    /// on global time, but logging it is harmless).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sends `msg` to `to` (puts it into `to`'s channel).
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    /// Bernoulli draw from the world's seeded RNG.
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.random_bool(p)
+        }
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`).
+    #[inline]
+    pub fn random_range(&mut self, n: usize) -> usize {
+        self.rng.random_range(0..n)
+    }
+}
+
+/// Backing for [`crate::testing::run_handler`]: materializes a detached
+/// context (contexts have private fields by design — protocol crates can
+/// only obtain one from a world or from this test hook).
+pub(crate) fn detached_ctx_run<M>(
+    me: NodeId,
+    seed: u64,
+    f: impl FnOnce(&mut Ctx<'_, M>),
+) -> Vec<(NodeId, M)> {
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ctx = Ctx {
+        me,
+        round: 0,
+        out: &mut out,
+        rng: &mut rng,
+    };
+    f(&mut ctx);
+    out
+}
+
+/// Chaos-scheduler tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Probability an in-flight message is delivered this round.
+    pub delivery_prob: f64,
+    /// Probability a node fires its `Timeout` this round.
+    pub timeout_prob: f64,
+    /// Forced delivery after this many rounds in flight (fair receipt).
+    pub max_age: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            delivery_prob: 0.5,
+            timeout_prob: 0.5,
+            max_age: 8,
+        }
+    }
+}
+
+struct Entry<P: Protocol> {
+    proto: P,
+    /// In-flight messages with their age in rounds.
+    channel: Vec<(u32, P::Msg)>,
+}
+
+/// The simulated distributed system.
+pub struct World<P: Protocol> {
+    nodes: BTreeMap<NodeId, Entry<P>>,
+    crashed: BTreeSet<NodeId>,
+    rng: StdRng,
+    metrics: Metrics,
+    round: u64,
+}
+
+impl<P: Protocol> World<P> {
+    /// Creates an empty world with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        World {
+            nodes: BTreeMap::new(),
+            crashed: BTreeSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::default(),
+            round: 0,
+        }
+    }
+
+    /// Adds a node. Panics on duplicate IDs (a corrupted *world*, unlike a
+    /// corrupted protocol state, is a harness bug).
+    pub fn add_node(&mut self, id: NodeId, proto: P) {
+        let prev = self.nodes.insert(
+            id,
+            Entry {
+                proto,
+                channel: Vec::new(),
+            },
+        );
+        assert!(prev.is_none(), "duplicate node {id}");
+        self.crashed.remove(&id);
+    }
+
+    /// Crashes a node without warning (§3.3): its state vanishes and all
+    /// current and future messages to it are consumed without any action.
+    pub fn crash(&mut self, id: NodeId) {
+        if let Some(entry) = self.nodes.remove(&id) {
+            self.metrics.dropped += entry.channel.len() as u64;
+        }
+        self.crashed.insert(id);
+    }
+
+    /// Whether `id` is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// IDs of all live nodes.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the world has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node's protocol state (checkers, snapshots).
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.nodes.get(&id).map(|e| &e.proto)
+    }
+
+    /// Mutable access — used by adversarial initializers to corrupt
+    /// protocol variables before a run, and by operations that model local
+    /// user input (subscribe/publish calls).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        self.nodes.get_mut(&id).map(|e| &mut e.proto)
+    }
+
+    /// Iterates over `(id, state)` of live nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.nodes.iter().map(|(id, e)| (*id, &e.proto))
+    }
+
+    /// Injects a message into `to`'s channel from outside the system
+    /// (external requests, or corrupted initial channel content).
+    pub fn inject(&mut self, to: NodeId, msg: P::Msg) {
+        self.metrics.note_sent(to, P::msg_kind(&msg));
+        match self.nodes.get_mut(&to) {
+            Some(e) => e.channel.push((0, msg)),
+            None => self.metrics.dropped += 1,
+        }
+    }
+
+    /// Number of in-flight messages to `id`.
+    pub fn channel_len(&self, id: NodeId) -> usize {
+        self.nodes.get(&id).map_or(0, |e| e.channel.len())
+    }
+
+    /// Total in-flight messages.
+    pub fn in_flight(&self) -> usize {
+        self.nodes.values().map(|e| e.channel.len()).sum()
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Current round number.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Lets the harness drive a node as if it acted locally: runs `f` with
+    /// the node's state and a context, then routes whatever it sent.
+    /// Returns `None` if the node does not exist.
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
+    ) -> Option<R> {
+        let mut out = Vec::new();
+        let round = self.round;
+        let entry = self.nodes.get_mut(&id)?;
+        let mut ctx = Ctx {
+            me: id,
+            round,
+            out: &mut out,
+            rng: &mut self.rng,
+        };
+        let r = f(&mut entry.proto, &mut ctx);
+        self.route(id, out);
+        Some(r)
+    }
+
+    fn route(&mut self, from: NodeId, out: Vec<(NodeId, P::Msg)>) {
+        for (to, msg) in out {
+            self.metrics.note_sent(from, P::msg_kind(&msg));
+            match self.nodes.get_mut(&to) {
+                Some(e) => e.channel.push((0, msg)),
+                None => self.metrics.dropped += 1, // crashed / never existed
+            }
+        }
+    }
+
+    fn deliver(&mut self, to: NodeId, msg: P::Msg) {
+        let mut out = Vec::new();
+        let round = self.round;
+        if let Some(entry) = self.nodes.get_mut(&to) {
+            self.metrics.note_delivered(to);
+            let mut ctx = Ctx {
+                me: to,
+                round,
+                out: &mut out,
+                rng: &mut self.rng,
+            };
+            entry.proto.on_message(&mut ctx, msg);
+        } else {
+            self.metrics.dropped += 1;
+        }
+        self.route(to, out);
+    }
+
+    fn fire_timeout(&mut self, id: NodeId) {
+        let mut out = Vec::new();
+        let round = self.round;
+        if let Some(entry) = self.nodes.get_mut(&id) {
+            let mut ctx = Ctx {
+                me: id,
+                round,
+                out: &mut out,
+                rng: &mut self.rng,
+            };
+            entry.proto.on_timeout(&mut ctx);
+        }
+        self.route(id, out);
+    }
+
+    /// One **synchronous round** — the paper's "timeout interval": every
+    /// live node, in random order, first processes (in random order) all
+    /// messages that were in its channel when it was activated, then
+    /// executes `Timeout` exactly once.
+    pub fn run_round(&mut self) {
+        self.round += 1;
+        let mut order = self.ids();
+        order.shuffle(&mut self.rng);
+        for id in order {
+            let Some(entry) = self.nodes.get_mut(&id) else {
+                continue;
+            };
+            let mut inbox = std::mem::take(&mut entry.channel);
+            inbox.shuffle(&mut self.rng);
+            for (_, msg) in inbox {
+                self.deliver(id, msg);
+            }
+            self.fire_timeout(id);
+        }
+        self.metrics.rounds += 1;
+    }
+
+    /// One **chaos round**: every node, in random order, delivers a random
+    /// subset of its channel (forced once a message's age exceeds
+    /// `cfg.max_age` — fair receipt) and fires `Timeout` with probability
+    /// `cfg.timeout_prob` (weak fairness comes from infinitely many
+    /// rounds).
+    pub fn run_chaos_round(&mut self, cfg: ChaosConfig) {
+        self.round += 1;
+        let mut order = self.ids();
+        order.shuffle(&mut self.rng);
+        for id in order {
+            let Some(entry) = self.nodes.get_mut(&id) else {
+                continue;
+            };
+            let mut inbox = std::mem::take(&mut entry.channel);
+            inbox.shuffle(&mut self.rng);
+            let mut kept = Vec::new();
+            for (age, msg) in inbox {
+                let force = age >= cfg.max_age;
+                if force || self.rng.random_bool(cfg.delivery_prob) {
+                    self.deliver(id, msg);
+                } else {
+                    kept.push((age + 1, msg));
+                }
+            }
+            if let Some(entry) = self.nodes.get_mut(&id) {
+                // Keep undelivered messages (new sends may have arrived).
+                entry.channel.extend(kept);
+            } else {
+                self.metrics.dropped += kept.len() as u64;
+            }
+            if self.rng.random_bool(cfg.timeout_prob) {
+                self.fire_timeout(id);
+            }
+        }
+        self.metrics.rounds += 1;
+    }
+
+    /// Runs synchronous rounds until `pred(self)` holds or `max_rounds`
+    /// elapse; returns the number of rounds executed and whether the
+    /// predicate held.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut pred: impl FnMut(&World<P>) -> bool,
+    ) -> (u64, bool) {
+        for i in 0..max_rounds {
+            if pred(self) {
+                return (i, true);
+            }
+            self.run_round();
+        }
+        (max_rounds, pred(self))
+    }
+
+    /// Chaos-mode variant of [`World::run_until`].
+    pub fn run_chaos_until(
+        &mut self,
+        cfg: ChaosConfig,
+        max_rounds: u64,
+        mut pred: impl FnMut(&World<P>) -> bool,
+    ) -> (u64, bool) {
+        for i in 0..max_rounds {
+            if pred(self) {
+                return (i, true);
+            }
+            self.run_chaos_round(cfg);
+        }
+        (max_rounds, pred(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: counts pings, forwards a token around a fixed ring.
+    #[derive(Clone)]
+    struct Toy {
+        next: NodeId,
+        tokens_seen: u64,
+        pings_seen: u64,
+        timeouts: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    enum ToyMsg {
+        Token(u32),
+        Ping,
+    }
+
+    impl Protocol for Toy {
+        type Msg = ToyMsg;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, ToyMsg>, msg: ToyMsg) {
+            match msg {
+                ToyMsg::Token(ttl) => {
+                    self.tokens_seen += 1;
+                    if ttl > 0 {
+                        ctx.send(self.next, ToyMsg::Token(ttl - 1));
+                    }
+                }
+                ToyMsg::Ping => self.pings_seen += 1,
+            }
+        }
+
+        fn on_timeout(&mut self, _ctx: &mut Ctx<'_, ToyMsg>) {
+            self.timeouts += 1;
+        }
+
+        fn msg_kind(msg: &ToyMsg) -> &'static str {
+            match msg {
+                ToyMsg::Token(_) => "token",
+                ToyMsg::Ping => "ping",
+            }
+        }
+    }
+
+    fn ring_world(n: u64, seed: u64) -> World<Toy> {
+        let mut w = World::new(seed);
+        for i in 0..n {
+            w.add_node(
+                NodeId(i),
+                Toy {
+                    next: NodeId((i + 1) % n),
+                    tokens_seen: 0,
+                    pings_seen: 0,
+                    timeouts: 0,
+                },
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn round_mode_is_deterministic() {
+        let run = |seed| {
+            let mut w = ring_world(8, seed);
+            w.inject(NodeId(0), ToyMsg::Token(100));
+            for _ in 0..30 {
+                w.run_round();
+            }
+            let m = w.metrics().clone();
+            (m.sent_total, m.delivered_total)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn token_travels_full_distance() {
+        let mut w = ring_world(4, 1);
+        w.inject(NodeId(0), ToyMsg::Token(10));
+        for _ in 0..40 {
+            w.run_round();
+        }
+        let total: u64 = w.iter().map(|(_, t)| t.tokens_seen).sum();
+        assert_eq!(total, 11, "token must be delivered exactly ttl+1 times");
+        assert_eq!(w.metrics().kind("token"), 11);
+    }
+
+    #[test]
+    fn timeouts_fire_every_round() {
+        let mut w = ring_world(3, 2);
+        for _ in 0..10 {
+            w.run_round();
+        }
+        for (_, t) in w.iter() {
+            assert_eq!(t.timeouts, 10);
+        }
+        assert_eq!(w.metrics().rounds, 10);
+    }
+
+    #[test]
+    fn chaos_mode_eventually_delivers_everything() {
+        let mut w = ring_world(6, 3);
+        for _ in 0..20 {
+            w.inject(NodeId(2), ToyMsg::Ping);
+        }
+        let cfg = ChaosConfig {
+            delivery_prob: 0.2,
+            timeout_prob: 0.3,
+            max_age: 5,
+        };
+        let (_, done) = w.run_chaos_until(cfg, 200, |w| {
+            w.node(NodeId(2)).map(|t| t.pings_seen) == Some(20)
+        });
+        assert!(done, "fair receipt must deliver all pings");
+        assert_eq!(w.in_flight(), 0);
+    }
+
+    #[test]
+    fn crash_consumes_messages_silently() {
+        let mut w = ring_world(3, 4);
+        w.crash(NodeId(1));
+        assert!(!w.is_alive(NodeId(1)));
+        w.inject(NodeId(1), ToyMsg::Ping);
+        let before = w.metrics().dropped;
+        assert!(before >= 1);
+        // Token routed through the crashed node dies there.
+        w.inject(NodeId(0), ToyMsg::Token(5));
+        for _ in 0..10 {
+            w.run_round();
+        }
+        let total: u64 = w.iter().map(|(_, t)| t.tokens_seen).sum();
+        assert_eq!(
+            total, 1,
+            "only node 0 sees the token before it hits the crash"
+        );
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn with_node_routes_sends() {
+        let mut w = ring_world(2, 5);
+        w.with_node(NodeId(0), |_t, ctx| {
+            ctx.send(NodeId(1), ToyMsg::Ping);
+            assert_eq!(ctx.me(), NodeId(0));
+        })
+        .unwrap();
+        assert_eq!(w.channel_len(NodeId(1)), 1);
+        assert!(w.with_node(NodeId(99), |_, _| ()).is_none());
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut w = ring_world(4, 6);
+        let (rounds, ok) = w.run_until(50, |w| w.round() >= 7);
+        assert!(ok);
+        assert_eq!(rounds, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_add_panics() {
+        let mut w = ring_world(2, 7);
+        w.add_node(
+            NodeId(0),
+            Toy {
+                next: NodeId(0),
+                tokens_seen: 0,
+                pings_seen: 0,
+                timeouts: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn rejoin_after_crash_allowed() {
+        let mut w = ring_world(2, 8);
+        w.crash(NodeId(0));
+        w.add_node(
+            NodeId(0),
+            Toy {
+                next: NodeId(1),
+                tokens_seen: 0,
+                pings_seen: 0,
+                timeouts: 0,
+            },
+        );
+        assert!(w.is_alive(NodeId(0)));
+    }
+}

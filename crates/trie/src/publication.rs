@@ -1,0 +1,110 @@
+//! Publications: the data items disseminated through a topic.
+
+use skippub_bits::{publication_key, BitStr};
+use std::fmt;
+
+/// Default publication-key length `m` in bits (paper §4.2: a constant `m`
+/// known to all subscribers so every key has the same length).
+pub const DEFAULT_KEY_BITS: usize = 64;
+
+/// A publication `p ∈ P*` together with its unique key
+/// `h̄_m(author, payload)`.
+///
+/// The key is derived, never chosen: two subscribers that independently
+/// receive the same `(author, payload)` pair compute the same key, which is
+/// what lets Patricia-trie hashes agree once the publication sets agree.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Publication {
+    key: BitStr,
+    author: u64,
+    payload: Vec<u8>,
+}
+
+impl Publication {
+    /// Creates a publication by `author` with `payload`, deriving the key
+    /// with the default key length.
+    pub fn new(author: u64, payload: impl Into<Vec<u8>>) -> Self {
+        Self::with_key_bits(author, payload, DEFAULT_KEY_BITS)
+    }
+
+    /// Creates a publication with an explicit key length `m ∈ 1..=128`.
+    pub fn with_key_bits(author: u64, payload: impl Into<Vec<u8>>, m: usize) -> Self {
+        let payload = payload.into();
+        let key = publication_key(author, &payload, m);
+        Publication {
+            key,
+            author,
+            payload,
+        }
+    }
+
+    /// Test/fixture constructor with a hand-picked key — used to reproduce
+    /// the paper's Figure 2, where publications carry literal 3-bit keys
+    /// `000, 010, 100, 101`. Not used by the protocol itself.
+    pub fn with_raw_key(key: BitStr, author: u64, payload: impl Into<Vec<u8>>) -> Self {
+        Publication {
+            key,
+            author,
+            payload: payload.into(),
+        }
+    }
+
+    /// The trie key (leaf label) of this publication.
+    #[inline]
+    pub fn key(&self) -> &BitStr {
+        &self.key
+    }
+
+    /// ID of the subscriber that generated the publication.
+    #[inline]
+    pub fn author(&self) -> u64 {
+        self.author
+    }
+
+    /// The published content.
+    #[inline]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+impl fmt::Debug for Publication {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Pub[{} by {} ({} B)]",
+            self.key,
+            self.author,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_keys_are_stable_and_distinct() {
+        let a = Publication::new(1, b"breaking news".to_vec());
+        let b = Publication::new(1, b"breaking news".to_vec());
+        let c = Publication::new(2, b"breaking news".to_vec());
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.key().len(), DEFAULT_KEY_BITS);
+    }
+
+    #[test]
+    fn raw_key_constructor() {
+        let p = Publication::with_raw_key("101".parse().unwrap(), 9, b"x".to_vec());
+        assert_eq!(p.key().to_string(), "101");
+        assert_eq!(p.author(), 9);
+        assert_eq!(p.payload(), b"x");
+    }
+
+    #[test]
+    fn custom_key_bits() {
+        let p = Publication::with_key_bits(3, b"y".to_vec(), 17);
+        assert_eq!(p.key().len(), 17);
+    }
+}

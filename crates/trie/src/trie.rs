@@ -1,0 +1,707 @@
+//! The hashed Patricia trie (paper §4.2).
+//!
+//! Structure invariants (checked by `debug_validate` in tests):
+//!
+//! * Every inner node has exactly two children (Patricia compression).
+//! * A node's label is the longest common prefix of its children's labels;
+//!   a leaf's label is its publication's key.
+//! * `hash` of a leaf is `h(label)`; of an inner node
+//!   `h(c₀.hash ∘ c₁.hash)` where `c₀` is the child whose label continues
+//!   with bit 0.
+//! * All leaf keys have the same length `m` (the paper's fixed-length
+//!   publication keys); inserts violating this are rejected, which doubles
+//!   as a corruption guard in adversarial starts.
+
+use crate::Publication;
+use skippub_bits::{BitStr, Hash128};
+
+/// A `(label, hash)` pair as shipped inside `CheckTrie` /
+/// `CheckAndPublish` messages — the paper's "sending a node `t ∈ v.T`"
+/// (§4.2: "we only store `t.label` and `t.hash` in the request").
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NodeSummary {
+    /// Absolute node label (path from the conceptual root).
+    pub label: BitStr,
+    /// Merkle hash of the subtrie rooted at the node.
+    pub hash: Hash128,
+}
+
+/// Receiver-side decision for one `CheckTrie` tuple (Algorithm 5, lines
+/// 12–23).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Hashes agree — subtries identical, no response (case (i)).
+    Match,
+    /// Node found, hashes differ, node is inner — respond with a
+    /// `CheckTrie` carrying both child summaries (case (ii)).
+    Descend(NodeSummary, NodeSummary),
+    /// Node found, hashes differ, node is a leaf. Impossible while all
+    /// keys have equal length and hashing is collision-free; surfaces
+    /// corrupted states. Algorithm 5 sends no response here.
+    LeafConflict,
+    /// No node with that label (case (iii)): respond with
+    /// `CheckAndPublish(cover, publish_prefix)` — continue checking at
+    /// `cover` (if any) and ask the peer to send every publication whose
+    /// key starts with `publish_prefix`.
+    Missing {
+        /// The node `c` with minimal label length extending the received
+        /// label, if one exists.
+        cover: Option<NodeSummary>,
+        /// Prefix of the publications the receiver is missing.
+        publish_prefix: BitStr,
+    },
+}
+
+#[derive(Clone, Debug)]
+enum Kind {
+    Leaf(Publication),
+    /// Children indices: `[bit-0 child, bit-1 child]`.
+    Inner([usize; 2]),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    label: BitStr,
+    hash: Hash128,
+    kind: Kind,
+}
+
+/// The per-subscriber publication store `v.T`.
+#[derive(Clone, Debug, Default)]
+pub struct PatriciaTrie {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: Option<usize>,
+    len: usize,
+    key_len: Option<usize>,
+}
+
+impl PatriciaTrie {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored publications.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no publications.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Root summary, or `None` for an empty trie.
+    pub fn root_summary(&self) -> Option<NodeSummary> {
+        self.root.map(|r| self.summary(r))
+    }
+
+    /// Root hash, or `None` for an empty trie. Two tries hold the same
+    /// publication *keys* iff their root hashes agree (up to 128-bit hash
+    /// collisions).
+    pub fn root_hash(&self) -> Option<Hash128> {
+        self.root.map(|r| self.nodes[r].hash)
+    }
+
+    fn summary(&self, idx: usize) -> NodeSummary {
+        NodeSummary {
+            label: self.nodes[idx].label.clone(),
+            hash: self.nodes[idx].hash,
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Inserts a publication. Returns `false` (leaving the trie unchanged)
+    /// if its key is already present or has a different length than the
+    /// established key length.
+    pub fn insert(&mut self, publication: Publication) -> bool {
+        let key = publication.key().clone();
+        if key.is_empty() {
+            return false;
+        }
+        match self.key_len {
+            None => self.key_len = Some(key.len()),
+            Some(m) if m != key.len() => return false,
+            Some(_) => {}
+        }
+        let Some(root) = self.root else {
+            let hash = Hash128::leaf(&key);
+            let idx = self.alloc(Node {
+                label: key,
+                hash,
+                kind: Kind::Leaf(publication),
+            });
+            self.root = Some(idx);
+            self.len = 1;
+            return true;
+        };
+
+        // Descend, remembering the path for rehashing.
+        let mut path: Vec<usize> = Vec::with_capacity(key.len().min(64));
+        let mut cur = root;
+        loop {
+            let lcp = self.nodes[cur].label.common_prefix_len(&key);
+            if lcp == self.nodes[cur].label.len() {
+                if self.nodes[cur].label.len() == key.len() {
+                    return false; // exact key already present
+                }
+                match self.nodes[cur].kind {
+                    Kind::Leaf(_) => {
+                        // cur.label is a proper prefix of key — impossible
+                        // with equal-length keys; reject defensively.
+                        return false;
+                    }
+                    Kind::Inner(children) => {
+                        path.push(cur);
+                        let bit = key.get(self.nodes[cur].label.len());
+                        cur = children[bit as usize];
+                    }
+                }
+            } else {
+                // Diverge inside cur.label: split above cur.
+                let prefix = key.prefix(lcp);
+                let new_leaf_hash = Hash128::leaf(&key);
+                let leaf = self.alloc(Node {
+                    label: key.clone(),
+                    hash: new_leaf_hash,
+                    kind: Kind::Leaf(publication),
+                });
+                let key_bit = key.get(lcp);
+                let mut children = [0usize; 2];
+                children[key_bit as usize] = leaf;
+                children[!key_bit as usize] = cur;
+                let inner_hash =
+                    Hash128::combine(self.nodes[children[0]].hash, self.nodes[children[1]].hash);
+                let inner = self.alloc(Node {
+                    label: prefix,
+                    hash: inner_hash,
+                    kind: Kind::Inner(children),
+                });
+                // Hook `inner` where `cur` used to hang.
+                match path.last() {
+                    None => self.root = Some(inner),
+                    Some(&parent) => {
+                        if let Kind::Inner(ref mut ch) = self.nodes[parent].kind {
+                            for c in ch.iter_mut() {
+                                if *c == cur {
+                                    *c = inner;
+                                }
+                            }
+                        }
+                    }
+                }
+                self.len += 1;
+                self.rehash_path(&path);
+                return true;
+            }
+        }
+    }
+
+    fn rehash_path(&mut self, path: &[usize]) {
+        for &idx in path.iter().rev() {
+            if let Kind::Inner([c0, c1]) = self.nodes[idx].kind {
+                self.nodes[idx].hash = Hash128::combine(self.nodes[c0].hash, self.nodes[c1].hash);
+            }
+        }
+    }
+
+    /// Whether a publication with this exact key is stored.
+    pub fn contains_key(&self, key: &BitStr) -> bool {
+        matches!(self.find_node(key), Some(idx) if matches!(self.nodes[idx].kind, Kind::Leaf(_)))
+    }
+
+    /// Index of the node with *exactly* this label (inner or leaf).
+    fn find_node(&self, label: &BitStr) -> Option<usize> {
+        let mut cur = self.root?;
+        loop {
+            let node = &self.nodes[cur];
+            if node.label == *label {
+                return Some(cur);
+            }
+            if !node.label.is_prefix_of(label) {
+                return None;
+            }
+            match node.kind {
+                Kind::Leaf(_) => return None,
+                Kind::Inner(children) => {
+                    // node.label is a proper prefix of label here.
+                    let bit = label.get(node.label.len());
+                    cur = children[bit as usize];
+                }
+            }
+        }
+    }
+
+    /// The `(label, hash)` summary of the node with exactly this label.
+    pub fn node_summary(&self, label: &BitStr) -> Option<NodeSummary> {
+        self.find_node(label).map(|i| self.summary(i))
+    }
+
+    /// Child summaries `(c₀, c₁)` of the *inner* node with this label.
+    pub fn children(&self, label: &BitStr) -> Option<(NodeSummary, NodeSummary)> {
+        let idx = self.find_node(label)?;
+        match self.nodes[idx].kind {
+            Kind::Leaf(_) => None,
+            Kind::Inner([c0, c1]) => Some((self.summary(c0), self.summary(c1))),
+        }
+    }
+
+    /// The node `c` with minimal label length whose label *properly*
+    /// extends `prefix` (`c.label = prefix ∘ b₁ ∘ … ∘ b_k`, `k ≥ 1`) —
+    /// Algorithm 5 line 19.
+    pub fn min_cover(&self, prefix: &BitStr) -> Option<NodeSummary> {
+        let mut cur = self.root?;
+        loop {
+            let node = &self.nodes[cur];
+            if prefix.is_prefix_of(&node.label) && node.label.len() > prefix.len() {
+                return Some(self.summary(cur));
+            }
+            if node.label.len() >= prefix.len() {
+                // Equal label (not a proper extension) — take the shorter
+                // child; both properly extend `prefix`. Divergence — no
+                // cover exists.
+                if node.label == *prefix {
+                    if let Kind::Inner([c0, c1]) = node.kind {
+                        let (l0, l1) = (self.nodes[c0].label.len(), self.nodes[c1].label.len());
+                        return Some(self.summary(if l0 <= l1 { c0 } else { c1 }));
+                    }
+                }
+                return None;
+            }
+            if !node.label.is_prefix_of(prefix) {
+                return None;
+            }
+            match node.kind {
+                Kind::Leaf(_) => return None,
+                Kind::Inner(children) => {
+                    let bit = prefix.get(node.label.len());
+                    cur = children[bit as usize];
+                }
+            }
+        }
+    }
+
+    /// All stored publications whose key starts with `prefix` (Algorithm 5
+    /// line 27: "All publications with prefix pf from T_u").
+    pub fn publications_with_prefix(&self, prefix: &BitStr) -> Vec<&Publication> {
+        let mut out = Vec::new();
+        let Some(root) = self.root else { return out };
+        // Find the topmost node whose label extends-or-equals prefix.
+        let mut cur = root;
+        let top = loop {
+            let node = &self.nodes[cur];
+            if prefix.is_prefix_of(&node.label) {
+                break Some(cur);
+            }
+            if !node.label.is_prefix_of(prefix) {
+                break None;
+            }
+            match node.kind {
+                Kind::Leaf(_) => break None,
+                Kind::Inner(children) => {
+                    let bit = prefix.get(node.label.len());
+                    cur = children[bit as usize];
+                }
+            }
+        };
+        if let Some(top) = top {
+            self.collect_leaves(top, &mut out);
+        }
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, idx: usize, out: &mut Vec<&'a Publication>) {
+        match &self.nodes[idx].kind {
+            Kind::Leaf(p) => out.push(p),
+            Kind::Inner([c0, c1]) => {
+                self.collect_leaves(*c0, out);
+                self.collect_leaves(*c1, out);
+            }
+        }
+    }
+
+    /// Iterates over all stored publications in key order.
+    pub fn publications(&self) -> Vec<&Publication> {
+        let mut out = Vec::with_capacity(self.len);
+        if let Some(root) = self.root {
+            self.collect_leaves(root, &mut out);
+        }
+        out
+    }
+
+    /// All stored keys in order (testing/diagnostics).
+    pub fn keys(&self) -> Vec<BitStr> {
+        self.publications()
+            .into_iter()
+            .map(|p| p.key().clone())
+            .collect()
+    }
+
+    /// Receiver-side handling of one `CheckTrie` tuple `(label, hash)` —
+    /// the pure decision behind Algorithm 5 lines 12–23.
+    pub fn check(&self, tuple: &NodeSummary) -> CheckOutcome {
+        match self.find_node(&tuple.label) {
+            Some(idx) => {
+                let node = &self.nodes[idx];
+                if node.hash == tuple.hash {
+                    CheckOutcome::Match
+                } else {
+                    match node.kind {
+                        Kind::Inner([c0, c1]) => {
+                            CheckOutcome::Descend(self.summary(c0), self.summary(c1))
+                        }
+                        Kind::Leaf(_) => CheckOutcome::LeafConflict,
+                    }
+                }
+            }
+            None => match self.min_cover(&tuple.label) {
+                Some(cover) => {
+                    // c.label = l ∘ b₁ ∘ …; missing prefix is l ∘ (1−b₁).
+                    let b1 = cover.label.get(tuple.label.len());
+                    let publish_prefix = tuple.label.child(!b1);
+                    CheckOutcome::Missing {
+                        cover: Some(cover),
+                        publish_prefix,
+                    }
+                }
+                None => CheckOutcome::Missing {
+                    cover: None,
+                    publish_prefix: tuple.label.clone(),
+                },
+            },
+        }
+    }
+
+    /// Structural invariant check used by tests; returns a description of
+    /// the first violation found.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        let Some(root) = self.root else {
+            return if self.len == 0 {
+                Ok(())
+            } else {
+                Err("len != 0 but no root".into())
+            };
+        };
+        let mut leaves = 0usize;
+        self.validate_node(root, None, &mut leaves)?;
+        if leaves != self.len {
+            return Err(format!("leaf count {leaves} != len {}", self.len));
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        idx: usize,
+        parent_label: Option<&BitStr>,
+        leaves: &mut usize,
+    ) -> Result<(), String> {
+        let node = &self.nodes[idx];
+        if let Some(pl) = parent_label {
+            if !pl.is_prefix_of(&node.label) || pl.len() >= node.label.len() {
+                return Err(format!(
+                    "child label {} does not properly extend parent {}",
+                    node.label, pl
+                ));
+            }
+        }
+        match &node.kind {
+            Kind::Leaf(p) => {
+                *leaves += 1;
+                if p.key() != &node.label {
+                    return Err("leaf label != publication key".into());
+                }
+                if node.hash != Hash128::leaf(&node.label) {
+                    return Err(format!("stale leaf hash at {}", node.label));
+                }
+                if let Some(m) = self.key_len {
+                    if node.label.len() != m {
+                        return Err("leaf key length differs from trie key length".into());
+                    }
+                }
+            }
+            Kind::Inner([c0, c1]) => {
+                let (l0, l1) = (&self.nodes[*c0].label, &self.nodes[*c1].label);
+                if l0.get(node.label.len()) || !l1.get(node.label.len()) {
+                    return Err(format!("child bit order wrong under {}", node.label));
+                }
+                let expect = l0.common_prefix(l1);
+                if expect != node.label {
+                    return Err(format!(
+                        "inner label {} is not LCP of children ({} vs {})",
+                        node.label, l0, l1
+                    ));
+                }
+                if node.hash != Hash128::combine(self.nodes[*c0].hash, self.nodes[*c1].hash) {
+                    return Err(format!("stale inner hash at {}", node.label));
+                }
+                self.validate_node(*c0, Some(&node.label), leaves)?;
+                self.validate_node(*c1, Some(&node.label), leaves)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(s: &str) -> BitStr {
+        s.parse().unwrap()
+    }
+
+    fn raw(key: &str) -> Publication {
+        Publication::with_raw_key(bs(key), 0, Vec::new())
+    }
+
+    /// The paper's Figure 2 tries: u holds {000,010,100,101},
+    /// v holds {000,010,100}.
+    fn figure2() -> (PatriciaTrie, PatriciaTrie) {
+        let mut u = PatriciaTrie::new();
+        for k in ["000", "010", "100", "101"] {
+            assert!(u.insert(raw(k)));
+        }
+        let mut v = PatriciaTrie::new();
+        for k in ["000", "010", "100"] {
+            assert!(v.insert(raw(k)));
+        }
+        (u, v)
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t = PatriciaTrie::new();
+        assert!(t.is_empty());
+        assert!(t.root_summary().is_none());
+        assert!(t.node_summary(&bs("0")).is_none());
+        assert!(t.min_cover(&bs("")).is_none());
+        assert!(t.publications_with_prefix(&bs("1")).is_empty());
+        t.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn single_leaf_is_root() {
+        let mut t = PatriciaTrie::new();
+        assert!(t.insert(raw("101")));
+        let root = t.root_summary().unwrap();
+        assert_eq!(root.label, bs("101"));
+        assert_eq!(root.hash, Hash128::leaf(&bs("101")));
+        t.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut t = PatriciaTrie::new();
+        assert!(t.insert(raw("101")));
+        assert!(!t.insert(raw("101")));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn mixed_key_length_rejected() {
+        let mut t = PatriciaTrie::new();
+        assert!(t.insert(raw("101")));
+        assert!(!t.insert(raw("10")));
+        assert!(!t.insert(raw("1010")));
+        assert_eq!(t.len(), 1);
+        t.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn figure2_structure_u() {
+        let (u, _) = figure2();
+        assert_eq!(u.len(), 4);
+        u.debug_validate().unwrap();
+        // Root label is the empty word ⊥ with children "0" and "10".
+        let root = u.root_summary().unwrap();
+        assert_eq!(root.label, bs(""));
+        let (c0, c1) = u.children(&bs("")).unwrap();
+        assert_eq!(c0.label, bs("0"));
+        assert_eq!(c1.label, bs("10"));
+        // And the figure's hash structure.
+        let h_p1 = Hash128::leaf(&bs("000"));
+        let h_p2 = Hash128::leaf(&bs("010"));
+        let h_p3 = Hash128::leaf(&bs("100"));
+        let h_p4 = Hash128::leaf(&bs("101"));
+        assert_eq!(c0.hash, Hash128::combine(h_p1, h_p2));
+        assert_eq!(c1.hash, Hash128::combine(h_p3, h_p4));
+        assert_eq!(root.hash, Hash128::combine(c0.hash, c1.hash));
+    }
+
+    #[test]
+    fn figure2_structure_v() {
+        let (_, v) = figure2();
+        v.debug_validate().unwrap();
+        let (c0, c1) = v.children(&bs("")).unwrap();
+        assert_eq!(c0.label, bs("0"));
+        assert_eq!(
+            c1.label,
+            bs("100"),
+            "P3 hangs directly under the root in v.T"
+        );
+        assert_eq!(c1.hash, Hash128::leaf(&bs("100")));
+    }
+
+    #[test]
+    fn insert_order_invariance() {
+        use rand::seq::SliceRandom;
+        let keys = [
+            "0001", "0010", "0111", "1000", "1011", "1100", "1111", "0100",
+        ];
+        let mut reference = PatriciaTrie::new();
+        for k in keys {
+            reference.insert(raw(k));
+        }
+        let mut rng = rand::rng();
+        for _ in 0..10 {
+            let mut shuffled = keys.to_vec();
+            shuffled.shuffle(&mut rng);
+            let mut t = PatriciaTrie::new();
+            for k in shuffled {
+                t.insert(raw(k));
+            }
+            assert_eq!(t.root_hash(), reference.root_hash());
+            t.debug_validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn find_node_exact_only() {
+        let (u, _) = figure2();
+        assert!(u.node_summary(&bs("0")).is_some());
+        assert!(u.node_summary(&bs("10")).is_some());
+        assert!(u.node_summary(&bs("000")).is_some());
+        assert!(u.node_summary(&bs("1")).is_none(), "no node labelled '1'");
+        assert!(u.node_summary(&bs("00")).is_none());
+        assert!(u.node_summary(&bs("0000")).is_none());
+    }
+
+    #[test]
+    fn min_cover_cases() {
+        let (_, v) = figure2();
+        // Paper walk-through: label "10" has no node in v.T; the minimal
+        // cover is the leaf "100".
+        let c = v.min_cover(&bs("10")).unwrap();
+        assert_eq!(c.label, bs("100"));
+        // No node extends "11".
+        assert!(v.min_cover(&bs("11")).is_none());
+        // Cover of the empty prefix is the shorter root child.
+        let c = v.min_cover(&bs("")).unwrap();
+        assert_eq!(c.label, bs("0"));
+    }
+
+    #[test]
+    fn check_outcomes_match_paper_walkthrough() {
+        let (u, v) = figure2();
+        // Step 1 of the §4.2 example: v receives u's root → hash mismatch
+        // at an inner node → descend with children (0, …), (10, …).
+        let ru = u.root_summary().unwrap();
+        match v.check(&ru) {
+            CheckOutcome::Descend(c0, c1) => {
+                assert_eq!(c0.label, bs("0"));
+                assert_eq!(c1.label, bs("100"));
+            }
+            other => panic!("expected Descend, got {other:?}"),
+        }
+        // u receives v's tuple (100, h(P3)) → exists with equal hash.
+        let t100 = v.node_summary(&bs("100")).unwrap();
+        assert_eq!(u.check(&t100), CheckOutcome::Match);
+        // v receives u's tuple (10, …) → missing; cover is (100, h(P3)),
+        // publish prefix 10 ∘ (1−0) = 101.
+        let t10 = u.node_summary(&bs("10")).unwrap();
+        match v.check(&t10) {
+            CheckOutcome::Missing {
+                cover: Some(c),
+                publish_prefix,
+            } => {
+                assert_eq!(c.label, bs("100"));
+                assert_eq!(publish_prefix, bs("101"));
+            }
+            other => panic!("expected Missing with cover, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_missing_without_cover() {
+        let (u, v) = figure2();
+        // Pretend u has a subtrie at "11…" that v lacks entirely and that
+        // nothing in v extends "11": no cover → publish everything at "11".
+        let fake = NodeSummary {
+            label: bs("11"),
+            hash: Hash128::leaf(&bs("11")),
+        };
+        match v.check(&fake) {
+            CheckOutcome::Missing {
+                cover: None,
+                publish_prefix,
+            } => {
+                assert_eq!(publish_prefix, bs("11"));
+            }
+            other => panic!("expected Missing without cover, got {other:?}"),
+        }
+        drop(u);
+    }
+
+    #[test]
+    fn prefix_enumeration() {
+        let (u, _) = figure2();
+        let keys: Vec<String> = u
+            .publications_with_prefix(&bs("10"))
+            .iter()
+            .map(|p| p.key().to_string())
+            .collect();
+        assert_eq!(keys, ["100", "101"]);
+        assert_eq!(u.publications_with_prefix(&bs("")).len(), 4);
+        assert_eq!(u.publications_with_prefix(&bs("01")).len(), 1);
+        assert!(u.publications_with_prefix(&bs("11")).is_empty());
+        // Prefix longer than any key.
+        assert!(u.publications_with_prefix(&bs("0000")).is_empty());
+    }
+
+    #[test]
+    fn root_hash_equality_iff_same_keys() {
+        let (mut u, mut v) = figure2();
+        assert_ne!(u.root_hash(), v.root_hash());
+        assert!(v.insert(raw("101")));
+        assert_eq!(u.root_hash(), v.root_hash());
+        assert!(u.insert(raw("111")));
+        assert_ne!(u.root_hash(), v.root_hash());
+        u.debug_validate().unwrap();
+        v.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn derived_keys_work_end_to_end() {
+        let mut t = PatriciaTrie::new();
+        for i in 0..200u64 {
+            assert!(t.insert(Publication::new(i % 7, format!("payload {i}").into_bytes())));
+        }
+        assert_eq!(t.len(), 200);
+        t.debug_validate().unwrap();
+        assert_eq!(t.publications().len(), 200);
+    }
+
+    #[test]
+    fn contains_key() {
+        let (u, _) = figure2();
+        assert!(u.contains_key(&bs("101")));
+        assert!(
+            !u.contains_key(&bs("10")),
+            "inner node is not a publication"
+        );
+        assert!(!u.contains_key(&bs("111")));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests: the Patricia trie against a reference set model,
+//! and convergence of the two-party anti-entropy exchange on arbitrary
+//! publication-set pairs (a pairwise version of Theorem 17).
+
+use proptest::prelude::*;
+use skippub_bits::BitStr;
+use skippub_trie::{sync, PatriciaTrie, Publication};
+use std::collections::BTreeSet;
+
+const KEY_BITS: usize = 12;
+
+/// A publication with a short derived key (12 bits) so that random pairs
+/// collide often enough to exercise the duplicate path.
+fn arb_pub() -> impl Strategy<Value = Publication> {
+    (0u64..64, proptest::collection::vec(any::<u8>(), 0..6))
+        .prop_map(|(author, payload)| Publication::with_key_bits(author, payload, KEY_BITS))
+}
+
+fn arb_pubs(max: usize) -> impl Strategy<Value = Vec<Publication>> {
+    proptest::collection::vec(arb_pub(), 0..max)
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_reference_set(pubs in arb_pubs(120)) {
+        let mut trie = PatriciaTrie::new();
+        let mut reference: BTreeSet<BitStr> = BTreeSet::new();
+        for p in &pubs {
+            let inserted = trie.insert(p.clone());
+            let fresh = reference.insert(p.key().clone());
+            prop_assert_eq!(inserted, fresh, "insert result must match set semantics");
+        }
+        trie.debug_validate().unwrap();
+        prop_assert_eq!(trie.len(), reference.len());
+        let keys: Vec<BitStr> = trie.keys();
+        let expect: Vec<BitStr> = reference.iter().cloned().collect();
+        prop_assert_eq!(keys, expect, "leaves must enumerate in key order");
+    }
+
+    #[test]
+    fn root_hash_is_set_hash(pubs in arb_pubs(60), seed in any::<u64>()) {
+        // Insertion order must not matter.
+        let mut t1 = PatriciaTrie::new();
+        for p in &pubs {
+            t1.insert(p.clone());
+        }
+        let mut shuffled = pubs.clone();
+        // Cheap deterministic shuffle.
+        let n = shuffled.len();
+        if n > 1 {
+            let mut s = seed;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                shuffled.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+        }
+        let mut t2 = PatriciaTrie::new();
+        for p in shuffled {
+            t2.insert(p);
+        }
+        prop_assert_eq!(t1.root_hash(), t2.root_hash());
+    }
+
+    #[test]
+    fn prefix_query_matches_filter(pubs in arb_pubs(80), pfx_bits in proptest::collection::vec(any::<bool>(), 0..6)) {
+        let mut trie = PatriciaTrie::new();
+        let mut reference: BTreeSet<BitStr> = BTreeSet::new();
+        for p in &pubs {
+            trie.insert(p.clone());
+            reference.insert(p.key().clone());
+        }
+        let prefix: BitStr = pfx_bits.into_iter().collect();
+        let mut got: Vec<BitStr> = trie
+            .publications_with_prefix(&prefix)
+            .iter()
+            .map(|p| p.key().clone())
+            .collect();
+        got.sort();
+        let expect: Vec<BitStr> = reference
+            .iter()
+            .filter(|k| prefix.is_prefix_of(k))
+            .cloned()
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pairwise_sync_converges(a_pubs in arb_pubs(60), b_pubs in arb_pubs(60)) {
+        // Theorem 17 at pair granularity: any two publication sets merge to
+        // the union.
+        let mut a = PatriciaTrie::new();
+        let mut b = PatriciaTrie::new();
+        let mut union: BTreeSet<BitStr> = BTreeSet::new();
+        for p in &a_pubs {
+            a.insert(p.clone());
+            union.insert(p.key().clone());
+        }
+        for p in &b_pubs {
+            b.insert(p.clone());
+            union.insert(p.key().clone());
+        }
+        let stats = sync::sync_pair(&mut a, &mut b, 256);
+        prop_assert!(stats.converged, "sync must converge: {:?}", stats);
+        let expect: Vec<BitStr> = union.into_iter().collect();
+        prop_assert_eq!(a.keys(), expect.clone());
+        prop_assert_eq!(b.keys(), expect);
+        a.debug_validate().unwrap();
+        b.debug_validate().unwrap();
+    }
+
+    #[test]
+    fn sync_sends_no_more_pubs_than_missing(a_pubs in arb_pubs(50), b_pubs in arb_pubs(50)) {
+        // §4.2: "only those publications are sent out that are assumed to
+        // be missing at the receiver" — the total shipped is bounded by
+        // the symmetric difference (each missing pub is shipped at least
+        // once; re-shipments can only happen across initiations).
+        let mut a = PatriciaTrie::new();
+        let mut b = PatriciaTrie::new();
+        for p in &a_pubs {
+            a.insert(p.clone());
+        }
+        for p in &b_pubs {
+            b.insert(p.clone());
+        }
+        let a_keys: BTreeSet<BitStr> = a.keys().into_iter().collect();
+        let b_keys: BTreeSet<BitStr> = b.keys().into_iter().collect();
+        let sym_diff = a_keys.symmetric_difference(&b_keys).count();
+        let stats = sync::sync_pair(&mut a, &mut b, 256);
+        prop_assert!(stats.converged);
+        prop_assert!(
+            stats.publications_sent <= sym_diff.max(1) * 2,
+            "sent {} for symmetric difference {}", stats.publications_sent, sym_diff
+        );
+    }
+
+    #[test]
+    fn check_is_total(pubs in arb_pubs(40), label_bits in proptest::collection::vec(any::<bool>(), 0..14), hash_seed in any::<u64>()) {
+        // check() must answer any (label, hash) tuple without panicking.
+        let mut trie = PatriciaTrie::new();
+        for p in &pubs {
+            trie.insert(p.clone());
+        }
+        let label: BitStr = label_bits.into_iter().collect();
+        let tuple = skippub_trie::NodeSummary {
+            label,
+            hash: skippub_bits::Hash128::of_bytes(&hash_seed.to_le_bytes()),
+        };
+        let _ = trie.check(&tuple);
+    }
+}

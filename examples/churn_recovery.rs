@@ -1,0 +1,83 @@
+//! Churn under real concurrency: the threaded runtime (`skippub-net`)
+//! runs every node on its own OS thread with randomly delayed, reordered
+//! messages. Nodes crash without warning and leave gracefully; the
+//! supervisor's single failure detector (§3.3) is the only failure
+//! information in the whole system.
+//!
+//! ```text
+//! cargo run --release --example churn_recovery
+//! ```
+
+use skippub_net::{NetConfig, Network};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let cfg = NetConfig {
+        seed: 2024,
+        min_delay: Duration::from_micros(20),
+        max_delay: Duration::from_millis(1),
+        timeout_interval: Duration::from_millis(3),
+        ..NetConfig::default()
+    };
+    let mut net = Network::start(cfg);
+
+    let n = 12;
+    let ids: Vec<_> = (0..n).map(|_| net.spawn_subscriber()).collect();
+    let t0 = Instant::now();
+    assert!(
+        net.await_legitimate(Duration::from_secs(60)),
+        "bootstrap stalled"
+    );
+    println!(
+        "✓ {n} threaded subscribers stabilized in {:.2?}",
+        t0.elapsed()
+    );
+
+    // Publish a few messages so there is state to preserve through churn.
+    for (i, &id) in ids.iter().take(3).enumerate() {
+        net.publish(id, format!("pre-churn message {i}").into_bytes());
+    }
+    assert!(net.await_pubs_converged(Duration::from_secs(60)));
+    println!("✓ 3 publications delivered to everyone");
+
+    // Churn: two crashes (abrupt thread kills) + one graceful leave.
+    let t1 = Instant::now();
+    net.crash(ids[2]);
+    net.crash(ids[7]);
+    net.unsubscribe(ids[4]);
+    println!(
+        "… crashed {:?} and {:?}, unsubscribed {:?}",
+        ids[2], ids[7], ids[4]
+    );
+
+    // The eventually-correct failure detector reports after a delay.
+    std::thread::sleep(Duration::from_millis(30));
+    net.report_crash(ids[2]);
+    net.report_crash(ids[7]);
+
+    assert!(
+        net.await_legitimate(Duration::from_secs(120)),
+        "recovery stalled"
+    );
+    println!("✓ re-stabilized {:.2?} after the churn burst", t1.elapsed());
+
+    // The survivors still hold the complete publication history.
+    assert!(net.await_pubs_converged(Duration::from_secs(60)));
+    let snap = net.snapshot();
+    let survivors = snap
+        .iter()
+        .filter_map(|(_, a)| a.subscriber())
+        .filter(|s| s.wants_membership)
+        .count();
+    let sup_n = snap
+        .iter()
+        .find_map(|(_, a)| a.supervisor())
+        .expect("supervisor")
+        .n();
+    println!("✓ {survivors} survivors (database size {sup_n}), history intact");
+    assert_eq!(sup_n, n - 3);
+
+    let (sent, delivered, dropped) = net.wire_stats();
+    println!("wire: {sent} sent, {delivered} delivered, {dropped} consumed by crashes");
+    net.shutdown();
+}

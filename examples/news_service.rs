@@ -1,0 +1,147 @@
+//! A topic-based news service (§4): one supervisor runs an independent
+//! `BuildSR` instance per topic; clients subscribe to the topics they
+//! care about and only ever receive matching stories.
+//!
+//! ```text
+//! cargo run --release --example news_service
+//! ```
+
+use skippub_core::topics::{MultiActor, TopicId, TopicMsg};
+use skippub_core::{Msg, ProtocolConfig};
+use skippub_sim::{NodeId, World};
+use skippub_trie::Publication;
+
+const SUPERVISOR: NodeId = NodeId(0);
+const POLITICS: TopicId = TopicId(1);
+const SPORTS: TopicId = TopicId(2);
+const TECH: TopicId = TopicId(3);
+
+fn topic_name(t: TopicId) -> &'static str {
+    match t {
+        POLITICS => "politics",
+        SPORTS => "sports",
+        TECH => "tech",
+        _ => "?",
+    }
+}
+
+fn main() {
+    let mut world: World<MultiActor> = World::new(7);
+    world.add_node(SUPERVISOR, MultiActor::new_supervisor(SUPERVISOR));
+
+    // Ten readers with different interests.
+    let cfg = ProtocolConfig::default();
+    let interests: &[(&str, &[TopicId])] = &[
+        ("ada", &[POLITICS, TECH]),
+        ("bob", &[SPORTS]),
+        ("cyn", &[POLITICS, SPORTS, TECH]),
+        ("dee", &[TECH]),
+        ("eli", &[POLITICS]),
+        ("fay", &[SPORTS, TECH]),
+        ("gus", &[TECH]),
+        ("hal", &[POLITICS, SPORTS]),
+        ("ivy", &[SPORTS]),
+        ("joe", &[TECH]),
+    ];
+    let mut ids = Vec::new();
+    for (i, (name, topics)) in interests.iter().enumerate() {
+        let id = NodeId(i as u64 + 1);
+        let mut c = MultiActor::new_client(id, SUPERVISOR, cfg);
+        for &t in *topics {
+            c.join_topic(t);
+        }
+        world.add_node(id, c);
+        ids.push((id, *name, *topics));
+    }
+
+    // Let all three skip rings stabilize.
+    for _ in 0..300 {
+        world.run_round();
+    }
+    let sup = world.node(SUPERVISOR).expect("supervisor");
+    println!("topic subscriptions after stabilization:");
+    for t in [POLITICS, SPORTS, TECH] {
+        println!(
+            "  {:<9} {} subscribers",
+            topic_name(t),
+            sup.topic_supervisor(t).map(|s| s.n()).unwrap_or(0)
+        );
+    }
+
+    // Publish one story per topic (as the first subscriber of each).
+    let stories = [
+        (POLITICS, "election results certified"),
+        (SPORTS, "underdogs win the cup"),
+        (TECH, "self-stabilizing overlays ship v1.0"),
+    ];
+    for &(topic, text) in &stories {
+        let author = ids
+            .iter()
+            .find(|(_, _, ts)| ts.contains(&topic))
+            .map(|(id, _, _)| *id)
+            .expect("someone subscribes");
+        // Publish = insert into the author's per-topic trie + flood.
+        world.with_node(author, |actor, ctx| {
+            if let Some(sub) = actor.topic_subscriber_mut(topic) {
+                let p = Publication::new(author.0, text.as_bytes().to_vec());
+                if sub.trie.insert(p.clone()) {
+                    let targets: Vec<NodeId> = [sub.left, sub.right, sub.ring]
+                        .into_iter()
+                        .flatten()
+                        .map(|r| r.id)
+                        .chain(sub.shortcuts.values().copied().flatten())
+                        .collect();
+                    for t in targets {
+                        ctx.send(
+                            t,
+                            TopicMsg {
+                                topic,
+                                msg: Msg::PublishNew {
+                                    publication: p.clone(),
+                                    hops: 1,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+        });
+    }
+    for _ in 0..200 {
+        world.run_round();
+    }
+
+    // Every reader sees exactly the stories of their topics.
+    println!("\ndeliveries:");
+    let mut all_correct = true;
+    for (id, name, topics) in &ids {
+        let actor = world.node(*id).expect("alive");
+        let mut got = Vec::new();
+        for &(topic, text) in &stories {
+            let has = actor
+                .topic_subscriber(topic)
+                .map(|s| !s.trie.publications().is_empty())
+                .unwrap_or(false);
+            if has {
+                got.push(format!("{}: {text:?}", topic_name(topic)));
+            }
+            let should = topics.contains(&topic);
+            if has != should {
+                all_correct = false;
+            }
+        }
+        println!(
+            "  {name}: {}",
+            if got.is_empty() {
+                "—".into()
+            } else {
+                got.join(" | ")
+            }
+        );
+    }
+    assert!(
+        all_correct,
+        "targeted dissemination must match interests exactly"
+    );
+    println!("\n✓ every reader received exactly their subscribed topics' stories");
+}

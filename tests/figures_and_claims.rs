@@ -1,0 +1,54 @@
+//! Integration: every experiment of the harness must pass (these are the
+//! executable forms of the paper's figures and quantitative claims).
+
+use skippub_harness::{experiments, Scale};
+
+#[test]
+fn all_experiments_pass() {
+    for (name, f) in experiments::registry() {
+        let report = f(Scale::Small, 7);
+        assert!(
+            report.ok(),
+            "{name} ({}) failed: {:?}",
+            report.artefact,
+            report
+                .verdicts
+                .iter()
+                .filter(|(_, ok)| !ok)
+                .map(|(v, _)| v)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn experiments_are_seed_stable() {
+    // Same seed ⇒ same verdicts (tables may embed timings-free data only).
+    for (name, f) in experiments::registry() {
+        let a = f(Scale::Small, 11);
+        let b = f(Scale::Small, 11);
+        assert_eq!(
+            a.tables.iter().map(|t| &t.rows).collect::<Vec<_>>(),
+            b.tables.iter().map(|t| &t.rows).collect::<Vec<_>>(),
+            "{name} is not deterministic per seed"
+        );
+    }
+}
+
+#[test]
+fn figure1_exact_triples() {
+    use skippub_ringmath::Label;
+    // Independent spot re-check of the Figure 1 data used by E1.
+    let expect: [(u64, &str, &str); 5] = [
+        (0, "0", "0"),
+        (1, "1", "1/2"),
+        (9, "0011", "3/16"),
+        (10, "0101", "5/16"),
+        (15, "1111", "15/16"),
+    ];
+    for (x, label, frac) in expect {
+        let l = Label::from_index(x);
+        assert_eq!(l.to_string(), label);
+        assert_eq!(l.r_fraction(), frac);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based integration tests: convergence and closure over random
+//! adversarial instances and random operation sequences.
+
+use proptest::prelude::*;
+use skippub_core::scenarios::{adversarial_world, legit_world, Adversary};
+use skippub_core::{ProtocolConfig, SkipRingSim};
+
+fn arb_adversary() -> impl Strategy<Value = Adversary> {
+    prop_oneof![
+        Just(Adversary::RandomState),
+        (2usize..5).prop_map(Adversary::Partitioned),
+        Just(Adversary::CorruptDatabase),
+        Just(Adversary::ShuffledLabels),
+        Just(Adversary::CorruptChannels),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_adversarial_instances_converge(
+        n in 2usize..14,
+        seed in any::<u64>(),
+        adv in arb_adversary(),
+    ) {
+        let cfg = ProtocolConfig::topology_only();
+        let world = adversarial_world(n, seed, cfg, adv);
+        let mut sim = SkipRingSim::from_world(world, cfg);
+        let (rounds, ok) = sim.run_until_legit(30_000);
+        prop_assert!(ok, "{:?} n={} seed={} stuck after {} rounds", adv, n, seed, rounds);
+        // Closure: a state snapshot can look legitimate while corrupted
+        // messages are still in flight (Definition 1 legitimacy includes
+        // channels), so require legitimacy to *persist* for 20 consecutive
+        // rounds — residual corrupted traffic is finite and drains.
+        let mut streak = 0;
+        let mut budget = 30_000u32;
+        while streak < 20 && budget > 0 {
+            sim.run_round();
+            budget -= 1;
+            streak = if sim.is_legitimate() { streak + 1 } else { 0 };
+        }
+        prop_assert!(streak >= 20, "{:?} n={} seed={} never settled", adv, n, seed);
+    }
+
+    #[test]
+    fn random_operation_sequences_keep_invariants(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(0u8..4, 1..18),
+    ) {
+        let cfg = ProtocolConfig::topology_only();
+        let mut sim = SkipRingSim::from_world(legit_world(6, seed, cfg), cfg);
+        for op in ops {
+            match op {
+                0 => {
+                    sim.add_subscriber();
+                }
+                1 => {
+                    if let Some(&id) = sim.subscriber_ids().first() {
+                        sim.unsubscribe(id);
+                    }
+                }
+                2 => {
+                    if sim.subscriber_ids().len() > 1 {
+                        let id = *sim.subscriber_ids().last().expect("non-empty");
+                        sim.crash(id);
+                        sim.run_round();
+                        sim.report_crash(id);
+                    }
+                }
+                _ => {
+                    for _ in 0..3 {
+                        sim.run_round();
+                    }
+                }
+            }
+        }
+        // Whatever happened, the system must re-stabilize...
+        let (rounds, ok) = sim.run_until_legit(30_000);
+        prop_assert!(ok, "seed={} stuck after {} rounds: {:?}", seed, rounds,
+            sim.report().issues.iter().take(3).collect::<Vec<_>>());
+        // ...and the database must exactly mirror the survivors.
+        let wanting: usize = sim
+            .subscriber_ids()
+            .iter()
+            .filter(|id| sim.subscriber(**id).expect("live").wants_membership)
+            .count();
+        prop_assert_eq!(sim.supervisor().n(), wanting);
+    }
+
+    #[test]
+    fn publications_converge_from_random_distributions(
+        seed in any::<u64>(),
+        assignment in proptest::collection::vec(0usize..5, 0..24),
+    ) {
+        let cfg = ProtocolConfig { flooding: false, ..ProtocolConfig::default() };
+        let mut sim = SkipRingSim::from_world(legit_world(5, seed, cfg), cfg);
+        let ids = sim.subscriber_ids();
+        for (i, &host) in assignment.iter().enumerate() {
+            let p = skippub_trie::Publication::new(i as u64, format!("{i}").into_bytes());
+            sim.world
+                .node_mut(ids[host])
+                .and_then(skippub_core::Actor::subscriber_mut)
+                .map(|s| s.trie.insert(p));
+        }
+        let (_, ok) = sim.run_until_pubs_converged(30_000);
+        prop_assert!(ok);
+        let (converged, total) = sim.publications_converged();
+        prop_assert!(converged);
+        // Distinct (author, payload) pairs in the assignment.
+        let distinct = assignment.len();
+        prop_assert_eq!(total, distinct);
+    }
+}

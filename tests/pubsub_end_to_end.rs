@@ -1,0 +1,196 @@
+//! Integration: the full publish-subscribe semantics — targeted delivery,
+//! history for late joiners, flooding vs anti-entropy, multi-topic
+//! isolation.
+
+use skippub_core::topics::{MultiActor, TopicId};
+use skippub_core::{Actor, ProtocolConfig, SkipRingSim};
+use skippub_sim::{NodeId, World};
+use skippub_trie::Publication;
+
+#[test]
+fn every_subscriber_gets_every_publication() {
+    let mut sim = SkipRingSim::new(21, ProtocolConfig::default());
+    let ids: Vec<_> = (0..10).map(|_| sim.add_subscriber()).collect();
+    let (_, ok) = sim.run_until_legit(2000);
+    assert!(ok);
+    for (i, &id) in ids.iter().enumerate() {
+        sim.publish(id, format!("msg from {i}").into_bytes());
+    }
+    let (_, ok) = sim.run_until_pubs_converged(2000);
+    assert!(ok);
+    for &id in &ids {
+        assert_eq!(sim.subscriber(id).expect("alive").trie.len(), 10);
+    }
+}
+
+#[test]
+fn late_joiner_receives_full_history() {
+    let mut sim = SkipRingSim::new(22, ProtocolConfig::default());
+    let ids: Vec<_> = (0..6).map(|_| sim.add_subscriber()).collect();
+    sim.run_until_legit(2000);
+    for i in 0..20 {
+        sim.publish(ids[i % ids.len()], format!("h{i}").into_bytes());
+    }
+    sim.run_until_pubs_converged(2000);
+    // Join late; history must arrive although no flooding re-occurs.
+    let late = sim.add_subscriber();
+    let (_, ok) = sim.run_until_legit(4000);
+    assert!(ok);
+    let (_, ok) = sim.run_until_pubs_converged(8000);
+    assert!(ok, "late joiner never caught up");
+    let s = sim.subscriber(late).expect("alive");
+    assert_eq!(s.trie.len(), 20);
+    assert!(
+        s.counters.pubs_via_sync > 0,
+        "history must come from anti-entropy"
+    );
+}
+
+#[test]
+fn flooding_disabled_still_converges() {
+    let cfg = ProtocolConfig {
+        flooding: false,
+        ..ProtocolConfig::default()
+    };
+    let mut sim = SkipRingSim::new(23, cfg);
+    let ids: Vec<_> = (0..8).map(|_| sim.add_subscriber()).collect();
+    sim.run_until_legit(2000);
+    sim.publish(ids[0], b"slow but sure".to_vec());
+    let (rounds, ok) = sim.run_until_pubs_converged(8000);
+    assert!(ok);
+    assert!(rounds > 0);
+    for &id in &ids {
+        let s = sim.subscriber(id).expect("alive");
+        assert_eq!(s.counters.pubs_via_flood, 0, "flooding was disabled");
+    }
+}
+
+#[test]
+fn flooding_is_much_faster_than_anti_entropy() {
+    let run = |flooding: bool| -> u64 {
+        let cfg = ProtocolConfig {
+            flooding,
+            ..ProtocolConfig::default()
+        };
+        let mut sim = SkipRingSim::new(24, cfg);
+        let ids: Vec<_> = (0..24).map(|_| sim.add_subscriber()).collect();
+        sim.run_until_legit(4000);
+        sim.publish(ids[5], b"race".to_vec());
+        let (rounds, ok) = sim.run_until_pubs_converged(20_000);
+        assert!(ok);
+        rounds
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with <= without,
+        "flooding ({with} rounds) should not be slower than anti-entropy alone ({without})"
+    );
+    assert!(
+        with <= 4,
+        "flooding should deliver in O(log n) ≈ 2 rounds, took {with}"
+    );
+}
+
+#[test]
+fn duplicate_publications_are_idempotent() {
+    let mut sim = SkipRingSim::new(25, ProtocolConfig::default());
+    let ids: Vec<_> = (0..5).map(|_| sim.add_subscriber()).collect();
+    sim.run_until_legit(2000);
+    // Same author, same payload → same key → one publication.
+    sim.publish(ids[0], b"once".to_vec());
+    sim.publish(ids[0], b"once".to_vec());
+    sim.run_until_pubs_converged(2000);
+    for &id in &ids {
+        assert_eq!(sim.subscriber(id).expect("alive").trie.len(), 1);
+    }
+    // Same payload from another author is a different publication.
+    sim.publish(ids[1], b"once".to_vec());
+    sim.run_until_pubs_converged(2000);
+    assert_eq!(sim.subscriber(ids[3]).expect("alive").trie.len(), 2);
+}
+
+#[test]
+fn publications_survive_author_departure() {
+    let mut sim = SkipRingSim::new(26, ProtocolConfig::default());
+    let ids: Vec<_> = (0..6).map(|_| sim.add_subscriber()).collect();
+    sim.run_until_legit(2000);
+    sim.publish(ids[0], b"legacy".to_vec());
+    sim.run_until_pubs_converged(2000);
+    sim.unsubscribe(ids[0]);
+    let (_, ok) = sim.run_until_legit(4000);
+    assert!(ok);
+    for &id in ids.iter().skip(1) {
+        assert_eq!(sim.subscriber(id).expect("alive").trie.len(), 1);
+    }
+}
+
+#[test]
+fn topics_are_isolated() {
+    const SUP: NodeId = NodeId(0);
+    let mut w: World<MultiActor> = World::new(27);
+    w.add_node(SUP, MultiActor::new_supervisor(SUP));
+    let cfg = ProtocolConfig::default();
+    for i in 1..=6u64 {
+        let mut c = MultiActor::new_client(NodeId(i), SUP, cfg);
+        c.join_topic(TopicId(if i <= 3 { 1 } else { 2 }));
+        w.add_node(NodeId(i), c);
+    }
+    for _ in 0..200 {
+        w.run_round();
+    }
+    // Publish into topic 1 from node 1.
+    w.with_node(NodeId(1), |actor, _ctx| {
+        let sub = actor.topic_subscriber_mut(TopicId(1)).expect("joined");
+        sub.trie.insert(Publication::new(1, b"t1 only".to_vec()));
+    });
+    for _ in 0..300 {
+        w.run_round();
+    }
+    for i in 1..=3u64 {
+        let got = w
+            .node(NodeId(i))
+            .and_then(|a| a.topic_subscriber(TopicId(1)))
+            .map(|s| s.trie.len())
+            .unwrap_or(0);
+        assert_eq!(got, 1, "topic-1 member {i} missing the publication");
+    }
+    for i in 4..=6u64 {
+        let crossed = w
+            .node(NodeId(i))
+            .and_then(|a| a.topic_subscriber(TopicId(2)))
+            .map(|s| s.trie.len())
+            .unwrap_or(0);
+        assert_eq!(
+            crossed, 0,
+            "topic-2 member {i} must not see topic-1 content"
+        );
+    }
+}
+
+#[test]
+fn corrupted_tries_reconcile() {
+    // Subscribers start with arbitrary, different publication sets
+    // (Theorem 17's arbitrary initial distribution).
+    let cfg = ProtocolConfig {
+        flooding: false,
+        ..ProtocolConfig::default()
+    };
+    let mut sim = SkipRingSim::new(28, cfg);
+    let ids: Vec<_> = (0..6).map(|_| sim.add_subscriber()).collect();
+    sim.run_until_legit(2000);
+    for (i, &id) in ids.iter().enumerate() {
+        for j in 0..=i {
+            let p = Publication::new(j as u64 * 31, format!("seed{j}").into_bytes());
+            sim.world
+                .node_mut(id)
+                .and_then(Actor::subscriber_mut)
+                .map(|s| s.trie.insert(p));
+        }
+    }
+    let (_, ok) = sim.run_until_pubs_converged(20_000);
+    assert!(ok);
+    let (converged, total) = sim.publications_converged();
+    assert!(converged);
+    assert_eq!(total, ids.len());
+}

@@ -1,0 +1,72 @@
+//! Integration: the threaded runtime must reach the same legitimate
+//! states as the simulator, under real concurrency, delays and crashes.
+
+use skippub_core::checker;
+use skippub_net::{NetConfig, Network};
+use std::time::Duration;
+
+fn cfg(seed: u64) -> NetConfig {
+    NetConfig {
+        seed,
+        min_delay: Duration::from_micros(20),
+        max_delay: Duration::from_millis(1),
+        timeout_interval: Duration::from_millis(2),
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn sixteen_threads_stabilize_and_publish() {
+    let mut net = Network::start(cfg(51));
+    let ids: Vec<_> = (0..16).map(|_| net.spawn_subscriber()).collect();
+    assert!(net.await_legitimate(Duration::from_secs(60)));
+    // The snapshot satisfies the very same checker the simulator uses.
+    let snap = net.snapshot();
+    assert!(checker::check_topology(&snap).ok());
+    for &id in ids.iter().take(4) {
+        net.publish(id, format!("from {id:?}").into_bytes());
+    }
+    assert!(net.await_pubs_converged(Duration::from_secs(60)));
+    let (_, n_pubs) = checker::publications_converged(&net.snapshot());
+    assert_eq!(n_pubs, 4);
+    net.shutdown();
+}
+
+#[test]
+fn staggered_joins_churn_and_recovery() {
+    let mut net = Network::start(cfg(52));
+    let mut ids = Vec::new();
+    for i in 0..10 {
+        ids.push(net.spawn_subscriber());
+        if i % 3 == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert!(net.await_legitimate(Duration::from_secs(60)));
+    net.crash(ids[1]);
+    net.unsubscribe(ids[6]);
+    std::thread::sleep(Duration::from_millis(20));
+    net.report_crash(ids[1]);
+    assert!(net.await_legitimate(Duration::from_secs(120)));
+    let snap = net.snapshot();
+    let sup = snap.iter().find_map(|(_, a)| a.supervisor()).expect("sup");
+    assert_eq!(sup.n(), 8);
+    net.shutdown();
+}
+
+#[test]
+fn wire_reordering_does_not_break_convergence() {
+    // Exaggerated delay spread → heavy reordering.
+    let mut net = Network::start(NetConfig {
+        seed: 53,
+        min_delay: Duration::from_micros(1),
+        max_delay: Duration::from_millis(8),
+        timeout_interval: Duration::from_millis(2),
+        ..NetConfig::default()
+    });
+    for _ in 0..8 {
+        net.spawn_subscriber();
+    }
+    assert!(net.await_legitimate(Duration::from_secs(120)));
+    net.shutdown();
+}

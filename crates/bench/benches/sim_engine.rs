@@ -1,0 +1,68 @@
+//! Simulation-engine round throughput: live slab engine vs the legacy
+//! `BTreeMap` engine, flooding and token workloads, 1k and 10k nodes.
+//!
+//! These benches are the perf trajectory for `crates/sim`; the slab
+//! refactor's acceptance bar was ≥ 2× on `run_round` at 10k nodes.
+//! `BENCH_sim.json` (written by the `bench_sim_json` binary) records
+//! the same comparison as a committed artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skippub_bench::workloads::{
+    flood_world, legacy_flood_world, legacy_token_world, token_world,
+};
+use skippub_sim::ChaosConfig;
+
+const SIZES: &[u64] = &[1_000, 10_000];
+const SEED: u64 = 0xBEBC;
+
+fn bench_run_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine/run_round");
+    g.sample_size(10);
+    for &n in SIZES {
+        g.bench_function(format!("flooding n={n} slab"), |b| {
+            let mut w = flood_world(n, SEED);
+            b.iter(|| w.run_round())
+        });
+        g.bench_function(format!("flooding n={n} legacy"), |b| {
+            let mut w = legacy_flood_world(n, SEED);
+            b.iter(|| w.run_round())
+        });
+        g.bench_function(format!("token n={n} slab"), |b| {
+            let mut w = token_world(n, SEED);
+            b.iter(|| w.run_round())
+        });
+        g.bench_function(format!("token n={n} legacy"), |b| {
+            let mut w = legacy_token_world(n, SEED);
+            b.iter(|| w.run_round())
+        });
+    }
+    g.finish();
+}
+
+fn bench_run_chaos_round(c: &mut Criterion) {
+    let cfg = ChaosConfig::default();
+    let mut g = c.benchmark_group("sim_engine/run_chaos_round");
+    g.sample_size(10);
+    for &n in SIZES {
+        g.bench_function(format!("flooding n={n} slab"), |b| {
+            let mut w = flood_world(n, SEED);
+            b.iter(|| w.run_chaos_round(cfg))
+        });
+        g.bench_function(format!("flooding n={n} legacy"), |b| {
+            let mut w = legacy_flood_world(n, SEED);
+            b.iter(|| w.run_chaos_round(cfg))
+        });
+        g.bench_function(format!("token n={n} slab"), |b| {
+            let mut w = token_world(n, SEED);
+            b.iter(|| w.run_chaos_round(cfg))
+        });
+        g.bench_function(format!("token n={n} legacy"), |b| {
+            let mut w = legacy_token_world(n, SEED);
+            b.iter(|| w.run_chaos_round(cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_run_round, bench_run_chaos_round);
+criterion_main!(benches);

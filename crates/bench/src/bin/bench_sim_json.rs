@@ -1,0 +1,147 @@
+//! Emits `BENCH_sim.json`: the committed perf-trajectory point for the
+//! simulation engine.
+//!
+//! Times the same engine × workload × mode matrix as the `sim_engine`
+//! criterion bench, but over fixed round counts with per-round
+//! in-flight sampling, and writes machine-readable JSON (hand-rolled —
+//! the offline workspace has no serde) so later PRs can diff
+//! trajectories.
+//!
+//! ```text
+//! cargo run --release -p skippub-bench --bin bench_sim_json [-- out.json]
+//! ```
+
+use skippub_bench::workloads::{
+    flood_world, legacy_flood_world, legacy_token_world, token_world,
+};
+use skippub_sim::ChaosConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed configuration.
+struct Row {
+    engine: &'static str,
+    workload: &'static str,
+    mode: &'static str,
+    n: u64,
+    rounds: u64,
+    elapsed_ms: f64,
+    rounds_per_sec: f64,
+    messages_per_sec: f64,
+    peak_in_flight: usize,
+}
+
+const SEED: u64 = 0xBEBC;
+
+fn rounds_for(n: u64) -> u64 {
+    // Enough work for stable numbers, bounded total runtime.
+    if n >= 10_000 {
+        60
+    } else {
+        400
+    }
+}
+
+/// Times one (world constructor, engine, workload) triple in both round
+/// modes. Works for either engine because both expose the same method
+/// names; a macro sidesteps the lack of a shared trait.
+macro_rules! bench_cases {
+    ($ctor:ident, $engine:literal, $workload:literal, $n:expr, $rows:expr) => {{
+        let n: u64 = $n;
+        let rounds = rounds_for(n);
+        let cfg = ChaosConfig::default();
+        for mode in ["run_round", "run_chaos_round"] {
+            let mut w = $ctor(n, SEED);
+            let d0 = w.metrics().delivered_total;
+            let mut peak = 0usize;
+            let t0 = Instant::now();
+            for _ in 0..rounds {
+                match mode {
+                    "run_round" => w.run_round(),
+                    _ => w.run_chaos_round(cfg),
+                }
+                peak = peak.max(w.in_flight());
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            let msgs = w.metrics().delivered_total - d0;
+            $rows.push(Row {
+                engine: $engine,
+                workload: $workload,
+                mode,
+                n,
+                rounds,
+                elapsed_ms: secs * 1e3,
+                rounds_per_sec: rounds as f64 / secs,
+                messages_per_sec: msgs as f64 / secs,
+                peak_in_flight: peak,
+            });
+        }
+    }};
+}
+
+fn speedup(rows: &[Row], workload: &str, mode: &str, n: u64) -> f64 {
+    let rate = |engine: &str| {
+        rows.iter()
+            .find(|r| {
+                r.engine == engine && r.workload == workload && r.mode == mode && r.n == n
+            })
+            .map(|r| r.rounds_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    rate("slab") / rate("legacy")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+    for n in [1_000u64, 10_000] {
+        eprintln!("timing n={n} ...");
+        bench_cases!(flood_world, "slab", "flooding", n, rows);
+        bench_cases!(legacy_flood_world, "legacy", "flooding", n, rows);
+        bench_cases!(token_world, "slab", "token", n, rows);
+        bench_cases!(legacy_token_world, "legacy", "token", n, rows);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"skippub-bench/sim/v1\",\n");
+    json.push_str("  \"description\": \"Simulation-engine round throughput: live slab engine vs pre-refactor BTreeMap engine (crates/bench/src/legacy.rs). Regenerate with: cargo run --release -p skippub-bench --bin bench_sim_json\",\n");
+    json.push_str("  \"seed\": 48828,\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"workload\": \"{}\", \"mode\": \"{}\", \"n\": {}, \"rounds\": {}, \"elapsed_ms\": {:.2}, \"rounds_per_sec\": {:.1}, \"messages_per_sec\": {:.0}, \"peak_in_flight\": {}}}{}",
+            r.engine,
+            r.workload,
+            r.mode,
+            r.n,
+            r.rounds,
+            r.elapsed_ms,
+            r.rounds_per_sec,
+            r.messages_per_sec,
+            r.peak_in_flight,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"speedup_slab_over_legacy\": {\n");
+    let mut first = true;
+    for workload in ["flooding", "token"] {
+        for mode in ["run_round", "run_chaos_round"] {
+            for n in [1_000u64, 10_000] {
+                let _ = write!(
+                    json,
+                    "{}    \"{workload}/{mode}/n={n}\": {:.2}",
+                    if first { "" } else { ",\n" },
+                    speedup(&rows, workload, mode, n)
+                );
+                first = false;
+            }
+        }
+    }
+    json.push_str("\n  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -1,0 +1,269 @@
+//! The pre-slab simulation engine, preserved verbatim in spirit as the
+//! measured baseline for the perf trajectory.
+//!
+//! This is the `BTreeMap`-backed `World` that `skippub-sim` shipped
+//! before the slab refactor: every message delivery pays an
+//! `O(log n)` tree lookup, every round allocates fresh `Vec`s for the
+//! activation order, each node's inbox, and each handler's outbox, and
+//! metrics go through `BTreeMap` counters. Keep it unchanged — the
+//! `sim_engine` benches and the `BENCH_sim.json` emitter compare the
+//! live engine against it, and the comparison is only meaningful while
+//! this stays a faithful copy of the old hot path.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use skippub_sim::{ChaosConfig, NodeId};
+use std::collections::BTreeMap;
+
+/// Handler-side context (old-engine shape: fresh outbox per call).
+pub struct LegacyCtx<'a, M> {
+    me: NodeId,
+    out: &'a mut Vec<(NodeId, M)>,
+    rng: &'a mut StdRng,
+}
+
+impl<M> LegacyCtx<'_, M> {
+    /// The executing node's own ID.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Sends `msg` to `to`.
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    /// Bernoulli draw from the world's seeded RNG.
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.random_bool(p)
+        }
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`).
+    #[inline]
+    pub fn random_range(&mut self, n: usize) -> usize {
+        self.rng.random_range(0..n)
+    }
+}
+
+/// Protocol trait against the legacy context.
+pub trait LegacyProtocol {
+    /// The wire message type.
+    type Msg: Clone;
+
+    /// Handles one delivered message.
+    fn on_message(&mut self, ctx: &mut LegacyCtx<'_, Self::Msg>, msg: Self::Msg);
+
+    /// The periodic `Timeout` action.
+    fn on_timeout(&mut self, ctx: &mut LegacyCtx<'_, Self::Msg>);
+
+    /// Classifies a message for metrics.
+    fn msg_kind(_msg: &Self::Msg) -> &'static str {
+        "msg"
+    }
+}
+
+/// Old-style metrics: every counter behind a `BTreeMap`.
+#[derive(Clone, Debug, Default)]
+pub struct LegacyMetrics {
+    /// Messages handed to the transport.
+    pub sent_total: u64,
+    /// Messages delivered to handlers.
+    pub delivered_total: u64,
+    /// Messages consumed without action.
+    pub dropped: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Sent messages by kind.
+    pub sent_by_kind: BTreeMap<&'static str, u64>,
+    /// Sent messages per sender.
+    pub sent_by_node: BTreeMap<NodeId, u64>,
+    /// Delivered messages per receiver.
+    pub received_by_node: BTreeMap<NodeId, u64>,
+}
+
+impl LegacyMetrics {
+    /// Messages of `kind` sent so far.
+    pub fn kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    fn note_sent(&mut self, from: NodeId, kind: &'static str) {
+        self.sent_total += 1;
+        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+        *self.sent_by_node.entry(from).or_insert(0) += 1;
+    }
+
+    fn note_delivered(&mut self, to: NodeId) {
+        self.delivered_total += 1;
+        *self.received_by_node.entry(to).or_insert(0) += 1;
+    }
+}
+
+struct Entry<P: LegacyProtocol> {
+    proto: P,
+    channel: Vec<(u32, P::Msg)>,
+}
+
+/// The pre-refactor simulated world.
+pub struct LegacyWorld<P: LegacyProtocol> {
+    nodes: BTreeMap<NodeId, Entry<P>>,
+    rng: StdRng,
+    metrics: LegacyMetrics,
+    round: u64,
+}
+
+impl<P: LegacyProtocol> LegacyWorld<P> {
+    /// Creates an empty world with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        LegacyWorld {
+            nodes: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: LegacyMetrics::default(),
+            round: 0,
+        }
+    }
+
+    /// Adds a node; panics on duplicates.
+    pub fn add_node(&mut self, id: NodeId, proto: P) {
+        let prev = self.nodes.insert(
+            id,
+            Entry {
+                proto,
+                channel: Vec::new(),
+            },
+        );
+        assert!(prev.is_none(), "duplicate node {id}");
+    }
+
+    /// Crashes a node: state vanishes, channel consumed.
+    pub fn crash(&mut self, id: NodeId) {
+        if let Some(entry) = self.nodes.remove(&id) {
+            self.metrics.dropped += entry.channel.len() as u64;
+        }
+    }
+
+    /// IDs of all live nodes (fresh allocation, old behavior).
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> &LegacyMetrics {
+        &self.metrics
+    }
+
+    /// Total in-flight messages.
+    pub fn in_flight(&self) -> usize {
+        self.nodes.values().map(|e| e.channel.len()).sum()
+    }
+
+    /// Injects a message from outside the system.
+    pub fn inject(&mut self, to: NodeId, msg: P::Msg) {
+        self.metrics.note_sent(to, P::msg_kind(&msg));
+        match self.nodes.get_mut(&to) {
+            Some(e) => e.channel.push((0, msg)),
+            None => self.metrics.dropped += 1,
+        }
+    }
+
+    fn route(&mut self, from: NodeId, out: Vec<(NodeId, P::Msg)>) {
+        for (to, msg) in out {
+            self.metrics.note_sent(from, P::msg_kind(&msg));
+            match self.nodes.get_mut(&to) {
+                Some(e) => e.channel.push((0, msg)),
+                None => self.metrics.dropped += 1,
+            }
+        }
+    }
+
+    fn deliver(&mut self, to: NodeId, msg: P::Msg) {
+        let mut out = Vec::new();
+        if let Some(entry) = self.nodes.get_mut(&to) {
+            self.metrics.note_delivered(to);
+            let mut ctx = LegacyCtx {
+                me: to,
+                out: &mut out,
+                rng: &mut self.rng,
+            };
+            entry.proto.on_message(&mut ctx, msg);
+        } else {
+            self.metrics.dropped += 1;
+        }
+        self.route(to, out);
+    }
+
+    fn fire_timeout(&mut self, id: NodeId) {
+        let mut out = Vec::new();
+        if let Some(entry) = self.nodes.get_mut(&id) {
+            let mut ctx = LegacyCtx {
+                me: id,
+                out: &mut out,
+                rng: &mut self.rng,
+            };
+            entry.proto.on_timeout(&mut ctx);
+        }
+        self.route(id, out);
+    }
+
+    /// One synchronous round (old hot path: per-round allocations and a
+    /// `BTreeMap` lookup per delivered message).
+    pub fn run_round(&mut self) {
+        self.round += 1;
+        let mut order = self.ids();
+        order.shuffle(&mut self.rng);
+        for id in order {
+            let Some(entry) = self.nodes.get_mut(&id) else {
+                continue;
+            };
+            let mut inbox = std::mem::take(&mut entry.channel);
+            inbox.shuffle(&mut self.rng);
+            for (_, msg) in inbox {
+                self.deliver(id, msg);
+            }
+            self.fire_timeout(id);
+        }
+        self.metrics.rounds += 1;
+    }
+
+    /// One chaos round (old hot path).
+    pub fn run_chaos_round(&mut self, cfg: ChaosConfig) {
+        self.round += 1;
+        let mut order = self.ids();
+        order.shuffle(&mut self.rng);
+        for id in order {
+            let Some(entry) = self.nodes.get_mut(&id) else {
+                continue;
+            };
+            let mut inbox = std::mem::take(&mut entry.channel);
+            inbox.shuffle(&mut self.rng);
+            let mut kept = Vec::new();
+            for (age, msg) in inbox {
+                let force = age >= cfg.max_age;
+                if force || self.rng.random_bool(cfg.delivery_prob) {
+                    self.deliver(id, msg);
+                } else {
+                    kept.push((age + 1, msg));
+                }
+            }
+            if let Some(entry) = self.nodes.get_mut(&id) {
+                entry.channel.extend(kept);
+            } else {
+                self.metrics.dropped += kept.len() as u64;
+            }
+            if self.rng.random_bool(cfg.timeout_prob) {
+                self.fire_timeout(id);
+            }
+        }
+        self.metrics.rounds += 1;
+    }
+}

@@ -15,8 +15,18 @@
 //!   representative n.
 //! * `baselines` — Chord routing, skip-graph search, broadcast load
 //!   computation.
+//! * `sim_engine` — the simulation-engine perf trajectory: the live
+//!   slab engine vs the preserved legacy `BTreeMap` engine
+//!   ([`legacy`]) over the [`workloads`] traffic shapes, at 1k and
+//!   10k nodes. The `bench_sim_json` binary re-times the same
+//!   workloads and writes `BENCH_sim.json` so every perf PR records a
+//!   trajectory point.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod legacy;
+pub mod workloads;
 
 /// Shared fixed scales so bench names stay comparable across runs.
 pub mod scales {

@@ -1,0 +1,204 @@
+//! Shared engine workloads for the `sim_engine` benches and the
+//! `BENCH_sim.json` emitter, implemented twice — once against the live
+//! slab engine, once against the preserved legacy engine — so both are
+//! driven by *identical* protocol logic and RNG-consumption patterns.
+//!
+//! Two traffic shapes bracket the engine's hot paths:
+//!
+//! * **flooding** — every node's `Timeout` gossips to two random peers
+//!   and every receipt re-forwards while TTL lasts: delivery-heavy,
+//!   ~O(n) messages per round, exercises handler dispatch + routing.
+//! * **token** — a fixed population of ring tokens (one per ten
+//!   nodes): routing-dominant with light handler work, exercises the
+//!   per-message lookup cost that the slab refactor targets.
+
+use crate::legacy::{LegacyCtx, LegacyProtocol, LegacyWorld};
+use skippub_sim::{Ctx, NodeId, Protocol, World};
+
+/// Gossip TTL: enough re-forwarding to keep channels busy without
+/// exploding the message population.
+const FLOOD_TTL: u32 = 2;
+
+/// Flooding node (slab-engine flavor).
+pub struct Flood {
+    /// World size; peers are drawn as `NodeId(random % n)`.
+    pub n: u64,
+    /// Receipts seen (handler-side work).
+    pub seen: u64,
+}
+
+/// Flood message: remaining forwarding budget.
+#[derive(Clone)]
+pub struct Rumor(pub u32);
+
+impl Protocol for Flood {
+    type Msg = Rumor;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Rumor>, msg: Rumor) {
+        self.seen += 1;
+        if msg.0 > 0 {
+            let to = NodeId(ctx.random_range(self.n as usize) as u64);
+            ctx.send(to, Rumor(msg.0 - 1));
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Rumor>) {
+        for _ in 0..2 {
+            let to = NodeId(ctx.random_range(self.n as usize) as u64);
+            ctx.send(to, Rumor(FLOOD_TTL));
+        }
+    }
+
+    fn msg_kind(_m: &Rumor) -> &'static str {
+        "rumor"
+    }
+}
+
+/// Flooding node (legacy-engine flavor, same logic).
+pub struct LegacyFlood {
+    /// World size.
+    pub n: u64,
+    /// Receipts seen.
+    pub seen: u64,
+}
+
+impl LegacyProtocol for LegacyFlood {
+    type Msg = Rumor;
+
+    fn on_message(&mut self, ctx: &mut LegacyCtx<'_, Rumor>, msg: Rumor) {
+        self.seen += 1;
+        if msg.0 > 0 {
+            let to = NodeId(ctx.random_range(self.n as usize) as u64);
+            ctx.send(to, Rumor(msg.0 - 1));
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut LegacyCtx<'_, Rumor>) {
+        for _ in 0..2 {
+            let to = NodeId(ctx.random_range(self.n as usize) as u64);
+            ctx.send(to, Rumor(FLOOD_TTL));
+        }
+    }
+
+    fn msg_kind(_m: &Rumor) -> &'static str {
+        "rumor"
+    }
+}
+
+/// Token-ring node (slab-engine flavor).
+pub struct TokenRing {
+    /// Ring successor.
+    pub next: NodeId,
+    /// Tokens handled.
+    pub seen: u64,
+}
+
+/// A circulating token (TTL practically infinite for bench purposes).
+#[derive(Clone)]
+pub struct Token(pub u32);
+
+impl Protocol for TokenRing {
+    type Msg = Token;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, msg: Token) {
+        self.seen += 1;
+        if msg.0 > 0 {
+            ctx.send(self.next, Token(msg.0 - 1));
+        }
+    }
+
+    fn on_timeout(&mut self, _ctx: &mut Ctx<'_, Token>) {}
+
+    fn msg_kind(_m: &Token) -> &'static str {
+        "token"
+    }
+}
+
+/// Token-ring node (legacy-engine flavor, same logic).
+pub struct LegacyTokenRing {
+    /// Ring successor.
+    pub next: NodeId,
+    /// Tokens handled.
+    pub seen: u64,
+}
+
+impl LegacyProtocol for LegacyTokenRing {
+    type Msg = Token;
+
+    fn on_message(&mut self, ctx: &mut LegacyCtx<'_, Token>, msg: Token) {
+        self.seen += 1;
+        if msg.0 > 0 {
+            ctx.send(self.next, Token(msg.0 - 1));
+        }
+    }
+
+    fn on_timeout(&mut self, _ctx: &mut LegacyCtx<'_, Token>) {}
+
+    fn msg_kind(_m: &Token) -> &'static str {
+        "token"
+    }
+}
+
+/// Builds a warmed flooding world on the live engine.
+pub fn flood_world(n: u64, seed: u64) -> World<Flood> {
+    let mut w = World::new(seed);
+    for i in 0..n {
+        w.add_node(NodeId(i), Flood { n, seen: 0 });
+    }
+    // Two rounds fill channels and warm the engine's scratch buffers.
+    w.run_round();
+    w.run_round();
+    w
+}
+
+/// Builds a warmed flooding world on the legacy engine.
+pub fn legacy_flood_world(n: u64, seed: u64) -> LegacyWorld<LegacyFlood> {
+    let mut w = LegacyWorld::new(seed);
+    for i in 0..n {
+        w.add_node(NodeId(i), LegacyFlood { n, seen: 0 });
+    }
+    w.run_round();
+    w.run_round();
+    w
+}
+
+/// Builds a warmed token world (one token per ten nodes) on the live
+/// engine.
+pub fn token_world(n: u64, seed: u64) -> World<TokenRing> {
+    let mut w = World::new(seed);
+    for i in 0..n {
+        w.add_node(
+            NodeId(i),
+            TokenRing {
+                next: NodeId((i + 1) % n),
+                seen: 0,
+            },
+        );
+    }
+    for t in 0..(n / 10).max(1) {
+        w.inject(NodeId(t * 10 % n), Token(u32::MAX));
+    }
+    w.run_round();
+    w.run_round();
+    w
+}
+
+/// Builds a warmed token world on the legacy engine.
+pub fn legacy_token_world(n: u64, seed: u64) -> LegacyWorld<LegacyTokenRing> {
+    let mut w = LegacyWorld::new(seed);
+    for i in 0..n {
+        w.add_node(
+            NodeId(i),
+            LegacyTokenRing {
+                next: NodeId((i + 1) % n),
+                seen: 0,
+            },
+        );
+    }
+    for t in 0..(n / 10).max(1) {
+        w.inject(NodeId(t * 10 % n), Token(u32::MAX));
+    }
+    w.run_round();
+    w.run_round();
+    w
+}

@@ -75,13 +75,12 @@ fn crash_both_extrema_simultaneously() {
             .expect("labelled node exists")
     };
     let min = by_label(lab("0"));
-    let max = by_label(lab("1")); // r = 1/2... the r-maximum is the last
     let r_max = sim
         .subscriber_ids()
         .into_iter()
         .max_by_key(|id| sim.subscriber(*id).unwrap().label.unwrap().frac())
         .unwrap();
-    let victims = if min == max { vec![min, r_max] } else { vec![min, r_max] };
+    let victims = vec![min, r_max];
     for &v in &victims {
         sim.crash(v);
     }

@@ -37,14 +37,14 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         _ => "MUTATING",
     };
     let mut mutating = 0u64;
-    for (kind, count) in &d.sent_by_kind {
+    for (kind, count) in d.by_kind() {
         if classify(kind) == "MUTATING" {
             mutating += count;
         }
         t.row(vec![
             kind.to_string(),
             count.to_string(),
-            format!("{:.3}", *count as f64 / (rounds * (n as u64 + 1)) as f64),
+            format!("{:.3}", count as f64 / (rounds * (n as u64 + 1)) as f64),
             classify(kind).into(),
         ]);
     }

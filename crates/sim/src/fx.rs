@@ -1,0 +1,49 @@
+//! A tiny deterministic hasher (FxHash-style multiply-xor) for the
+//! engine's id → index maps.
+//!
+//! `std`'s default `SipHash` pays ~2× the lookup cost and its
+//! `RandomState` seeds differ per process; the simulator never exposes
+//! map iteration order, but deterministic hashing keeps lookups cheap
+//! and removes any risk of process-dependent behavior sneaking in.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over 64-bit words (the rustc FxHash recipe).
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const K: u64 = 0x517cc1b727220a95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(K);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fx;
 mod metrics;
 pub mod testing;
 mod world;

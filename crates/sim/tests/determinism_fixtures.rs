@@ -1,0 +1,197 @@
+//! Engine-refactor safety net: golden fingerprints of full simulation
+//! trajectories.
+//!
+//! Each fixture drives a workload that exercises every scheduler path —
+//! synchronous rounds, chaos rounds with fair receipt, handler-side RNG
+//! draws, crash-consumes-messages, rejoin, and external injection — and
+//! folds the *entire observable outcome* (metrics read API + per-node
+//! protocol state) into one FNV-1a fingerprint.
+//!
+//! The constants below were captured from the pre-slab `BTreeMap`
+//! engine. The slab engine must reproduce them exactly: the refactor
+//! contract is "same seed → identical RNG-consumption order → identical
+//! metrics and states". If an intentional semantic change ever breaks
+//! them, re-derive the constants with `FIXTURE_PRINT=1 cargo test -p
+//! skippub-sim --test determinism_fixtures -- --nocapture` and say so in
+//! the changelog.
+
+use skippub_sim::{ChaosConfig, Ctx, NodeId, Protocol, World};
+
+/// Gossip protocol: forwards each rumor to two random peers while its
+/// TTL lasts; drops it otherwise. Exercises handler RNG draws heavily.
+#[derive(Clone)]
+struct Gossip {
+    peers: Vec<NodeId>,
+    rumors_seen: u64,
+    timeouts: u64,
+}
+
+#[derive(Clone, Debug)]
+enum GossipMsg {
+    Rumor(u32),
+    Probe,
+}
+
+impl Protocol for Gossip {
+    type Msg = GossipMsg;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, GossipMsg>, msg: GossipMsg) {
+        match msg {
+            GossipMsg::Rumor(ttl) => {
+                self.rumors_seen += 1;
+                if ttl > 0 {
+                    for _ in 0..2 {
+                        let to = self.peers[ctx.random_range(self.peers.len())];
+                        ctx.send(to, GossipMsg::Rumor(ttl - 1));
+                    }
+                }
+            }
+            GossipMsg::Probe => {}
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, GossipMsg>) {
+        self.timeouts += 1;
+        // Occasionally probe a random peer so timeout handlers also
+        // consume randomness and send traffic.
+        if ctx.random_bool(0.25) {
+            let to = self.peers[ctx.random_range(self.peers.len())];
+            ctx.send(to, GossipMsg::Probe);
+        }
+    }
+
+    fn msg_kind(msg: &GossipMsg) -> &'static str {
+        match msg {
+            GossipMsg::Rumor(_) => "rumor",
+            GossipMsg::Probe => "probe",
+        }
+    }
+}
+
+fn gossip_world(n: u64, seed: u64) -> World<Gossip> {
+    let mut w = World::new(seed);
+    let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
+    for &id in &ids {
+        w.add_node(
+            id,
+            Gossip {
+                peers: ids.clone(),
+                rumors_seen: 0,
+                timeouts: 0,
+            },
+        );
+    }
+    w
+}
+
+#[inline]
+fn fnv(h: &mut u64, v: u64) {
+    let mut x = *h ^ v;
+    x = x.wrapping_mul(0x100000001b3);
+    *h = x;
+}
+
+/// Folds every externally observable quantity into one fingerprint:
+/// totals, per-kind counts, per-node sent/received, in-flight load, and
+/// per-node protocol state — all read through the public API in sorted
+/// node order.
+fn fingerprint(w: &World<Gossip>, kinds: &[&str]) -> u64 {
+    let m = w.metrics();
+    let mut h = 0xcbf29ce484222325u64;
+    fnv(&mut h, m.sent_total);
+    fnv(&mut h, m.delivered_total);
+    fnv(&mut h, m.dropped);
+    fnv(&mut h, m.rounds);
+    for k in kinds {
+        fnv(&mut h, m.kind(k));
+    }
+    for id in w.ids() {
+        fnv(&mut h, id.0);
+        fnv(&mut h, m.sent_by(id));
+        fnv(&mut h, m.received_by(id));
+        fnv(&mut h, w.channel_len(id) as u64);
+    }
+    for (id, g) in w.iter() {
+        fnv(&mut h, id.0);
+        fnv(&mut h, g.rumors_seen);
+        fnv(&mut h, g.timeouts);
+    }
+    fnv(&mut h, w.in_flight() as u64);
+    h
+}
+
+/// The mixed workload: sync rounds, chaos rounds, crashes, a rejoin,
+/// and fresh injections between phases.
+fn run_workload(seed: u64) -> u64 {
+    let mut w = gossip_world(12, seed);
+    for i in 0..4 {
+        w.inject(NodeId(i), GossipMsg::Rumor(6));
+    }
+    for _ in 0..10 {
+        w.run_round();
+    }
+    // Crash two nodes (one with traffic in flight), keep running.
+    w.crash(NodeId(3));
+    w.crash(NodeId(9));
+    w.inject(NodeId(3), GossipMsg::Rumor(2)); // consumed silently
+    for _ in 0..6 {
+        w.run_round();
+    }
+    // Chaos phase with fair receipt.
+    let cfg = ChaosConfig {
+        delivery_prob: 0.35,
+        timeout_prob: 0.6,
+        max_age: 4,
+    };
+    w.inject(NodeId(0), GossipMsg::Rumor(5));
+    for _ in 0..25 {
+        w.run_chaos_round(cfg);
+    }
+    // Rejoin one crashed id with fresh state, then settle.
+    let ids: Vec<NodeId> = (0..12).map(NodeId).collect();
+    w.add_node(
+        NodeId(3),
+        Gossip {
+            peers: ids,
+            rumors_seen: 0,
+            timeouts: 0,
+        },
+    );
+    w.inject(NodeId(3), GossipMsg::Rumor(4));
+    for _ in 0..8 {
+        w.run_round();
+    }
+    fingerprint(&w, &["rumor", "probe"])
+}
+
+/// Golden fingerprints captured from the pre-slab engine (seed →
+/// expected). See module docs for the re-derivation procedure.
+const GOLDEN: &[(u64, u64)] = &[
+    (1, 0x732f57977905e7ab),
+    (7, 0x1bc0823e0121de4d),
+    (42, 0x848ebe54fd4fecbb),
+    (0xDEADBEEF, 0x9554d091815af91f),
+];
+
+#[test]
+fn same_seed_reproduces_golden_fingerprints() {
+    for &(seed, want) in GOLDEN {
+        let got = run_workload(seed);
+        if std::env::var("FIXTURE_PRINT").is_ok() {
+            println!("    (seed {seed:#x} → {got:#018x})");
+            continue;
+        }
+        assert_eq!(
+            got, want,
+            "trajectory fingerprint changed for seed {seed} — engine \
+             semantics diverged from the recorded baseline"
+        );
+    }
+}
+
+#[test]
+fn two_runs_in_one_process_agree() {
+    for seed in [2u64, 5, 0xFEED] {
+        assert_eq!(run_workload(seed), run_workload(seed));
+    }
+}

@@ -83,6 +83,49 @@ proptest! {
     }
 
     #[test]
+    fn crash_then_rejoin_under_chaos_keeps_fair_receipt(
+        n in 3u64..8,
+        seed in any::<u64>(),
+        ttls in proptest::collection::vec(0u32..8, 1..6),
+        crash_after in 1u64..5,
+        rejoin_after in 1u64..5,
+        delivery_prob in 0.1f64..0.8,
+    ) {
+        let mut w = build(n, seed);
+        let victim = NodeId(n - 1);
+        let cfg = ChaosConfig { delivery_prob, timeout_prob: 0.3, max_age: 5 };
+        for (i, &t) in ttls.iter().enumerate() {
+            w.inject(NodeId(i as u64 % n), Hop(t));
+        }
+        for _ in 0..crash_after {
+            w.run_chaos_round(cfg);
+        }
+        w.crash(victim);
+        for _ in 0..rejoin_after {
+            w.run_chaos_round(cfg);
+        }
+        w.add_node(victim, Echo { seen: 0, peers: (0..n).map(NodeId).collect() });
+        // Fair receipt must fully drain the system: every message still
+        // in flight is eventually delivered (the rejoined node included)
+        // or was consumed by the crash window — nothing lingers forever.
+        let (_, drained) = w.run_chaos_until(cfg, 4000, |w| w.in_flight() == 0);
+        prop_assert!(drained, "fair receipt violated after crash+rejoin: {} in flight",
+            w.in_flight());
+        // Conservation: every sent message is accounted for exactly once.
+        let m = w.metrics();
+        prop_assert_eq!(m.sent_total, m.delivered_total + m.dropped);
+        // The rejoined node is a first-class citizen again: traffic
+        // addressed to it after rejoin is delivered, not dropped.
+        let dropped_before = w.metrics().dropped;
+        w.inject(victim, Hop(0));
+        let (_, ok) = w.run_chaos_until(cfg, 4000, |w| {
+            w.node(victim).map(|e| e.seen) >= Some(1)
+        });
+        prop_assert!(ok, "rejoined node never received its message");
+        prop_assert_eq!(w.metrics().dropped, dropped_before);
+    }
+
+    #[test]
     fn crashes_never_lose_accounting(
         n in 3u64..8,
         seed in any::<u64>(),

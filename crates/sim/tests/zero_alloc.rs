@@ -1,0 +1,128 @@
+//! The zero-allocation invariant, measured for real: once a world's
+//! scratch buffers are warmed up, steady-state `run_round` /
+//! `run_chaos_round` calls perform **zero heap allocations** in the
+//! engine (protocol handlers can still allocate; the toy protocol here
+//! deliberately does not).
+//!
+//! The measurement is exact, not statistical: the engine is fully
+//! deterministic per seed (pure integer PRNG), so the allocation count
+//! between two points of the workload is reproducible on every run and
+//! platform. This file holds exactly one test so no parallel test
+//! thread can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use skippub_sim::{ChaosConfig, Ctx, NodeId, Protocol, World};
+
+/// Allocation-free toy protocol: forwards a token around a ring.
+struct Ring {
+    next: NodeId,
+    seen: u64,
+}
+
+#[derive(Clone)]
+struct Token(u32);
+
+impl Protocol for Ring {
+    type Msg = Token;
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, msg: Token) {
+        self.seen += 1;
+        if msg.0 > 0 {
+            ctx.send(self.next, Token(msg.0 - 1));
+        }
+    }
+
+    fn on_timeout(&mut self, _ctx: &mut Ctx<'_, Token>) {}
+
+    fn msg_kind(_m: &Token) -> &'static str {
+        "token"
+    }
+}
+
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    let n = 64u64;
+    let mut w = World::new(0xA110C);
+    for i in 0..n {
+        w.add_node(
+            NodeId(i),
+            Ring {
+                next: NodeId((i + 1) % n),
+                seen: 0,
+            },
+        );
+    }
+    // The token population is constant (TTL never hits zero during the
+    // test), so per-channel demand is bounded by the total population.
+    // Inject the whole population at ONE node and drive it around the
+    // ring: on a ring, co-located tokens travel as one pile, so every
+    // channel (and the shared scratch) sees the worst-case burst during
+    // warm-up and grows to its high-water mark exactly once.
+    for _ in 0..n {
+        w.inject(NodeId(0), Token(u32::MAX));
+    }
+    for _ in 0..(n + 8) {
+        w.run_round();
+    }
+    // Chaos warm-up: random holding splits and re-merges the pile,
+    // warming the chaos `kept` scratch as well.
+    let chaos = ChaosConfig::default();
+    for _ in 0..80 {
+        w.run_chaos_round(chaos);
+    }
+    for _ in 0..(n + 8) {
+        w.run_round();
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..200 {
+        w.run_round();
+    }
+    let after_sync = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after_sync - before,
+        0,
+        "run_round must not allocate in steady state"
+    );
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..200 {
+        w.run_chaos_round(chaos);
+    }
+    let after_chaos = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after_chaos - before,
+        0,
+        "run_chaos_round must not allocate in steady state"
+    );
+
+    // Sanity: traffic actually flowed the whole time.
+    assert_eq!(w.in_flight(), n as usize);
+    assert!(w.metrics().delivered_total >= 400 * n);
+}

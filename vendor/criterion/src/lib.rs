@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, `criterion_group!`, `criterion_main!`,
+//! [`black_box`] — over a plain wall-clock measurement loop (median of
+//! `sample_size` samples, each auto-scaled to ≥ ~2 ms). There is no
+//! statistical analysis or HTML report; each bench prints
+//! `<group>/<name>  time: <t> per iter  (<iters/s>)`, and results are
+//! collected in-process so driver binaries (the `BENCH_sim.json`
+//! emitter) can read them back via [`Criterion::take_results`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted, not acted on — the
+/// stand-in always times per-batch with untimed setup).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per measurement.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `"group/name"`.
+    pub id: String,
+    /// Median wall-clock time per iteration.
+    pub per_iter: Duration,
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a named group of benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Drains every result measured so far (driver binaries use this).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A named set of benches sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each bench takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one bench. `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`] exactly once.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let mut per_iter: Vec<Duration> = b.samples;
+        per_iter.sort_unstable();
+        let median = per_iter
+            .get(per_iter.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let rate = if median.is_zero() {
+            f64::INFINITY
+        } else {
+            1.0 / median.as_secs_f64()
+        };
+        println!("{id:<48} time: {median:>12.2?} per iter  ({rate:.0}/s)");
+        self.parent.results.push(BenchResult { id, per_iter: median });
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each bench closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+/// Minimum measured wall time per sample; iteration counts auto-scale
+/// until one sample takes at least this long.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
+
+impl Bencher {
+    /// Times `routine` (its return value is black-boxed).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + calibration: find an iteration count that fills
+        // MIN_SAMPLE_TIME.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let took = t0.elapsed();
+            if took >= MIN_SAMPLE_TIME || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Groups bench functions into one runner fn (upstream-compatible call
+/// shape: `criterion_group!(benches, f1, f2, ...)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups (for `harness = false`
+/// bench targets). Ignores CLI args such as cargo's `--bench`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("spin", |b| {
+                b.iter(|| (0..100u64).sum::<u64>())
+            });
+            g.bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u64; 64],
+                    |v| v.into_iter().sum::<u64>(),
+                    BatchSize::SmallInput,
+                )
+            });
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "g/spin");
+    }
+}

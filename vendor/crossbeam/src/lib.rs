@@ -1,0 +1,48 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, backed by
+//! `std::sync::mpsc::sync_channel`. The workspace uses channels in the
+//! MPSC shape (many producers, one consumer thread), which std covers;
+//! crossbeam's MPMC capability is not needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Bounded channels with crossbeam's names.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, TrySendError};
+
+    /// Sending half (crossbeam's `Sender` ≈ std's `SyncSender`).
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Creates a bounded channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvTimeoutError, TrySendError};
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        match tx.try_send(2) {
+            Err(TrySendError::Full(2)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<u32>(1);
+        match rx.recv_timeout(Duration::from_millis(5)) {
+            Err(RecvTimeoutError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * strategies: integer/float ranges, [`any`], [`strategy::Just`],
+//!   `prop_map`, tuples, [`prop_oneof!`], and [`collection::vec`],
+//! * [`prelude`] re-exporting the above.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! deterministically from the test's module path (override with the
+//! `PROPTEST_RNG_SEED` env var), there is **no shrinking** — a failing
+//! case reports its case index and seed so it can be replayed — and the
+//! default case count is modest (override with `PROPTEST_CASES`).
+
+#![forbid(unsafe_code)]
+
+pub use rand::rngs::StdRng;
+
+/// Runner configuration and failure plumbing.
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Subset of upstream's `Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; this stand-in does not
+        /// shrink, so the value is never read.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(16);
+            Config {
+                cases,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// A failed case (no shrinking in this stand-in).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Drives one property: hands out one deterministic RNG per case.
+    pub struct TestRunner {
+        cases: u32,
+        base_seed: u64,
+    }
+
+    impl TestRunner {
+        /// `name` (usually `module_path!() :: test_name`) fixes the seed.
+        pub fn new(cfg: &Config, name: &str) -> Self {
+            let base_seed = std::env::var("PROPTEST_RNG_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| fnv1a(name.as_bytes()));
+            TestRunner {
+                cases: cfg.cases,
+                base_seed,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// Seed for case `i` (printable for replay).
+        pub fn case_seed(&self, i: u32) -> u64 {
+            self.base_seed ^ (u64::from(i)).wrapping_mul(0x9E3779B97F4A7C15)
+        }
+
+        /// Fresh generator for case `i`.
+        pub fn case_rng(&self, i: u32) -> super::StdRng {
+            super::StdRng::seed_from_u64(self.case_seed(i))
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use rand::Rng;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe: `prop_map` is `Self: Sized` so `Box<dyn Strategy>`
+    /// works (needed by [`crate::prop_oneof!`]).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut super::StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut super::StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        choices: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from the macro's boxed strategy list.
+        pub fn new(choices: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs >= 1 alternative");
+            Union { choices }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut super::StdRng) -> T {
+            let i = rng.random_range(0..self.choices.len());
+            self.choices[i].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut super::StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut super::StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut super::StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut super::StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+    }
+
+    /// `any::<T>()` marker strategy over a primitive's full domain.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Full-domain strategy for primitives (upstream's `any`).
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! any_impls {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut super::StdRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    any_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with length in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Upstream's `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut crate::StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The names property tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests; see crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let mut rng = runner.case_rng(case);
+                // One shared tuple draw keeps strategies order-dependent
+                // on a single deterministic stream.
+                let ($($arg,)+) = ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed (replay with PROPTEST_RNG_SEED={}): {}",
+                        case + 1,
+                        runner.cases(),
+                        runner.case_seed(case),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+/// Uniform choice between strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let choices: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($s) as _),+];
+        $crate::strategy::Union::new(choices)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Pick {
+        A,
+        B(usize),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_vecs(n in 2u64..9, xs in crate::collection::vec(0u32..5, 1..4)) {
+            prop_assert!((2..9).contains(&n));
+            prop_assert!(!xs.is_empty() && xs.len() < 4);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn oneof_and_map(p in prop_oneof![Just(Pick::A), (1usize..4).prop_map(Pick::B)]) {
+            match p {
+                Pick::A => {}
+                Pick::B(k) => prop_assert!((1..4).contains(&k)),
+            }
+        }
+
+        #[test]
+        fn any_full_domain(x in any::<u64>(), b in any::<bool>()) {
+            let _ = (x, b);
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(b, !b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig { cases: 4, ..ProptestConfig::default() };
+        let r1 = crate::test_runner::TestRunner::new(&cfg, "x::y");
+        let r2 = crate::test_runner::TestRunner::new(&cfg, "x::y");
+        let s = 0u64..1000;
+        for i in 0..4 {
+            assert_eq!(
+                s.generate(&mut r1.case_rng(i)),
+                s.generate(&mut r2.case_rng(i))
+            );
+        }
+    }
+}

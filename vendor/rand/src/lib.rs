@@ -1,0 +1,284 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides the *subset* of the rand 0.9 API the workspace uses,
+//! backed by a deterministic xoshiro256\*\* generator (public-domain
+//! algorithm by Blackman & Vigna) seeded through SplitMix64.
+//!
+//! Guarantees relied on by `skippub-sim` and the test suite:
+//!
+//! * [`rngs::StdRng`] is a pure integer-arithmetic PRNG — identical
+//!   output on every platform and every run for the same seed;
+//! * [`SeedableRng::seed_from_u64`] is the only seeding path, so world
+//!   seeds map 1:1 onto generator states;
+//! * `shuffle`, `random_range`, and `random_bool` each consume a fixed,
+//!   documented number of draws, which is what makes the simulator's
+//!   "same seed → identical metrics" fixtures meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only the `u64` path is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose state is derived from `seed` via
+    /// SplitMix64 (the conventional way to expand a 64-bit seed).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value of a primitive type (`rng.random::<u64>()`).
+    fn random<T: UniformPrimitive>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    /// Consumes exactly one `u64` draw unless `p` is degenerate.
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            // 53 uniform mantissa bits → value in [0, 1).
+            let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            unit < p
+        }
+    }
+
+    /// Uniform draw from a range (`0..n`, `1..=k`, `k..`). Panics on an
+    /// empty range. Consumes exactly one `u64` draw.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Primitive types obtainable from one `u64` draw.
+pub trait UniformPrimitive {
+    /// Maps a uniform `u64` onto a uniform value of `Self`.
+    fn from_u64(raw: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformPrimitive for $t {
+            #[inline]
+            fn from_u64(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformPrimitive for bool {
+    #[inline]
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+/// Ranges a generator can sample uniformly.
+pub trait SampleRange<T> {
+    /// Uniform sample using `raw` (one pre-drawn uniform `u64`).
+    fn sample_from(self, raw: u64) -> T;
+}
+
+macro_rules! sample_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + (raw % width) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, raw: u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end - start) as u64;
+                if width == u64::MAX {
+                    return raw as $t;
+                }
+                start + (raw % (width + 1)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeFrom<$t> {
+            #[inline]
+            fn sample_from(self, raw: u64) -> $t {
+                let width = (<$t>::MAX - self.start) as u64;
+                if width == u64::MAX {
+                    return raw as $t;
+                }
+                self.start + (raw % (width + 1)) as $t
+            }
+        }
+    )*};
+}
+sample_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, raw: u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (raw >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic standard generator: xoshiro256\*\* seeded via
+    /// SplitMix64. Unlike upstream's ChaCha-based `StdRng` it is not
+    /// cryptographic — the simulator only needs reproducibility.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** scrambler + linear engine.
+            let out = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Non-deterministically seeded generator (upstream's `rand::rng()`),
+/// for tests that only need *some* variation run-to-run.
+pub fn rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static CTR: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let uniq = CTR.fetch_add(1, Ordering::Relaxed);
+    rngs::StdRng::seed_from_u64(nanos ^ uniq.rotate_left(32) ^ 0x5EED_CAFE_F00D_D00D)
+}
+
+/// Sequence helpers (`SliceRandom::shuffle`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random in-place permutation of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle: consumes exactly `len - 1` draws for a
+        /// non-empty slice (one per swap position, none for `len <= 1`).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(5u64..=5);
+            assert_eq!(y, 5);
+            let z = r.random_range(0u8..4);
+            assert!(z < 4);
+            let f = r.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let open = r.random_range(1u64..);
+            assert!(open >= 1);
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!r.random_bool(0.0));
+        assert!(r.random_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -1,0 +1,29 @@
+//! Facade-layer overhead: round throughput of the full protocol world
+//! driven directly vs through `Box<dyn PubSub>`. The acceptance bar for
+//! the facade redesign was < 2% overhead; `BENCH_facade.json` (written
+//! by the `bench_facade_json` binary) records the comparison as a
+//! committed artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skippub_bench::facade::{direct_system, facade_system};
+
+const SIZES: &[usize] = &[1_000, 10_000];
+
+fn bench_facade_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("facade/run_round");
+    g.sample_size(10);
+    for &n in SIZES {
+        g.bench_function(format!("n={n} direct"), |b| {
+            let mut sim = direct_system(n);
+            b.iter(|| sim.run_round())
+        });
+        g.bench_function(format!("n={n} facade"), |b| {
+            let mut ps = facade_system(n);
+            b.iter(|| ps.step())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_facade_overhead);
+criterion_main!(benches);

@@ -94,10 +94,7 @@ fn tab_pub_convergence(c: &mut Criterion) {
                 for i in 0..PUBS {
                     let host = ids[(i * 5 + 1) % ids.len()];
                     let p = Publication::new(host.0, format!("p{i}").into_bytes());
-                    sim.world
-                        .node_mut(host)
-                        .and_then(Actor::subscriber_mut)
-                        .map(|s| s.trie.insert(p));
+                    sim.seed_publication(host, p);
                 }
                 sim
             },

@@ -1,0 +1,126 @@
+//! Emits `BENCH_facade.json`: the committed perf point proving the
+//! `PubSub` facade layer costs (well) under 2% over driving
+//! `SkipRingSim` directly.
+//!
+//! Both sides run the identical full-protocol legitimate world from the
+//! same seed — the measured delta is one dynamic dispatch per round.
+//! Measurement: both systems advance in lockstep through small
+//! alternating round blocks, and each side's rate is taken from its
+//! fastest block (min-of filtering). Interleaving at block granularity
+//! cancels machine drift (thermal/noisy-neighbour effects that dwarf a
+//! vtable call), and the lockstep keeps both sides at the same point of
+//! the state trajectory when compared.
+//!
+//! ```text
+//! cargo run --release -p skippub-bench --bin bench_facade_json [-- out.json]
+//! ```
+
+use skippub_bench::facade::{direct_system, facade_system, SEED};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    mode: &'static str,
+    n: usize,
+    rounds: u64,
+    best_ms: f64,
+    rounds_per_sec: f64,
+}
+
+/// Alternating blocks per side.
+const BLOCKS: u64 = 60;
+
+fn block_rounds_for(n: usize) -> u64 {
+    if n >= 10_000 {
+        4
+    } else {
+        25
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_facade.json".to_string());
+    let mut rows: Vec<Row> = Vec::new();
+    for n in [1_000usize, 10_000] {
+        eprintln!("timing n={n} ...");
+        let block = block_rounds_for(n);
+        let mut sim = direct_system(n);
+        let mut ps = facade_system(n);
+        let mut best_direct = f64::INFINITY;
+        let mut best_facade = f64::INFINITY;
+        for b in 0..BLOCKS {
+            // Alternate which side goes first so periodic background
+            // load cannot systematically tax one side.
+            let mut time_direct = || {
+                let t0 = Instant::now();
+                for _ in 0..block {
+                    sim.run_round();
+                }
+                t0.elapsed().as_secs_f64()
+            };
+            if b % 2 == 0 {
+                best_direct = best_direct.min(time_direct());
+            }
+            let t0 = Instant::now();
+            for _ in 0..block {
+                ps.step();
+            }
+            best_facade = best_facade.min(t0.elapsed().as_secs_f64());
+            if b % 2 == 1 {
+                best_direct = best_direct.min(time_direct());
+            }
+        }
+        for (mode, secs) in [("direct", best_direct), ("facade", best_facade)] {
+            rows.push(Row {
+                mode,
+                n,
+                rounds: block,
+                best_ms: secs * 1e3,
+                rounds_per_sec: block as f64 / secs,
+            });
+        }
+    }
+
+    let overhead = |n: usize| -> f64 {
+        let rate = |mode: &str| {
+            rows.iter()
+                .find(|r| r.mode == mode && r.n == n)
+                .map(|r| r.rounds_per_sec)
+                .unwrap_or(f64::NAN)
+        };
+        (rate("direct") / rate("facade") - 1.0) * 100.0
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"skippub-bench/facade/v1\",\n");
+    json.push_str("  \"description\": \"PubSub facade overhead: identical full-protocol legitimate world (ProtocolConfig::default) driven via SkipRingSim::run_round (direct) vs Box<dyn PubSub>::step (facade). Regenerate with: cargo run --release -p skippub-bench --bin bench_facade_json\",\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"blocks_per_side\": {BLOCKS},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"n\": {}, \"block_rounds\": {}, \"best_block_ms\": {:.2}, \"rounds_per_sec\": {:.1}}}{}",
+            r.mode,
+            r.n,
+            r.rounds,
+            r.best_ms,
+            r.rounds_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"facade_overhead_pct\": {\n");
+    let _ = write!(
+        json,
+        "    \"n=1000\": {:.2},\n    \"n=10000\": {:.2}\n",
+        overhead(1_000),
+        overhead(10_000)
+    );
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_facade.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -1,0 +1,39 @@
+//! Facade-overhead workloads: the *same* full-protocol world driven
+//! directly through [`SkipRingSim::run_round`] and through the
+//! [`PubSub`] trait object (`Box<dyn PubSub>::step`), so the measured
+//! difference is exactly the cost of the facade layer (one dynamic
+//! dispatch per round; no per-round boxing or allocation on the sim
+//! path).
+//!
+//! Both constructors build the identical legitimate warm-start world
+//! from the same seed, so the two sides execute byte-identical protocol
+//! work in the same RNG order.
+
+use skippub_core::pubsub::{PubSub, SimBackend};
+use skippub_core::{scenarios, ProtocolConfig, SkipRingSim};
+
+/// Seed shared by both sides of the comparison.
+pub const SEED: u64 = 0xFA5ADE;
+
+fn warm_world(n: usize) -> skippub_sim::World<skippub_core::Actor> {
+    scenarios::legit_world(n, SEED, ProtocolConfig::default())
+}
+
+/// A warmed `n`-subscriber system driven directly (no facade).
+pub fn direct_system(n: usize) -> SkipRingSim {
+    let mut sim = SkipRingSim::from_world(warm_world(n), ProtocolConfig::default());
+    sim.run_round();
+    sim.run_round();
+    sim
+}
+
+/// The identical system behind the facade trait object.
+pub fn facade_system(n: usize) -> Box<dyn PubSub> {
+    let mut ps: Box<dyn PubSub> = Box::new(SimBackend::from_world(
+        warm_world(n),
+        ProtocolConfig::default(),
+    ));
+    ps.step();
+    ps.step();
+    ps
+}

@@ -15,6 +15,9 @@
 //!   representative n.
 //! * `baselines` — Chord routing, skip-graph search, broadcast load
 //!   computation.
+//! * `facade` — the `PubSub` facade layer vs direct `SkipRingSim`
+//!   driving over the identical full-protocol world ([`facade`]); the
+//!   `bench_facade_json` binary writes `BENCH_facade.json`.
 //! * `sim_engine` — the simulation-engine perf trajectory: the live
 //!   slab engine vs the preserved legacy `BTreeMap` engine
 //!   ([`legacy`]) over the [`workloads`] traffic shapes, at 1k and
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod facade;
 pub mod legacy;
 pub mod workloads;
 

@@ -54,15 +54,17 @@ fn hash_words(words: impl Iterator<Item = u64> + Clone, len_tag: u64) -> u128 {
 }
 
 impl Hash128 {
-    /// Hashes an arbitrary byte slice.
+    /// Hashes an arbitrary byte slice. Allocation-free: the words are
+    /// absorbed straight off the input slice, so callers on hot paths
+    /// (e.g. consistent-hash ring lookups) can hash from stack buffers
+    /// without touching the heap.
     pub fn of_bytes(data: &[u8]) -> Self {
-        let mut words = Vec::with_capacity(data.len().div_ceil(8));
-        for chunk in data.chunks(8) {
+        let words = data.chunks(8).map(|chunk| {
             let mut buf = [0u8; 8];
             buf[..chunk.len()].copy_from_slice(chunk);
-            words.push(u64::from_le_bytes(buf));
-        }
-        Hash128(hash_words(words.iter().copied(), data.len() as u64))
+            u64::from_le_bytes(buf)
+        });
+        Hash128(hash_words(words, data.len() as u64))
     }
 
     /// Hashes a bit string, including its exact length (so `"0"` and

@@ -14,13 +14,12 @@ use crate::subscriber::Subscriber;
 use crate::supervisor::Supervisor;
 use skippub_bits::BitStr;
 use skippub_sim::{ChaosConfig, Metrics, NodeId, World};
+use skippub_trie::Publication;
 
 /// A single-topic self-stabilizing supervised publish-subscribe system
 /// running in the deterministic simulator.
 pub struct SkipRingSim {
-    /// The underlying world (public for experiment code that needs raw
-    /// access; examples should stick to the methods).
-    pub world: World<Actor>,
+    world: World<Actor>,
     cfg: ProtocolConfig,
     next_id: u64,
 }
@@ -198,6 +197,32 @@ impl SkipRingSim {
     /// The supervisor's node ID.
     pub fn supervisor_id(&self) -> NodeId {
         SUPERVISOR
+    }
+
+    /// Read access to the underlying world (checkers, snapshots,
+    /// experiment probes). The field itself is private so ordinary
+    /// clients go through the methods (or the [`crate::pubsub`] facade).
+    pub fn world(&self) -> &World<Actor> {
+        &self.world
+    }
+
+    /// Raw mutable access to the underlying world — the escape hatch for
+    /// adversarial initializers and white-box tests that corrupt protocol
+    /// state in place. Not for examples or ordinary clients.
+    pub fn world_mut(&mut self) -> &mut World<Actor> {
+        &mut self.world
+    }
+
+    /// Inserts `publication` directly into subscriber `id`'s store,
+    /// bypassing flooding — models a publication that arrived through an
+    /// unmodelled channel (Theorem 17's arbitrary initial distribution).
+    /// Returns whether it was new; `None` if `id` is not a live
+    /// subscriber.
+    pub fn seed_publication(&mut self, id: NodeId, publication: Publication) -> Option<bool> {
+        self.world
+            .node_mut(id)
+            .and_then(Actor::subscriber_mut)
+            .map(|s| s.trie.insert(publication))
     }
 }
 

@@ -24,7 +24,12 @@
 //!   convergence/closure are verified from *global snapshots*, never by
 //!   the protocol itself.
 //! * [`scenarios`] — legitimate / cold / adversarial world builders.
-//! * [`SkipRingSim`] — the high-level single-topic API.
+//! * [`pubsub`] — the backend-agnostic [`PubSub`] facade +
+//!   [`SystemBuilder`]: one client API over the single-topic simulator
+//!   (synchronous or chaos-scheduled), the multi-topic system, and the
+//!   sharded-supervisor system (the threaded backend lives in
+//!   `skippub-net`).
+//! * [`SkipRingSim`] — the single-topic simulator the sim backend wraps.
 //! * [`topics`] — the multi-topic system of §4 (one `BuildSR` per topic).
 //! * [`sharding`] — consistent-hashing of topics onto multiple
 //!   supervisors (§1.3 scaling remark).
@@ -32,17 +37,17 @@
 //! ## Entry point
 //!
 //! ```
-//! use skippub_core::{ProtocolConfig, SkipRingSim};
+//! use skippub_core::{PubSub, SystemBuilder, TopicId};
 //!
-//! let mut sim = SkipRingSim::new(7, ProtocolConfig::default());
-//! let alice = sim.add_subscriber();
-//! let bob = sim.add_subscriber();
-//! let (_, ok) = sim.run_until_legit(200);
+//! let mut ps = SystemBuilder::new(7).build_sim();
+//! let alice = ps.subscribe(TopicId(0));
+//! let bob = ps.subscribe(TopicId(0));
+//! let (_, ok) = ps.until_legit(200);
 //! assert!(ok);
-//! sim.publish(alice, b"hello".to_vec()).unwrap();
-//! let (_, ok) = sim.run_until_pubs_converged(50);
+//! ps.publish(alice, TopicId(0), b"hello".to_vec()).unwrap();
+//! let (_, ok) = ps.until_pubs_converged(50);
 //! assert!(ok);
-//! assert_eq!(sim.subscriber(bob).unwrap().trie.len(), 1);
+//! assert_eq!(ps.drain_events(bob).len(), 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,6 +60,7 @@ mod config;
 pub mod hierarchy;
 mod msg;
 mod publish;
+pub mod pubsub;
 pub mod scenarios;
 pub mod sharding;
 mod subscriber;
@@ -67,5 +73,7 @@ pub use actor::Actor;
 pub use api::SkipRingSim;
 pub use config::{ProbeMode, ProtocolConfig};
 pub use msg::{Msg, NodeRef};
+pub use pubsub::{BackendKind, Delivery, PubSub, Stats, SystemBuilder};
 pub use subscriber::{Counters, Subscriber};
 pub use supervisor::{Supervisor, SupervisorCounters};
+pub use topics::TopicId;

@@ -1,0 +1,467 @@
+//! The backend-agnostic client API: one [`PubSub`] facade over every way
+//! this repository can run the paper's system.
+//!
+//! The paper describes *one* abstraction — supervised topic-based
+//! publish-subscribe with subscribe/unsubscribe/publish and
+//! self-stabilization guarantees — and this module exposes it through one
+//! trait, regardless of which machinery executes the protocol:
+//!
+//! | backend | construction | what runs underneath |
+//! |---|---|---|
+//! | [`SimBackend`] | [`SystemBuilder::build_sim`] | single-topic deterministic simulator (synchronous rounds) |
+//! | [`SimBackend`] (chaos) | [`SystemBuilder::build_chaos`] | same, under the chaos scheduler (random delay/reorder) |
+//! | [`MultiTopicBackend`] | [`SystemBuilder::build_multi`] | one `BuildSR` instance per topic at one supervisor (§4) |
+//! | [`ShardedBackend`] | [`SystemBuilder::build_sharded`] | topics consistent-hashed onto multiple supervisors (§1.3) |
+//! | `NetBackend` (in `skippub-net`) | `NetBackend::from_builder` | one OS thread per node, real delays; rounds become wall-clock quiescence polling |
+//!
+//! A scenario written against `&mut dyn PubSub` therefore runs unmodified
+//! on all of them — the cross-backend conformance suite
+//! (`tests/facade_conformance.rs`) asserts that the *delivered publication
+//! sets* agree across backends, which is exactly the comparison
+//! PSVR-style related work makes central.
+//!
+//! Clients observe deliveries through [`PubSub::drain_events`] instead of
+//! reaching into `subscriber.trie`; topology inspection goes through
+//! [`PubSub::snapshot`], which yields a per-topic [`World`] the
+//! [`crate::checker`] predicates (and any custom probe) can judge.
+
+mod multi;
+mod sharded;
+mod sim;
+
+pub use multi::MultiTopicBackend;
+pub use sharded::{ShardedBackend, SHARD_SUPERVISOR_BASE};
+pub use sim::SimBackend;
+
+use crate::topics::TopicId;
+use crate::{Actor, ProtocolConfig};
+use skippub_bits::BitStr;
+use skippub_sim::{ChaosConfig, NodeId, World};
+use skippub_trie::{PatriciaTrie, Publication};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One publication observed in a subscriber's store — the unit returned
+/// by [`PubSub::drain_events`]. Includes the subscriber's own
+/// publications (a local publish "delivers" to its author immediately).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Topic the publication belongs to.
+    pub topic: TopicId,
+    /// The derived publication key `h̄_m(author, payload)`.
+    pub key: BitStr,
+    /// ID of the publishing subscriber.
+    pub author: u64,
+    /// The published content.
+    pub payload: Vec<u8>,
+}
+
+/// Backend-agnostic traffic counters, comparable across simulated and
+/// threaded executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Progress units executed so far: simulated rounds, or wall-clock
+    /// poll slices for the threaded backend.
+    pub steps: u64,
+    /// Messages handed to the transport.
+    pub sent: u64,
+    /// Messages delivered to a handler.
+    pub delivered: u64,
+    /// Messages consumed without effect (crashed / unknown receivers).
+    pub dropped: u64,
+}
+
+/// The simulated backends a [`SystemBuilder`] can construct behind a
+/// `Box<dyn PubSub>`. (The threaded backend lives in `skippub-net`,
+/// which depends on this crate; build it with `NetBackend::from_builder`.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Single-topic deterministic simulator, synchronous rounds.
+    Sim,
+    /// Single-topic simulator under the chaos scheduler.
+    Chaos,
+    /// Multi-topic system (§4): one `BuildSR` per topic, one supervisor.
+    MultiTopic,
+    /// Multi-topic system with topics consistent-hashed onto multiple
+    /// supervisors (§1.3).
+    Sharded,
+}
+
+impl BackendKind {
+    /// All simulated backend kinds, for conformance sweeps.
+    pub fn all() -> [BackendKind; 4] {
+        [
+            BackendKind::Sim,
+            BackendKind::Chaos,
+            BackendKind::MultiTopic,
+            BackendKind::Sharded,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Chaos => "chaos",
+            BackendKind::MultiTopic => "multi-topic",
+            BackendKind::Sharded => "sharded",
+        }
+    }
+}
+
+/// The backend-agnostic client API of the supervised publish-subscribe
+/// system.
+///
+/// Operations on unknown or crashed *nodes* are total: rejected via a
+/// return value (`publish`, `seed_publication`) or no-ops, matching the
+/// protocol's own tolerance of corrupted inputs. Passing a `TopicId`
+/// outside `0..topic_count` is a caller bug and panics (single-topic
+/// backends serve exactly `TopicId(0)`).
+pub trait PubSub {
+    /// Short backend name for tables and test output.
+    fn backend_name(&self) -> &'static str;
+
+    /// Number of topics this system serves (`1` for single-topic
+    /// backends).
+    fn topic_count(&self) -> u32;
+
+    /// Adds a fresh subscriber and subscribes it to `topic`; the join
+    /// happens through the protocol (first `Timeout` sends `Subscribe`).
+    /// Returns the new node's ID. Client IDs are assigned identically
+    /// (1, 2, 3, …) across backends so publication keys — derived from
+    /// `(author, payload)` — agree between executions.
+    fn subscribe(&mut self, topic: TopicId) -> NodeId;
+
+    /// Subscribes the *existing* client `id` to `topic`. On single-topic
+    /// backends this re-affirms membership (a node that previously
+    /// unsubscribed will rejoin).
+    fn join(&mut self, id: NodeId, topic: TopicId);
+
+    /// Asks client `id` to leave `topic`; the system self-stabilizes
+    /// around the departure (Lemma 6).
+    fn unsubscribe(&mut self, id: NodeId, topic: TopicId);
+
+    /// Publishes `payload` at client `id` on `topic`; returns the derived
+    /// publication key, or `None` if `id` is not a live subscriber of
+    /// `topic`.
+    fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr>;
+
+    /// Inserts `publication` directly into `id`'s store for `topic`,
+    /// bypassing flooding — models a publication that arrived through an
+    /// unmodelled channel (Theorem 17's arbitrary initial distribution).
+    /// Returns whether the publication was new.
+    fn seed_publication(&mut self, id: NodeId, topic: TopicId, publication: Publication) -> bool;
+
+    /// Crashes node `id` without warning (§3.3): state vanishes,
+    /// in-flight messages to it are consumed.
+    fn crash(&mut self, id: NodeId);
+
+    /// Failure-detector feed: report `id` crashed to the supervisor(s).
+    /// The harness decides the detection delay, as in the paper's
+    /// eventually-correct detector model.
+    fn report_crash(&mut self, id: NodeId);
+
+    /// One unit of progress: a synchronous round (sim), a chaos round
+    /// (chaos), or a short wall-clock slice (threaded backend).
+    fn step(&mut self);
+
+    /// Whether every topic's topology currently satisfies the
+    /// legitimate-state predicate (Definition 1).
+    fn is_legitimate(&self) -> bool;
+
+    /// Whether all subscribers (per topic) store the same publication
+    /// set (Theorem 17); returns `(converged, total publications)`.
+    fn publications_converged(&self) -> (bool, usize);
+
+    /// Returns the publications that appeared in `id`'s store since the
+    /// last drain (ordered by topic, then key). Empty for unknown or
+    /// crashed nodes.
+    fn drain_events(&mut self, id: NodeId) -> Vec<Delivery>;
+
+    /// IDs of live clients (excluding supervisors), ascending.
+    fn subscriber_ids(&self) -> Vec<NodeId>;
+
+    /// A deterministic single-topic snapshot of `topic`: the responsible
+    /// supervisor plus every subscriber instance of that topic, cloned
+    /// into a fresh [`World`] that [`crate::checker`] predicates (or any
+    /// custom probe) can judge.
+    fn snapshot(&self, topic: TopicId) -> World<Actor>;
+
+    /// Backend-agnostic traffic counters.
+    fn stats(&self) -> Stats;
+
+    /// Steps until every topic is legitimate; returns `(steps, reached)`.
+    fn until_legit(&mut self, max_steps: u64) -> (u64, bool) {
+        let mut s = 0;
+        loop {
+            if self.is_legitimate() {
+                return (s, true);
+            }
+            if s >= max_steps {
+                return (s, false);
+            }
+            self.step();
+            s += 1;
+        }
+    }
+
+    /// Steps until all publication stores agree; returns
+    /// `(steps, reached)`.
+    fn until_pubs_converged(&mut self, max_steps: u64) -> (u64, bool) {
+        let mut s = 0;
+        loop {
+            if self.publications_converged().0 {
+                return (s, true);
+            }
+            if s >= max_steps {
+                return (s, false);
+            }
+            self.step();
+            s += 1;
+        }
+    }
+}
+
+/// Bookkeeping helper for implementing [`PubSub::drain_events`] on a new
+/// backend: remembers, per `(node, topic)`, which publication keys have
+/// already been reported, and diffs a trie against that cursor.
+#[derive(Clone, Debug, Default)]
+pub struct EventCursor {
+    seen: BTreeMap<(u64, u32), BTreeSet<BitStr>>,
+}
+
+impl EventCursor {
+    /// Fresh cursor: every stored publication counts as undelivered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all bookkeeping for `id`. Backends call this when a node
+    /// crashes so dead nodes' key sets do not accumulate across a
+    /// long-running churn workload.
+    pub fn forget(&mut self, id: NodeId) {
+        self.seen.retain(|&(nid, _), _| nid != id.0);
+    }
+
+    /// Diffs the given per-topic tries of node `id` against the cursor,
+    /// returning (and remembering) every publication not yet reported.
+    pub fn drain<'a>(
+        &mut self,
+        id: NodeId,
+        tries: impl IntoIterator<Item = (TopicId, &'a PatriciaTrie)>,
+    ) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for (topic, trie) in tries {
+            let seen = self.seen.entry((id.0, topic.0)).or_default();
+            for p in trie.publications() {
+                if seen.insert(p.key().clone()) {
+                    out.push(Delivery {
+                        topic,
+                        key: p.key().clone(),
+                        author: p.author(),
+                        payload: p.payload().to_vec(),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| (a.topic, &a.key).cmp(&(b.topic, &b.key)));
+        out
+    }
+}
+
+/// Maps simulator [`Metrics`](skippub_sim::Metrics) onto the
+/// backend-agnostic [`Stats`] — shared by every simulated backend.
+pub(crate) fn stats_of(m: &skippub_sim::Metrics) -> Stats {
+    Stats {
+        steps: m.rounds,
+        sent: m.sent_total,
+        delivered: m.delivered_total,
+        dropped: m.dropped,
+    }
+}
+
+/// Constructs any simulated backend behind the [`PubSub`] facade from one
+/// set of knobs: topic count, shard count, [`ProtocolConfig`],
+/// [`ChaosConfig`], seed.
+///
+/// ```
+/// use skippub_core::pubsub::{PubSub, SystemBuilder};
+/// use skippub_core::topics::TopicId;
+///
+/// let mut ps = SystemBuilder::new(7).build_sim();
+/// let alice = ps.subscribe(TopicId(0));
+/// let bob = ps.subscribe(TopicId(0));
+/// assert!(ps.until_legit(500).1);
+/// ps.publish(alice, TopicId(0), b"hello".to_vec()).unwrap();
+/// assert!(ps.until_pubs_converged(100).1);
+/// assert_eq!(ps.drain_events(bob).len(), 1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SystemBuilder {
+    seed: u64,
+    topics: u32,
+    shards: usize,
+    replicas: usize,
+    protocol: ProtocolConfig,
+    chaos: Option<ChaosConfig>,
+}
+
+impl SystemBuilder {
+    /// A builder with the given RNG seed and defaults: one topic, one
+    /// shard, 64 consistent-hash replicas, default protocol, no chaos.
+    pub fn new(seed: u64) -> Self {
+        SystemBuilder {
+            seed,
+            topics: 1,
+            shards: 1,
+            replicas: 64,
+            protocol: ProtocolConfig::default(),
+            chaos: None,
+        }
+    }
+
+    /// Sets the number of topics (`≥ 1`); topics are `TopicId(0..n)`.
+    pub fn topics(mut self, n: u32) -> Self {
+        assert!(n >= 1, "need at least one topic");
+        self.topics = n;
+        self
+    }
+
+    /// Sets the number of supervisor shards (`≥ 1`) for
+    /// [`SystemBuilder::build_sharded`].
+    pub fn shards(mut self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one shard");
+        self.shards = k;
+        self
+    }
+
+    /// Sets the virtual nodes per shard on the consistent-hash ring.
+    pub fn replicas(mut self, r: usize) -> Self {
+        assert!(r >= 1);
+        self.replicas = r;
+        self
+    }
+
+    /// Sets the protocol knobs applied to every subscriber.
+    pub fn protocol(mut self, cfg: ProtocolConfig) -> Self {
+        self.protocol = cfg;
+        self
+    }
+
+    /// Sets the chaos-scheduler tuning used by
+    /// [`SystemBuilder::build_chaos`].
+    pub fn chaos(mut self, cfg: ChaosConfig) -> Self {
+        self.chaos = Some(cfg);
+        self
+    }
+
+    /// The configured RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured protocol knobs.
+    pub fn protocol_config(&self) -> ProtocolConfig {
+        self.protocol
+    }
+
+    /// The configured topic count.
+    pub fn topic_count(&self) -> u32 {
+        self.topics
+    }
+
+    /// Single-topic deterministic simulator (synchronous rounds).
+    /// Requires `topics == 1`.
+    pub fn build_sim(&self) -> SimBackend {
+        assert!(self.topics == 1, "sim backend serves exactly one topic");
+        SimBackend::new(self.seed, self.protocol, None)
+    }
+
+    /// Single-topic simulator under the chaos scheduler (the configured
+    /// [`ChaosConfig`], or its default). Requires `topics == 1`.
+    pub fn build_chaos(&self) -> SimBackend {
+        assert!(self.topics == 1, "sim backend serves exactly one topic");
+        SimBackend::new(
+            self.seed,
+            self.protocol,
+            Some(self.chaos.unwrap_or_default()),
+        )
+    }
+
+    /// Multi-topic system (§4): one supervisor hosting one `BuildSR`
+    /// instance per topic.
+    pub fn build_multi(&self) -> MultiTopicBackend {
+        MultiTopicBackend::new(self.seed, self.topics, self.protocol)
+    }
+
+    /// Sharded multi-topic system (§1.3): topics consistent-hashed onto
+    /// `shards` supervisors.
+    pub fn build_sharded(&self) -> ShardedBackend {
+        ShardedBackend::new(
+            self.seed,
+            self.topics,
+            self.shards,
+            self.replicas,
+            self.protocol,
+        )
+    }
+
+    /// Builds the requested backend kind behind a trait object — the
+    /// entry point for scenario scripts that sweep backends.
+    pub fn build(&self, kind: BackendKind) -> Box<dyn PubSub> {
+        match kind {
+            BackendKind::Sim => Box::new(self.build_sim()),
+            BackendKind::Chaos => Box::new(self.build_chaos()),
+            BackendKind::MultiTopic => Box::new(self.build_multi()),
+            BackendKind::Sharded => Box::new(self.build_sharded()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_knobs() {
+        let b = SystemBuilder::new(9)
+            .topics(3)
+            .shards(2)
+            .replicas(8)
+            .protocol(ProtocolConfig::topology_only());
+        assert_eq!(b.seed(), 9);
+        assert_eq!(b.topic_count(), 3);
+        assert!(!b.protocol_config().flooding);
+    }
+
+    #[test]
+    fn build_returns_every_kind() {
+        for kind in BackendKind::all() {
+            let b = SystemBuilder::new(4);
+            let ps = b.build(kind);
+            assert_eq!(ps.backend_name(), kind.name());
+            assert_eq!(ps.topic_count(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one topic")]
+    fn sim_rejects_multiple_topics() {
+        let _ = SystemBuilder::new(1).topics(2).build_sim();
+    }
+
+    #[test]
+    fn event_cursor_reports_each_publication_once() {
+        let mut trie = PatriciaTrie::new();
+        trie.insert(Publication::new(1, b"a".to_vec()));
+        let mut cur = EventCursor::new();
+        let ev = cur.drain(NodeId(5), [(TopicId(0), &trie)]);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].author, 1);
+        assert_eq!(ev[0].payload, b"a");
+        assert!(cur.drain(NodeId(5), [(TopicId(0), &trie)]).is_empty());
+        trie.insert(Publication::new(2, b"b".to_vec()));
+        assert_eq!(cur.drain(NodeId(5), [(TopicId(0), &trie)]).len(), 1);
+        // A different node has its own cursor.
+        assert_eq!(cur.drain(NodeId(6), [(TopicId(0), &trie)]).len(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! [`MultiTopicBackend`]: the multi-topic system of §4 — one supervisor
+//! hosting one `BuildSR` instance per topic — behind the [`PubSub`]
+//! facade, replacing the hand-rolled `World<MultiActor>` driving that
+//! examples and tests used to do.
+
+use super::{Delivery, EventCursor, PubSub, Stats};
+use crate::checker;
+use crate::scenarios::SUPERVISOR;
+use crate::topics::{MultiActor, TopicId};
+use crate::{Actor, ProtocolConfig, Supervisor};
+use skippub_bits::BitStr;
+use skippub_sim::{Metrics, NodeId, World};
+use skippub_trie::Publication;
+
+/// The multi-topic simulator backend (§4): clients subscribe to any
+/// subset of `TopicId(0..topic_count)`; the supervisor's per-timeout
+/// work is linear in the number of topics and independent of the number
+/// of subscribers.
+pub struct MultiTopicBackend {
+    world: World<MultiActor>,
+    cfg: ProtocolConfig,
+    topics: u32,
+    next_id: u64,
+    cursor: EventCursor,
+}
+
+impl MultiTopicBackend {
+    pub(crate) fn new(seed: u64, topics: u32, cfg: ProtocolConfig) -> Self {
+        let mut world = World::new(seed);
+        world.add_node(SUPERVISOR, MultiActor::new_supervisor(SUPERVISOR));
+        MultiTopicBackend {
+            world,
+            cfg,
+            topics,
+            next_id: 1,
+            cursor: EventCursor::new(),
+        }
+    }
+
+    /// The supervisor's node ID.
+    pub fn supervisor_id(&self) -> NodeId {
+        SUPERVISOR
+    }
+
+    /// The underlying multi-topic world, for white-box probes (metrics,
+    /// per-node state) the facade does not cover.
+    pub fn world(&self) -> &World<MultiActor> {
+        &self.world
+    }
+
+    /// Mutable access to the underlying world (adversarial injection).
+    pub fn world_mut(&mut self) -> &mut World<MultiActor> {
+        &mut self.world
+    }
+
+    /// Simulator metrics (per-kind and per-node counters).
+    pub fn metrics(&self) -> &Metrics {
+        self.world.metrics()
+    }
+
+    fn assert_topic(&self, topic: TopicId) {
+        assert!(
+            topic.0 < self.topics,
+            "topic {topic:?} outside 0..{}",
+            self.topics
+        );
+    }
+
+    /// Per-topic snapshot over an explicit supervisor node — shared with
+    /// the sharded backend, which routes each topic to its shard.
+    pub(crate) fn snapshot_at(
+        world: &World<MultiActor>,
+        sup_id: NodeId,
+        topic: TopicId,
+    ) -> World<Actor> {
+        let mut out = World::new(0);
+        let sup = world
+            .node(sup_id)
+            .and_then(|a| a.topic_supervisor(topic).cloned())
+            .unwrap_or_else(|| Supervisor::new(sup_id));
+        out.add_node(sup_id, Actor::Supervisor(sup));
+        for (id, actor) in world.iter() {
+            if let Some(s) = actor.topic_subscriber(topic) {
+                out.add_node(id, Actor::Subscriber(Box::new(s.clone())));
+            }
+        }
+        out
+    }
+}
+
+/// Drains client `id`'s new deliveries across all its topics — shared
+/// by the multi-topic and sharded backends so the two cannot diverge.
+pub(crate) fn drain_client_events(
+    world: &World<MultiActor>,
+    cursor: &mut super::EventCursor,
+    id: NodeId,
+) -> Vec<super::Delivery> {
+    let Some(actor) = world.node(id) else {
+        return Vec::new();
+    };
+    let tries: Vec<(TopicId, &skippub_trie::PatriciaTrie)> = actor
+        .topic_ids()
+        .into_iter()
+        .filter_map(|t| actor.topic_subscriber(t).map(|s| (t, &s.trie)))
+        .collect();
+    cursor.drain(id, tries)
+}
+
+/// IDs of live clients (supervisors excluded), ascending — shared by
+/// the multi-topic and sharded backends.
+pub(crate) fn client_ids(world: &World<MultiActor>) -> Vec<NodeId> {
+    world
+        .iter()
+        .filter(|(_, a)| a.is_client())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Judges one topic's topology *by reference* (no world cloning — this
+/// sits on the `until_legit` polling path). Shared with the sharded
+/// backend.
+pub(crate) fn topic_is_legit(world: &World<MultiActor>, sup_id: NodeId, topic: TopicId) -> bool {
+    let members = world
+        .iter()
+        .filter_map(|(id, a)| a.topic_subscriber(topic).map(|s| (id, s)));
+    match world.node(sup_id).and_then(|a| a.topic_supervisor(topic)) {
+        Some(sup) => checker::check_topology_parts(sup, members).ok(),
+        // Topic never contacted: judged against an empty supervisor.
+        None => {
+            let empty = Supervisor::new(sup_id);
+            checker::check_topology_parts(&empty, members).ok()
+        }
+    }
+}
+
+/// Per-topic publication convergence by reference; shared with the
+/// sharded backend.
+pub(crate) fn topic_pubs_converged(world: &World<MultiActor>, topic: TopicId) -> (bool, usize) {
+    checker::publications_converged_of(world.iter().filter_map(|(_, a)| a.topic_subscriber(topic)))
+}
+
+/// Folds per-topic convergence into the facade's `(converged, total)`
+/// answer: converged iff every topic converged; the total is the sum of
+/// per-topic union sizes either way (matching the single-topic
+/// backends, which report the union size even when not yet converged).
+pub(crate) fn fold_pubs_converged(
+    world: &World<MultiActor>,
+    topics: u32,
+) -> (bool, usize) {
+    let mut all_ok = true;
+    let mut total = 0;
+    for t in 0..topics {
+        let (ok, n) = topic_pubs_converged(world, TopicId(t));
+        all_ok &= ok;
+        total += n;
+    }
+    (all_ok, total)
+}
+
+impl PubSub for MultiTopicBackend {
+    fn backend_name(&self) -> &'static str {
+        "multi-topic"
+    }
+
+    fn topic_count(&self) -> u32 {
+        self.topics
+    }
+
+    fn subscribe(&mut self, topic: TopicId) -> NodeId {
+        self.assert_topic(topic);
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let mut client = MultiActor::new_client(id, SUPERVISOR, self.cfg);
+        client.join_topic(topic);
+        self.world.add_node(id, client);
+        id
+    }
+
+    fn join(&mut self, id: NodeId, topic: TopicId) {
+        self.assert_topic(topic);
+        if let Some(a) = self.world.node_mut(id) {
+            a.join_topic(topic);
+        }
+    }
+
+    fn unsubscribe(&mut self, id: NodeId, topic: TopicId) {
+        self.assert_topic(topic);
+        if let Some(a) = self.world.node_mut(id) {
+            a.leave_topic(topic);
+        }
+    }
+
+    fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
+        self.assert_topic(topic);
+        self.world
+            .with_node(id, |actor, ctx| actor.publish_local(ctx, topic, payload))?
+    }
+
+    fn seed_publication(&mut self, id: NodeId, topic: TopicId, publication: Publication) -> bool {
+        self.assert_topic(topic);
+        self.world
+            .node_mut(id)
+            .map(|a| a.seed_publication(topic, publication))
+            .unwrap_or(false)
+    }
+
+    fn crash(&mut self, id: NodeId) {
+        self.world.crash(id);
+        self.cursor.forget(id);
+    }
+
+    fn report_crash(&mut self, id: NodeId) {
+        if let Some(sup) = self.world.node_mut(SUPERVISOR) {
+            sup.suspect(id);
+        }
+    }
+
+    fn step(&mut self) {
+        self.world.run_round();
+    }
+
+    fn is_legitimate(&self) -> bool {
+        (0..self.topics).all(|t| topic_is_legit(&self.world, SUPERVISOR, TopicId(t)))
+    }
+
+    fn publications_converged(&self) -> (bool, usize) {
+        fold_pubs_converged(&self.world, self.topics)
+    }
+
+    fn drain_events(&mut self, id: NodeId) -> Vec<Delivery> {
+        drain_client_events(&self.world, &mut self.cursor, id)
+    }
+
+    fn subscriber_ids(&self) -> Vec<NodeId> {
+        client_ids(&self.world)
+    }
+
+    fn snapshot(&self, topic: TopicId) -> World<Actor> {
+        self.assert_topic(topic);
+        Self::snapshot_at(&self.world, SUPERVISOR, topic)
+    }
+
+    fn stats(&self) -> Stats {
+        super::stats_of(self.world.metrics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pubsub::SystemBuilder;
+
+    #[test]
+    fn topics_stabilize_and_deliver_independently() {
+        let mut ps = SystemBuilder::new(41)
+            .topics(2)
+            .protocol(ProtocolConfig::default())
+            .build_multi();
+        let (ta, tb) = (TopicId(0), TopicId(1));
+        let a_members: Vec<NodeId> = (0..3).map(|_| ps.subscribe(ta)).collect();
+        let b_members: Vec<NodeId> = (0..3).map(|_| ps.subscribe(tb)).collect();
+        // One client straddles both topics.
+        ps.join(a_members[0], tb);
+        let (_, ok) = ps.until_legit(2000);
+        assert!(ok, "both rings must stabilize");
+        ps.publish(a_members[1], ta, b"only-a".to_vec()).unwrap();
+        let (_, ok) = ps.until_pubs_converged(2000);
+        assert!(ok);
+        for &m in &a_members {
+            let ev = ps.drain_events(m);
+            assert_eq!(ev.len(), 1, "topic-a member sees the story");
+            assert_eq!(ev[0].topic, ta);
+        }
+        for &m in &b_members {
+            assert!(
+                ps.drain_events(m).is_empty(),
+                "topic-b members must not see topic-a content"
+            );
+        }
+    }
+
+    #[test]
+    fn leave_topic_restabilizes() {
+        let mut ps = SystemBuilder::new(42)
+            .protocol(ProtocolConfig::topology_only())
+            .build_multi();
+        let t = TopicId(0);
+        let ids: Vec<NodeId> = (0..4).map(|_| ps.subscribe(t)).collect();
+        assert!(ps.until_legit(2000).1);
+        ps.unsubscribe(ids[1], t);
+        assert!(ps.until_legit(2000).1);
+        let snap = ps.snapshot(t);
+        let sup = snap
+            .iter()
+            .find_map(|(_, a)| a.supervisor())
+            .expect("supervisor");
+        assert_eq!(sup.n(), 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! [`ShardedBackend`]: §1.3's scaling remark as a *drivable system* —
+//! topics are consistent-hashed onto multiple supervisor nodes (via
+//! [`SupervisorShards`]) inside one simulated world, instead of the
+//! hash ring existing only as a passive load calculation.
+
+use super::{Delivery, EventCursor, MultiTopicBackend, PubSub, Stats};
+use crate::sharding::SupervisorShards;
+use crate::topics::{MultiActor, TopicId};
+use crate::{Actor, ProtocolConfig};
+use skippub_bits::BitStr;
+use skippub_sim::{Metrics, NodeId, World};
+use skippub_trie::Publication;
+
+/// Base of the supervisor ID range. Client IDs count up from 1 exactly
+/// as on every other backend (so publication keys agree across
+/// backends); shard supervisors live far above any realistic client
+/// population.
+pub const SHARD_SUPERVISOR_BASE: u64 = 1 << 32;
+
+/// The sharded multi-topic backend: `k` supervisors, each responsible
+/// for the topics whose hash falls in its sub-interval of the
+/// consistent-hash ring. Clients route every subscribe/publish for a
+/// topic to that topic's shard; a shard failure therefore only affects
+/// its own sub-interval of topics.
+pub struct ShardedBackend {
+    world: World<MultiActor>,
+    shards: SupervisorShards,
+    sup_ids: Vec<NodeId>,
+    cfg: ProtocolConfig,
+    topics: u32,
+    next_id: u64,
+    cursor: EventCursor,
+}
+
+impl ShardedBackend {
+    pub(crate) fn new(
+        seed: u64,
+        topics: u32,
+        shard_count: usize,
+        replicas: usize,
+        cfg: ProtocolConfig,
+    ) -> Self {
+        assert!(shard_count >= 1);
+        let sup_ids: Vec<NodeId> = (0..shard_count as u64)
+            .map(|i| NodeId(SHARD_SUPERVISOR_BASE + i))
+            .collect();
+        let mut world = World::new(seed);
+        for &s in &sup_ids {
+            world.add_node(s, MultiActor::new_supervisor(s));
+        }
+        ShardedBackend {
+            shards: SupervisorShards::new(&sup_ids, replicas),
+            world,
+            sup_ids,
+            cfg,
+            topics,
+            next_id: 1,
+            cursor: EventCursor::new(),
+        }
+    }
+
+    /// The consistent-hash ring mapping topics to supervisors.
+    pub fn shards(&self) -> &SupervisorShards {
+        &self.shards
+    }
+
+    /// IDs of the shard supervisors.
+    pub fn supervisor_ids(&self) -> &[NodeId] {
+        &self.sup_ids
+    }
+
+    /// The supervisor responsible for `topic`.
+    pub fn supervisor_for(&self, topic: TopicId) -> NodeId {
+        self.shards.supervisor_for(topic)
+    }
+
+    /// The underlying world, for white-box probes.
+    pub fn world(&self) -> &World<MultiActor> {
+        &self.world
+    }
+
+    /// Simulator metrics (per-kind and per-node counters; per-shard load
+    /// is `metrics().sent_by(shard_id)`).
+    pub fn metrics(&self) -> &Metrics {
+        self.world.metrics()
+    }
+
+    fn assert_topic(&self, topic: TopicId) {
+        assert!(
+            topic.0 < self.topics,
+            "topic {topic:?} outside 0..{}",
+            self.topics
+        );
+    }
+}
+
+impl PubSub for ShardedBackend {
+    fn backend_name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn topic_count(&self) -> u32 {
+        self.topics
+    }
+
+    fn subscribe(&mut self, topic: TopicId) -> NodeId {
+        self.assert_topic(topic);
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        let sup = self.shards.supervisor_for(topic);
+        let mut client = MultiActor::new_client(id, self.sup_ids[0], self.cfg);
+        client.join_topic_at(topic, sup);
+        self.world.add_node(id, client);
+        id
+    }
+
+    fn join(&mut self, id: NodeId, topic: TopicId) {
+        self.assert_topic(topic);
+        let sup = self.shards.supervisor_for(topic);
+        if let Some(a) = self.world.node_mut(id) {
+            a.join_topic_at(topic, sup);
+        }
+    }
+
+    fn unsubscribe(&mut self, id: NodeId, topic: TopicId) {
+        self.assert_topic(topic);
+        if let Some(a) = self.world.node_mut(id) {
+            a.leave_topic(topic);
+        }
+    }
+
+    fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
+        self.assert_topic(topic);
+        self.world
+            .with_node(id, |actor, ctx| actor.publish_local(ctx, topic, payload))?
+    }
+
+    fn seed_publication(&mut self, id: NodeId, topic: TopicId, publication: Publication) -> bool {
+        self.assert_topic(topic);
+        self.world
+            .node_mut(id)
+            .map(|a| a.seed_publication(topic, publication))
+            .unwrap_or(false)
+    }
+
+    fn crash(&mut self, id: NodeId) {
+        self.world.crash(id);
+        self.cursor.forget(id);
+    }
+
+    fn report_crash(&mut self, id: NodeId) {
+        // The detector feed reaches every shard; suspecting an unknown
+        // node is a no-op at the shards that never met it.
+        for &s in &self.sup_ids {
+            if let Some(sup) = self.world.node_mut(s) {
+                sup.suspect(id);
+            }
+        }
+    }
+
+    fn step(&mut self) {
+        self.world.run_round();
+    }
+
+    fn is_legitimate(&self) -> bool {
+        (0..self.topics).all(|t| {
+            let t = TopicId(t);
+            super::multi::topic_is_legit(&self.world, self.shards.supervisor_for(t), t)
+        })
+    }
+
+    fn publications_converged(&self) -> (bool, usize) {
+        super::multi::fold_pubs_converged(&self.world, self.topics)
+    }
+
+    fn drain_events(&mut self, id: NodeId) -> Vec<Delivery> {
+        super::multi::drain_client_events(&self.world, &mut self.cursor, id)
+    }
+
+    fn subscriber_ids(&self) -> Vec<NodeId> {
+        super::multi::client_ids(&self.world)
+    }
+
+    fn snapshot(&self, topic: TopicId) -> World<Actor> {
+        self.assert_topic(topic);
+        MultiTopicBackend::snapshot_at(&self.world, self.shards.supervisor_for(topic), topic)
+    }
+
+    fn stats(&self) -> Stats {
+        super::stats_of(self.world.metrics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pubsub::SystemBuilder;
+
+    #[test]
+    fn topics_land_on_distinct_shards_and_stabilize() {
+        let topics = 8u32;
+        let mut ps = SystemBuilder::new(51)
+            .topics(topics)
+            .shards(4)
+            .protocol(ProtocolConfig::topology_only())
+            .build_sharded();
+        // Routing must spread topics over more than one shard.
+        let distinct: std::collections::BTreeSet<NodeId> = (0..topics)
+            .map(|t| ps.supervisor_for(TopicId(t)))
+            .collect();
+        assert!(distinct.len() > 1, "consistent hashing must shard topics");
+        for t in 0..topics {
+            for _ in 0..3 {
+                ps.subscribe(TopicId(t));
+            }
+        }
+        let (_, ok) = ps.until_legit(4000);
+        assert!(ok, "every shard's topics must stabilize");
+        // Each topic's snapshot places its own shard as the supervisor.
+        for t in 0..topics {
+            let snap = ps.snapshot(TopicId(t));
+            let sup_id = crate::scenarios::supervisor_id(&snap);
+            assert_eq!(sup_id, ps.supervisor_for(TopicId(t)));
+        }
+    }
+
+    #[test]
+    fn publish_is_shard_local() {
+        let mut ps = SystemBuilder::new(52)
+            .topics(4)
+            .shards(2)
+            .build_sharded();
+        let t = TopicId(2);
+        let ids: Vec<NodeId> = (0..3).map(|_| ps.subscribe(t)).collect();
+        assert!(ps.until_legit(4000).1);
+        ps.publish(ids[0], t, b"sharded hello".to_vec()).unwrap();
+        assert!(ps.until_pubs_converged(2000).1);
+        for &id in &ids {
+            let ev = ps.drain_events(id);
+            assert_eq!(ev.len(), 1);
+            assert_eq!(ev[0].topic, t);
+        }
+        // Only the responsible shard carries the topic's database.
+        let sup = ps.supervisor_for(t);
+        for &s in ps.supervisor_ids() {
+            let hosts = ps
+                .world()
+                .node(s)
+                .and_then(|a| a.topic_supervisor(t))
+                .map(|sv| sv.n())
+                .unwrap_or(0);
+            if s == sup {
+                assert_eq!(hosts, 3);
+            } else {
+                assert_eq!(hosts, 0, "shard {s} must not host topic {t:?}");
+            }
+        }
+    }
+}

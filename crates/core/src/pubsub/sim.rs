@@ -1,0 +1,232 @@
+//! [`SimBackend`]: the single-topic deterministic simulator behind the
+//! [`PubSub`] facade — synchronous rounds, or chaos rounds when a
+//! [`ChaosConfig`] is attached.
+
+use super::{Delivery, EventCursor, PubSub, Stats};
+use crate::api::SkipRingSim;
+use crate::checker::LegitReport;
+use crate::topics::TopicId;
+use crate::{Actor, ProtocolConfig};
+use skippub_bits::BitStr;
+use skippub_sim::{ChaosConfig, Metrics, NodeId, World};
+use skippub_trie::Publication;
+
+/// The deterministic-simulator backend: one supervisor, one topic
+/// (`TopicId(0)`), driven in synchronous rounds — or chaos rounds
+/// (random delays, reordering, probabilistic timeouts) when built via
+/// [`super::SystemBuilder::build_chaos`].
+pub struct SimBackend {
+    sim: SkipRingSim,
+    chaos: Option<ChaosConfig>,
+    cursor: EventCursor,
+}
+
+/// The one topic a single-topic backend serves.
+const TOPIC: TopicId = TopicId(0);
+
+fn assert_topic(topic: TopicId) {
+    assert!(
+        topic == TOPIC,
+        "single-topic backend serves only TopicId(0), got {topic:?}"
+    );
+}
+
+impl SimBackend {
+    pub(crate) fn new(seed: u64, cfg: ProtocolConfig, chaos: Option<ChaosConfig>) -> Self {
+        SimBackend {
+            sim: SkipRingSim::new(seed, cfg),
+            chaos,
+            cursor: EventCursor::new(),
+        }
+    }
+
+    /// Wraps an existing world (scenario builders: legitimate warm
+    /// starts, adversarial initial states).
+    pub fn from_world(world: World<Actor>, cfg: ProtocolConfig) -> Self {
+        SimBackend {
+            sim: SkipRingSim::from_world(world, cfg),
+            chaos: None,
+            cursor: EventCursor::new(),
+        }
+    }
+
+    /// Attaches a chaos scheduler: [`PubSub::step`] becomes one chaos
+    /// round.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The wrapped single-topic simulator, for white-box probes the
+    /// facade does not cover.
+    pub fn sim(&self) -> &SkipRingSim {
+        &self.sim
+    }
+
+    /// Mutable access to the wrapped simulator (adversarial state
+    /// injection).
+    pub fn sim_mut(&mut self) -> &mut SkipRingSim {
+        &mut self.sim
+    }
+
+    /// Detailed legitimacy report for the topic.
+    pub fn report(&self) -> LegitReport {
+        self.sim.report()
+    }
+
+    /// Simulator metrics (per-kind and per-node counters).
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+}
+
+impl PubSub for SimBackend {
+    fn backend_name(&self) -> &'static str {
+        if self.chaos.is_some() {
+            "chaos"
+        } else {
+            "sim"
+        }
+    }
+
+    fn topic_count(&self) -> u32 {
+        1
+    }
+
+    fn subscribe(&mut self, topic: TopicId) -> NodeId {
+        assert_topic(topic);
+        self.sim.add_subscriber()
+    }
+
+    fn join(&mut self, id: NodeId, topic: TopicId) {
+        assert_topic(topic);
+        if let Some(s) = self
+            .sim
+            .world_mut()
+            .node_mut(id)
+            .and_then(Actor::subscriber_mut)
+        {
+            s.wants_membership = true;
+        }
+    }
+
+    fn unsubscribe(&mut self, id: NodeId, topic: TopicId) {
+        assert_topic(topic);
+        self.sim.unsubscribe(id);
+    }
+
+    fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
+        assert_topic(topic);
+        self.sim.publish(id, payload)
+    }
+
+    fn seed_publication(&mut self, id: NodeId, topic: TopicId, publication: Publication) -> bool {
+        assert_topic(topic);
+        self.sim.seed_publication(id, publication).unwrap_or(false)
+    }
+
+    fn crash(&mut self, id: NodeId) {
+        self.sim.crash(id);
+        self.cursor.forget(id);
+    }
+
+    fn report_crash(&mut self, id: NodeId) {
+        self.sim.report_crash(id);
+    }
+
+    fn step(&mut self) {
+        match self.chaos {
+            Some(cfg) => self.sim.world_mut().run_chaos_round(cfg),
+            None => self.sim.run_round(),
+        }
+    }
+
+    fn is_legitimate(&self) -> bool {
+        self.sim.is_legitimate()
+    }
+
+    fn publications_converged(&self) -> (bool, usize) {
+        self.sim.publications_converged()
+    }
+
+    fn drain_events(&mut self, id: NodeId) -> Vec<Delivery> {
+        match self.sim.subscriber(id) {
+            Some(s) => self.cursor.drain(id, [(TOPIC, &s.trie)]),
+            None => Vec::new(),
+        }
+    }
+
+    fn subscriber_ids(&self) -> Vec<NodeId> {
+        self.sim.subscriber_ids()
+    }
+
+    fn snapshot(&self, topic: TopicId) -> World<Actor> {
+        assert_topic(topic);
+        let mut world = World::new(0);
+        for (id, actor) in self.sim.world().iter() {
+            world.add_node(id, actor.clone());
+        }
+        world
+    }
+
+    fn stats(&self) -> Stats {
+        super::stats_of(self.sim.metrics())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pubsub::SystemBuilder;
+
+    #[test]
+    fn facade_bootstrap_publish_drain() {
+        let mut ps = SystemBuilder::new(31).build_sim();
+        let ids: Vec<NodeId> = (0..5).map(|_| ps.subscribe(TOPIC)).collect();
+        assert_eq!(ids[0], NodeId(1), "client ids start at 1");
+        let (_, ok) = ps.until_legit(500);
+        assert!(ok);
+        let key = ps.publish(ids[0], TOPIC, b"hi".to_vec()).unwrap();
+        let (_, ok) = ps.until_pubs_converged(100);
+        assert!(ok);
+        for &id in &ids {
+            let ev = ps.drain_events(id);
+            assert_eq!(ev.len(), 1);
+            assert_eq!(ev[0].key, key);
+            assert_eq!(ev[0].author, ids[0].0);
+        }
+        // Drains are cursored: nothing new the second time.
+        assert!(ps.drain_events(ids[0]).is_empty());
+    }
+
+    #[test]
+    fn chaos_backend_converges_and_reports_name() {
+        let mut ps = SystemBuilder::new(32).build_chaos();
+        assert_eq!(ps.backend_name(), "chaos");
+        for _ in 0..4 {
+            ps.subscribe(TOPIC);
+        }
+        let (_, ok) = ps.until_legit(5000);
+        assert!(ok, "chaos scheduler must still converge");
+    }
+
+    #[test]
+    fn crash_and_rejoin_through_facade() {
+        let mut ps = SystemBuilder::new(33)
+            .protocol(ProtocolConfig::topology_only())
+            .build_sim();
+        let ids: Vec<NodeId> = (0..5).map(|_| ps.subscribe(TOPIC)).collect();
+        assert!(ps.until_legit(500).1);
+        ps.crash(ids[1]);
+        for _ in 0..3 {
+            ps.step();
+        }
+        ps.report_crash(ids[1]);
+        assert!(ps.until_legit(800).1);
+        assert_eq!(ps.subscriber_ids().len(), 4);
+        // Snapshot is judged by the same checker.
+        let snap = ps.snapshot(TOPIC);
+        assert!(crate::checker::is_legitimate(&snap));
+        assert!(ps.stats().sent > 0);
+    }
+}

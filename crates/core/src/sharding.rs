@@ -28,12 +28,21 @@ pub struct SupervisorShards {
     replicas: usize,
 }
 
+/// Ring-point hash. Allocation-free: the preimage (`tag ∘ id ∘ replica`,
+/// same byte layout the original `Vec`-based version hashed, so ring
+/// positions are unchanged) is assembled in a fixed-size stack buffer —
+/// `supervisor_for` sits on the per-message routing path of the sharded
+/// backend and must not pay a heap round-trip per lookup (asserted by the
+/// counting-allocator test `crates/core/tests/alloc_free.rs`).
 fn point(tag: &str, id: u64, replica: usize) -> u64 {
-    let mut bytes = Vec::with_capacity(tag.len() + 16);
-    bytes.extend_from_slice(tag.as_bytes());
-    bytes.extend_from_slice(&id.to_le_bytes());
-    bytes.extend_from_slice(&(replica as u64).to_le_bytes());
-    Hash128::of_bytes(&bytes).words()[0]
+    let tag = tag.as_bytes();
+    debug_assert!(tag.len() <= 16, "ring tags are short literals");
+    let mut buf = [0u8; 32];
+    let len = tag.len() + 16;
+    buf[..tag.len()].copy_from_slice(tag);
+    buf[tag.len()..tag.len() + 8].copy_from_slice(&id.to_le_bytes());
+    buf[tag.len() + 8..len].copy_from_slice(&(replica as u64).to_le_bytes());
+    Hash128::of_bytes(&buf[..len]).words()[0]
 }
 
 impl SupervisorShards {

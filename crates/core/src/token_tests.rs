@@ -149,8 +149,9 @@ fn stale_token_returns_are_ignored() {
     let seq = sim.supervisor().token_seq;
     let outstanding = sim.supervisor().token_outstanding;
     // Inject a return for a long-gone issue number.
-    sim.world.inject(
-        sim.supervisor_id(),
+    let sup_id = sim.supervisor_id();
+    sim.world_mut().inject(
+        sup_id,
         Msg::TokenReturn {
             seq: seq.wrapping_sub(1),
         },

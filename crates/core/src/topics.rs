@@ -75,7 +75,9 @@ impl MultiActor {
 
     /// Client-side: start a `BuildSR` instance for `topic` ("Once a
     /// subscriber wants to subscribe to some topic t ∈ T, it starts
-    /// running a new BuildSR protocol for topic t").
+    /// running a new BuildSR protocol for topic t"). If an instance
+    /// still exists from a pending departure, membership is re-affirmed
+    /// instead (matching the single-topic backends' rejoin semantics).
     pub fn join_topic(&mut self, topic: TopicId) {
         if let MultiActor::Client {
             topics,
@@ -86,7 +88,24 @@ impl MultiActor {
         {
             topics
                 .entry(topic)
+                .and_modify(|s| s.wants_membership = true)
                 .or_insert_with(|| Subscriber::new(*id, *supervisor, *cfg));
+        }
+    }
+
+    /// Client-side variant of [`MultiActor::join_topic`] that directs the
+    /// new `BuildSR` instance at an explicit `supervisor` — the hook the
+    /// sharded backend uses to route each topic to the consistent-hash
+    /// shard responsible for it (§1.3).
+    pub fn join_topic_at(&mut self, topic: TopicId, supervisor: NodeId) {
+        if let MultiActor::Client {
+            topics, id, cfg, ..
+        } = self
+        {
+            topics
+                .entry(topic)
+                .and_modify(|s| s.wants_membership = true)
+                .or_insert_with(|| Subscriber::new(*id, supervisor, *cfg));
         }
     }
 
@@ -130,6 +149,59 @@ impl MultiActor {
         match self {
             MultiActor::Supervisor { topics, .. } => topics.keys().copied().collect(),
             MultiActor::Client { topics, .. } => topics.keys().copied().collect(),
+        }
+    }
+
+    /// Whether this actor is a client.
+    pub fn is_client(&self) -> bool {
+        matches!(self, MultiActor::Client { .. })
+    }
+
+    /// Client-side local publish on `topic` (inserts into the per-topic
+    /// trie and floods along that topic's edges, §4.3). Returns the
+    /// derived publication key, or `None` if this actor is not a client
+    /// subscribed to `topic`.
+    pub fn publish_local(
+        &mut self,
+        ctx: &mut Ctx<'_, TopicMsg>,
+        topic: TopicId,
+        payload: Vec<u8>,
+    ) -> Option<skippub_bits::BitStr> {
+        let MultiActor::Client { topics, .. } = self else {
+            return None;
+        };
+        let sub = topics.get_mut(&topic)?;
+        let mut key = None;
+        with_topic_ctx(topic, ctx, |ictx| {
+            key = Some(sub.publish_local(ictx, payload));
+        });
+        key
+    }
+
+    /// Client-side out-of-band publication insert (no flooding): models a
+    /// publication that arrived through an unmodelled channel, used by
+    /// adversarial-start experiments. Returns whether it was new.
+    pub fn seed_publication(
+        &mut self,
+        topic: TopicId,
+        publication: skippub_trie::Publication,
+    ) -> bool {
+        match self {
+            MultiActor::Client { topics, .. } => topics
+                .get_mut(&topic)
+                .map(|s| s.trie.insert(publication))
+                .unwrap_or(false),
+            MultiActor::Supervisor { .. } => false,
+        }
+    }
+
+    /// Supervisor-side failure-detector feed (§3.3): suspect `node` in
+    /// every topic instance hosted here. No-op on clients.
+    pub fn suspect(&mut self, node: NodeId) {
+        if let MultiActor::Supervisor { topics, .. } = self {
+            for sup in topics.values_mut() {
+                sup.suspect(node);
+            }
         }
     }
 }
@@ -266,6 +338,35 @@ mod tests {
         }
         assert!(w.node(NodeId(2)).unwrap().topic_subscriber(t).is_none());
         assert_eq!(w.node(SUP).unwrap().topic_supervisor(t).unwrap().n(), 2);
+    }
+
+    #[test]
+    fn rejoin_during_pending_departure_reaffirms_membership() {
+        let mut w = multi_world(3, 24);
+        let t = TopicId(5);
+        for i in 1..=3u64 {
+            w.node_mut(NodeId(i)).unwrap().join_topic(t);
+        }
+        for _ in 0..80 {
+            w.run_round();
+        }
+        // Leave, then immediately rejoin before the supervisor grants
+        // the departure: the node must stay a member (same semantics as
+        // the single-topic backends' rejoin).
+        let n2 = w.node_mut(NodeId(2)).unwrap();
+        n2.leave_topic(t);
+        n2.join_topic(t);
+        for _ in 0..120 {
+            w.run_round();
+        }
+        let sub = w
+            .node(NodeId(2))
+            .unwrap()
+            .topic_subscriber(t)
+            .expect("instance kept");
+        assert!(sub.wants_membership);
+        assert!(sub.label.is_some());
+        assert_eq!(w.node(SUP).unwrap().topic_supervisor(t).unwrap().n(), 3);
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn stale_neighbor_label_belief_is_repaired() {
     let mut sim = SkipRingSim::from_world(scenarios::legit_world(8, 1, cfg), cfg);
     let victim = sim.subscriber_ids()[3];
     {
-        let s = sim.world.node_mut(victim).unwrap().subscriber_mut().unwrap();
+        let s = sim.world_mut().node_mut(victim).unwrap().subscriber_mut().unwrap();
         let l = s.left.expect("interior node has a left neighbour");
         s.left = Some(skippub_core::NodeRef::new(lab("0001110011"), l.id));
     }
@@ -37,8 +37,8 @@ fn crossed_edges_are_relinearized() {
     let (a, b) = (ids[3], ids[7]);
     let la = sim.subscriber(a).unwrap().left;
     let lb = sim.subscriber(b).unwrap().left;
-    sim.world.node_mut(a).unwrap().subscriber_mut().unwrap().left = lb;
-    sim.world.node_mut(b).unwrap().subscriber_mut().unwrap().left = la;
+    sim.world_mut().node_mut(a).unwrap().subscriber_mut().unwrap().left = lb;
+    sim.world_mut().node_mut(b).unwrap().subscriber_mut().unwrap().left = la;
     let (_, ok) = sim.run_until_legit(2000);
     assert!(ok, "{:?}", sim.report().issues);
 }
@@ -124,7 +124,7 @@ fn resubscribe_after_leaving() {
     assert!(ok);
     assert_eq!(sim.supervisor().n(), 4);
     // Change of heart: wants membership again.
-    sim.world.node_mut(v).unwrap().subscriber_mut().unwrap().wants_membership = true;
+    sim.world_mut().node_mut(v).unwrap().subscriber_mut().unwrap().wants_membership = true;
     let (_, ok) = sim.run_until_legit(2000);
     assert!(ok, "{:?}", sim.report().issues);
     assert_eq!(sim.supervisor().n(), 5);
@@ -197,7 +197,7 @@ fn corrupted_shortcut_values_to_live_nodes_heal() {
     // Point every resolved shortcut at the wrong (but live) node.
     let wrong = ids[0];
     for id in &ids {
-        let s = sim.world.node_mut(*id).unwrap().subscriber_mut().unwrap();
+        let s = sim.world_mut().node_mut(*id).unwrap().subscriber_mut().unwrap();
         for slot in s.shortcuts.values_mut() {
             if slot.is_some() && *slot != Some(wrong) {
                 *slot = Some(wrong);
@@ -219,7 +219,7 @@ fn supervisor_database_fully_scrambled() {
     let mut sim = SkipRingSim::from_world(scenarios::legit_world(10, 11, cfg), cfg);
     {
         let sup_id = sim.supervisor_id();
-        let sup = sim.world.node_mut(sup_id).unwrap().supervisor_mut().unwrap();
+        let sup = sim.world_mut().node_mut(sup_id).unwrap().supervisor_mut().unwrap();
         let labels: Vec<Label> = sup.database.keys().copied().collect();
         let nodes: Vec<Option<NodeId>> = sup.database.values().copied().collect();
         let n = nodes.len();
@@ -239,7 +239,7 @@ fn actor_enum_roundtrip_via_world() {
     let sim = SkipRingSim::from_world(scenarios::legit_world(3, 12, cfg), cfg);
     let mut supers = 0;
     let mut subs = 0;
-    for (_, a) in sim.world.iter() {
+    for (_, a) in sim.world().iter() {
         match a {
             Actor::Supervisor(_) => supers += 1,
             Actor::Subscriber(_) => subs += 1,

@@ -1,20 +1,31 @@
 //! E11 — Lemma 6 + §3.3: graceful unsubscribes disconnect the leaver and
 //! the system re-stabilizes; unannounced crashes are recovered through
 //! the single supervisor-side failure detector (no per-subscriber
-//! detectors needed).
+//! detectors needed). Driven through the backend-agnostic [`PubSub`]
+//! facade; disconnection is judged on facade snapshots.
 
 use crate::{Report, Scale, Table};
-use skippub_core::{scenarios, ProtocolConfig, SkipRingSim};
+use skippub_core::pubsub::SimBackend;
+use skippub_core::{scenarios, ProtocolConfig, PubSub, TopicId};
 use skippub_sim::NodeId;
 
-/// True if no live subscriber references `gone` anywhere.
-fn disconnected(sim: &SkipRingSim, gone: NodeId) -> bool {
-    sim.subscriber_ids().into_iter().all(|id| {
-        let s = sim.subscriber(id).expect("live");
+/// The single topic this experiment runs on.
+const TOPIC: TopicId = TopicId(0);
+
+/// True if no live subscriber in `snap` references `gone` anywhere.
+fn disconnected(snap: &skippub_sim::World<skippub_core::Actor>, gone: NodeId) -> bool {
+    snap.iter().filter_map(|(_, a)| a.subscriber()).all(|s| {
         let edge_refs = [s.left, s.right, s.ring];
         !edge_refs.into_iter().flatten().any(|r| r.id == gone)
             && !s.shortcuts.values().any(|v| *v == Some(gone))
     })
+}
+
+/// Database size at the snapshot's supervisor.
+fn supervisor_n(snap: &skippub_sim::World<skippub_core::Actor>) -> usize {
+    snap.iter()
+        .find_map(|(_, a)| a.supervisor().map(|s| s.n()))
+        .expect("snapshot has a supervisor")
 }
 
 /// Runs E11.
@@ -40,18 +51,14 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     for &(name, k) in fractions {
         let k = k.max(1);
         let world = scenarios::legit_world(n, seed, cfg);
-        let mut sim = SkipRingSim::from_world(world, cfg);
-        let victims: Vec<NodeId> = sim
-            .subscriber_ids()
-            .into_iter()
-            .step_by(3)
-            .take(k)
-            .collect();
+        let mut ps = SimBackend::from_world(world, cfg);
+        let victims: Vec<NodeId> = ps.subscriber_ids().into_iter().step_by(3).take(k).collect();
         for &v in &victims {
-            sim.unsubscribe(v);
+            ps.unsubscribe(v, TOPIC);
         }
-        let (rounds, ok) = sim.run_until_legit(800 * n as u64);
-        let disc = victims.iter().all(|&v| disconnected(&sim, v));
+        let (rounds, ok) = ps.until_legit(800 * n as u64);
+        let snap = ps.snapshot(TOPIC);
+        let disc = victims.iter().all(|&v| disconnected(&snap, v));
         all_ok &= ok;
         all_disc &= disc;
         t.row(vec![
@@ -59,7 +66,7 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             k.to_string(),
             rounds.to_string(),
             disc.to_string(),
-            sim.supervisor().n().to_string(),
+            supervisor_n(&snap).to_string(),
         ]);
     }
 
@@ -67,32 +74,28 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     for &(name, k) in fractions {
         let k = k.max(1);
         let world = scenarios::legit_world(n, seed ^ 0xC4A5, cfg);
-        let mut sim = SkipRingSim::from_world(world, cfg);
-        let victims: Vec<NodeId> = sim
-            .subscriber_ids()
-            .into_iter()
-            .step_by(4)
-            .take(k)
-            .collect();
+        let mut ps = SimBackend::from_world(world, cfg);
+        let victims: Vec<NodeId> = ps.subscriber_ids().into_iter().step_by(4).take(k).collect();
         for &v in &victims {
-            sim.crash(v);
+            ps.crash(v);
         }
         for _ in 0..3 {
-            sim.run_round(); // detector latency
+            ps.step(); // detector latency
         }
         for &v in &victims {
-            sim.report_crash(v);
+            ps.report_crash(v);
         }
-        let (rounds, ok) = sim.run_until_legit(800 * n as u64);
+        let (rounds, ok) = ps.until_legit(800 * n as u64);
         all_ok &= ok;
-        let disc = victims.iter().all(|&v| disconnected(&sim, v));
+        let snap = ps.snapshot(TOPIC);
+        let disc = victims.iter().all(|&v| disconnected(&snap, v));
         all_disc &= disc;
         t.row(vec![
             format!("crash {name}"),
             k.to_string(),
             rounds.to_string(),
             disc.to_string(),
-            sim.supervisor().n().to_string(),
+            supervisor_n(&snap).to_string(),
         ]);
     }
     verdicts.push((

@@ -84,7 +84,7 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let mut sim = SkipRingSim::from_world(world, cfg);
         let sup_id = sim.supervisor_id();
         if let Some(s) = sim
-            .world
+            .world_mut()
             .node_mut(sup_id)
             .and_then(skippub_core::Actor::supervisor_mut)
         {

@@ -1,10 +1,12 @@
 //! E8 — Theorem 17: publications scattered arbitrarily across subscribers
 //! converge, via anti-entropy alone (flooding disabled), to every
-//! subscriber holding the complete set.
+//! subscriber holding the complete set. Driven through the backend-
+//! agnostic [`PubSub`] facade.
 
 use crate::table::f2;
 use crate::{Report, Scale, Table};
-use skippub_core::{scenarios, Actor, ProtocolConfig, SkipRingSim};
+use skippub_core::pubsub::SimBackend;
+use skippub_core::{scenarios, ProtocolConfig, PubSub, TopicId};
 use skippub_trie::Publication;
 
 /// Runs E8.
@@ -32,27 +34,25 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut all_ok = true;
     for &(n, pubs) in sweep {
         let world = scenarios::legit_world(n, seed, cfg);
-        let mut sim = SkipRingSim::from_world(world, cfg);
-        let ids = sim.subscriber_ids();
+        let mut ps = SimBackend::from_world(world, cfg);
+        let ids = ps.subscriber_ids();
         // Scatter |P| publications at deterministic pseudo-random hosts,
         // inserted directly (as if flooding had been lost entirely).
         for i in 0..pubs {
             let host = ids[(i * 7 + 3) % ids.len()];
             let p = Publication::new(host.0, format!("pub-{i}").into_bytes());
-            sim.world
-                .node_mut(host)
-                .and_then(Actor::subscriber_mut)
-                .map(|s| s.trie.insert(p));
+            ps.seed_publication(host, TopicId(0), p);
         }
-        let before = sim.metrics().clone();
-        let (rounds, ok) = sim.run_until_pubs_converged(600 * n as u64);
+        let before = ps.metrics().clone();
+        let (rounds, ok) = ps.until_pubs_converged(600 * n as u64);
         all_ok &= ok;
-        let d = sim.metrics().diff(&before);
-        let per_node = sim.subscriber(ids[0]).map(|s| s.trie.len()).unwrap_or(0);
+        let d = ps.metrics().diff(&before);
+        let per_node = ps.drain_events(ids[0]).len();
         // Redundancy: how many publication copies travelled per pub.
-        let sync_learned: u64 = ids
+        let snap = ps.snapshot(TopicId(0));
+        let sync_learned: u64 = snap
             .iter()
-            .filter_map(|id| sim.subscriber(*id))
+            .filter_map(|(_, a)| a.subscriber())
             .map(|s| s.counters.pubs_via_sync)
             .sum();
         t.row(vec![

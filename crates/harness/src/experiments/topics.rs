@@ -4,28 +4,24 @@
 
 use crate::table::f2;
 use crate::{Report, Scale, Table};
+use skippub_core::pubsub::MultiTopicBackend;
 use skippub_core::sharding::SupervisorShards;
-use skippub_core::topics::{MultiActor, TopicId};
-use skippub_core::ProtocolConfig;
-use skippub_sim::{NodeId, World};
+use skippub_core::topics::TopicId;
+use skippub_core::{ProtocolConfig, PubSub, SystemBuilder};
+use skippub_sim::NodeId;
 
-const SUP: NodeId = NodeId(0);
-
-fn multi_world(topics: usize, subs_per_topic: usize, seed: u64) -> World<MultiActor> {
-    let mut w = World::new(seed);
-    w.add_node(SUP, MultiActor::new_supervisor(SUP));
+fn multi_system(topics: usize, subs_per_topic: usize, seed: u64) -> MultiTopicBackend {
+    let mut ps = SystemBuilder::new(seed)
+        .topics(topics as u32)
+        .protocol(ProtocolConfig::topology_only())
+        .build_multi();
     // Distinct clients per topic (worst case for the supervisor).
-    let mut next = 1u64;
     for t in 0..topics {
         for _ in 0..subs_per_topic {
-            let id = NodeId(next);
-            next += 1;
-            let mut c = MultiActor::new_client(id, SUP, ProtocolConfig::topology_only());
-            c.join_topic(TopicId(t as u32));
-            w.add_node(id, c);
+            ps.subscribe(TopicId(t as u32));
         }
     }
-    w
+    ps
 }
 
 /// Runs E13.
@@ -42,16 +38,16 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut loads: Vec<(usize, usize, f64)> = Vec::new();
     for &topics in topic_sweep {
         for &subs in subs_sweep {
-            let mut w = multi_world(topics, subs, seed);
+            let mut ps = multi_system(topics, subs, seed);
             for _ in 0..warmup {
-                w.run_round();
+                ps.step();
             }
-            let before = w.metrics().clone();
+            let before = ps.metrics().clone();
             for _ in 0..measure {
-                w.run_round();
+                ps.step();
             }
-            let d = w.metrics().diff(&before);
-            let rate = d.sent_by(SUP) as f64 / measure as f64;
+            let d = ps.metrics().diff(&before);
+            let rate = d.sent_by(ps.supervisor_id()) as f64 / measure as f64;
             loads.push((topics, subs, rate));
             t.row(vec![
                 topics.to_string(),

@@ -1,0 +1,214 @@
+//! [`NetBackend`]: the threaded runtime behind the backend-agnostic
+//! [`PubSub`] facade from `skippub-core`.
+//!
+//! Under real concurrency there is no global round, so one facade
+//! [`PubSub::step`] becomes a short **wall-clock slice** and the
+//! `until_*` drivers become quiescence polling: snapshot the live node
+//! states, judge them with the very same checker the simulator uses,
+//! sleep, repeat. Budgets passed to `until_legit` /
+//! `until_pubs_converged` are therefore *time* budgets
+//! (`max_steps × poll interval`), not round counts.
+
+use crate::runtime::{NetConfig, Network, SUPERVISOR};
+use skippub_core::checker;
+use skippub_core::pubsub::{Delivery, EventCursor, PubSub, Stats, SystemBuilder};
+use skippub_core::{Actor, TopicId};
+use skippub_bits::BitStr;
+use skippub_sim::{NodeId, World};
+use skippub_trie::Publication;
+use std::time::Duration;
+
+/// The threaded single-topic backend: every node on its own OS thread,
+/// messages through the delay-and-reorder wire. Shuts the network down
+/// on drop (or explicitly via [`NetBackend::shutdown`]).
+pub struct NetBackend {
+    net: Option<Network>,
+    cursor: EventCursor,
+    steps: u64,
+    poll: Duration,
+}
+
+/// The one topic a single-topic backend serves.
+const TOPIC: TopicId = TopicId(0);
+
+fn assert_topic(topic: TopicId) {
+    assert!(
+        topic == TOPIC,
+        "single-topic backend serves only TopicId(0), got {topic:?}"
+    );
+}
+
+impl NetBackend {
+    /// Starts a network with the given runtime configuration and a
+    /// 10 ms poll slice.
+    pub fn start(cfg: NetConfig) -> Self {
+        NetBackend {
+            net: Some(Network::start(cfg)),
+            cursor: EventCursor::new(),
+            steps: 0,
+            poll: Duration::from_millis(10),
+        }
+    }
+
+    /// Builds the threaded backend from the same [`SystemBuilder`] the
+    /// simulated backends use (seed and protocol knobs are carried
+    /// over; wire delays/timeout period keep the `NetConfig` defaults).
+    /// Panics if the builder asks for more than one topic.
+    pub fn from_builder(builder: &SystemBuilder) -> Self {
+        assert!(
+            builder.topic_count() == 1,
+            "threaded backend serves exactly one topic"
+        );
+        Self::start(NetConfig {
+            seed: builder.seed(),
+            protocol: builder.protocol_config(),
+            ..NetConfig::default()
+        })
+    }
+
+    /// Overrides the wall-clock duration of one facade step.
+    pub fn with_poll_interval(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    /// The running network, for probes the facade does not cover
+    /// (wire statistics, raw snapshots).
+    pub fn network(&self) -> &Network {
+        self.net.as_ref().expect("network running")
+    }
+
+    /// Mutable access to the running network.
+    pub fn network_mut(&mut self) -> &mut Network {
+        self.net.as_mut().expect("network running")
+    }
+
+    /// Stops every thread and tears the network down.
+    pub fn shutdown(mut self) {
+        if let Some(net) = self.net.take() {
+            net.shutdown();
+        }
+    }
+}
+
+impl Drop for NetBackend {
+    fn drop(&mut self) {
+        if let Some(net) = self.net.take() {
+            net.shutdown();
+        }
+    }
+}
+
+impl PubSub for NetBackend {
+    fn backend_name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn topic_count(&self) -> u32 {
+        1
+    }
+
+    fn subscribe(&mut self, topic: TopicId) -> NodeId {
+        assert_topic(topic);
+        self.network_mut().spawn_subscriber()
+    }
+
+    fn join(&mut self, id: NodeId, topic: TopicId) {
+        assert_topic(topic);
+        self.network().rejoin(id);
+    }
+
+    fn unsubscribe(&mut self, id: NodeId, topic: TopicId) {
+        assert_topic(topic);
+        self.network().unsubscribe(id);
+    }
+
+    fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
+        assert_topic(topic);
+        self.network().publish(id, payload)
+    }
+
+    fn seed_publication(&mut self, id: NodeId, topic: TopicId, publication: Publication) -> bool {
+        assert_topic(topic);
+        self.network()
+            .seed_publication(id, publication)
+            .unwrap_or(false)
+    }
+
+    fn crash(&mut self, id: NodeId) {
+        self.network_mut().crash(id);
+        self.cursor.forget(id);
+    }
+
+    fn report_crash(&mut self, id: NodeId) {
+        self.network().report_crash(id);
+    }
+
+    fn step(&mut self) {
+        std::thread::sleep(self.poll);
+        self.steps += 1;
+    }
+
+    fn is_legitimate(&self) -> bool {
+        self.network().is_legitimate()
+    }
+
+    fn publications_converged(&self) -> (bool, usize) {
+        checker::publications_converged(&self.network().snapshot())
+    }
+
+    fn drain_events(&mut self, id: NodeId) -> Vec<Delivery> {
+        // One lock on the one node — not a full-world snapshot.
+        let cursor = &mut self.cursor;
+        self.net
+            .as_ref()
+            .expect("network running")
+            .with_subscriber(id, |s| cursor.drain(id, [(TOPIC, &s.trie)]))
+            .unwrap_or_default()
+    }
+
+    fn subscriber_ids(&self) -> Vec<NodeId> {
+        self.network()
+            .ids()
+            .into_iter()
+            .filter(|&id| id != SUPERVISOR)
+            .collect()
+    }
+
+    fn snapshot(&self, topic: TopicId) -> World<Actor> {
+        assert_topic(topic);
+        self.network().snapshot()
+    }
+
+    fn stats(&self) -> Stats {
+        let (sent, delivered, dropped) = self.network().wire_stats();
+        Stats {
+            steps: self.steps,
+            sent,
+            delivered,
+            dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_drives_the_threaded_runtime() {
+        let mut ps = NetBackend::from_builder(&SystemBuilder::new(71))
+            .with_poll_interval(Duration::from_millis(5));
+        let ids: Vec<NodeId> = (0..4).map(|_| ps.subscribe(TOPIC)).collect();
+        let (_, ok) = ps.until_legit(6000);
+        assert!(ok, "threaded bootstrap must stabilize");
+        ps.publish(ids[0], TOPIC, b"over threads".to_vec()).unwrap();
+        let (_, ok) = ps.until_pubs_converged(6000);
+        assert!(ok);
+        for &id in &ids {
+            assert_eq!(ps.drain_events(id).len(), 1);
+        }
+        assert!(ps.stats().sent > 0);
+        ps.shutdown();
+    }
+}

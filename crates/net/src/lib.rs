@@ -28,7 +28,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod facade;
 mod runtime;
 mod wire;
 
-pub use runtime::{NetConfig, Network};
+pub use facade::NetBackend;
+pub use runtime::{NetConfig, Network, SUPERVISOR};

@@ -5,6 +5,7 @@ use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 use skippub_bits::BitStr;
 use skippub_core::{checker, Actor, Msg, ProtocolConfig, Subscriber, Supervisor};
+use skippub_trie::Publication;
 use skippub_sim::{NodeId, Protocol, World};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,8 +57,10 @@ pub struct Network {
     seed_ctr: Arc<AtomicU64>,
 }
 
-/// The supervisor's well-known address.
-pub const SUPERVISOR: NodeId = NodeId(0);
+/// The supervisor's well-known address — the *same* definition the
+/// simulator's scenario builders use (re-exported rather than redeclared
+/// so the two deployments can never drift apart).
+pub use skippub_core::scenarios::SUPERVISOR;
 
 impl Network {
     /// Starts the wire and the supervisor.
@@ -178,6 +181,26 @@ impl Network {
         });
     }
 
+    /// Re-affirms membership of a previously unsubscribed (but still
+    /// running) subscriber: its next timeout re-subscribes.
+    pub fn rejoin(&self, id: NodeId) {
+        self.with_actor(id, |actor, _| {
+            if let Some(s) = actor.subscriber_mut() {
+                s.wants_membership = true;
+            }
+        });
+    }
+
+    /// Inserts `publication` directly into `id`'s store, bypassing
+    /// flooding (models out-of-band receipt; Theorem 17's arbitrary
+    /// initial distribution). Returns whether it was new, or `None` if
+    /// `id` is not a live subscriber.
+    pub fn seed_publication(&self, id: NodeId, publication: Publication) -> Option<bool> {
+        self.with_actor(id, |actor, _| {
+            actor.subscriber_mut().map(|s| s.trie.insert(publication))
+        })?
+    }
+
     /// Crashes a node abruptly: thread stops, state vanishes, in-flight
     /// messages to it are consumed by the wire (§3.3).
     pub fn crash(&mut self, id: NodeId) {
@@ -197,6 +220,15 @@ impl Network {
                 sup.suspect(id);
             }
         });
+    }
+
+    /// Runs `f` against subscriber `id`'s live state — one lock, no
+    /// world clone (the cheap path for per-node reads like delivery
+    /// draining). Returns `None` if `id` is gone or not a subscriber.
+    pub fn with_subscriber<R>(&self, id: NodeId, f: impl FnOnce(&Subscriber) -> R) -> Option<R> {
+        let handle = self.nodes.get(&id)?;
+        let actor = handle.state.lock();
+        actor.subscriber().map(f)
     }
 
     /// Clones every node's state into a deterministic [`World`] snapshot

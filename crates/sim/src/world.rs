@@ -186,7 +186,7 @@ struct Slot<P: Protocol> {
 
 /// The simulated distributed system.
 ///
-/// See the [module docs](self) for the slab layout, the
+/// See the crate docs for the slab layout, the
 /// zero-allocation invariant, and the determinism contract.
 pub struct World<P: Protocol> {
     /// Dense slot storage; `None` is a tombstone left by a crash.

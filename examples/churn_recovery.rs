@@ -4,12 +4,19 @@
 //! supervisor's single failure detector (§3.3) is the only failure
 //! information in the whole system.
 //!
+//! The whole scenario is driven through the same `PubSub` facade the
+//! simulated backends use — a facade `step` is a 10 ms wall-clock slice
+//! here, so the `until_*` budgets are time deadlines.
+//!
 //! ```text
 //! cargo run --release --example churn_recovery
 //! ```
 
-use skippub_net::{NetConfig, Network};
+use skippub_core::{PubSub, TopicId};
+use skippub_net::{NetBackend, NetConfig};
 use std::time::{Duration, Instant};
+
+const T: TopicId = TopicId(0);
 
 fn main() {
     let cfg = NetConfig {
@@ -19,15 +26,12 @@ fn main() {
         timeout_interval: Duration::from_millis(3),
         ..NetConfig::default()
     };
-    let mut net = Network::start(cfg);
+    let mut ps = NetBackend::start(cfg);
 
     let n = 12;
-    let ids: Vec<_> = (0..n).map(|_| net.spawn_subscriber()).collect();
+    let ids: Vec<_> = (0..n).map(|_| ps.subscribe(T)).collect();
     let t0 = Instant::now();
-    assert!(
-        net.await_legitimate(Duration::from_secs(60)),
-        "bootstrap stalled"
-    );
+    assert!(ps.until_legit(6000).1, "bootstrap stalled");
     println!(
         "✓ {n} threaded subscribers stabilized in {:.2?}",
         t0.elapsed()
@@ -35,16 +39,16 @@ fn main() {
 
     // Publish a few messages so there is state to preserve through churn.
     for (i, &id) in ids.iter().take(3).enumerate() {
-        net.publish(id, format!("pre-churn message {i}").into_bytes());
+        ps.publish(id, T, format!("pre-churn message {i}").into_bytes());
     }
-    assert!(net.await_pubs_converged(Duration::from_secs(60)));
+    assert!(ps.until_pubs_converged(6000).1);
     println!("✓ 3 publications delivered to everyone");
 
     // Churn: two crashes (abrupt thread kills) + one graceful leave.
     let t1 = Instant::now();
-    net.crash(ids[2]);
-    net.crash(ids[7]);
-    net.unsubscribe(ids[4]);
+    ps.crash(ids[2]);
+    ps.crash(ids[7]);
+    ps.unsubscribe(ids[4], T);
     println!(
         "… crashed {:?} and {:?}, unsubscribed {:?}",
         ids[2], ids[7], ids[4]
@@ -52,23 +56,29 @@ fn main() {
 
     // The eventually-correct failure detector reports after a delay.
     std::thread::sleep(Duration::from_millis(30));
-    net.report_crash(ids[2]);
-    net.report_crash(ids[7]);
+    ps.report_crash(ids[2]);
+    ps.report_crash(ids[7]);
 
-    assert!(
-        net.await_legitimate(Duration::from_secs(120)),
-        "recovery stalled"
-    );
+    assert!(ps.until_legit(12000).1, "recovery stalled");
     println!("✓ re-stabilized {:.2?} after the churn burst", t1.elapsed());
 
-    // The survivors still hold the complete publication history.
-    assert!(net.await_pubs_converged(Duration::from_secs(60)));
-    let snap = net.snapshot();
-    let survivors = snap
-        .iter()
-        .filter_map(|(_, a)| a.subscriber())
-        .filter(|s| s.wants_membership)
-        .count();
+    // The survivors still hold the complete publication history,
+    // observed through the facade's event API.
+    assert!(ps.until_pubs_converged(6000).1);
+    let snap = ps.snapshot(T);
+    let mut survivors = 0;
+    for &id in &ids {
+        let is_member = snap
+            .node(id)
+            .and_then(skippub_core::Actor::subscriber)
+            .map(|s| s.wants_membership)
+            .unwrap_or(false);
+        if is_member {
+            let events = ps.drain_events(id);
+            assert_eq!(events.len(), 3, "survivor {id:?} missing history");
+            survivors += 1;
+        }
+    }
     let sup_n = snap
         .iter()
         .find_map(|(_, a)| a.supervisor())
@@ -77,7 +87,10 @@ fn main() {
     println!("✓ {survivors} survivors (database size {sup_n}), history intact");
     assert_eq!(sup_n, n - 3);
 
-    let (sent, delivered, dropped) = net.wire_stats();
-    println!("wire: {sent} sent, {delivered} delivered, {dropped} consumed by crashes");
-    net.shutdown();
+    let stats = ps.stats();
+    println!(
+        "wire: {} sent, {} delivered, {} consumed by crashes",
+        stats.sent, stats.delivered, stats.dropped
+    );
+    ps.shutdown();
 }

@@ -5,63 +5,73 @@
 //! publications that have been issued so far" becomes *full chat history
 //! for late joiners* with no server storing messages.
 //!
+//! The room is written against `Box<dyn PubSub>`, so the same chat logic
+//! runs on any backend the `SystemBuilder` can construct.
+//!
 //! ```text
 //! cargo run --release --example group_chat
 //! ```
 
-use skippub_core::{ProtocolConfig, SkipRingSim};
+use skippub_core::{BackendKind, PubSub, SystemBuilder, TopicId};
 use skippub_sim::NodeId;
+use std::collections::BTreeMap;
+
+const ROOM: TopicId = TopicId(0);
 
 struct Chat {
-    sim: SkipRingSim,
+    ps: Box<dyn PubSub>,
+    /// Per-member transcript, fed exclusively by drained delivery events.
+    transcripts: BTreeMap<NodeId, Vec<(u64, String)>>,
 }
 
 impl Chat {
-    fn new() -> Self {
+    fn new(ps: Box<dyn PubSub>) -> Self {
         Chat {
-            sim: SkipRingSim::new(1234, ProtocolConfig::default()),
+            ps,
+            transcripts: BTreeMap::new(),
         }
     }
 
     fn join(&mut self) -> NodeId {
-        let id = self.sim.add_subscriber();
-        let (_, ok) = self.sim.run_until_legit(4000);
+        let id = self.ps.subscribe(ROOM);
+        let (_, ok) = self.ps.until_legit(4000);
         assert!(ok, "room must restabilize after a join");
+        self.transcripts.insert(id, Vec::new());
         id
     }
 
     fn say(&mut self, who: NodeId, name: &str, text: &str) {
         let line = format!("{name}: {text}");
-        self.sim
-            .publish(who, line.into_bytes())
+        self.ps
+            .publish(who, ROOM, line.into_bytes())
             .expect("member is online");
-        let (_, ok) = self.sim.run_until_pubs_converged(4000);
+        let (_, ok) = self.ps.until_pubs_converged(4000);
         assert!(ok, "message must reach the room");
+        self.pump();
+    }
+
+    /// Drains everyone's new deliveries into their transcripts.
+    fn pump(&mut self) {
+        for (&member, transcript) in self.transcripts.iter_mut() {
+            for d in self.ps.drain_events(member) {
+                transcript.push((d.author, String::from_utf8_lossy(&d.payload).into_owned()));
+            }
+            // Patricia tries store by key; order by author for a stable view.
+            transcript.sort();
+        }
     }
 
     fn transcript(&self, who: NodeId) -> Vec<String> {
-        let mut lines: Vec<(u64, String)> = self
-            .sim
-            .subscriber(who)
-            .expect("member")
-            .trie
-            .publications()
-            .iter()
-            .map(|p| {
-                (
-                    p.author(),
-                    String::from_utf8_lossy(p.payload()).into_owned(),
-                )
-            })
-            .collect();
-        // Patricia tries store by key; order by author for a stable view.
-        lines.sort();
-        lines.into_iter().map(|(_, l)| l).collect()
+        self.transcripts
+            .get(&who)
+            .map(|t| t.iter().map(|(_, l)| l.clone()).collect())
+            .unwrap_or_default()
     }
 }
 
 fn main() {
-    let mut chat = Chat::new();
+    // The same room logic would run on any backend kind.
+    let mut chat = Chat::new(SystemBuilder::new(1234).build(BackendKind::Sim));
 
     let alice = chat.join();
     let bob = chat.join();
@@ -74,8 +84,9 @@ fn main() {
     // Carol joins late — and receives the entire history via the
     // self-stabilizing anti-entropy layer.
     let carol = chat.join();
-    let (_, ok) = chat.sim.run_until_pubs_converged(4000);
+    let (_, ok) = chat.ps.until_pubs_converged(4000);
     assert!(ok);
+    chat.pump();
     println!("✓ carol joined late and synced the room history:");
     for line in chat.transcript(carol) {
         println!("    {line}");
@@ -89,9 +100,10 @@ fn main() {
     println!("✓ all members share the same 4-message transcript");
 
     // Bob leaves; the room keeps working and carol still sees everything.
-    chat.sim.unsubscribe(bob);
-    let (_, ok) = chat.sim.run_until_legit(4000);
+    chat.ps.unsubscribe(bob, ROOM);
+    let (_, ok) = chat.ps.until_legit(4000);
     assert!(ok);
+    chat.transcripts.remove(&bob);
     chat.say(alice, "alice", "bye bob o/");
     assert_eq!(chat.transcript(carol).len(), 5);
     println!("✓ room re-stabilized after bob left; chat continues");

@@ -1,20 +1,18 @@
 //! A topic-based news service (§4): one supervisor runs an independent
 //! `BuildSR` instance per topic; clients subscribe to the topics they
-//! care about and only ever receive matching stories.
+//! care about and only ever receive matching stories — all through the
+//! backend-agnostic `PubSub` facade (publishing included: no hand-rolled
+//! trie inserts or flood loops).
 //!
 //! ```text
 //! cargo run --release --example news_service
 //! ```
 
-use skippub_core::topics::{MultiActor, TopicId, TopicMsg};
-use skippub_core::{Msg, ProtocolConfig};
-use skippub_sim::{NodeId, World};
-use skippub_trie::Publication;
+use skippub_core::{PubSub, SystemBuilder, TopicId};
 
-const SUPERVISOR: NodeId = NodeId(0);
-const POLITICS: TopicId = TopicId(1);
-const SPORTS: TopicId = TopicId(2);
-const TECH: TopicId = TopicId(3);
+const POLITICS: TopicId = TopicId(0);
+const SPORTS: TopicId = TopicId(1);
+const TECH: TopicId = TopicId(2);
 
 fn topic_name(t: TopicId) -> &'static str {
     match t {
@@ -26,11 +24,9 @@ fn topic_name(t: TopicId) -> &'static str {
 }
 
 fn main() {
-    let mut world: World<MultiActor> = World::new(7);
-    world.add_node(SUPERVISOR, MultiActor::new_supervisor(SUPERVISOR));
+    let mut ps = SystemBuilder::new(7).topics(3).build_multi();
 
     // Ten readers with different interests.
-    let cfg = ProtocolConfig::default();
     let interests: &[(&str, &[TopicId])] = &[
         ("ada", &[POLITICS, TECH]),
         ("bob", &[SPORTS]),
@@ -44,31 +40,29 @@ fn main() {
         ("joe", &[TECH]),
     ];
     let mut ids = Vec::new();
-    for (i, (name, topics)) in interests.iter().enumerate() {
-        let id = NodeId(i as u64 + 1);
-        let mut c = MultiActor::new_client(id, SUPERVISOR, cfg);
-        for &t in *topics {
-            c.join_topic(t);
+    for (name, topics) in interests {
+        let id = ps.subscribe(topics[0]);
+        for &t in &topics[1..] {
+            ps.join(id, t);
         }
-        world.add_node(id, c);
         ids.push((id, *name, *topics));
     }
 
     // Let all three skip rings stabilize.
-    for _ in 0..300 {
-        world.run_round();
-    }
-    let sup = world.node(SUPERVISOR).expect("supervisor");
-    println!("topic subscriptions after stabilization:");
+    let (rounds, ok) = ps.until_legit(2000);
+    assert!(ok, "all three topics must stabilize");
+    println!("topic subscriptions after stabilization ({rounds} rounds):");
     for t in [POLITICS, SPORTS, TECH] {
-        println!(
-            "  {:<9} {} subscribers",
-            topic_name(t),
-            sup.topic_supervisor(t).map(|s| s.n()).unwrap_or(0)
-        );
+        let snap = ps.snapshot(t);
+        let n = snap
+            .iter()
+            .find_map(|(_, a)| a.supervisor().map(|s| s.n()))
+            .unwrap_or(0);
+        println!("  {:<9} {n} subscribers", topic_name(t));
     }
 
-    // Publish one story per topic (as the first subscriber of each).
+    // Publish one story per topic (as the first subscriber of each) —
+    // one facade call; flooding and anti-entropy do the rest.
     let stories = [
         (POLITICS, "election results certified"),
         (SPORTS, "underdogs win the cup"),
@@ -80,53 +74,30 @@ fn main() {
             .find(|(_, _, ts)| ts.contains(&topic))
             .map(|(id, _, _)| *id)
             .expect("someone subscribes");
-        // Publish = insert into the author's per-topic trie + flood.
-        world.with_node(author, |actor, ctx| {
-            if let Some(sub) = actor.topic_subscriber_mut(topic) {
-                let p = Publication::new(author.0, text.as_bytes().to_vec());
-                if sub.trie.insert(p.clone()) {
-                    let targets: Vec<NodeId> = [sub.left, sub.right, sub.ring]
-                        .into_iter()
-                        .flatten()
-                        .map(|r| r.id)
-                        .chain(sub.shortcuts.values().copied().flatten())
-                        .collect();
-                    for t in targets {
-                        ctx.send(
-                            t,
-                            TopicMsg {
-                                topic,
-                                msg: Msg::PublishNew {
-                                    publication: p.clone(),
-                                    hops: 1,
-                                },
-                            },
-                        );
-                    }
-                }
-            }
-        });
+        ps.publish(author, topic, text.as_bytes().to_vec())
+            .expect("author subscribes to the topic");
     }
-    for _ in 0..200 {
-        world.run_round();
-    }
+    let (_, ok) = ps.until_pubs_converged(2000);
+    assert!(ok, "stories must reach every interested reader");
 
     // Every reader sees exactly the stories of their topics.
     println!("\ndeliveries:");
     let mut all_correct = true;
     for (id, name, topics) in &ids {
-        let actor = world.node(*id).expect("alive");
-        let mut got = Vec::new();
-        for &(topic, text) in &stories {
-            let has = actor
-                .topic_subscriber(topic)
-                .map(|s| !s.trie.publications().is_empty())
-                .unwrap_or(false);
-            if has {
-                got.push(format!("{}: {text:?}", topic_name(topic)));
-            }
-            let should = topics.contains(&topic);
-            if has != should {
+        let events = ps.drain_events(*id);
+        let got: Vec<String> = events
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}: {:?}",
+                    topic_name(d.topic),
+                    String::from_utf8_lossy(&d.payload).into_owned()
+                )
+            })
+            .collect();
+        for &(topic, _) in &stories {
+            let has = events.iter().any(|d| d.topic == topic);
+            if has != topics.contains(&topic) {
                 all_correct = false;
             }
         }

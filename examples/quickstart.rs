@@ -1,28 +1,39 @@
 //! Quickstart: build a self-stabilizing supervised publish-subscribe
-//! topic, let it converge, publish, and watch every subscriber receive
-//! the publication.
+//! topic through the backend-agnostic `PubSub` facade, let it converge,
+//! publish, and watch every subscriber receive the publication.
+//!
+//! Swapping `build_sim()` for `build_chaos()`, `build_multi()`,
+//! `build_sharded()` — or `NetBackend::from_builder` — runs the same
+//! client code on a different execution substrate.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use skippub_core::{ProtocolConfig, SkipRingSim};
+use skippub_core::{PubSub, SystemBuilder, TopicId};
+
+const T: TopicId = TopicId(0);
 
 fn main() {
     // A deterministic simulated deployment: one supervisor, one topic.
-    let mut sim = SkipRingSim::new(42, ProtocolConfig::default());
+    let mut ps = SystemBuilder::new(42).build_sim();
 
     // Eight subscribers join. Nobody coordinates anything: each node just
     // runs its periodic Timeout and the system self-organizes.
-    let subscribers: Vec<_> = (0..8).map(|_| sim.add_subscriber()).collect();
-    let (rounds, ok) = sim.run_until_legit(1000);
+    let subscribers: Vec<_> = (0..8).map(|_| ps.subscribe(T)).collect();
+    let (rounds, ok) = ps.until_legit(1000);
     assert!(ok);
     println!("✓ topic stabilized into a supervised skip ring after {rounds} rounds");
 
-    // Inspect the topology: labels, ring neighbours, shortcuts.
+    // Inspect the topology via a facade snapshot: labels, ring
+    // neighbours, shortcuts.
+    let snap = ps.snapshot(T);
     println!("\n  node  label  left   right  ring   shortcuts");
     for &id in &subscribers {
-        let s = sim.subscriber(id).expect("alive");
+        let s = snap
+            .node(id)
+            .and_then(skippub_core::Actor::subscriber)
+            .expect("alive");
         let fmt = |r: Option<skippub_core::NodeRef>| {
             r.map(|r| r.label.to_string()).unwrap_or_else(|| "⊥".into())
         };
@@ -42,31 +53,33 @@ fn main() {
     // Alice publishes. Flooding delivers in O(log n) hops; the Patricia-
     // trie anti-entropy would repair any miss.
     let alice = subscribers[0];
-    let key = sim
-        .publish(alice, b"hello, overlay world".to_vec())
+    let key = ps
+        .publish(alice, T, b"hello, overlay world".to_vec())
         .expect("alive");
-    let (rounds, ok) = sim.run_until_pubs_converged(100);
+    let (rounds, ok) = ps.until_pubs_converged(100);
     assert!(ok);
     println!("\n✓ publication {key} reached all subscribers in {rounds} rounds");
 
+    // Deliveries are observed through the facade's event API.
     for &id in &subscribers {
-        let s = sim.subscriber(id).expect("alive");
-        let p = s.trie.publications()[0];
+        let events = ps.drain_events(id);
+        assert_eq!(events.len(), 1);
         println!(
-            "  {id} stores {:?} = {:?}",
-            p.key().to_string(),
-            String::from_utf8_lossy(p.payload())
+            "  {id} received {:?} = {:?} (author {})",
+            events[0].key.to_string(),
+            String::from_utf8_lossy(&events[0].payload),
+            events[0].author,
         );
     }
 
     // A ninth subscriber joins late — and still receives the publication
     // ("every subscriber of a topic will eventually know all of the
     //  publications that have been issued so far", §1).
-    let late = sim.add_subscriber();
-    let (_, ok) = sim.run_until_legit(1000);
+    let late = ps.subscribe(T);
+    let (_, ok) = ps.until_legit(1000);
     assert!(ok);
-    let (rounds, ok) = sim.run_until_pubs_converged(2000);
+    let (rounds, ok) = ps.until_pubs_converged(2000);
     assert!(ok);
     println!("\n✓ late joiner {late} caught up on history after {rounds} more rounds");
-    assert_eq!(sim.subscriber(late).expect("alive").trie.len(), 1);
+    assert_eq!(ps.drain_events(late).len(), 1);
 }

@@ -1,9 +1,10 @@
 //! Integration: Theorem 8 convergence + Theorem 13 closure across the
-//! full stack (core protocol + simulator + checker), in both schedulers.
+//! full stack (core protocol + simulator + checker), in both schedulers,
+//! driven through the backend-agnostic [`PubSub`] facade.
 
-use skippub_core::checker;
+use skippub_core::pubsub::SimBackend;
 use skippub_core::scenarios::{adversarial_world, cold_world, legit_world, Adversary};
-use skippub_core::{ProtocolConfig, SkipRingSim};
+use skippub_core::{checker, ProtocolConfig, PubSub};
 use skippub_sim::ChaosConfig;
 
 const CFG_BUDGET: u64 = 40_000;
@@ -15,13 +16,13 @@ fn all_adversaries_converge_round_mode() {
         for n in [4usize, 13, 32] {
             for seed in [1u64, 2] {
                 let world = adversarial_world(n, seed, cfg, adv);
-                let mut sim = SkipRingSim::from_world(world, cfg);
-                let (rounds, ok) = sim.run_until_legit(CFG_BUDGET);
+                let mut ps = SimBackend::from_world(world, cfg);
+                let (rounds, ok) = ps.until_legit(CFG_BUDGET);
                 assert!(
                     ok,
                     "{} n={n} seed={seed} stuck after {rounds} rounds: {:?}",
                     adv.name(),
-                    sim.report().issues.iter().take(4).collect::<Vec<_>>()
+                    ps.report().issues.iter().take(4).collect::<Vec<_>>()
                 );
             }
         }
@@ -42,8 +43,8 @@ fn adversaries_converge_under_chaos_scheduler() {
         Adversary::Partitioned(3),
     ] {
         let world = adversarial_world(20, 5, cfg, adv);
-        let mut sim = SkipRingSim::from_world(world, cfg);
-        let (rounds, ok) = sim.run_chaos_until_legit(chaos, CFG_BUDGET);
+        let mut ps = SimBackend::from_world(world, cfg).with_chaos(chaos);
+        let (rounds, ok) = ps.until_legit(CFG_BUDGET);
         assert!(ok, "{} stuck under chaos after {rounds} rounds", adv.name());
     }
 }
@@ -54,21 +55,21 @@ fn convergence_with_full_protocol_enabled() {
     // impede topology stabilization.
     let cfg = ProtocolConfig::default();
     let world = adversarial_world(24, 9, cfg, Adversary::RandomState);
-    let mut sim = SkipRingSim::from_world(world, cfg);
-    let (_, ok) = sim.run_until_legit(CFG_BUDGET);
+    let mut ps = SimBackend::from_world(world, cfg);
+    let (_, ok) = ps.until_legit(CFG_BUDGET);
     assert!(ok);
 }
 
 #[test]
 fn closure_holds_for_hundreds_of_rounds() {
     let cfg = ProtocolConfig::default();
-    let mut sim = SkipRingSim::from_world(legit_world(48, 3, cfg), cfg);
+    let mut ps = SimBackend::from_world(legit_world(48, 3, cfg), cfg);
     for round in 0..400 {
-        sim.run_round();
-        assert!(sim.is_legitimate(), "closure violated at round {round}");
+        ps.step();
+        assert!(ps.is_legitimate(), "closure violated at round {round}");
     }
     // And no topology-mutating traffic beyond SetData refreshes.
-    let m = sim.metrics();
+    let m = ps.metrics();
     assert_eq!(m.kind("Intro"), 0, "no Intro messages in legitimate states");
     assert_eq!(m.kind("Subscribe"), 0);
     assert_eq!(m.kind("RemoveConnections"), 0);
@@ -78,8 +79,8 @@ fn closure_holds_for_hundreds_of_rounds() {
 fn cold_bootstrap_scales() {
     let cfg = ProtocolConfig::topology_only();
     for n in [1usize, 2, 3, 50, 200] {
-        let mut sim = SkipRingSim::from_world(cold_world(n, 8, cfg), cfg);
-        let (rounds, ok) = sim.run_until_legit(CFG_BUDGET);
+        let mut ps = SimBackend::from_world(cold_world(n, 8, cfg), cfg);
+        let (rounds, ok) = ps.until_legit(CFG_BUDGET);
         assert!(ok, "cold n={n} stuck");
         // Eager joining makes this fast — far below the round-robin bound.
         assert!(rounds < 100 + n as u64, "cold n={n} took {rounds} rounds");
@@ -107,8 +108,8 @@ fn convergence_rounds_grow_roughly_linearly() {
         let mut total = 0u64;
         for seed in [1u64, 2, 3] {
             let world = adversarial_world(n, seed, cfg, Adversary::ShuffledLabels);
-            let mut sim = SkipRingSim::from_world(world, cfg);
-            let (r, ok) = sim.run_until_legit(CFG_BUDGET);
+            let mut ps = SimBackend::from_world(world, cfg);
+            let (r, ok) = ps.until_legit(CFG_BUDGET);
             assert!(ok);
             total += r;
         }

@@ -1,0 +1,119 @@
+//! Cross-backend conformance: the *same* subscribe/publish/crash/rejoin
+//! scenario script, written once against `&mut dyn PubSub`, runs
+//! unmodified on the sim, chaos, multi-topic, and sharded backends — and
+//! the delivered-publication sets must be **identical** across them
+//! (publication keys are derived from `(author, payload)`, and client IDs
+//! are assigned identically on every backend). The threaded backend runs
+//! the same script under a generous wall-clock deadline and must deliver
+//! the same set modulo timing.
+
+use skippub_core::{BackendKind, PubSub, SystemBuilder, TopicId};
+use skippub_net::NetBackend;
+use skippub_sim::NodeId;
+use std::collections::BTreeSet;
+
+const T: TopicId = TopicId(0);
+
+/// One delivered publication, in backend-agnostic form.
+type Delivered = (u64, Vec<u8>, String);
+
+/// The scenario script: bootstrap 6 subscribers, publish, crash one +
+/// unsubscribe one, re-stabilize, a newcomer joins (crash/rejoin), one
+/// post-churn publish, converge. Returns the delivered set, after
+/// asserting every surviving member observed the identical set.
+fn scenario(ps: &mut dyn PubSub, budget: u64) -> BTreeSet<Delivered> {
+    let name = ps.backend_name();
+    let ids: Vec<NodeId> = (0..6).map(|_| ps.subscribe(T)).collect();
+    assert_eq!(ids[0], NodeId(1), "{name}: client ids must start at 1");
+    let (_, ok) = ps.until_legit(budget);
+    assert!(ok, "{name}: bootstrap must stabilize");
+
+    ps.publish(ids[0], T, b"paper draft v1".to_vec())
+        .expect("alive author");
+    ps.publish(ids[2], T, b"supervised pub-sub".to_vec())
+        .expect("alive author");
+    let (_, ok) = ps.until_pubs_converged(budget);
+    assert!(ok, "{name}: first publications must converge");
+
+    // Churn burst: one abrupt crash (reported after a detection delay),
+    // one graceful leave.
+    ps.crash(ids[3]);
+    for _ in 0..3 {
+        ps.step();
+    }
+    ps.report_crash(ids[3]);
+    ps.unsubscribe(ids[4], T);
+    let (_, ok) = ps.until_legit(budget);
+    assert!(ok, "{name}: churn must re-stabilize");
+
+    // Rejoin-style newcomer (crashed nodes rejoin under a fresh ID).
+    let late = ps.subscribe(T);
+    let (_, ok) = ps.until_legit(budget);
+    assert!(ok, "{name}: late join must re-stabilize");
+
+    ps.publish(ids[1], T, b"post-churn".to_vec())
+        .expect("alive author");
+    let (_, ok) = ps.until_pubs_converged(budget);
+    assert!(ok, "{name}: history must reach the newcomer");
+
+    // Every surviving member (including the newcomer) must have observed
+    // the identical delivered set.
+    let members = [ids[0], ids[1], ids[2], ids[5], late];
+    let mut sets: Vec<BTreeSet<Delivered>> = Vec::new();
+    for &m in &members {
+        let set: BTreeSet<Delivered> = ps
+            .drain_events(m)
+            .into_iter()
+            .map(|d| (d.author, d.payload, d.key.to_string()))
+            .collect();
+        sets.push(set);
+    }
+    for (i, s) in sets.iter().enumerate() {
+        assert_eq!(
+            s, &sets[0],
+            "{name}: member {:?} diverges from member {:?}",
+            members[i], members[0]
+        );
+    }
+    assert_eq!(sets[0].len(), 3, "{name}: three publications were issued");
+    sets.into_iter().next().expect("nonempty")
+}
+
+#[test]
+fn simulated_backends_deliver_identical_sets() {
+    let mut reference: Option<(&'static str, BTreeSet<Delivered>)> = None;
+    for kind in BackendKind::all() {
+        let builder = SystemBuilder::new(0xFACADE).shards(4);
+        let mut ps = builder.build(kind);
+        let budget = match kind {
+            BackendKind::Chaos => 40_000,
+            _ => 8_000,
+        };
+        let set = scenario(ps.as_mut(), budget);
+        match &reference {
+            None => reference = Some((kind.name(), set)),
+            Some((ref_name, ref_set)) => assert_eq!(
+                &set,
+                ref_set,
+                "{} delivers a different set than {}",
+                kind.name(),
+                ref_name
+            ),
+        }
+    }
+}
+
+#[test]
+fn threaded_backend_delivers_the_same_set() {
+    // Reference run on the deterministic simulator.
+    let reference = scenario(&mut SystemBuilder::new(0xFACADE).build_sim(), 8_000);
+    // Same script over OS threads; steps are 10 ms slices, so this
+    // budget is a generous wall-clock deadline, not a round count.
+    let mut net = NetBackend::from_builder(&SystemBuilder::new(0xFACADE));
+    let set = scenario(&mut net, 6_000);
+    net.shutdown();
+    assert_eq!(
+        set, reference,
+        "threaded delivery set must match the simulator's"
+    );
+}

@@ -98,10 +98,7 @@ proptest! {
         let ids = sim.subscriber_ids();
         for (i, &host) in assignment.iter().enumerate() {
             let p = skippub_trie::Publication::new(i as u64, format!("{i}").into_bytes());
-            sim.world
-                .node_mut(ids[host])
-                .and_then(skippub_core::Actor::subscriber_mut)
-                .map(|s| s.trie.insert(p));
+            sim.seed_publication(ids[host], p);
         }
         let (_, ok) = sim.run_until_pubs_converged(30_000);
         prop_assert!(ok);

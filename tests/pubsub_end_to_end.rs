@@ -1,45 +1,52 @@
 //! Integration: the full publish-subscribe semantics — targeted delivery,
 //! history for late joiners, flooding vs anti-entropy, multi-topic
-//! isolation.
+//! isolation — exercised exclusively through the backend-agnostic
+//! [`PubSub`] facade (deliveries observed via `drain_events`, state via
+//! facade snapshots; no reaching into `sim.world` or `subscriber.trie`).
 
-use skippub_core::topics::{MultiActor, TopicId};
-use skippub_core::{Actor, ProtocolConfig, SkipRingSim};
-use skippub_sim::{NodeId, World};
+use skippub_core::{ProtocolConfig, PubSub, SystemBuilder, TopicId};
+use skippub_sim::NodeId;
 use skippub_trie::Publication;
+
+const T: TopicId = TopicId(0);
 
 #[test]
 fn every_subscriber_gets_every_publication() {
-    let mut sim = SkipRingSim::new(21, ProtocolConfig::default());
-    let ids: Vec<_> = (0..10).map(|_| sim.add_subscriber()).collect();
-    let (_, ok) = sim.run_until_legit(2000);
+    let mut ps = SystemBuilder::new(21).build_sim();
+    let ids: Vec<_> = (0..10).map(|_| ps.subscribe(T)).collect();
+    let (_, ok) = ps.until_legit(2000);
     assert!(ok);
     for (i, &id) in ids.iter().enumerate() {
-        sim.publish(id, format!("msg from {i}").into_bytes());
+        ps.publish(id, T, format!("msg from {i}").into_bytes());
     }
-    let (_, ok) = sim.run_until_pubs_converged(2000);
+    let (_, ok) = ps.until_pubs_converged(2000);
     assert!(ok);
     for &id in &ids {
-        assert_eq!(sim.subscriber(id).expect("alive").trie.len(), 10);
+        assert_eq!(ps.drain_events(id).len(), 10);
     }
 }
 
 #[test]
 fn late_joiner_receives_full_history() {
-    let mut sim = SkipRingSim::new(22, ProtocolConfig::default());
-    let ids: Vec<_> = (0..6).map(|_| sim.add_subscriber()).collect();
-    sim.run_until_legit(2000);
+    let mut ps = SystemBuilder::new(22).build_sim();
+    let ids: Vec<_> = (0..6).map(|_| ps.subscribe(T)).collect();
+    ps.until_legit(2000);
     for i in 0..20 {
-        sim.publish(ids[i % ids.len()], format!("h{i}").into_bytes());
+        ps.publish(ids[i % ids.len()], T, format!("h{i}").into_bytes());
     }
-    sim.run_until_pubs_converged(2000);
+    ps.until_pubs_converged(2000);
     // Join late; history must arrive although no flooding re-occurs.
-    let late = sim.add_subscriber();
-    let (_, ok) = sim.run_until_legit(4000);
+    let late = ps.subscribe(T);
+    let (_, ok) = ps.until_legit(4000);
     assert!(ok);
-    let (_, ok) = sim.run_until_pubs_converged(8000);
+    let (_, ok) = ps.until_pubs_converged(8000);
     assert!(ok, "late joiner never caught up");
-    let s = sim.subscriber(late).expect("alive");
-    assert_eq!(s.trie.len(), 20);
+    assert_eq!(ps.drain_events(late).len(), 20);
+    let snap = ps.snapshot(T);
+    let s = snap
+        .node(late)
+        .and_then(skippub_core::Actor::subscriber)
+        .expect("alive");
     assert!(
         s.counters.pubs_via_sync > 0,
         "history must come from anti-entropy"
@@ -52,15 +59,19 @@ fn flooding_disabled_still_converges() {
         flooding: false,
         ..ProtocolConfig::default()
     };
-    let mut sim = SkipRingSim::new(23, cfg);
-    let ids: Vec<_> = (0..8).map(|_| sim.add_subscriber()).collect();
-    sim.run_until_legit(2000);
-    sim.publish(ids[0], b"slow but sure".to_vec());
-    let (rounds, ok) = sim.run_until_pubs_converged(8000);
+    let mut ps = SystemBuilder::new(23).protocol(cfg).build_sim();
+    let ids: Vec<_> = (0..8).map(|_| ps.subscribe(T)).collect();
+    ps.until_legit(2000);
+    ps.publish(ids[0], T, b"slow but sure".to_vec());
+    let (rounds, ok) = ps.until_pubs_converged(8000);
     assert!(ok);
     assert!(rounds > 0);
+    let snap = ps.snapshot(T);
     for &id in &ids {
-        let s = sim.subscriber(id).expect("alive");
+        let s = snap
+            .node(id)
+            .and_then(skippub_core::Actor::subscriber)
+            .expect("alive");
         assert_eq!(s.counters.pubs_via_flood, 0, "flooding was disabled");
     }
 }
@@ -72,11 +83,11 @@ fn flooding_is_much_faster_than_anti_entropy() {
             flooding,
             ..ProtocolConfig::default()
         };
-        let mut sim = SkipRingSim::new(24, cfg);
-        let ids: Vec<_> = (0..24).map(|_| sim.add_subscriber()).collect();
-        sim.run_until_legit(4000);
-        sim.publish(ids[5], b"race".to_vec());
-        let (rounds, ok) = sim.run_until_pubs_converged(20_000);
+        let mut ps = SystemBuilder::new(24).protocol(cfg).build_sim();
+        let ids: Vec<_> = (0..24).map(|_| ps.subscribe(T)).collect();
+        ps.until_legit(4000);
+        ps.publish(ids[5], T, b"race".to_vec());
+        let (rounds, ok) = ps.until_pubs_converged(20_000);
         assert!(ok);
         rounds
     };
@@ -94,76 +105,61 @@ fn flooding_is_much_faster_than_anti_entropy() {
 
 #[test]
 fn duplicate_publications_are_idempotent() {
-    let mut sim = SkipRingSim::new(25, ProtocolConfig::default());
-    let ids: Vec<_> = (0..5).map(|_| sim.add_subscriber()).collect();
-    sim.run_until_legit(2000);
+    let mut ps = SystemBuilder::new(25).build_sim();
+    let ids: Vec<_> = (0..5).map(|_| ps.subscribe(T)).collect();
+    ps.until_legit(2000);
     // Same author, same payload → same key → one publication.
-    sim.publish(ids[0], b"once".to_vec());
-    sim.publish(ids[0], b"once".to_vec());
-    sim.run_until_pubs_converged(2000);
+    ps.publish(ids[0], T, b"once".to_vec());
+    ps.publish(ids[0], T, b"once".to_vec());
+    ps.until_pubs_converged(2000);
     for &id in &ids {
-        assert_eq!(sim.subscriber(id).expect("alive").trie.len(), 1);
+        assert_eq!(ps.drain_events(id).len(), 1);
     }
     // Same payload from another author is a different publication.
-    sim.publish(ids[1], b"once".to_vec());
-    sim.run_until_pubs_converged(2000);
-    assert_eq!(sim.subscriber(ids[3]).expect("alive").trie.len(), 2);
+    ps.publish(ids[1], T, b"once".to_vec());
+    ps.until_pubs_converged(2000);
+    let ev = ps.drain_events(ids[3]);
+    assert_eq!(ev.len(), 1, "exactly the new publication arrives");
+    assert_eq!(ev[0].author, ids[1].0);
 }
 
 #[test]
 fn publications_survive_author_departure() {
-    let mut sim = SkipRingSim::new(26, ProtocolConfig::default());
-    let ids: Vec<_> = (0..6).map(|_| sim.add_subscriber()).collect();
-    sim.run_until_legit(2000);
-    sim.publish(ids[0], b"legacy".to_vec());
-    sim.run_until_pubs_converged(2000);
-    sim.unsubscribe(ids[0]);
-    let (_, ok) = sim.run_until_legit(4000);
+    let mut ps = SystemBuilder::new(26).build_sim();
+    let ids: Vec<_> = (0..6).map(|_| ps.subscribe(T)).collect();
+    ps.until_legit(2000);
+    ps.publish(ids[0], T, b"legacy".to_vec());
+    ps.until_pubs_converged(2000);
+    ps.unsubscribe(ids[0], T);
+    let (_, ok) = ps.until_legit(4000);
     assert!(ok);
     for &id in ids.iter().skip(1) {
-        assert_eq!(sim.subscriber(id).expect("alive").trie.len(), 1);
+        let ev = ps.drain_events(id);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].payload, b"legacy");
     }
 }
 
 #[test]
 fn topics_are_isolated() {
-    const SUP: NodeId = NodeId(0);
-    let mut w: World<MultiActor> = World::new(27);
-    w.add_node(SUP, MultiActor::new_supervisor(SUP));
-    let cfg = ProtocolConfig::default();
-    for i in 1..=6u64 {
-        let mut c = MultiActor::new_client(NodeId(i), SUP, cfg);
-        c.join_topic(TopicId(if i <= 3 { 1 } else { 2 }));
-        w.add_node(NodeId(i), c);
+    let mut ps = SystemBuilder::new(27).topics(2).build_multi();
+    let (t1, t2) = (TopicId(0), TopicId(1));
+    let group1: Vec<NodeId> = (0..3).map(|_| ps.subscribe(t1)).collect();
+    let group2: Vec<NodeId> = (0..3).map(|_| ps.subscribe(t2)).collect();
+    let (_, ok) = ps.until_legit(2000);
+    assert!(ok);
+    ps.publish(group1[0], t1, b"t1 only".to_vec()).unwrap();
+    let (_, ok) = ps.until_pubs_converged(2000);
+    assert!(ok);
+    for &id in &group1 {
+        let ev = ps.drain_events(id);
+        assert_eq!(ev.len(), 1, "topic-1 member {id} missing the publication");
+        assert_eq!(ev[0].topic, t1);
     }
-    for _ in 0..200 {
-        w.run_round();
-    }
-    // Publish into topic 1 from node 1.
-    w.with_node(NodeId(1), |actor, _ctx| {
-        let sub = actor.topic_subscriber_mut(TopicId(1)).expect("joined");
-        sub.trie.insert(Publication::new(1, b"t1 only".to_vec()));
-    });
-    for _ in 0..300 {
-        w.run_round();
-    }
-    for i in 1..=3u64 {
-        let got = w
-            .node(NodeId(i))
-            .and_then(|a| a.topic_subscriber(TopicId(1)))
-            .map(|s| s.trie.len())
-            .unwrap_or(0);
-        assert_eq!(got, 1, "topic-1 member {i} missing the publication");
-    }
-    for i in 4..=6u64 {
-        let crossed = w
-            .node(NodeId(i))
-            .and_then(|a| a.topic_subscriber(TopicId(2)))
-            .map(|s| s.trie.len())
-            .unwrap_or(0);
-        assert_eq!(
-            crossed, 0,
-            "topic-2 member {i} must not see topic-1 content"
+    for &id in &group2 {
+        assert!(
+            ps.drain_events(id).is_empty(),
+            "topic-2 member {id} must not see topic-1 content"
         );
     }
 }
@@ -176,21 +172,18 @@ fn corrupted_tries_reconcile() {
         flooding: false,
         ..ProtocolConfig::default()
     };
-    let mut sim = SkipRingSim::new(28, cfg);
-    let ids: Vec<_> = (0..6).map(|_| sim.add_subscriber()).collect();
-    sim.run_until_legit(2000);
+    let mut ps = SystemBuilder::new(28).protocol(cfg).build_sim();
+    let ids: Vec<_> = (0..6).map(|_| ps.subscribe(T)).collect();
+    ps.until_legit(2000);
     for (i, &id) in ids.iter().enumerate() {
         for j in 0..=i {
             let p = Publication::new(j as u64 * 31, format!("seed{j}").into_bytes());
-            sim.world
-                .node_mut(id)
-                .and_then(Actor::subscriber_mut)
-                .map(|s| s.trie.insert(p));
+            ps.seed_publication(id, T, p);
         }
     }
-    let (_, ok) = sim.run_until_pubs_converged(20_000);
+    let (_, ok) = ps.until_pubs_converged(20_000);
     assert!(ok);
-    let (converged, total) = sim.publications_converged();
+    let (converged, total) = ps.publications_converged();
     assert!(converged);
     assert_eq!(total, ids.len());
 }

@@ -1,9 +1,14 @@
 //! Integration: the threaded runtime must reach the same legitimate
-//! states as the simulator, under real concurrency, delays and crashes.
+//! states as the simulator, under real concurrency, delays and crashes —
+//! driven through the same [`PubSub`] facade the simulated backends use.
+//! Facade steps are 10 ms wall-clock slices, so the budgets below are
+//! time budgets (e.g. 6000 steps ≈ 60 s worst case).
 
-use skippub_core::checker;
-use skippub_net::{NetConfig, Network};
+use skippub_core::{checker, PubSub, TopicId};
+use skippub_net::{NetBackend, NetConfig};
 use std::time::Duration;
+
+const T: TopicId = TopicId(0);
 
 fn cfg(seed: u64) -> NetConfig {
     NetConfig {
@@ -17,47 +22,51 @@ fn cfg(seed: u64) -> NetConfig {
 
 #[test]
 fn sixteen_threads_stabilize_and_publish() {
-    let mut net = Network::start(cfg(51));
-    let ids: Vec<_> = (0..16).map(|_| net.spawn_subscriber()).collect();
-    assert!(net.await_legitimate(Duration::from_secs(60)));
+    let mut ps = NetBackend::start(cfg(51));
+    let ids: Vec<_> = (0..16).map(|_| ps.subscribe(T)).collect();
+    assert!(ps.until_legit(6000).1);
     // The snapshot satisfies the very same checker the simulator uses.
-    let snap = net.snapshot();
+    let snap = ps.snapshot(T);
     assert!(checker::check_topology(&snap).ok());
     for &id in ids.iter().take(4) {
-        net.publish(id, format!("from {id:?}").into_bytes());
+        ps.publish(id, T, format!("from {id:?}").into_bytes());
     }
-    assert!(net.await_pubs_converged(Duration::from_secs(60)));
-    let (_, n_pubs) = checker::publications_converged(&net.snapshot());
+    assert!(ps.until_pubs_converged(6000).1);
+    let (_, n_pubs) = ps.publications_converged();
     assert_eq!(n_pubs, 4);
-    net.shutdown();
+    // Every subscriber observed all four deliveries.
+    for &id in &ids {
+        assert_eq!(ps.drain_events(id).len(), 4);
+    }
+    ps.shutdown();
 }
 
 #[test]
 fn staggered_joins_churn_and_recovery() {
-    let mut net = Network::start(cfg(52));
+    let mut ps = NetBackend::start(cfg(52));
     let mut ids = Vec::new();
     for i in 0..10 {
-        ids.push(net.spawn_subscriber());
+        ids.push(ps.subscribe(T));
         if i % 3 == 0 {
             std::thread::sleep(Duration::from_millis(5));
         }
     }
-    assert!(net.await_legitimate(Duration::from_secs(60)));
-    net.crash(ids[1]);
-    net.unsubscribe(ids[6]);
+    assert!(ps.until_legit(6000).1);
+    ps.crash(ids[1]);
+    ps.unsubscribe(ids[6], T);
     std::thread::sleep(Duration::from_millis(20));
-    net.report_crash(ids[1]);
-    assert!(net.await_legitimate(Duration::from_secs(120)));
-    let snap = net.snapshot();
+    ps.report_crash(ids[1]);
+    assert!(ps.until_legit(12000).1);
+    let snap = ps.snapshot(T);
     let sup = snap.iter().find_map(|(_, a)| a.supervisor()).expect("sup");
     assert_eq!(sup.n(), 8);
-    net.shutdown();
+    ps.shutdown();
 }
 
 #[test]
 fn wire_reordering_does_not_break_convergence() {
     // Exaggerated delay spread → heavy reordering.
-    let mut net = Network::start(NetConfig {
+    let mut ps = NetBackend::start(NetConfig {
         seed: 53,
         min_delay: Duration::from_micros(1),
         max_delay: Duration::from_millis(8),
@@ -65,8 +74,8 @@ fn wire_reordering_does_not_break_convergence() {
         ..NetConfig::default()
     });
     for _ in 0..8 {
-        net.spawn_subscriber();
+        ps.subscribe(T);
     }
-    assert!(net.await_legitimate(Duration::from_secs(120)));
-    net.shutdown();
+    assert!(ps.until_legit(12000).1);
+    ps.shutdown();
 }

@@ -1,0 +1,115 @@
+//! Emits `BENCH_scenarios.json`: scenario-engine throughput — one
+//! steady-state-shaped workload (warm population, constant publish load,
+//! fixed rounds) executed end to end through the declarative scenario
+//! engine on each deterministic-schedule backend (sim, multi-topic,
+//! sharded; chaos is excluded — its budget-multiplied recovery horizons
+//! would measure the chaos scheduler, not the engine).
+//!
+//! The measured number is *engine* rounds/sec: schedule compilation, op
+//! application through the `PubSub` facade, the per-round step, and the
+//! final settle/drain — i.e. what a scenario sweep actually costs, not
+//! just the inner simulator loop (that number lives in
+//! `BENCH_sim.json`). Min-of-repeats filtering, same methodology as the
+//! other emitters.
+//!
+//! ```text
+//! cargo run --release -p skippub-bench --bin bench_scenarios_json [-- out.json]
+//! ```
+
+use skippub_core::BackendKind;
+use skippub_harness::scenario::{self, ScenarioSpec, Stop};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Fixed seed, committed alongside the results.
+const SEED: u64 = 0xBE5C;
+
+/// Workload scale.
+const POPULATION: usize = 200;
+const ROUNDS: u64 = 400;
+
+/// Timing repeats per backend (fastest run is reported).
+const REPEATS: usize = 5;
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::new("bench-steady", SEED)
+        .population(POPULATION)
+        .publishers(8)
+        .publish_prob(0.25)
+        .rounds(ROUNDS)
+        .stop(Stop::FixedRounds)
+        .settle(2_000)
+}
+
+struct Row {
+    backend: &'static str,
+    steps: u64,
+    best_s: f64,
+    rounds_per_sec: f64,
+    delivered_fingerprint: String,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scenarios.json".to_string());
+    let spec = spec();
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in [BackendKind::Sim, BackendKind::MultiTopic, BackendKind::Sharded] {
+        eprintln!("timing {} ...", kind.name());
+        let mut best = f64::INFINITY;
+        let mut kept = None;
+        for _ in 0..REPEATS {
+            let t0 = Instant::now();
+            let out = scenario::run_spec(&spec, kind).expect("supported");
+            let dt = t0.elapsed().as_secs_f64();
+            assert!(out.report.ok(), "bench workload failed: {}", out.report.to_json());
+            if dt < best {
+                best = dt;
+                kept = Some(out);
+            }
+        }
+        let out = kept.expect("at least one repeat");
+        let steps = out.report.ops.steps;
+        rows.push(Row {
+            backend: kind.name(),
+            steps,
+            best_s: best,
+            rounds_per_sec: steps as f64 / best,
+            delivered_fingerprint: out.report.delivered_fingerprint.clone(),
+        });
+    }
+    // Conformance sanity: the benchmark is only meaningful if every
+    // backend did the same logical work.
+    assert!(
+        rows.windows(2)
+            .all(|w| w[0].delivered_fingerprint == w[1].delivered_fingerprint),
+        "backends delivered different sets under the bench workload"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"skippub-bench/scenarios/v1\",\n");
+    json.push_str("  \"description\": \"Scenario-engine throughput: the bench-steady spec (200 subscribers, 8 publishers at p=0.25, 400 scheduled rounds, FixedRounds + settle) executed end to end via scenario::run_spec on each in-process backend. Regenerate with: cargo run --release -p skippub-bench --bin bench_scenarios_json\",\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"population\": {POPULATION},");
+    let _ = writeln!(json, "  \"scheduled_rounds\": {ROUNDS},");
+    let _ = writeln!(json, "  \"repeats\": {REPEATS},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"backend\": \"{}\", \"total_steps\": {}, \"best_s\": {:.4}, \"rounds_per_sec\": {:.1}, \"delivered_fingerprint\": \"{}\"}}{}",
+            r.backend,
+            r.steps,
+            r.best_s,
+            r.rounds_per_sec,
+            r.delivered_fingerprint,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_scenarios.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

@@ -32,7 +32,7 @@ pub enum ProbeMode {
 ///
 /// Defaults follow the paper; experiments override individual knobs (e.g.
 /// disabling flooding to measure pure anti-entropy convergence, E8).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProtocolConfig {
     /// Key length `m` for publication keys (paper §4.2).
     pub key_bits: usize,
@@ -50,7 +50,7 @@ pub struct ProtocolConfig {
     /// self-stabilizing ring — the ablation baseline for E9/E10.
     pub shortcuts: bool,
     /// Enable the per-timeout `CheckShortcut` slot verification — our
-    /// documented extension (DESIGN.md §5.8). Disabling reproduces the
+    /// documented extension (DESIGN.md §7.4). Disabling reproduces the
     /// paper's verbatim protocol, in which stale slot bindings can
     /// circulate between introducers indefinitely; experiment E14
     /// measures the difference.

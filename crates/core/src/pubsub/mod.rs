@@ -26,10 +26,12 @@
 //! [`crate::checker`] predicates (and any custom probe) can judge.
 
 mod multi;
+pub mod ops;
 mod sharded;
 mod sim;
 
 pub use multi::MultiTopicBackend;
+pub use ops::Op;
 pub use sharded::{ShardedBackend, SHARD_SUPERVISOR_BASE};
 pub use sim::SimBackend;
 

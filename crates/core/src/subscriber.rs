@@ -4,7 +4,7 @@
 //! `publish.rs`).
 //!
 //! The implementation follows the paper's pseudo-code with the
-//! clarifications listed in DESIGN.md §5. The central ordering device is
+//! clarifications listed in DESIGN.md §7. The central ordering device is
 //! the *placement key* `(r(label), |label|, id)`: labels order the ring by
 //! their dyadic value `r`; equal labels (possible only in corrupted
 //! states) are tie-broken by length and then by the incorruptible node ID
@@ -768,7 +768,7 @@ impl Subscriber {
             // Action (iv): I believe my label is minimal yet it is not
             // l(0) — in a legitimate state this never holds (only the
             // true minimum lacks a left neighbour), so Theorem 5's
-            // steady-state accounting is unaffected (DESIGN.md §5).
+            // steady-state accounting is unaffected (DESIGN.md §7.3).
             // Kept in token mode too: the token only reaches *recorded*
             // nodes, so component absorption still needs this action.
             if ctx.random_bool(0.5) {

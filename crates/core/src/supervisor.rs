@@ -268,7 +268,7 @@ impl Supervisor {
                 self.database.insert(label_v, Some(w));
                 // paper-note: Alg. 3 line 20 writes SetData(pred_v,
                 // label_u, succ_v) with inconsistent naming; the intent is
-                // v's old label and its ring neighbours (DESIGN.md §5.1).
+                // v's old label and its ring neighbours (DESIGN.md §7.1).
                 self.send_config(ctx, label_v, w);
                 self.counters.unsubscribe_msgs += 1;
             } else {

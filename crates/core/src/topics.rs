@@ -51,6 +51,16 @@ pub enum MultiActor {
         supervisor: NodeId,
         /// Configuration applied to newly joined topics.
         cfg: ProtocolConfig,
+        /// Topics whose instance was dropped after a granted departure,
+        /// with the supervisor that granted it. A stale in-flight
+        /// `Subscribe` processed *after* the departure re-inserts the
+        /// client into that supervisor's database — and with the
+        /// instance gone, nobody would ever refuse the entry (the
+        /// single-topic backends self-heal here because the departed
+        /// node keeps existing and re-sends `Unsubscribe`). The
+        /// tombstone lets the client refuse membership-implying configs
+        /// for departed topics, restoring that self-healing.
+        departed: BTreeMap<TopicId, NodeId>,
     },
 }
 
@@ -70,6 +80,7 @@ impl MultiActor {
             id,
             supervisor,
             cfg,
+            departed: BTreeMap::new(),
         }
     }
 
@@ -84,8 +95,10 @@ impl MultiActor {
             id,
             supervisor,
             cfg,
+            departed,
         } = self
         {
+            departed.remove(&topic);
             topics
                 .entry(topic)
                 .and_modify(|s| s.wants_membership = true)
@@ -99,9 +112,14 @@ impl MultiActor {
     /// shard responsible for it (§1.3).
     pub fn join_topic_at(&mut self, topic: TopicId, supervisor: NodeId) {
         if let MultiActor::Client {
-            topics, id, cfg, ..
+            topics,
+            id,
+            cfg,
+            departed,
+            ..
         } = self
         {
+            departed.remove(&topic);
             topics
                 .entry(topic)
                 .and_modify(|s| s.wants_membership = true)
@@ -234,14 +252,33 @@ impl Protocol for MultiActor {
                     crate::actor::dispatch_supervisor(sup, ictx, msg)
                 });
             }
-            MultiActor::Client { topics, .. } => {
+            MultiActor::Client {
+                topics, departed, ..
+            } => {
                 if let Some(sub) = topics.get_mut(&topic) {
                     with_topic_ctx(topic, ctx, |ictx| {
                         crate::actor::dispatch_subscriber(sub, ictx, msg)
                     });
+                } else if let (Some(&sup), Msg::SetData { label: Some(_), .. }) =
+                    (departed.get(&topic), &msg)
+                {
+                    // A membership-implying config for a topic we left:
+                    // a stale `Subscribe` re-inserted us into the
+                    // supervisor's database after the granted departure.
+                    // Refuse, exactly as a still-running instance would
+                    // (the departure permission `SetData(⊥,⊥,⊥)` and
+                    // neighbour chatter stay ignored — no reply loops).
+                    let me = ctx.me();
+                    ctx.send(
+                        sup,
+                        TopicMsg {
+                            topic,
+                            msg: Msg::Unsubscribe { node: me },
+                        },
+                    );
                 }
-                // Messages for topics we never joined: corrupted content,
-                // consumed silently.
+                // Other messages for topics we never joined: corrupted
+                // content, consumed silently.
             }
         }
     }
@@ -255,19 +292,22 @@ impl Protocol for MultiActor {
                     with_topic_ctx(*t, ctx, |ictx| sup.timeout(ictx));
                 }
             }
-            MultiActor::Client { topics, .. } => {
-                let mut done: Vec<TopicId> = Vec::new();
+            MultiActor::Client {
+                topics, departed, ..
+            } => {
+                let mut done: Vec<(TopicId, NodeId)> = Vec::new();
                 for (t, sub) in topics.iter_mut() {
                     with_topic_ctx(*t, ctx, |ictx| sub.timeout(ictx));
                     // "Upon unsubscribing, the subscriber may remove the
                     // respective BuildSR protocol, once it gets the
                     // permission from the supervisor."
                     if !sub.wants_membership && sub.label.is_none() {
-                        done.push(*t);
+                        done.push((*t, sub.supervisor));
                     }
                 }
-                for t in done {
+                for (t, sup) in done {
                     topics.remove(&t);
+                    departed.insert(t, sup);
                 }
             }
         }
@@ -367,6 +407,51 @@ mod tests {
         assert!(sub.wants_membership);
         assert!(sub.label.is_some());
         assert_eq!(w.node(SUP).unwrap().topic_supervisor(t).unwrap().n(), 3);
+    }
+
+    #[test]
+    fn stale_subscribe_after_departure_self_heals() {
+        // Regression (found by the scenario engine's churn workloads): a
+        // `Subscribe` still in flight when the supervisor grants the
+        // sender's departure re-inserts the leaver into the database —
+        // and the leaver's instance is gone, so nothing refused the
+        // entry and the topic stayed illegitimate forever. The departed
+        // tombstone now answers membership-implying configs with
+        // `Unsubscribe`.
+        let mut w = multi_world(4, 25);
+        let t = TopicId(3);
+        for i in 1..=4u64 {
+            w.node_mut(NodeId(i)).unwrap().join_topic(t);
+        }
+        for _ in 0..120 {
+            w.run_round();
+        }
+        w.node_mut(NodeId(2)).unwrap().leave_topic(t);
+        for _ in 0..120 {
+            w.run_round();
+        }
+        assert!(w.node(NodeId(2)).unwrap().topic_subscriber(t).is_none());
+        // The stale (re-ordered) Subscribe arrives after the departure.
+        w.inject(SUP, TopicMsg { topic: t, msg: Msg::Subscribe { node: NodeId(2) } });
+        w.run_round();
+        let poisoned = w.node(SUP).unwrap().topic_supervisor(t).unwrap();
+        assert!(
+            poisoned.database.values().any(|v| *v == Some(NodeId(2))),
+            "stale Subscribe must have re-inserted the leaver"
+        );
+        for _ in 0..200 {
+            w.run_round();
+        }
+        let sup = w.node(SUP).unwrap().topic_supervisor(t).unwrap();
+        assert!(
+            sup.database.values().all(|v| *v != Some(NodeId(2))),
+            "database must drop the departed node again"
+        );
+        assert_eq!(sup.n(), 3);
+        assert!(
+            w.node(NodeId(2)).unwrap().topic_subscriber(t).is_none(),
+            "the refusal must not resurrect the instance"
+        );
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! CLI: run declarative scenarios from the built-in library on any
+//! backend, emit per-scenario JSON reports, record/replay traces.
+//!
+//! ```text
+//! scenarios --list                         # available scenarios
+//! scenarios all                            # every builtin, conformance sweep
+//! scenarios crash-storm                    # one scenario, all supported backends
+//! scenarios crash-storm --backend sim      # one backend
+//! scenarios crash-storm --backend threaded # the OS-thread runtime
+//! scenarios steady-state --seed 9 --out reports/
+//! scenarios crash-storm --backend sim --trace run.trace
+//! scenarios replay run.trace               # re-execute a recorded trace
+//! ```
+//!
+//! Running a scenario on multiple backends asserts the conformance
+//! contract: the delivered-publication fingerprints must be identical
+//! across the in-process backends. Exit code 1 means a scenario failed
+//! a verdict (or a conformance mismatch); 2 means a usage or I/O error
+//! (bad flags, unknown names, unreadable/unwritable paths).
+
+use skippub_harness::scenario::{
+    self, builtin, builtins, BackendKind, ScenarioSpec, Trace,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios <name|all|replay FILE> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--out DIR] [--trace FILE] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("scenarios: {msg}");
+    std::process::exit(2);
+}
+
+/// One backend selection: an in-process kind, or the threaded runtime.
+#[derive(Clone, Copy, PartialEq)]
+enum Target {
+    InProcess(BackendKind),
+    Threaded,
+}
+
+impl Target {
+    fn name(&self) -> &'static str {
+        match self {
+            Target::InProcess(k) => k.name(),
+            Target::Threaded => "threaded",
+        }
+    }
+}
+
+fn parse_target(name: &str) -> Option<Target> {
+    if name == "threaded" {
+        return Some(Target::Threaded);
+    }
+    BackendKind::all()
+        .into_iter()
+        .find(|k| k.name() == name)
+        .map(Target::InProcess)
+}
+
+/// Runs `spec` on `target`, returning the outcome report JSON and the
+/// delivered fingerprint (recording a trace when asked).
+fn run_one(
+    spec: &ScenarioSpec,
+    target: Target,
+    trace_path: Option<&str>,
+) -> Result<(String, String, bool), String> {
+    match target {
+        Target::InProcess(kind) => {
+            if let Some(path) = trace_path {
+                let (out, trace) = scenario::run_recorded(spec, kind)?;
+                std::fs::write(path, trace.serialize())
+                    .map_err(|e| format!("write {path}: {e}"))?;
+                eprintln!("recorded trace to {path}");
+                Ok((
+                    out.report.to_json(),
+                    out.report.delivered_fingerprint.clone(),
+                    out.report.ok(),
+                ))
+            } else {
+                let out = scenario::run_spec(spec, kind)?;
+                Ok((
+                    out.report.to_json(),
+                    out.report.delivered_fingerprint.clone(),
+                    out.report.ok(),
+                ))
+            }
+        }
+        Target::Threaded => {
+            if trace_path.is_some() {
+                return Err("threaded runs are wall-clock; traces are not replayable".into());
+            }
+            let out = scenario::run_threaded(spec)?;
+            Ok((
+                out.report.to_json(),
+                out.report.delivered_fingerprint.clone(),
+                out.report.ok(),
+            ))
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name: Option<String> = None;
+    let mut replay_file: Option<String> = None;
+    let mut backend = "all".to_string();
+    let mut backend_set = false;
+    let mut seed: Option<u64> = None;
+    let mut out_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut list = false;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |args: &[String], i: usize, flag: &str| -> String {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match args[i].as_str() {
+            "--list" => list = true,
+            "--backend" => {
+                backend = take(&args, i, "--backend");
+                backend_set = true;
+                i += 1;
+            }
+            "--seed" => {
+                seed = Some(
+                    take(&args, i, "--seed")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--seed needs a number")),
+                );
+                i += 1;
+            }
+            "--out" => {
+                out_dir = Some(take(&args, i, "--out"));
+                i += 1;
+            }
+            "--trace" => {
+                trace_path = Some(take(&args, i, "--trace"));
+                i += 1;
+            }
+            "replay" if name.is_none() => {
+                replay_file = Some(take(&args, i, "replay"));
+                i += 1;
+                name = Some("replay".into());
+            }
+            other if name.is_none() && !other.starts_with("--") => name = Some(other.to_string()),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    if list {
+        println!("built-in scenarios:");
+        for s in builtins() {
+            let backends: Vec<&str> = s
+                .supported_backends()
+                .iter()
+                .map(|k| k.name())
+                .chain((s.topics == 1).then_some("threaded"))
+                .collect();
+            println!("  {:<24} topics={:<3} backends: {}", s.name, s.topics, backends.join(","));
+        }
+        return;
+    }
+
+    // --- replay mode ---
+    if let Some(path) = replay_file {
+        // A trace fixes its backend and seed in the header; overriding
+        // them would break byte-identity, so reject rather than ignore.
+        if backend_set || seed.is_some() || trace_path.is_some() {
+            fail("replay takes no --backend/--seed/--trace (the trace header fixes them)");
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+        let trace = Trace::parse(&text).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
+        let report = trace
+            .replay()
+            .unwrap_or_else(|e| fail(&format!("replay {path}: {e}")));
+        print!("{}", report.to_json());
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("mkdir {dir}: {e}")));
+            let out = format!("{dir}/{}.{}.replay.json", report.scenario, report.backend);
+            std::fs::write(&out, report.to_json())
+                .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+            eprintln!("wrote {out}");
+        }
+        std::process::exit(if report.ok() { 0 } else { 1 });
+    }
+
+    // --- run mode ---
+    let name = name.unwrap_or_else(|| usage());
+    let specs: Vec<ScenarioSpec> = if name == "all" {
+        builtins()
+    } else {
+        match builtin(&name) {
+            Some(s) => vec![s],
+            None => fail(&format!("unknown scenario {name:?}; use --list")),
+        }
+    };
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("mkdir {dir}: {e}")));
+    }
+    if trace_path.is_some() && (backend == "all" || specs.len() > 1) {
+        fail("--trace needs a single scenario and a single backend");
+    }
+
+    let chosen: Option<Target> = if backend == "all" {
+        None
+    } else {
+        Some(parse_target(&backend).unwrap_or_else(|| fail(&format!("unknown backend {backend:?}"))))
+    };
+    let mut failures = 0usize;
+    for mut spec in specs {
+        if let Some(s) = seed {
+            spec.seed = s;
+        }
+        let targets: Vec<Target> = match chosen {
+            None => spec
+                .supported_backends()
+                .into_iter()
+                .map(Target::InProcess)
+                .collect(),
+            Some(t) => {
+                let supported = match t {
+                    Target::InProcess(kind) => spec.supported(kind),
+                    Target::Threaded => spec.topics == 1,
+                };
+                if !supported {
+                    eprintln!(
+                        "=== {} skipped on {} (spec has {} topics; backend serves one)",
+                        spec.name,
+                        t.name(),
+                        spec.topics
+                    );
+                    continue;
+                }
+                vec![t]
+            }
+        };
+        let mut reference: Option<(&'static str, String)> = None;
+        for target in targets {
+            let started = std::time::Instant::now();
+            match run_one(&spec, target, trace_path.as_deref()) {
+                Err(e) => fail(&e),
+                Ok((json, fingerprint, ok)) => {
+                    eprintln!(
+                        "=== {} on {} ({:.2?}) {}",
+                        spec.name,
+                        target.name(),
+                        started.elapsed(),
+                        if ok { "ok" } else { "FAILED" }
+                    );
+                    print!("{json}");
+                    if let Some(dir) = &out_dir {
+                        let path = format!("{dir}/{}.{}.json", spec.name, target.name());
+                        std::fs::write(&path, &json)
+                            .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+                    }
+                    if !ok {
+                        failures += 1;
+                    }
+                    // Conformance across in-process backends of one sweep.
+                    if let Target::InProcess(_) = target {
+                        match &reference {
+                            None => reference = Some((target.name(), fingerprint)),
+                            Some((ref_name, ref_fp)) => {
+                                if *ref_fp != fingerprint {
+                                    eprintln!(
+                                        "CONFORMANCE MISMATCH: {} delivers {} but {} delivers {}",
+                                        target.name(),
+                                        fingerprint,
+                                        ref_name,
+                                        ref_fp
+                                    );
+                                    failures += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} scenario run(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,5 +1,5 @@
 //! E14 — ablation of the implementation's documented extensions
-//! (DESIGN.md §5.8): with shortcut-slot verification (`CheckShortcut`)
+//! (DESIGN.md §7.4): with shortcut-slot verification (`CheckShortcut`)
 //! disabled, the protocol is the paper's verbatim §3.2.2 — and stale slot
 //! bindings circulate between introducers, stalling or dramatically
 //! slowing convergence from partitioned starts. This experiment justifies
@@ -86,7 +86,7 @@ pub fn run(scale: Scale, seed: u64) -> Report {
 
     Report {
         id: "E14",
-        artefact: "ablation of DESIGN.md §5.8 (CheckShortcut)",
+        artefact: "ablation of DESIGN.md §7.4 (CheckShortcut)",
         claim: "without shortcut-slot verification, stale bindings circulate and stall convergence",
         tables: vec![t],
         verdicts,

@@ -1,16 +1,13 @@
 //! E11 — Lemma 6 + §3.3: graceful unsubscribes disconnect the leaver and
 //! the system re-stabilizes; unannounced crashes are recovered through
-//! the single supervisor-side failure detector (no per-subscriber
-//! detectors needed). Driven through the backend-agnostic [`PubSub`]
-//! facade; disconnection is judged on facade snapshots.
+//! the single supervisor-side failure detector. A thin wrapper over the
+//! scenario engine: each table row is a warm-start spec with one churn
+//! burst and an `until_legit` stop condition.
 
+use crate::scenario::{self, Burst, BurstKind, ScenarioSpec, Stop};
 use crate::{Report, Scale, Table};
-use skippub_core::pubsub::SimBackend;
-use skippub_core::{scenarios, ProtocolConfig, PubSub, TopicId};
+use skippub_core::{ProtocolConfig, PubSub, TopicId};
 use skippub_sim::NodeId;
-
-/// The single topic this experiment runs on.
-const TOPIC: TopicId = TopicId(0);
 
 /// True if no live subscriber in `snap` references `gone` anywhere.
 fn disconnected(snap: &skippub_sim::World<skippub_core::Actor>, gone: NodeId) -> bool {
@@ -28,11 +25,33 @@ fn supervisor_n(snap: &skippub_sim::World<skippub_core::Actor>) -> usize {
         .expect("snapshot has a supervisor")
 }
 
+/// One churn burst over a warm population of `n`: crash-with-detector
+/// (3-round latency) or graceful leave.
+fn spec(n: usize, k: usize, kind: BurstKind, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(format!("churn-burst-{n}"), seed)
+        .population(n)
+        .protocol(ProtocolConfig::topology_only())
+        .rounds(4) // leaves room for the 3-round detector latency
+        .burst(Burst { at: 0, count: k, kind })
+        .stop(Stop::UntilLegit {
+            max_extra: 800 * n as u64,
+        })
+        .settle(0)
+}
+
 /// Runs E11.
 pub fn run(scale: Scale, seed: u64) -> Report {
     let n = scale.pick(16usize, 64usize);
     let fractions: &[(&str, usize)] = &[("1 node", 1), ("12.5 %", n / 8), ("25 %", n / 4)];
-    let cfg = ProtocolConfig::topology_only();
+    let modes: &[(&str, BurstKind)] = &[
+        ("unsubscribe", BurstKind::Leave),
+        (
+            "crash",
+            BurstKind::Crash {
+                detect_after: Some(3),
+            },
+        ),
+    ];
     let mut t = Table::new(
         format!("churn recovery (n = {n})"),
         &[
@@ -43,75 +62,40 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             "final n",
         ],
     );
-    let mut verdicts = Vec::new();
     let mut all_ok = true;
     let mut all_disc = true;
-
-    // --- graceful unsubscribes ---
-    for &(name, k) in fractions {
-        let k = k.max(1);
-        let world = scenarios::legit_world(n, seed, cfg);
-        let mut ps = SimBackend::from_world(world, cfg);
-        let victims: Vec<NodeId> = ps.subscriber_ids().into_iter().step_by(3).take(k).collect();
-        for &v in &victims {
-            ps.unsubscribe(v, TOPIC);
+    for (mode_idx, &(mode, kind)) in modes.iter().enumerate() {
+        for &(name, k) in fractions {
+            let k = k.max(1);
+            let spec = spec(n, k, kind, seed ^ mode_idx as u64);
+            let mut ps = scenario::builder_for(&spec).build_sim();
+            let out = scenario::run_on(&mut ps, &spec, 1);
+            all_ok &= out.report.ok();
+            let snap = ps.snapshot(TopicId(0));
+            let victims = if out.crashed.is_empty() { &out.left } else { &out.crashed };
+            let disc = victims.iter().all(|&v| disconnected(&snap, v));
+            all_disc &= disc;
+            t.row(vec![
+                format!("{mode} {name}"),
+                k.to_string(),
+                out.report.stop_rounds.to_string(),
+                disc.to_string(),
+                supervisor_n(&snap).to_string(),
+            ]);
         }
-        let (rounds, ok) = ps.until_legit(800 * n as u64);
-        let snap = ps.snapshot(TOPIC);
-        let disc = victims.iter().all(|&v| disconnected(&snap, v));
-        all_ok &= ok;
-        all_disc &= disc;
-        t.row(vec![
-            format!("unsubscribe {name}"),
-            k.to_string(),
-            rounds.to_string(),
-            disc.to_string(),
-            supervisor_n(&snap).to_string(),
-        ]);
     }
-
-    // --- crashes (failure detector reports after 3 rounds) ---
-    for &(name, k) in fractions {
-        let k = k.max(1);
-        let world = scenarios::legit_world(n, seed ^ 0xC4A5, cfg);
-        let mut ps = SimBackend::from_world(world, cfg);
-        let victims: Vec<NodeId> = ps.subscriber_ids().into_iter().step_by(4).take(k).collect();
-        for &v in &victims {
-            ps.crash(v);
-        }
-        for _ in 0..3 {
-            ps.step(); // detector latency
-        }
-        for &v in &victims {
-            ps.report_crash(v);
-        }
-        let (rounds, ok) = ps.until_legit(800 * n as u64);
-        all_ok &= ok;
-        let snap = ps.snapshot(TOPIC);
-        let disc = victims.iter().all(|&v| disconnected(&snap, v));
-        all_disc &= disc;
-        t.row(vec![
-            format!("crash {name}"),
-            k.to_string(),
-            rounds.to_string(),
-            disc.to_string(),
-            supervisor_n(&snap).to_string(),
-        ]);
-    }
-    verdicts.push((
-        "system re-stabilizes after every churn burst".into(),
-        all_ok,
-    ));
-    verdicts.push((
-        "departed/crashed nodes end fully unreferenced (Lemma 6)".into(),
-        all_disc,
-    ));
 
     Report {
         id: "E11",
         artefact: "Lemma 6 + §3.3",
         claim: "unsubscribes disconnect the leaver; crashes recover via the supervisor's failure detector alone",
         tables: vec![t],
-        verdicts,
+        verdicts: vec![
+            ("system re-stabilizes after every churn burst".into(), all_ok),
+            (
+                "departed/crashed nodes end fully unreferenced (Lemma 6)".into(),
+                all_disc,
+            ),
+        ],
     }
 }

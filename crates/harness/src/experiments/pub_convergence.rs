@@ -1,13 +1,29 @@
 //! E8 — Theorem 17: publications scattered arbitrarily across subscribers
 //! converge, via anti-entropy alone (flooding disabled), to every
-//! subscriber holding the complete set. Driven through the backend-
-//! agnostic [`PubSub`] facade.
+//! subscriber holding the complete set. A thin wrapper over the scenario
+//! engine: the workload is a `scattered_pubs` spec with an
+//! `until_pubs_converged` stop condition.
 
+use crate::scenario::{self, ScenarioSpec, Stop};
 use crate::table::f2;
 use crate::{Report, Scale, Table};
-use skippub_core::pubsub::SimBackend;
-use skippub_core::{scenarios, ProtocolConfig, PubSub, TopicId};
-use skippub_trie::Publication;
+use skippub_core::{ProtocolConfig, PubSub, TopicId};
+
+/// The spec: `n` warm subscribers, `pubs` publications seeded into
+/// arbitrary stores, anti-entropy only, run until stores agree.
+fn spec(n: usize, pubs: usize, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(format!("pubconv-{n}"), seed)
+        .population(n)
+        .protocol(ProtocolConfig {
+            flooding: false,
+            ..ProtocolConfig::default()
+        })
+        .scattered_pubs(pubs)
+        .stop(Stop::UntilPubsConverged {
+            max_extra: 600 * n as u64,
+        })
+        .settle(0)
+}
 
 /// Runs E8.
 pub fn run(scale: Scale, seed: u64) -> Report {
@@ -15,10 +31,6 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         &[(8usize, 8usize), (16, 32)][..],
         &[(8usize, 8usize), (16, 32), (32, 64), (64, 128), (128, 64)][..],
     );
-    let cfg = ProtocolConfig {
-        flooding: false,
-        ..ProtocolConfig::default()
-    }; // anti-entropy only: the self-stabilizing layer
     let mut t = Table::new(
         "anti-entropy convergence (flooding disabled)",
         &[
@@ -30,25 +42,15 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             "sent pubs / |P|",
         ],
     );
-    let mut verdicts = Vec::new();
     let mut all_ok = true;
     for &(n, pubs) in sweep {
-        let world = scenarios::legit_world(n, seed, cfg);
-        let mut ps = SimBackend::from_world(world, cfg);
-        let ids = ps.subscriber_ids();
-        // Scatter |P| publications at deterministic pseudo-random hosts,
-        // inserted directly (as if flooding had been lost entirely).
-        for i in 0..pubs {
-            let host = ids[(i * 7 + 3) % ids.len()];
-            let p = Publication::new(host.0, format!("pub-{i}").into_bytes());
-            ps.seed_publication(host, TopicId(0), p);
-        }
-        let before = ps.metrics().clone();
-        let (rounds, ok) = ps.until_pubs_converged(600 * n as u64);
-        all_ok &= ok;
-        let d = ps.metrics().diff(&before);
-        let per_node = ps.drain_events(ids[0]).len();
+        let s = spec(n, pubs, seed);
+        let mut ps = scenario::builder_for(&s).build_sim();
+        let out = scenario::run_on(&mut ps, &s, 1);
+        all_ok &= out.report.ok();
         // Redundancy: how many publication copies travelled per pub.
+        // (With flooding disabled, every `Publish` message is an
+        // anti-entropy transfer; the warm phase moves none.)
         let snap = ps.snapshot(TopicId(0));
         let sync_learned: u64 = snap
             .iter()
@@ -58,16 +60,12 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         t.row(vec![
             n.to_string(),
             pubs.to_string(),
-            rounds.to_string(),
-            per_node.to_string(),
-            d.kind("Publish").to_string(),
+            out.report.stop_rounds.to_string(),
+            out.report.per_topic[0].pubs.to_string(),
+            ps.metrics().kind("Publish").to_string(),
             f2(sync_learned as f64 / pubs as f64),
         ]);
     }
-    verdicts.push((
-        "all subscribers end with the full publication set (Theorem 17)".into(),
-        all_ok,
-    ));
 
     Report {
         id: "E8",
@@ -75,6 +73,9 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         claim:
             "every subscriber eventually stores all publications, via CheckTrie anti-entropy alone",
         tables: vec![t],
-        verdicts,
+        verdicts: vec![(
+            "all subscribers end with the full publication set (Theorem 17)".into(),
+            all_ok,
+        )],
     }
 }

@@ -1,27 +1,29 @@
 //! E13 — §4 + §1.3: the supervisor's message load is **linear in the
 //! number of topics** but **independent of the number of subscribers**;
-//! consistent-hashing shards flatten the per-supervisor load.
+//! consistent-hashing shards flatten the per-supervisor load. The
+//! population/warmup workload is a scenario spec; the measurement window
+//! diffs simulator metrics around a fixed number of facade steps.
 
+use crate::scenario::{self, ScenarioSpec, Stop};
 use crate::table::f2;
 use crate::{Report, Scale, Table};
-use skippub_core::pubsub::MultiTopicBackend;
 use skippub_core::sharding::SupervisorShards;
 use skippub_core::topics::TopicId;
-use skippub_core::{ProtocolConfig, PubSub, SystemBuilder};
+use skippub_core::{ProtocolConfig, PubSub};
 use skippub_sim::NodeId;
 
-fn multi_system(topics: usize, subs_per_topic: usize, seed: u64) -> MultiTopicBackend {
-    let mut ps = SystemBuilder::new(seed)
+/// The population/warmup spec: `topics × subs` distinct clients spread
+/// round-robin (exactly `subs` per topic), cold-started and driven for
+/// `warmup` rounds into steady state.
+fn spec(topics: usize, subs: usize, warmup: u64, seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(format!("topics-{topics}x{subs}"), seed)
         .topics(topics as u32)
+        .population(topics * subs)
         .protocol(ProtocolConfig::topology_only())
-        .build_multi();
-    // Distinct clients per topic (worst case for the supervisor).
-    for t in 0..topics {
-        for _ in 0..subs_per_topic {
-            ps.subscribe(TopicId(t as u32));
-        }
-    }
-    ps
+        .cold()
+        .rounds(warmup)
+        .stop(Stop::FixedRounds)
+        .settle(0)
 }
 
 /// Runs E13.
@@ -35,20 +37,19 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         "supervisor load vs topics × subscribers (steady state)",
         &["topics", "subs/topic", "sup msgs/round", "per topic"],
     );
-    let mut loads: Vec<(usize, usize, f64)> = Vec::new();
+    let mut loads: std::collections::BTreeMap<(usize, usize), f64> = Default::default();
     for &topics in topic_sweep {
         for &subs in subs_sweep {
-            let mut ps = multi_system(topics, subs, seed);
-            for _ in 0..warmup {
-                ps.step();
-            }
+            let s = spec(topics, subs, warmup, seed);
+            let mut ps = scenario::builder_for(&s).build_multi();
+            scenario::run_on(&mut ps, &s, 1);
             let before = ps.metrics().clone();
             for _ in 0..measure {
                 ps.step();
             }
             let d = ps.metrics().diff(&before);
             let rate = d.sent_by(ps.supervisor_id()) as f64 / measure as f64;
-            loads.push((topics, subs, rate));
+            loads.insert((topics, subs), rate);
             t.row(vec![
                 topics.to_string(),
                 subs.to_string(),
@@ -59,26 +60,11 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     }
     // Shape checks: linear in topics (at fixed subs), flat in subscribers
     // (at fixed topics).
-    let max_topics = *topic_sweep.last().expect("nonempty");
-    let min_topics = topic_sweep[0];
-    let subs0 = subs_sweep[0];
-    let rate_at = |t: usize, s: usize| {
-        loads
-            .iter()
-            .find(|(tt, ss, _)| *tt == t && *ss == s)
-            .map(|(_, _, r)| *r)
-            .expect("measured")
-    };
-    let linear_in_topics = {
-        let lo = rate_at(min_topics, subs0) / min_topics as f64;
-        let hi = rate_at(max_topics, subs0) / max_topics as f64;
-        hi <= lo * 1.75 && lo <= hi * 1.75
-    };
-    let flat_in_subs = {
-        let lo = rate_at(max_topics, subs_sweep[0]);
-        let hi = rate_at(max_topics, *subs_sweep.last().expect("nonempty"));
-        hi <= lo * 1.6 + 1.0
-    };
+    let (t0, t1) = (topic_sweep[0], *topic_sweep.last().expect("nonempty"));
+    let (s0, s1) = (subs_sweep[0], *subs_sweep.last().expect("nonempty"));
+    let (lo, hi) = (loads[&(t0, s0)] / t0 as f64, loads[&(t1, s0)] / t1 as f64);
+    let linear_in_topics = hi <= lo * 1.75 && lo <= hi * 1.75;
+    let flat_in_subs = loads[&(t1, s1)] <= loads[&(t1, s0)] * 1.6 + 1.0;
 
     // Sharded supervisors: static consistent-hash split of per-topic load.
     let shard_counts: &[usize] = &[1, 2, 4, 8];

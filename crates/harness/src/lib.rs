@@ -1,15 +1,21 @@
 //! # skippub-harness
 //!
-//! Experiment drivers reproducing **every figure and every quantitative
-//! claim** of the paper (see DESIGN.md §3 for the experiment index and
-//! EXPERIMENTS.md for recorded results). Each experiment builds its
-//! workload, runs the protocol in the deterministic simulator, and emits
-//! a table whose "paper" column carries the claimed value next to the
-//! measured one.
+//! Workload drivers: the declarative [`scenario`] engine plus the
+//! E-series [`experiments`] reproducing **every figure and every
+//! quantitative claim** of the paper (`docs/paper_map.md` maps each
+//! paper artefact to its implementation and its checking experiment).
 //!
-//! Run them via the `experiments` binary:
+//! * [`scenario`] — `ScenarioSpec` → deterministic compiled schedule →
+//!   execution on **any** `PubSub` backend, with trace record/replay
+//!   and a built-in workload library (see `docs/scenarios.md`). Run via
+//!   the `scenarios` binary.
+//! * [`experiments`] — each experiment builds its workload (the
+//!   churn/convergence ones as thin scenario-spec wrappers), runs the
+//!   protocol, and emits a table whose verdicts assert the paper's
+//!   claims. Run via the `experiments` binary.
 //!
 //! ```text
+//! cargo run -p skippub-harness --release --bin scenarios -- all
 //! cargo run -p skippub-harness --release --bin experiments -- all
 //! cargo run -p skippub-harness --release --bin experiments -- convergence --scale full --seed 7
 //! ```
@@ -18,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod scenario;
 mod table;
 
 pub use table::Table;

@@ -1,0 +1,550 @@
+//! The scenario executor: applies a compiled
+//! [`Schedule`](super::schedule::Schedule) to any [`PubSub`] backend,
+//! phase by phase, optionally recording every applied op to a
+//! [`Trace`].
+//!
+//! Phases (all recorded as `phase` markers in traces):
+//!
+//! 1. **populate** — subscribe the initial population;
+//! 2. **warm** — bootstrap to legitimacy (skipped for cold starts);
+//! 3. **seed** — scatter adversarial publications into stores;
+//! 4. **run** — the scheduled rounds (ops, then one step each);
+//! 5. **stop** — extra rounds until the spec's stop condition holds;
+//! 6. **settle** — extra rounds until publication stores agree, so
+//!    delivered sets are comparable across backends;
+//! 7. **drain** — drain every surviving member and assemble the report.
+
+use super::report::{OpCounts, ScenarioReport, TopicReport};
+use super::schedule::{compile, PlannedOp};
+use super::spec::{ScenarioSpec, Stop};
+use super::trace::{Trace, TraceLine};
+use skippub_bits::Hash128;
+use skippub_core::pubsub::{Delivery, Op};
+use skippub_core::{BackendKind, PubSub, SystemBuilder, TopicId};
+use skippub_sim::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One delivered publication in backend-agnostic, comparable form:
+/// `(author, payload, key)`.
+pub type DeliveredItem = (u64, Vec<u8>, String);
+
+/// A per-topic delivered set.
+pub type DeliveredSet = BTreeSet<DeliveredItem>;
+
+/// Everything a scenario run produces beyond the JSON report — concrete
+/// IDs for white-box probes (experiments use these for snapshot checks).
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The per-scenario report (JSON via
+    /// [`ScenarioReport::to_json`]).
+    pub report: ScenarioReport,
+    /// Slot → assigned `NodeId`, in spawn order.
+    pub slot_ids: Vec<NodeId>,
+    /// IDs crashed by the schedule.
+    pub crashed: Vec<NodeId>,
+    /// IDs that left gracefully.
+    pub left: Vec<NodeId>,
+    /// Per-topic delivered set of the surviving members — taken from
+    /// each topic's first member, which equals every other member's set
+    /// whenever `report.members_agree` holds (and `report.ok()` implies
+    /// it). When members disagree the report is already failing; this
+    /// field then shows the first member's view as a diagnostic, not a
+    /// consensus.
+    pub delivered: BTreeMap<u32, DeliveredSet>,
+}
+
+/// Round-budget multiplier applied to warm/stop/settle budgets: the
+/// chaos scheduler delivers each message with probability ~0.5, so its
+/// convergence horizons are an order of magnitude longer than the
+/// synchronous scheduler's.
+pub fn budget_multiplier(kind: BackendKind) -> u64 {
+    match kind {
+        BackendKind::Chaos => 10,
+        _ => 1,
+    }
+}
+
+/// The [`SystemBuilder`] a spec maps onto (shared by the engine, the
+/// CLI's threaded path, and the trace replayer).
+pub fn builder_for(spec: &ScenarioSpec) -> SystemBuilder {
+    SystemBuilder::new(spec.seed)
+        .topics(spec.topics)
+        .shards(spec.shards)
+        .protocol(spec.protocol)
+}
+
+/// Builds the backend and runs the spec on it.
+pub fn run_spec(spec: &ScenarioSpec, kind: BackendKind) -> Result<ScenarioOutcome, String> {
+    if !spec.supported(kind) {
+        return Err(format!(
+            "scenario {:?} needs {} topics; backend {} serves exactly one",
+            spec.name,
+            spec.topics,
+            kind.name()
+        ));
+    }
+    let mut ps = builder_for(spec).build(kind);
+    Ok(execute(ps.as_mut(), spec, budget_multiplier(kind), None))
+}
+
+/// Like [`run_spec`], but records every applied op into a replayable
+/// [`Trace`].
+pub fn run_recorded(
+    spec: &ScenarioSpec,
+    kind: BackendKind,
+) -> Result<(ScenarioOutcome, Trace), String> {
+    if !spec.supported(kind) {
+        return Err(format!(
+            "scenario {:?} does not support backend {}",
+            spec.name,
+            kind.name()
+        ));
+    }
+    let mut ps = builder_for(spec).build(kind);
+    let mut trace = Trace::new(spec, kind.name());
+    let outcome = execute(ps.as_mut(), spec, budget_multiplier(kind), Some(&mut trace));
+    Ok((outcome, trace))
+}
+
+/// Runs the spec against an already-constructed backend (the threaded
+/// backend, or an experiment's pre-seeded world). `budget_mult` scales
+/// the warm/stop/settle budgets.
+pub fn run_on(ps: &mut dyn PubSub, spec: &ScenarioSpec, budget_mult: u64) -> ScenarioOutcome {
+    execute(ps, spec, budget_mult, None)
+}
+
+/// Runs the spec on the threaded runtime (`skippub-net`): one OS thread
+/// per node, 5 ms wall-clock poll slices as steps. The single driver
+/// shared by the `scenarios` CLI and the conformance tests, so the two
+/// cannot drift. Single-topic specs only.
+pub fn run_threaded(spec: &ScenarioSpec) -> Result<ScenarioOutcome, String> {
+    if spec.topics != 1 {
+        return Err(format!(
+            "scenario {:?} uses {} topics; the threaded backend serves one",
+            spec.name, spec.topics
+        ));
+    }
+    let mut net = skippub_net::NetBackend::from_builder(&builder_for(spec))
+        .with_poll_interval(std::time::Duration::from_millis(5));
+    let out = execute(&mut net, spec, 1, None);
+    net.shutdown();
+    Ok(out)
+}
+
+/// Applies ops + bookkeeping, and mirrors everything into the optional
+/// trace.
+struct Recorder<'a> {
+    trace: Option<&'a mut Trace>,
+    ops: OpCounts,
+}
+
+impl Recorder<'_> {
+    fn phase(&mut self, name: &'static str) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.lines.push(TraceLine::Phase(name.to_string()));
+        }
+    }
+
+    fn apply(&mut self, ps: &mut dyn PubSub, op: Op) -> Option<NodeId> {
+        self.ops.record(&op);
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.lines.push(TraceLine::Op(op.clone()));
+        }
+        op.apply(ps)
+    }
+
+    fn step(&mut self, ps: &mut dyn PubSub) {
+        self.apply(ps, Op::Step);
+    }
+
+    fn member(&mut self, id: NodeId, topic: u32) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.lines.push(TraceLine::Member(id, topic));
+        }
+    }
+
+    fn drain(&mut self, ps: &mut dyn PubSub, id: NodeId) -> Vec<Delivery> {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.lines.push(TraceLine::Drain(id));
+        }
+        ps.drain_events(id)
+    }
+}
+
+/// Phase bookkeeping shared between live execution and trace replay.
+pub(crate) struct Phases {
+    pub warm_rounds: u64,
+    pub warm_ok: bool,
+    pub scheduled_rounds: u64,
+    pub stop_kind: &'static str,
+    pub stop_rounds: u64,
+    pub stop_ok: bool,
+    pub settle_rounds: u64,
+}
+
+/// Whether the stop condition currently holds.
+pub(crate) fn stop_met(ps: &dyn PubSub, stop: &Stop) -> bool {
+    match stop {
+        Stop::FixedRounds => true,
+        Stop::UntilLegit { .. } => ps.is_legitimate(),
+        Stop::UntilPubsConverged { .. } => ps.publications_converged().0,
+    }
+}
+
+fn execute(
+    ps: &mut dyn PubSub,
+    spec: &ScenarioSpec,
+    budget_mult: u64,
+    trace: Option<&mut Trace>,
+) -> ScenarioOutcome {
+    let schedule = compile(spec);
+    let mut rec = Recorder {
+        trace,
+        ops: OpCounts::default(),
+    };
+    let mut slot_ids: Vec<NodeId> = Vec::with_capacity(schedule.slots.len());
+    let mut crashed = Vec::new();
+    let mut left = Vec::new();
+
+    // Slot → bound ID lookups index `slot_ids` directly: the compiler
+    // guarantees ops only reference already-spawned slots.
+    let apply_planned = |rec: &mut Recorder,
+                             ps: &mut dyn PubSub,
+                             op: &PlannedOp,
+                             slot_ids: &mut Vec<NodeId>,
+                             crashed: &mut Vec<NodeId>,
+                             left: &mut Vec<NodeId>| {
+        match op {
+            PlannedOp::Subscribe { slot, topic } => {
+                let id = rec
+                    .apply(ps, Op::Subscribe { topic: TopicId(*topic) })
+                    .expect("subscribe returns an id");
+                debug_assert_eq!(*slot, slot_ids.len(), "slots spawn in order");
+                slot_ids.push(id);
+            }
+            PlannedOp::Leave { slot, topic } => {
+                let id = slot_ids[*slot];
+                left.push(id);
+                rec.apply(
+                    ps,
+                    Op::Unsubscribe {
+                        id,
+                        topic: TopicId(*topic),
+                    },
+                );
+            }
+            PlannedOp::Publish {
+                slot,
+                topic,
+                payload,
+            } => {
+                rec.apply(
+                    ps,
+                    Op::Publish {
+                        id: slot_ids[*slot],
+                        topic: TopicId(*topic),
+                        payload: payload.clone(),
+                    },
+                );
+            }
+            PlannedOp::Seed {
+                slot,
+                topic,
+                payload,
+            } => {
+                let id = slot_ids[*slot];
+                rec.apply(
+                    ps,
+                    Op::SeedPublication {
+                        id,
+                        topic: TopicId(*topic),
+                        author: id.0,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+            PlannedOp::Crash { slot } => {
+                let id = slot_ids[*slot];
+                crashed.push(id);
+                rec.apply(ps, Op::Crash { id });
+            }
+            PlannedOp::Report { slot } => {
+                rec.apply(ps, Op::ReportCrash { id: slot_ids[*slot] });
+            }
+        }
+    };
+
+    // 1. populate
+    rec.phase("populate");
+    for op in &schedule.prelude {
+        apply_planned(&mut rec, ps, op, &mut slot_ids, &mut crashed, &mut left);
+    }
+
+    // 2. warm
+    rec.phase("warm");
+    let mut warm_rounds = 0;
+    let mut warm_ok = true;
+    if spec.warm {
+        let budget = spec.warm_budget.saturating_mul(budget_mult);
+        loop {
+            if ps.is_legitimate() {
+                break;
+            }
+            if warm_rounds >= budget {
+                warm_ok = false;
+                break;
+            }
+            rec.step(ps);
+            warm_rounds += 1;
+        }
+    }
+
+    // 3. seed
+    rec.phase("seed");
+    for op in &schedule.seeds {
+        apply_planned(&mut rec, ps, op, &mut slot_ids, &mut crashed, &mut left);
+    }
+
+    // 4. run
+    rec.phase("run");
+    for ops in &schedule.rounds {
+        for op in ops {
+            apply_planned(&mut rec, ps, op, &mut slot_ids, &mut crashed, &mut left);
+        }
+        rec.step(ps);
+    }
+
+    // 5. stop
+    rec.phase("stop");
+    let mut stop_rounds = 0;
+    let mut stop_ok = true;
+    let budget = spec.stop.max_extra().saturating_mul(budget_mult);
+    loop {
+        if stop_met(ps, &spec.stop) {
+            break;
+        }
+        if stop_rounds >= budget {
+            stop_ok = false;
+            break;
+        }
+        rec.step(ps);
+        stop_rounds += 1;
+    }
+
+    // 6. settle
+    rec.phase("settle");
+    let mut settle_rounds = 0;
+    let budget = spec.settle.saturating_mul(budget_mult);
+    while !ps.publications_converged().0 && settle_rounds < budget {
+        rec.step(ps);
+        settle_rounds += 1;
+    }
+
+    // 7. drain surviving members
+    rec.phase("drain");
+    let mut membership: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    let mut drained: BTreeMap<NodeId, Vec<Delivery>> = BTreeMap::new();
+    for (topic, slots) in schedule.survivors_by_topic(spec.topics) {
+        let entry = membership.entry(topic).or_default();
+        for slot in slots {
+            let id = slot_ids[slot];
+            entry.push(id);
+            rec.member(id, topic);
+            let events = rec.drain(ps, id);
+            drained.insert(id, events);
+        }
+    }
+
+    let phases = Phases {
+        warm_rounds,
+        warm_ok,
+        scheduled_rounds: schedule.rounds.len() as u64,
+        stop_kind: spec.stop.name(),
+        stop_rounds,
+        stop_ok,
+        settle_rounds,
+    };
+    let (report, delivered) = assemble_report(
+        ps,
+        &spec.name,
+        spec.seed,
+        spec.topics,
+        phases,
+        &membership,
+        &drained,
+        rec.ops,
+    );
+    ScenarioOutcome {
+        report,
+        slot_ids,
+        crashed,
+        left,
+        delivered,
+    }
+}
+
+/// Hex fingerprint of one delivered set.
+fn fingerprint(set: &DeliveredSet) -> String {
+    let mut buf = Vec::new();
+    for (author, payload, key) in set {
+        buf.extend_from_slice(&author.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(payload);
+        buf.extend_from_slice(key.as_bytes());
+        buf.push(b';');
+    }
+    format!("{:032x}", Hash128::of_bytes(&buf).0)
+}
+
+/// Builds the report (and the per-topic common delivered sets) from the
+/// final backend state plus the run's bookkeeping. Shared by live
+/// execution and trace replay so both assemble byte-identical JSON.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_report(
+    ps: &dyn PubSub,
+    scenario: &str,
+    seed: u64,
+    topics: u32,
+    phases: Phases,
+    membership: &BTreeMap<u32, Vec<NodeId>>,
+    drained: &BTreeMap<NodeId, Vec<Delivery>>,
+    ops: OpCounts,
+) -> (ScenarioReport, BTreeMap<u32, DeliveredSet>) {
+    let mut members_agree = true;
+    let mut per_topic = Vec::new();
+    let mut delivered: BTreeMap<u32, DeliveredSet> = BTreeMap::new();
+    let mut all = Vec::new();
+    for (&topic, members) in membership {
+        let sets: Vec<DeliveredSet> = members
+            .iter()
+            .map(|id| {
+                drained
+                    .get(id)
+                    .map(|events| {
+                        events
+                            .iter()
+                            .filter(|d| d.topic.0 == topic)
+                            .map(|d| (d.author, d.payload.clone(), d.key.to_string()))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        members_agree &= sets.windows(2).all(|w| w[0] == w[1]);
+        // First member's set; identical to all others when members
+        // agree, a diagnostic view (flagged by members_agree=false,
+        // which fails the report) when they don't.
+        let common = sets.into_iter().next().unwrap_or_default();
+        let fp = fingerprint(&common);
+        all.extend_from_slice(format!("t{topic}:{fp};").as_bytes());
+        per_topic.push(TopicReport {
+            topic,
+            members: members.len(),
+            pubs: common.len(),
+            fingerprint: fp,
+        });
+        delivered.insert(topic, common);
+    }
+    let (pubs_converged, total_pubs) = ps.publications_converged();
+    let report = ScenarioReport {
+        scenario: scenario.to_string(),
+        backend: ps.backend_name().to_string(),
+        seed,
+        topics,
+        final_population: ps.subscriber_ids().len(),
+        warm_rounds: phases.warm_rounds,
+        warm_ok: phases.warm_ok,
+        scheduled_rounds: phases.scheduled_rounds,
+        stop_kind: phases.stop_kind,
+        stop_rounds: phases.stop_rounds,
+        stop_ok: phases.stop_ok,
+        settle_rounds: phases.settle_rounds,
+        legit: ps.is_legitimate(),
+        pubs_converged,
+        total_pubs,
+        members_agree,
+        per_topic,
+        delivered_fingerprint: format!("{:032x}", Hash128::of_bytes(&all).0),
+        ops,
+        stats: ps.stats(),
+    };
+    (report, delivered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::spec::{Burst, BurstKind};
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec::new("engine-test", 23)
+            .population(8)
+            .publishers(2)
+            .publish_prob(0.4)
+            .rounds(12)
+            .burst(Burst {
+                at: 3,
+                count: 2,
+                kind: BurstKind::Crash {
+                    detect_after: Some(3),
+                },
+            })
+            .stop(Stop::UntilLegit { max_extra: 3_000 })
+    }
+
+    #[test]
+    fn runs_on_sim_and_reaches_all_verdicts() {
+        let out = run_spec(&small_spec(), BackendKind::Sim).expect("supported");
+        let r = &out.report;
+        assert!(r.ok(), "{}", r.to_json());
+        assert!(r.legit && r.pubs_converged);
+        assert_eq!(r.ops.crashes, 2);
+        assert_eq!(r.ops.reports, 2);
+        assert_eq!(out.crashed.len(), 2);
+        assert_eq!(r.final_population, 6, "8 initial - 2 crashed");
+        assert_eq!(r.total_pubs, r.ops.publishes, "every publish delivered");
+        assert_eq!(out.delivered[&0].len(), r.total_pubs);
+    }
+
+    #[test]
+    fn identical_delivered_sets_across_in_process_backends() {
+        let spec = small_spec();
+        let mut reference: Option<(String, BTreeMap<u32, DeliveredSet>, String)> = None;
+        for kind in spec.supported_backends() {
+            let out = run_spec(&spec, kind).expect("supported");
+            assert!(out.report.ok(), "{}", out.report.to_json());
+            match &reference {
+                None => {
+                    reference = Some((
+                        out.report.backend.clone(),
+                        out.delivered,
+                        out.report.delivered_fingerprint.clone(),
+                    ))
+                }
+                Some((name, delivered, fp)) => {
+                    assert_eq!(&out.delivered, delivered, "{} vs {name}", out.report.backend);
+                    assert_eq!(&out.report.delivered_fingerprint, fp);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_topic_spec_is_rejected_on_single_topic_backends() {
+        let spec = ScenarioSpec::new("multi", 1).topics(3).population(6);
+        assert!(run_spec(&spec, BackendKind::Sim).is_err());
+        assert!(run_spec(&spec, BackendKind::MultiTopic).is_ok());
+    }
+
+    #[test]
+    fn cold_start_skips_warm_phase() {
+        let spec = ScenarioSpec::new("cold", 3)
+            .population(5)
+            .cold()
+            .stop(Stop::UntilLegit { max_extra: 2_000 });
+        let out = run_spec(&spec, BackendKind::Sim).unwrap();
+        assert_eq!(out.report.warm_rounds, 0);
+        assert!(out.report.stop_rounds > 0, "legitimacy forms in stop phase");
+        assert!(out.report.ok());
+    }
+}

@@ -1,0 +1,474 @@
+//! The schedule compiler: [`ScenarioSpec`] → deterministic event
+//! schedule.
+//!
+//! Compilation is a pure function of the spec (all randomness flows
+//! through one `StdRng` seeded from `spec.seed`), and the schedule
+//! references clients by **slot** — the index in spawn order — rather
+//! than by `NodeId`. Because every backend assigns client IDs
+//! identically (1, 2, 3, …), the same schedule drives every backend to
+//! the same publication sets; the engine binds slots to concrete IDs at
+//! execution time.
+
+use super::spec::{BurstKind, Popularity, ScenarioSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One scheduled operation, in slot space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlannedOp {
+    /// Spawn the client for `slot`, subscribed to `topic`.
+    Subscribe {
+        /// Slot the new client binds to.
+        slot: usize,
+        /// Topic subscribed to.
+        topic: u32,
+    },
+    /// Graceful leave.
+    Leave {
+        /// Leaving slot.
+        slot: usize,
+        /// Topic left.
+        topic: u32,
+    },
+    /// Publish from a publisher-core slot.
+    Publish {
+        /// Publishing slot.
+        slot: usize,
+        /// Topic published on.
+        topic: u32,
+        /// Payload (already padded).
+        payload: Vec<u8>,
+    },
+    /// Seed a publication directly into `slot`'s store (adversarial
+    /// initial distribution); the engine sets the author to `slot`'s ID.
+    Seed {
+        /// Hosting slot.
+        slot: usize,
+        /// Topic of the publication.
+        topic: u32,
+        /// Payload.
+        payload: Vec<u8>,
+    },
+    /// Crash without warning.
+    Crash {
+        /// Crashing slot.
+        slot: usize,
+    },
+    /// Failure-detector report for an earlier crash.
+    Report {
+        /// Reported slot.
+        slot: usize,
+    },
+}
+
+/// What ultimately happens to a slot within the schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Alive and subscribed at the end of the schedule.
+    Survives,
+    /// Leaves gracefully at the given scheduled round.
+    Leaves(u64),
+    /// Crashes at the given scheduled round.
+    Crashes(u64),
+}
+
+/// Compile-time record of one client slot.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotPlan {
+    /// The slot's (single) topic.
+    pub topic: u32,
+    /// Scheduled round the slot arrives in (`None` = initial
+    /// population, spawned before the warm phase).
+    pub arrives: Option<u64>,
+    /// Publisher-core member (never churns)?
+    pub publisher: bool,
+    /// The slot's fate.
+    pub fate: Fate,
+}
+
+/// The compiled schedule: prelude subscribes, adversarial seeds, per-round
+/// op lists, and the slot table.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Initial-population subscribes (applied before the warm phase).
+    pub prelude: Vec<PlannedOp>,
+    /// Scattered publications (applied after warm, before round 0).
+    pub seeds: Vec<PlannedOp>,
+    /// Ops applied at the start of each scheduled round.
+    pub rounds: Vec<Vec<PlannedOp>>,
+    /// Per-slot plan, indexed by slot.
+    pub slots: Vec<SlotPlan>,
+}
+
+impl Schedule {
+    /// Slots still subscribed at the end of the schedule, grouped by
+    /// topic (every topic in `0..topics` appears, possibly empty).
+    pub fn survivors_by_topic(&self, topics: u32) -> BTreeMap<u32, Vec<usize>> {
+        let mut by_topic: BTreeMap<u32, Vec<usize>> =
+            (0..topics).map(|t| (t, Vec::new())).collect();
+        for (slot, plan) in self.slots.iter().enumerate() {
+            if plan.fate == Fate::Survives {
+                by_topic.entry(plan.topic).or_default().push(slot);
+            }
+        }
+        by_topic
+    }
+
+    /// Total number of `Publish` ops in the schedule.
+    pub fn publish_count(&self) -> usize {
+        self.rounds
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, PlannedOp::Publish { .. }))
+            .count()
+    }
+}
+
+/// Draws a topic under the given popularity model. `Uniform` is a
+/// deterministic round-robin over `slot`; `Zipf` consumes one RNG draw
+/// against the precomputed CDF.
+fn pick_topic(
+    popularity: Popularity,
+    slot: usize,
+    topics: u32,
+    zipf_cdf: &[f64],
+    rng: &mut StdRng,
+) -> u32 {
+    match popularity {
+        Popularity::Uniform => (slot % topics as usize) as u32,
+        Popularity::Zipf { .. } => {
+            let u: f64 = rng.random_range(0.0..1.0);
+            zipf_cdf
+                .iter()
+                .position(|&c| u < c)
+                .unwrap_or(topics as usize - 1) as u32
+        }
+    }
+}
+
+/// Zipf CDF over `topics` ranks with exponent `s` (empty for uniform).
+fn zipf_cdf(popularity: Popularity, topics: u32) -> Vec<f64> {
+    let Popularity::Zipf { s } = popularity else {
+        return Vec::new();
+    };
+    let weights: Vec<f64> = (0..topics).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// Publish/seed payload: a unique stem padded to the spec's minimum
+/// size. Uniqueness keeps publication keys distinct; padding models the
+/// configured message size.
+fn payload(stem: String, min_bytes: usize) -> Vec<u8> {
+    let mut bytes = stem.into_bytes();
+    while bytes.len() < min_bytes {
+        bytes.push(b'.');
+    }
+    bytes
+}
+
+/// Compiles `spec` into its deterministic schedule.
+///
+/// Invariants the compiler maintains so delivered sets are identical on
+/// every backend (see `docs/scenarios.md`):
+///
+/// * publishers never crash or leave (no publication is lost with its
+///   author before flooding/anti-entropy can spread it);
+/// * scattered publications are hosted only on slots that survive the
+///   whole schedule;
+/// * burst victims and departure draws come from live churn-fodder
+///   slots only, so an op never targets an already-dead node.
+pub fn compile(spec: &ScenarioSpec) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5CE7_A810_5EED_u64);
+    let cdf = zipf_cdf(spec.popularity, spec.topics);
+    let publishers = spec.publishers.min(spec.population);
+
+    // --- slot table: initial population, then arrivals ---
+    let mut slots: Vec<SlotPlan> = (0..spec.population)
+        .map(|slot| SlotPlan {
+            topic: pick_topic(spec.popularity, slot, spec.topics, &cdf, &mut rng),
+            arrives: None,
+            publisher: slot < publishers,
+            fate: Fate::Survives,
+        })
+        .collect();
+    let mut rounds: Vec<Vec<PlannedOp>> = (0..spec.rounds).map(|_| Vec::new()).collect();
+
+    let mut arrival_acc = 0.0f64;
+    for (r, ops) in rounds.iter_mut().enumerate() {
+        arrival_acc += spec.arrivals_per_round;
+        while arrival_acc >= 1.0 {
+            arrival_acc -= 1.0;
+            let slot = slots.len();
+            let topic = pick_topic(spec.popularity, slot, spec.topics, &cdf, &mut rng);
+            slots.push(SlotPlan {
+                topic,
+                arrives: Some(r as u64),
+                publisher: false,
+                fate: Fate::Survives,
+            });
+            ops.push(PlannedOp::Subscribe { slot, topic });
+        }
+    }
+
+    // --- churn: bursts first (fixed rounds), then the departure process ---
+    // Fodder = non-publisher slots; a victim must be alive (spawned, not
+    // yet departed) at its round.
+    let alive_fodder = |slots: &[SlotPlan], r: u64| -> Vec<usize> {
+        slots
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                !p.publisher
+                    && p.fate == Fate::Survives
+                    && p.arrives.map(|a| a < r).unwrap_or(true)
+            })
+            .map(|(slot, _)| slot)
+            .collect()
+    };
+    for burst in &spec.bursts {
+        assert!(
+            burst.at < spec.rounds,
+            "burst at round {} outside schedule of {} rounds (bursts need rounds > at)",
+            burst.at,
+            spec.rounds
+        );
+        let pool = alive_fodder(&slots, burst.at);
+        assert!(
+            pool.len() >= burst.count,
+            "burst wants {} victims, only {} churn-fodder slots alive",
+            burst.count,
+            pool.len()
+        );
+        // Spread victims evenly over the pool (matches the classic
+        // experiment victim pattern and avoids adjacent-ring bias).
+        let stride = (pool.len() / burst.count).max(1);
+        let victims: Vec<usize> = pool.iter().copied().step_by(stride).take(burst.count).collect();
+        for &slot in &victims {
+            match burst.kind {
+                BurstKind::Crash { detect_after } => {
+                    slots[slot].fate = Fate::Crashes(burst.at);
+                    rounds[burst.at as usize].push(PlannedOp::Crash { slot });
+                    if let Some(delay) = detect_after {
+                        let when = burst.at + delay;
+                        // Erroring (like the burst.at bounds check) beats
+                        // silently shortening the declared detector
+                        // latency by clamping into the schedule.
+                        assert!(
+                            when < spec.rounds,
+                            "detector report at round {when} outside schedule of {} rounds \
+                             (crash at {} + detect_after {delay})",
+                            spec.rounds,
+                            burst.at
+                        );
+                        rounds[when as usize].push(PlannedOp::Report { slot });
+                    }
+                }
+                BurstKind::Leave => {
+                    slots[slot].fate = Fate::Leaves(burst.at);
+                    rounds[burst.at as usize].push(PlannedOp::Leave {
+                        slot,
+                        topic: slots[slot].topic,
+                    });
+                }
+            }
+        }
+    }
+    let mut departure_acc = 0.0f64;
+    for r in 0..spec.rounds {
+        departure_acc += spec.departures_per_round;
+        while departure_acc >= 1.0 {
+            departure_acc -= 1.0;
+            let pool = alive_fodder(&slots, r);
+            if pool.is_empty() {
+                break;
+            }
+            let slot = pool[rng.random_range(0..pool.len())];
+            slots[slot].fate = Fate::Leaves(r);
+            rounds[r as usize].push(PlannedOp::Leave {
+                slot,
+                topic: slots[slot].topic,
+            });
+        }
+    }
+
+    // --- publish load: stable core, Bernoulli per round ---
+    for (r, ops) in rounds.iter_mut().enumerate() {
+        for (slot, plan) in slots.iter().enumerate().take(publishers) {
+            if rng.random_bool(spec.publish_prob) {
+                ops.push(PlannedOp::Publish {
+                    slot,
+                    topic: plan.topic,
+                    payload: payload(format!("p{slot}r{r}"), spec.payload_bytes),
+                });
+            }
+        }
+    }
+
+    // --- adversarial start: scatter publications over surviving slots ---
+    let survivors: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.fate == Fate::Survives && p.arrives.is_none())
+        .map(|(slot, _)| slot)
+        .collect();
+    assert!(
+        spec.scattered_pubs == 0 || !survivors.is_empty(),
+        "scattered publications need at least one surviving initial slot"
+    );
+    let seeds: Vec<PlannedOp> = (0..spec.scattered_pubs)
+        .map(|i| {
+            let slot = survivors[(i * 7 + 3) % survivors.len()];
+            PlannedOp::Seed {
+                slot,
+                topic: slots[slot].topic,
+                payload: payload(format!("scatter-{i}"), spec.payload_bytes),
+            }
+        })
+        .collect();
+
+    let prelude: Vec<PlannedOp> = (0..spec.population)
+        .map(|slot| PlannedOp::Subscribe {
+            slot,
+            topic: slots[slot].topic,
+        })
+        .collect();
+
+    Schedule {
+        prelude,
+        seeds,
+        rounds,
+        slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::spec::Burst;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::new("sched-test", 11)
+            .population(12)
+            .publishers(3)
+            .publish_prob(0.5)
+            .rounds(10)
+            .arrivals_per_round(0.5)
+            .departures_per_round(0.3)
+            .burst(Burst {
+                at: 4,
+                count: 2,
+                kind: BurstKind::Crash {
+                    detect_after: Some(3),
+                },
+            })
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let a = compile(&spec());
+        let b = compile(&spec());
+        assert_eq!(a.prelude, b.prelude);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.seeds, b.seeds);
+    }
+
+    #[test]
+    fn publishers_never_churn() {
+        let s = compile(&spec());
+        for (slot, plan) in s.slots.iter().enumerate() {
+            if plan.publisher {
+                assert_eq!(plan.fate, Fate::Survives, "publisher slot {slot} churned");
+            }
+        }
+        for op in s.rounds.iter().flatten() {
+            if let PlannedOp::Crash { slot } | PlannedOp::Leave { slot, .. } = op {
+                assert!(!s.slots[*slot].publisher);
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_and_arrivals_land_in_their_rounds() {
+        let s = compile(&spec());
+        let crashes: Vec<usize> = s.rounds[4]
+            .iter()
+            .filter_map(|op| match op {
+                PlannedOp::Crash { slot } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes.len(), 2);
+        let reports: Vec<usize> = s.rounds[7]
+            .iter()
+            .filter_map(|op| match op {
+                PlannedOp::Report { slot } => Some(*slot),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reports, crashes, "detector reports the same victims");
+        // 0.5 arrivals/round over 10 rounds = 5 arrivals.
+        let arrivals = s.slots.iter().filter(|p| p.arrives.is_some()).count();
+        assert_eq!(arrivals, 5);
+    }
+
+    #[test]
+    fn seeds_only_host_on_survivors() {
+        let s = compile(&spec().scattered_pubs(9));
+        assert_eq!(s.seeds.len(), 9);
+        for op in &s.seeds {
+            let PlannedOp::Seed { slot, .. } = op else {
+                panic!("non-seed op in seeds")
+            };
+            assert_eq!(s.slots[*slot].fate, Fate::Survives);
+        }
+    }
+
+    #[test]
+    fn zipf_skews_and_uniform_splits() {
+        let uni = compile(
+            &ScenarioSpec::new("u", 5)
+                .topics(4)
+                .population(40)
+                .rounds(1),
+        );
+        let by_topic = uni.survivors_by_topic(4);
+        for t in 0..4 {
+            assert_eq!(by_topic[&t].len(), 10, "uniform splits evenly");
+        }
+        let zipf = compile(
+            &ScenarioSpec::new("z", 5)
+                .topics(4)
+                .population(200)
+                .popularity(Popularity::Zipf { s: 1.3 })
+                .rounds(1),
+        );
+        let by_topic = zipf.survivors_by_topic(4);
+        assert!(
+            by_topic[&0].len() > by_topic[&3].len() + 10,
+            "zipf must skew toward rank 0: {:?}",
+            by_topic.iter().map(|(t, v)| (*t, v.len())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn publish_count_matches_ops() {
+        let s = compile(&spec());
+        let n = s
+            .rounds
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, PlannedOp::Publish { .. }))
+            .count();
+        assert_eq!(s.publish_count(), n);
+        assert!(n > 0, "0.5 prob × 3 publishers × 10 rounds should publish");
+    }
+}

@@ -1,0 +1,426 @@
+//! Trace recording and replay: every applied op (and every drain) of a
+//! scenario run, serialized to a compact line format and replayable to
+//! reproduce the run — byte for byte on the deterministic backends.
+//!
+//! A trace is self-contained: its header carries everything needed to
+//! rebuild the backend (`SystemBuilder` knobs + backend kind), and its
+//! body is the exact op sequence (including `step`s and phase markers).
+//! Replaying applies the ops to a fresh backend and reassembles the
+//! [`ScenarioReport`] through the same code path as the live run, so
+//! `record → replay → to_json()` is byte-identical — the repro contract
+//! for failures found under scenario workloads.
+//!
+//! The threaded backend can be *recorded* (via the CLI) but not
+//! byte-replayed: wall-clock slices are not reproducible.
+
+use super::engine::{assemble_report, stop_met, Phases};
+use super::report::{OpCounts, ScenarioReport};
+use super::spec::{ScenarioSpec, Stop};
+use skippub_core::pubsub::ops;
+use skippub_core::pubsub::{Delivery, Op};
+use skippub_core::{BackendKind, ProbeMode, ProtocolConfig, PubSub, SystemBuilder};
+use skippub_sim::NodeId;
+use std::collections::BTreeMap;
+
+/// One body line of a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceLine {
+    /// Phase marker (`populate`, `warm`, `seed`, `run`, `stop`,
+    /// `settle`, `drain`).
+    Phase(String),
+    /// An applied facade operation.
+    Op(Op),
+    /// Final-membership marker: node is a member of topic at drain time.
+    Member(NodeId, u32),
+    /// A `drain_events` call (drains are stateful — the cursor advances
+    /// — so replays must repeat them in order).
+    Drain(NodeId),
+}
+
+/// A recorded scenario run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// Scenario name (report metadata).
+    pub scenario: String,
+    /// Backend the run executed on.
+    pub backend: String,
+    /// Builder seed.
+    pub seed: u64,
+    /// Topic count.
+    pub topics: u32,
+    /// Shard count.
+    pub shards: usize,
+    /// Whether the run had a warm phase (replay needs it to reproduce
+    /// the `warm_ok` verdict).
+    pub warm: bool,
+    /// Stop condition (kind + budget, for the report's `stop_kind`).
+    pub stop: Stop,
+    /// Protocol knobs.
+    pub protocol: ProtocolConfig,
+    /// The op/phase/drain sequence.
+    pub lines: Vec<TraceLine>,
+}
+
+fn probe_mode_name(m: ProbeMode) -> &'static str {
+    match m {
+        ProbeMode::Randomized => "randomized",
+        ProbeMode::Token => "token",
+        ProbeMode::TokenHybrid => "token-hybrid",
+    }
+}
+
+fn probe_mode_from(name: &str) -> Result<ProbeMode, String> {
+    match name {
+        "randomized" => Ok(ProbeMode::Randomized),
+        "token" => Ok(ProbeMode::Token),
+        "token-hybrid" => Ok(ProbeMode::TokenHybrid),
+        other => Err(format!("unknown probe mode {other:?}")),
+    }
+}
+
+impl Trace {
+    /// An empty trace carrying `spec`'s header, ready for the engine to
+    /// append lines to.
+    pub fn new(spec: &ScenarioSpec, backend: &str) -> Self {
+        Trace {
+            scenario: spec.name.clone(),
+            backend: backend.to_string(),
+            seed: spec.seed,
+            topics: spec.topics,
+            shards: spec.shards,
+            warm: spec.warm,
+            stop: spec.stop,
+            protocol: spec.protocol,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Serializes the trace (inverse of [`Trace::parse`]).
+    pub fn serialize(&self) -> String {
+        let mut s = String::new();
+        s.push_str("skippub-trace v1\n");
+        s.push_str(&format!("scenario {}\n", self.scenario));
+        s.push_str(&format!("backend {}\n", self.backend));
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("topics {}\n", self.topics));
+        s.push_str(&format!("shards {}\n", self.shards));
+        s.push_str(&format!("warm {}\n", self.warm));
+        s.push_str(&format!("stop {} {}\n", self.stop.name(), self.stop.max_extra()));
+        let p = &self.protocol;
+        s.push_str(&format!(
+            "protocol {} {} {} {} {} {} {}\n",
+            p.key_bits,
+            p.anti_entropy,
+            p.flooding,
+            p.probes,
+            probe_mode_name(p.probe_mode),
+            p.shortcuts,
+            p.verify_shortcuts
+        ));
+        s.push_str("---\n");
+        for line in &self.lines {
+            match line {
+                TraceLine::Phase(name) => s.push_str(&format!("phase {name}\n")),
+                TraceLine::Op(op) => {
+                    s.push_str(&op.to_line());
+                    s.push('\n');
+                }
+                TraceLine::Member(id, topic) => s.push_str(&format!("member {} {topic}\n", id.0)),
+                TraceLine::Drain(id) => s.push_str(&format!("drain {}\n", id.0)),
+            }
+        }
+        s
+    }
+
+    /// Parses a serialized trace.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut lines = text.lines();
+        let magic = lines.next().ok_or("empty trace")?;
+        if magic.trim() != "skippub-trace v1" {
+            return Err(format!("bad magic {magic:?}"));
+        }
+        let mut scenario = None;
+        let mut backend = None;
+        let mut seed = None;
+        let mut topics = None;
+        let mut shards = None;
+        let mut warm = None;
+        let mut stop = None;
+        let mut protocol = None;
+        for line in lines.by_ref() {
+            let line = line.trim_end();
+            if line == "---" {
+                break;
+            }
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad header line {line:?}"))?;
+            match key {
+                "scenario" => scenario = Some(rest.to_string()),
+                "backend" => backend = Some(rest.to_string()),
+                "seed" => seed = Some(rest.parse::<u64>().map_err(|e| e.to_string())?),
+                "topics" => topics = Some(rest.parse::<u32>().map_err(|e| e.to_string())?),
+                "shards" => shards = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
+                "warm" => warm = Some(rest.parse::<bool>().map_err(|e| e.to_string())?),
+                "stop" => {
+                    let (name, max) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("bad stop line {rest:?}"))?;
+                    let max = max.parse::<u64>().map_err(|e| e.to_string())?;
+                    stop = Some(
+                        Stop::from_name(name, max).ok_or_else(|| format!("bad stop {name:?}"))?,
+                    );
+                }
+                "protocol" => {
+                    let f: Vec<&str> = rest.split_ascii_whitespace().collect();
+                    if f.len() != 7 {
+                        return Err(format!("protocol needs 7 fields, got {}", f.len()));
+                    }
+                    let b = |s: &str| s.parse::<bool>().map_err(|e| e.to_string());
+                    protocol = Some(ProtocolConfig {
+                        key_bits: f[0].parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
+                        anti_entropy: b(f[1])?,
+                        flooding: b(f[2])?,
+                        probes: b(f[3])?,
+                        probe_mode: probe_mode_from(f[4])?,
+                        shortcuts: b(f[5])?,
+                        verify_shortcuts: b(f[6])?,
+                    });
+                }
+                other => return Err(format!("unknown header key {other:?}")),
+            }
+        }
+        let mut body = Vec::new();
+        for line in lines {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("phase ") {
+                body.push(TraceLine::Phase(name.to_string()));
+            } else if let Some(rest) = line.strip_prefix("member ") {
+                let (id, topic) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| format!("bad member line {line:?}"))?;
+                body.push(TraceLine::Member(
+                    NodeId(id.parse().map_err(|e: std::num::ParseIntError| e.to_string())?),
+                    topic.parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
+                ));
+            } else if let Some(id) = line.strip_prefix("drain ") {
+                body.push(TraceLine::Drain(NodeId(
+                    id.parse().map_err(|e: std::num::ParseIntError| e.to_string())?,
+                )));
+            } else {
+                body.push(TraceLine::Op(Op::parse_line(line)?));
+            }
+        }
+        Ok(Trace {
+            scenario: scenario.ok_or("missing scenario header")?,
+            backend: backend.ok_or("missing backend header")?,
+            seed: seed.ok_or("missing seed header")?,
+            topics: topics.ok_or("missing topics header")?,
+            shards: shards.ok_or("missing shards header")?,
+            warm: warm.ok_or("missing warm header")?,
+            stop: stop.ok_or("missing stop header")?,
+            protocol: protocol.ok_or("missing protocol header")?,
+            lines: body,
+        })
+    }
+
+    /// The backend kind this trace was recorded on, if it is one of the
+    /// replayable in-process kinds.
+    pub fn backend_kind(&self) -> Option<BackendKind> {
+        BackendKind::all()
+            .into_iter()
+            .find(|k| k.name() == self.backend)
+    }
+
+    /// Replays the trace against a freshly built backend and reassembles
+    /// the report. On the deterministic backends the JSON is
+    /// byte-identical to the recorded run's.
+    pub fn replay(&self) -> Result<ScenarioReport, String> {
+        let kind = self.backend_kind().ok_or_else(|| {
+            format!(
+                "backend {:?} is not replayable (threaded runs are wall-clock)",
+                self.backend
+            )
+        })?;
+        let builder = SystemBuilder::new(self.seed)
+            .topics(self.topics)
+            .shards(self.shards)
+            .protocol(self.protocol);
+        let mut ps = builder.build(kind);
+        self.replay_on(ps.as_mut())
+    }
+
+    /// Replays against a caller-provided backend (must match the header
+    /// construction for byte-identical output).
+    pub fn replay_on(&self, ps: &mut dyn PubSub) -> Result<ScenarioReport, String> {
+        let mut phase: &'static str = "";
+        let mut steps: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut ops = OpCounts::default();
+        let mut warm_ok = !self.warm;
+        let mut stop_ok = false;
+        // Pre-seed every topic, mirroring the live engine's
+        // `survivors_by_topic`: a topic whose members all churned away
+        // still appears (empty) in the report, and `member` lines alone
+        // would drop it.
+        let mut membership: BTreeMap<u32, Vec<NodeId>> =
+            (0..self.topics).map(|t| (t, Vec::new())).collect();
+        let mut drained: BTreeMap<NodeId, Vec<Delivery>> = BTreeMap::new();
+        let phase_key = |name: &str| -> Result<&'static str, String> {
+            ["populate", "warm", "seed", "run", "stop", "settle", "drain"]
+                .into_iter()
+                .find(|p| *p == name)
+                .ok_or_else(|| format!("unknown phase {name:?}"))
+        };
+        let mut end_phase = |phase: &str, ps: &mut dyn PubSub| {
+            // Verdicts are probed exactly where the live engine decided
+            // them: at the end of their phase.
+            match phase {
+                "warm" if self.warm => warm_ok = ps.is_legitimate(),
+                "stop" => stop_ok = stop_met(ps, &self.stop),
+                _ => {}
+            }
+        };
+        for line in &self.lines {
+            match line {
+                TraceLine::Phase(name) => {
+                    if !phase.is_empty() {
+                        end_phase(phase, ps);
+                    }
+                    phase = phase_key(name)?;
+                }
+                TraceLine::Op(op) => {
+                    ops.record(op);
+                    if matches!(op, Op::Step) {
+                        if phase.is_empty() {
+                            return Err("step before the first phase marker".into());
+                        }
+                        *steps.entry(phase).or_default() += 1;
+                    }
+                    op.apply(ps);
+                }
+                TraceLine::Member(id, topic) => {
+                    membership.entry(*topic).or_default().push(*id);
+                }
+                TraceLine::Drain(id) => {
+                    drained.insert(*id, ps.drain_events(*id));
+                }
+            }
+        }
+        if !phase.is_empty() {
+            end_phase(phase, ps);
+        }
+        let phases = Phases {
+            warm_rounds: steps.get("warm").copied().unwrap_or(0),
+            warm_ok,
+            scheduled_rounds: steps.get("run").copied().unwrap_or(0),
+            stop_kind: self.stop.name(),
+            stop_rounds: steps.get("stop").copied().unwrap_or(0),
+            stop_ok,
+            settle_rounds: steps.get("settle").copied().unwrap_or(0),
+        };
+        let (report, _) = assemble_report(
+            ps,
+            &self.scenario,
+            self.seed,
+            self.topics,
+            phases,
+            &membership,
+            &drained,
+            ops,
+        );
+        Ok(report)
+    }
+}
+
+// Re-export the payload hex helpers next to the trace format they serve.
+pub use ops::{decode_hex, encode_hex};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::engine::run_recorded;
+    use crate::scenario::spec::{Burst, BurstKind};
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::new("trace-test", 91)
+            .population(7)
+            .publishers(2)
+            .publish_prob(0.5)
+            .rounds(8)
+            .burst(Burst {
+                at: 2,
+                count: 1,
+                kind: BurstKind::Crash {
+                    detect_after: Some(2),
+                },
+            })
+            .stop(Stop::UntilLegit { max_extra: 2_000 })
+    }
+
+    #[test]
+    fn serialize_parse_round_trips() {
+        let (_, trace) = run_recorded(&spec(), BackendKind::Sim).unwrap();
+        let text = trace.serialize();
+        let parsed = Trace::parse(&text).expect("parse");
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.serialize(), text);
+    }
+
+    #[test]
+    fn replay_reproduces_the_report_byte_for_byte() {
+        for kind in [BackendKind::Sim, BackendKind::Chaos, BackendKind::Sharded] {
+            let (out, trace) = run_recorded(&spec(), kind).unwrap();
+            let replayed = Trace::parse(&trace.serialize())
+                .expect("parse")
+                .replay()
+                .expect("replay");
+            assert_eq!(
+                replayed.to_json(),
+                out.report.to_json(),
+                "replay must be byte-identical on {}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn replay_keeps_topics_whose_members_all_churned_away() {
+        // shard-churn has 12 topics with 2 fodder members each and ~10
+        // churn events, so some topic routinely ends with zero surviving
+        // members — it must still appear (empty) in the replayed report.
+        let spec = crate::scenario::library::shard_churn();
+        let (out, trace) = run_recorded(&spec, BackendKind::MultiTopic).unwrap();
+        assert_eq!(out.report.per_topic.len(), 12);
+        let replayed = Trace::parse(&trace.serialize())
+            .expect("parse")
+            .replay()
+            .expect("replay");
+        assert_eq!(replayed.per_topic.len(), 12);
+        assert_eq!(
+            replayed.to_json(),
+            out.report.to_json(),
+            "multi-topic replay must be byte-identical, empty topics included"
+        );
+    }
+
+    #[test]
+    fn replay_rejects_unknown_backend() {
+        let (_, mut trace) = run_recorded(&spec(), BackendKind::Sim).unwrap();
+        trace.backend = "threaded".into();
+        assert!(trace.replay().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let (_, trace) = run_recorded(&spec(), BackendKind::Sim).unwrap();
+        let text = trace.serialize();
+        assert!(Trace::parse(&text.replace("skippub-trace v1", "nope")).is_err());
+        assert!(Trace::parse(&text.replace("stop until_legit", "stop sideways")).is_err());
+        let mut truncated = text.clone();
+        truncated = truncated.replace("seed 91\n", "");
+        assert!(Trace::parse(&truncated).is_err());
+    }
+}

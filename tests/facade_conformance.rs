@@ -8,20 +8,20 @@
 //! the same set modulo timing.
 
 use skippub_core::{BackendKind, PubSub, SystemBuilder, TopicId};
+// `DeliveredItem`/`DeliveredSet` are the scenario engine's canonical
+// comparable "delivered publication" shape — shared here so the script
+// test and the spec tests can never drift apart.
+use skippub_harness::scenario::{self, library, DeliveredSet, Trace};
 use skippub_net::NetBackend;
 use skippub_sim::NodeId;
-use std::collections::BTreeSet;
 
 const T: TopicId = TopicId(0);
-
-/// One delivered publication, in backend-agnostic form.
-type Delivered = (u64, Vec<u8>, String);
 
 /// The scenario script: bootstrap 6 subscribers, publish, crash one +
 /// unsubscribe one, re-stabilize, a newcomer joins (crash/rejoin), one
 /// post-churn publish, converge. Returns the delivered set, after
 /// asserting every surviving member observed the identical set.
-fn scenario(ps: &mut dyn PubSub, budget: u64) -> BTreeSet<Delivered> {
+fn scenario(ps: &mut dyn PubSub, budget: u64) -> DeliveredSet {
     let name = ps.backend_name();
     let ids: Vec<NodeId> = (0..6).map(|_| ps.subscribe(T)).collect();
     assert_eq!(ids[0], NodeId(1), "{name}: client ids must start at 1");
@@ -59,9 +59,9 @@ fn scenario(ps: &mut dyn PubSub, budget: u64) -> BTreeSet<Delivered> {
     // Every surviving member (including the newcomer) must have observed
     // the identical delivered set.
     let members = [ids[0], ids[1], ids[2], ids[5], late];
-    let mut sets: Vec<BTreeSet<Delivered>> = Vec::new();
+    let mut sets: Vec<DeliveredSet> = Vec::new();
     for &m in &members {
-        let set: BTreeSet<Delivered> = ps
+        let set: DeliveredSet = ps
             .drain_events(m)
             .into_iter()
             .map(|d| (d.author, d.payload, d.key.to_string()))
@@ -81,7 +81,7 @@ fn scenario(ps: &mut dyn PubSub, budget: u64) -> BTreeSet<Delivered> {
 
 #[test]
 fn simulated_backends_deliver_identical_sets() {
-    let mut reference: Option<(&'static str, BTreeSet<Delivered>)> = None;
+    let mut reference: Option<(&'static str, DeliveredSet)> = None;
     for kind in BackendKind::all() {
         let builder = SystemBuilder::new(0xFACADE).shards(4);
         let mut ps = builder.build(kind);
@@ -101,6 +101,87 @@ fn simulated_backends_deliver_identical_sets() {
             ),
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Declarative-scenario conformance: the same checks, but with the
+// workload expressed as a `ScenarioSpec` and executed by the scenario
+// engine instead of a hand-written script.
+// ---------------------------------------------------------------------
+
+/// A nontrivial built-in spec (warm start, publish load, a crash storm
+/// with detector latency, until-legit stop) runs on every in-process
+/// backend and must produce identical delivered sets.
+#[test]
+fn crash_storm_spec_delivers_identical_sets_across_backends() {
+    let spec = library::crash_storm();
+    let mut reference: Option<(String, scenario::ScenarioOutcome)> = None;
+    for kind in spec.supported_backends() {
+        let out = scenario::run_spec(&spec, kind).expect("supported backend");
+        assert!(
+            out.report.ok(),
+            "{} failed on {}: {}",
+            spec.name,
+            kind.name(),
+            out.report.to_json()
+        );
+        match &reference {
+            None => reference = Some((out.report.backend.clone(), out)),
+            Some((ref_name, ref_out)) => {
+                assert_eq!(
+                    out.delivered, ref_out.delivered,
+                    "{} delivers a different set than {ref_name}",
+                    kind.name()
+                );
+                assert_eq!(
+                    out.report.delivered_fingerprint, ref_out.report.delivered_fingerprint
+                );
+            }
+        }
+    }
+    let (_, ref_out) = reference.expect("at least one backend ran");
+    assert_eq!(
+        ref_out.report.total_pubs, ref_out.report.ops.publishes,
+        "no publication may be lost to the crash storm"
+    );
+}
+
+/// The threaded runtime executes the same spec (wall-clock steps,
+/// quiescence polling) and must deliver the same set as the simulator.
+#[test]
+fn threaded_backend_runs_the_same_spec() {
+    let spec = library::steady_state();
+    let sim = scenario::run_spec(&spec, BackendKind::Sim).expect("sim");
+    assert!(sim.report.ok(), "{}", sim.report.to_json());
+    let threaded = scenario::run_threaded(&spec).expect("single-topic spec");
+    assert!(threaded.report.ok(), "{}", threaded.report.to_json());
+    assert_eq!(
+        threaded.delivered, sim.delivered,
+        "threaded delivered sets must match the simulator's"
+    );
+    assert_eq!(
+        threaded.report.delivered_fingerprint,
+        sim.report.delivered_fingerprint
+    );
+}
+
+/// Record → serialize → parse → replay reproduces the JSON report byte
+/// for byte (the repro contract for failures found under scenario
+/// workloads).
+#[test]
+fn recorded_trace_replays_to_identical_json_report() {
+    let spec = library::crash_storm();
+    let (out, trace) = scenario::run_recorded(&spec, BackendKind::Sim).expect("sim");
+    assert!(out.report.ok(), "{}", out.report.to_json());
+    let replayed = Trace::parse(&trace.serialize())
+        .expect("parse")
+        .replay()
+        .expect("replay");
+    assert_eq!(
+        replayed.to_json(),
+        out.report.to_json(),
+        "replay must reproduce the report byte for byte"
+    );
 }
 
 #[test]

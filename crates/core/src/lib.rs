@@ -73,7 +73,7 @@ pub use actor::Actor;
 pub use api::SkipRingSim;
 pub use config::{ProbeMode, ProtocolConfig};
 pub use msg::{Msg, NodeRef};
-pub use pubsub::{BackendKind, Delivery, PubSub, Stats, SystemBuilder};
+pub use pubsub::{BackendKind, Delivery, PartitionStats, PubSub, Stats, SystemBuilder};
 pub use subscriber::{Counters, Subscriber};
 pub use supervisor::{Supervisor, SupervisorCounters};
 pub use topics::TopicId;

@@ -59,7 +59,7 @@ pub struct Delivery {
 
 /// Backend-agnostic traffic counters, comparable across simulated and
 /// threaded executions.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Progress units executed so far: simulated rounds, or wall-clock
     /// poll slices for the threaded backend.
@@ -70,6 +70,24 @@ pub struct Stats {
     pub delivered: u64,
     /// Messages consumed without effect (crashed / unknown receivers).
     pub dropped: u64,
+    /// Per-partition counters, indexed by partition (= shard) — empty
+    /// for unpartitioned backends. The existing total fields above stay
+    /// the sum over partitions, so parallel runs remain comparable with
+    /// serial ones while staying observable per shard.
+    pub per_partition: Vec<PartitionStats>,
+}
+
+/// Traffic counters of one partition of a partitioned backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Messages handed to the transport by this partition's nodes.
+    pub sent: u64,
+    /// Messages delivered to handlers in this partition.
+    pub delivered: u64,
+    /// Messages consumed without effect in this partition.
+    pub dropped: u64,
+    /// Cross-partition envelopes this partition emitted.
+    pub cross_envelopes: u64,
 }
 
 /// The simulated backends a [`SystemBuilder`] can construct behind a
@@ -278,6 +296,7 @@ pub(crate) fn stats_of(m: &skippub_sim::Metrics) -> Stats {
         sent: m.sent_total,
         delivered: m.delivered_total,
         dropped: m.dropped,
+        per_partition: Vec::new(),
     }
 }
 
@@ -303,19 +322,22 @@ pub struct SystemBuilder {
     topics: u32,
     shards: usize,
     replicas: usize,
+    threads: usize,
     protocol: ProtocolConfig,
     chaos: Option<ChaosConfig>,
 }
 
 impl SystemBuilder {
     /// A builder with the given RNG seed and defaults: one topic, one
-    /// shard, 64 consistent-hash replicas, default protocol, no chaos.
+    /// shard, 64 consistent-hash replicas, one worker thread, default
+    /// protocol, no chaos.
     pub fn new(seed: u64) -> Self {
         SystemBuilder {
             seed,
             topics: 1,
             shards: 1,
             replicas: 64,
+            threads: 1,
             protocol: ProtocolConfig::default(),
             chaos: None,
         }
@@ -340,6 +362,16 @@ impl SystemBuilder {
     pub fn replicas(mut self, r: usize) -> Self {
         assert!(r >= 1);
         self.replicas = r;
+        self
+    }
+
+    /// Sets the worker-thread cap (`≥ 1`) for the sharded backend's
+    /// parallel round executor. Purely an execution knob: results are
+    /// byte-identical for every value (the executor never uses more
+    /// workers than shards). Other backends ignore it.
+    pub fn threads(mut self, t: usize) -> Self {
+        assert!(t >= 1, "need at least one worker thread");
+        self.threads = t;
         self
     }
 
@@ -396,13 +428,16 @@ impl SystemBuilder {
     }
 
     /// Sharded multi-topic system (§1.3): topics consistent-hashed onto
-    /// `shards` supervisors.
+    /// `shards` supervisors, each shard a partition of the parallel
+    /// round executor (stepped by up to [`SystemBuilder::threads`]
+    /// workers).
     pub fn build_sharded(&self) -> ShardedBackend {
         ShardedBackend::new(
             self.seed,
             self.topics,
             self.shards,
             self.replicas,
+            self.threads,
             self.protocol,
         )
     }

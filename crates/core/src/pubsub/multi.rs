@@ -9,7 +9,7 @@ use crate::scenarios::SUPERVISOR;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig, Supervisor};
 use skippub_bits::BitStr;
-use skippub_sim::{Metrics, NodeId, World};
+use skippub_sim::{Metrics, NodeId, NodeView, World};
 use skippub_trie::Publication;
 
 /// The multi-topic simulator backend (§4): clients subscribe to any
@@ -66,36 +66,39 @@ impl MultiTopicBackend {
         );
     }
 
-    /// Per-topic snapshot over an explicit supervisor node — shared with
-    /// the sharded backend, which routes each topic to its shard.
-    pub(crate) fn snapshot_at(
-        world: &World<MultiActor>,
-        sup_id: NodeId,
-        topic: TopicId,
-    ) -> World<Actor> {
-        let mut out = World::new(0);
-        let sup = world
-            .node(sup_id)
-            .and_then(|a| a.topic_supervisor(topic).cloned())
-            .unwrap_or_else(|| Supervisor::new(sup_id));
-        out.add_node(sup_id, Actor::Supervisor(sup));
-        for (id, actor) in world.iter() {
-            if let Some(s) = actor.topic_subscriber(topic) {
-                out.add_node(id, Actor::Subscriber(Box::new(s.clone())));
-            }
+}
+
+/// Per-topic snapshot over an explicit supervisor node — generic over
+/// the world shape ([`NodeView`]), shared by the multi-topic backend
+/// and the (partitioned) sharded backend, which routes each topic to
+/// its shard.
+pub(crate) fn snapshot_topic<V: NodeView<MultiActor>>(
+    world: &V,
+    sup_id: NodeId,
+    topic: TopicId,
+) -> World<Actor> {
+    let mut out = World::new(0);
+    let sup = world
+        .peek(sup_id)
+        .and_then(|a| a.topic_supervisor(topic).cloned())
+        .unwrap_or_else(|| Supervisor::new(sup_id));
+    out.add_node(sup_id, Actor::Supervisor(sup));
+    for (id, actor) in world.nodes() {
+        if let Some(s) = actor.topic_subscriber(topic) {
+            out.add_node(id, Actor::Subscriber(Box::new(s.clone())));
         }
-        out
     }
+    out
 }
 
 /// Drains client `id`'s new deliveries across all its topics — shared
 /// by the multi-topic and sharded backends so the two cannot diverge.
-pub(crate) fn drain_client_events(
-    world: &World<MultiActor>,
+pub(crate) fn drain_client_events<V: NodeView<MultiActor>>(
+    world: &V,
     cursor: &mut super::EventCursor,
     id: NodeId,
 ) -> Vec<super::Delivery> {
-    let Some(actor) = world.node(id) else {
+    let Some(actor) = world.peek(id) else {
         return Vec::new();
     };
     let tries: Vec<(TopicId, &skippub_trie::PatriciaTrie)> = actor
@@ -108,9 +111,9 @@ pub(crate) fn drain_client_events(
 
 /// IDs of live clients (supervisors excluded), ascending — shared by
 /// the multi-topic and sharded backends.
-pub(crate) fn client_ids(world: &World<MultiActor>) -> Vec<NodeId> {
+pub(crate) fn client_ids<V: NodeView<MultiActor>>(world: &V) -> Vec<NodeId> {
     world
-        .iter()
+        .nodes()
         .filter(|(_, a)| a.is_client())
         .map(|(id, _)| id)
         .collect()
@@ -119,11 +122,15 @@ pub(crate) fn client_ids(world: &World<MultiActor>) -> Vec<NodeId> {
 /// Judges one topic's topology *by reference* (no world cloning — this
 /// sits on the `until_legit` polling path). Shared with the sharded
 /// backend.
-pub(crate) fn topic_is_legit(world: &World<MultiActor>, sup_id: NodeId, topic: TopicId) -> bool {
+pub(crate) fn topic_is_legit<V: NodeView<MultiActor>>(
+    world: &V,
+    sup_id: NodeId,
+    topic: TopicId,
+) -> bool {
     let members = world
-        .iter()
+        .nodes()
         .filter_map(|(id, a)| a.topic_subscriber(topic).map(|s| (id, s)));
-    match world.node(sup_id).and_then(|a| a.topic_supervisor(topic)) {
+    match world.peek(sup_id).and_then(|a| a.topic_supervisor(topic)) {
         Some(sup) => checker::check_topology_parts(sup, members).ok(),
         // Topic never contacted: judged against an empty supervisor.
         None => {
@@ -135,16 +142,21 @@ pub(crate) fn topic_is_legit(world: &World<MultiActor>, sup_id: NodeId, topic: T
 
 /// Per-topic publication convergence by reference; shared with the
 /// sharded backend.
-pub(crate) fn topic_pubs_converged(world: &World<MultiActor>, topic: TopicId) -> (bool, usize) {
-    checker::publications_converged_of(world.iter().filter_map(|(_, a)| a.topic_subscriber(topic)))
+pub(crate) fn topic_pubs_converged<V: NodeView<MultiActor>>(
+    world: &V,
+    topic: TopicId,
+) -> (bool, usize) {
+    checker::publications_converged_of(
+        world.nodes().filter_map(|(_, a)| a.topic_subscriber(topic)),
+    )
 }
 
 /// Folds per-topic convergence into the facade's `(converged, total)`
 /// answer: converged iff every topic converged; the total is the sum of
 /// per-topic union sizes either way (matching the single-topic
 /// backends, which report the union size even when not yet converged).
-pub(crate) fn fold_pubs_converged(
-    world: &World<MultiActor>,
+pub(crate) fn fold_pubs_converged<V: NodeView<MultiActor>>(
+    world: &V,
     topics: u32,
 ) -> (bool, usize) {
     let mut all_ok = true;
@@ -237,7 +249,7 @@ impl PubSub for MultiTopicBackend {
 
     fn snapshot(&self, topic: TopicId) -> World<Actor> {
         self.assert_topic(topic);
-        Self::snapshot_at(&self.world, SUPERVISOR, topic)
+        snapshot_topic(&self.world, SUPERVISOR, topic)
     }
 
     fn stats(&self) -> Stats {

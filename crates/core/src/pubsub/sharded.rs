@@ -1,15 +1,25 @@
 //! [`ShardedBackend`]: §1.3's scaling remark as a *drivable system* —
 //! topics are consistent-hashed onto multiple supervisor nodes (via
-//! [`SupervisorShards`]) inside one simulated world, instead of the
-//! hash ring existing only as a passive load calculation.
+//! [`SupervisorShards`]), and the shards execute as **partitions of a
+//! [`PartitionedWorld`]** stepped by the deterministic parallel round
+//! executor.
+//!
+//! Placement policy: shard `i`'s supervisor lives in partition `i`, and
+//! every client is placed in the partition of the shard serving its
+//! *first* topic — so the common case (a client's whole life on one
+//! shard) is entirely intra-partition, and only multi-shard clients
+//! exchange cross-partition envelopes. Results are byte-identical for
+//! every [`SystemBuilder::threads`](super::SystemBuilder::threads)
+//! setting — worker count is an execution knob, never a semantics knob.
 
-use super::{Delivery, EventCursor, MultiTopicBackend, PubSub, Stats};
+use super::{Delivery, EventCursor, PartitionStats, PubSub, Stats};
 use crate::sharding::SupervisorShards;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
-use skippub_sim::{Metrics, NodeId, World};
+use skippub_sim::{Metrics, NodeId, PartitionedWorld, World};
 use skippub_trie::Publication;
+use std::collections::BTreeMap;
 
 /// Base of the supervisor ID range. Client IDs count up from 1 exactly
 /// as on every other backend (so publication keys agree across
@@ -21,15 +31,25 @@ pub const SHARD_SUPERVISOR_BASE: u64 = 1 << 32;
 /// for the topics whose hash falls in its sub-interval of the
 /// consistent-hash ring. Clients route every subscribe/publish for a
 /// topic to that topic's shard; a shard failure therefore only affects
-/// its own sub-interval of topics.
+/// its own sub-interval of topics. Each shard (supervisor + the clients
+/// homed on it) is one partition of the underlying
+/// [`PartitionedWorld`], stepped in parallel by up to `threads` workers
+/// with bit-identical results for any worker count.
 pub struct ShardedBackend {
-    world: World<MultiActor>,
+    world: PartitionedWorld<MultiActor>,
     shards: SupervisorShards,
     sup_ids: Vec<NodeId>,
     cfg: ProtocolConfig,
     topics: u32,
     next_id: u64,
     cursor: EventCursor,
+    /// Which shards each client has ever been routed to (registration-
+    /// time membership): the failure-detector feed consults this so a
+    /// crash report only reaches the shard(s) that actually met the
+    /// node, instead of linearly scanning every shard per suspect.
+    /// Entries persist across the node's crash — the report arrives
+    /// *after* the crash — and are bounded by total registrations.
+    met: BTreeMap<u64, Vec<u32>>,
 }
 
 impl ShardedBackend {
@@ -38,15 +58,16 @@ impl ShardedBackend {
         topics: u32,
         shard_count: usize,
         replicas: usize,
+        threads: usize,
         cfg: ProtocolConfig,
     ) -> Self {
         assert!(shard_count >= 1);
         let sup_ids: Vec<NodeId> = (0..shard_count as u64)
             .map(|i| NodeId(SHARD_SUPERVISOR_BASE + i))
             .collect();
-        let mut world = World::new(seed);
-        for &s in &sup_ids {
-            world.add_node(s, MultiActor::new_supervisor(s));
+        let mut world = PartitionedWorld::new(seed, shard_count, threads);
+        for (i, &s) in sup_ids.iter().enumerate() {
+            world.add_node(s, MultiActor::new_supervisor(s), i as u32);
         }
         ShardedBackend {
             shards: SupervisorShards::new(&sup_ids, replicas),
@@ -56,6 +77,7 @@ impl ShardedBackend {
             topics,
             next_id: 1,
             cursor: EventCursor::new(),
+            met: BTreeMap::new(),
         }
     }
 
@@ -74,15 +96,39 @@ impl ShardedBackend {
         self.shards.supervisor_for(topic)
     }
 
-    /// The underlying world, for white-box probes.
-    pub fn world(&self) -> &World<MultiActor> {
+    /// The underlying partitioned world, for white-box probes.
+    pub fn world(&self) -> &PartitionedWorld<MultiActor> {
         &self.world
     }
 
-    /// Simulator metrics (per-kind and per-node counters; per-shard load
-    /// is `metrics().sent_by(shard_id)`).
-    pub fn metrics(&self) -> &Metrics {
+    /// Aggregated simulator metrics over all shard partitions (per-kind
+    /// and per-node counters; per-shard load is
+    /// `metrics().sent_by(shard_id)`). Per-partition metrics are
+    /// available via [`PartitionedWorld::partition_metrics`].
+    pub fn metrics(&self) -> Metrics {
         self.world.metrics()
+    }
+
+    /// Runs `n` synchronous rounds as one batch: with `threads > 1` the
+    /// worker scope is spawned once for the whole batch instead of per
+    /// [`PubSub::step`] call, which is how bulk drives (benchmarks,
+    /// fixed-round warmups) should step the backend. Results are
+    /// identical to `n` single steps — and to any worker count.
+    pub fn run_rounds(&mut self, n: u64) {
+        self.world.run_rounds(n);
+    }
+
+    /// Partition index of the shard owned by supervisor `sup`.
+    fn shard_index(&self, sup: NodeId) -> u32 {
+        (sup.0 - SHARD_SUPERVISOR_BASE) as u32
+    }
+
+    /// Records that `id` was routed to `shard` (detector-feed routing).
+    fn note_met(&mut self, id: NodeId, shard: u32) {
+        let shards = self.met.entry(id.0).or_default();
+        if !shards.contains(&shard) {
+            shards.push(shard);
+        }
     }
 
     fn assert_topic(&self, topic: TopicId) {
@@ -108,17 +154,23 @@ impl PubSub for ShardedBackend {
         let id = NodeId(self.next_id);
         self.next_id += 1;
         let sup = self.shards.supervisor_for(topic);
+        let shard = self.shard_index(sup);
         let mut client = MultiActor::new_client(id, self.sup_ids[0], self.cfg);
         client.join_topic_at(topic, sup);
-        self.world.add_node(id, client);
+        // Home partition: the shard of the client's first topic (type
+        // docs — later joins to other shards stay cross-partition).
+        self.world.add_node(id, client, shard);
+        self.note_met(id, shard);
         id
     }
 
     fn join(&mut self, id: NodeId, topic: TopicId) {
         self.assert_topic(topic);
         let sup = self.shards.supervisor_for(topic);
+        let shard = self.shard_index(sup);
         if let Some(a) = self.world.node_mut(id) {
             a.join_topic_at(topic, sup);
+            self.note_met(id, shard);
         }
     }
 
@@ -149,11 +201,16 @@ impl PubSub for ShardedBackend {
     }
 
     fn report_crash(&mut self, id: NodeId) {
-        // The detector feed reaches every shard; suspecting an unknown
-        // node is a no-op at the shards that never met it.
-        for &s in &self.sup_ids {
-            if let Some(sup) = self.world.node_mut(s) {
-                sup.suspect(id);
+        // The detector feed is routed by registration-time membership:
+        // only the shard(s) that met the node are told. Suspecting a
+        // node no shard ever met is a true no-op (regression-tested).
+        let Some(shards) = self.met.get(&id.0) else {
+            return;
+        };
+        for &shard in shards {
+            let sup = self.sup_ids[shard as usize];
+            if let Some(s) = self.world.node_mut(sup) {
+                s.suspect(id);
             }
         }
     }
@@ -183,11 +240,23 @@ impl PubSub for ShardedBackend {
 
     fn snapshot(&self, topic: TopicId) -> World<Actor> {
         self.assert_topic(topic);
-        MultiTopicBackend::snapshot_at(&self.world, self.shards.supervisor_for(topic), topic)
+        super::multi::snapshot_topic(&self.world, self.shards.supervisor_for(topic), topic)
     }
 
     fn stats(&self) -> Stats {
-        super::stats_of(self.world.metrics())
+        let mut stats = super::stats_of(&self.world.metrics());
+        stats.per_partition = (0..self.world.partition_count())
+            .map(|i| {
+                let m = self.world.partition_metrics(i);
+                PartitionStats {
+                    sent: m.sent_total,
+                    delivered: m.delivered_total,
+                    dropped: m.dropped,
+                    cross_envelopes: self.world.cross_envelopes(i),
+                }
+            })
+            .collect();
+        stats
     }
 }
 
@@ -255,5 +324,124 @@ mod tests {
                 assert_eq!(hosts, 0, "shard {s} must not host topic {t:?}");
             }
         }
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        // The same sharded run under 1, 2, 4, 8 worker threads: the
+        // executor must produce byte-identical metrics, per-partition
+        // stats, and delivered sets (the full conformance test lives in
+        // tests/facade_conformance.rs; this is the backend-local guard).
+        let run = |threads: usize| {
+            let mut ps = SystemBuilder::new(53)
+                .topics(6)
+                .shards(4)
+                .threads(threads)
+                .build_sharded();
+            let ids: Vec<NodeId> = (0..12).map(|i| ps.subscribe(TopicId(i % 6))).collect();
+            assert!(ps.until_legit(6000).1, "threads={threads} must stabilize");
+            ps.publish(ids[0], TopicId(0), b"parallel".to_vec()).unwrap();
+            ps.publish(ids[1], TopicId(1), b"worlds".to_vec()).unwrap();
+            assert!(ps.until_pubs_converged(4000).1);
+            let delivered: Vec<Vec<Delivery>> =
+                ids.iter().map(|&id| ps.drain_events(id)).collect();
+            (ps.metrics(), ps.stats(), delivered)
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn report_crash_routes_only_to_met_shards() {
+        let topics = 8u32;
+        let mut ps = SystemBuilder::new(54)
+            .topics(topics)
+            .shards(4)
+            .protocol(ProtocolConfig::topology_only())
+            .build_sharded();
+        // One client per topic; each client meets exactly one shard.
+        let ids: Vec<NodeId> = (0..topics).map(|t| ps.subscribe(TopicId(t))).collect();
+        assert!(ps.until_legit(4000).1);
+        let victim = ids[0];
+        let victim_sup = ps.supervisor_for(TopicId(0));
+        ps.crash(victim);
+        ps.report_crash(victim);
+        for &s in ps.supervisor_ids() {
+            let sup = ps.world().node(s).expect("supervisor alive");
+            let suspected: usize = sup
+                .topic_ids()
+                .into_iter()
+                .filter_map(|t| sup.topic_supervisor(t))
+                .map(|sv| sv.suspected.len())
+                .sum();
+            if s == victim_sup {
+                assert!(suspected > 0, "the victim's shard must hear the report");
+            } else {
+                assert_eq!(suspected, 0, "shard {s} never met {victim}");
+            }
+        }
+        assert!(ps.until_legit(4000).1, "eviction must re-stabilize");
+    }
+
+    #[test]
+    fn report_crash_of_unknown_node_is_a_true_noop() {
+        let mut ps = SystemBuilder::new(55)
+            .topics(4)
+            .shards(2)
+            .protocol(ProtocolConfig::topology_only())
+            .build_sharded();
+        for t in 0..4 {
+            ps.subscribe(TopicId(t));
+        }
+        assert!(ps.until_legit(4000).1);
+        let before = ps.metrics();
+        // A suspect no shard has ever met: nothing may change — no
+        // supervisor state, no traffic.
+        ps.report_crash(NodeId(0xDEAD_BEEF));
+        for &s in ps.supervisor_ids() {
+            let sup = ps.world().node(s).expect("supervisor alive");
+            for t in sup.topic_ids() {
+                assert!(
+                    sup.topic_supervisor(t).unwrap().suspected.is_empty(),
+                    "unknown suspect leaked into shard {s}"
+                );
+            }
+        }
+        assert_eq!(ps.metrics(), before, "no traffic may result");
+        assert!(ps.is_legitimate());
+    }
+
+    #[test]
+    fn stats_per_partition_sums_to_totals() {
+        let mut ps = SystemBuilder::new(56)
+            .topics(6)
+            .shards(3)
+            .threads(2)
+            .build_sharded();
+        let ids: Vec<NodeId> = (0..12).map(|i| ps.subscribe(TopicId(i % 6))).collect();
+        assert!(ps.until_legit(6000).1);
+        ps.publish(ids[0], TopicId(0), b"sum check".to_vec()).unwrap();
+        assert!(ps.until_pubs_converged(4000).1);
+        let stats = ps.stats();
+        assert_eq!(stats.per_partition.len(), 3);
+        let sent: u64 = stats.per_partition.iter().map(|p| p.sent).sum();
+        let delivered: u64 = stats.per_partition.iter().map(|p| p.delivered).sum();
+        let dropped: u64 = stats.per_partition.iter().map(|p| p.dropped).sum();
+        assert_eq!(sent, stats.sent, "per-partition sent must sum to total");
+        assert_eq!(
+            delivered, stats.delivered,
+            "per-partition delivered must sum to total"
+        );
+        assert_eq!(
+            dropped, stats.dropped,
+            "per-partition dropped must sum to total (no external injects)"
+        );
+        // The aggregate equals what the old single-world totals were:
+        // the backend-agnostic fields stay the sum over partitions.
+        let agg = ps.metrics();
+        assert_eq!(agg.sent_total, stats.sent);
+        assert_eq!(agg.delivered_total, stats.delivered);
     }
 }

@@ -224,17 +224,32 @@ impl MultiActor {
     }
 }
 
+thread_local! {
+    /// Reusable inner-send buffer for [`with_topic_ctx`]: the re-tag
+    /// adapter sits on the per-delivered-message hot path of the
+    /// multi-topic backends, so it must not allocate per call (beyond
+    /// the buffer's one-time growth to its high-water mark). Per-thread
+    /// storage also keeps the partitioned executor's workers off a
+    /// shared allocator lock.
+    static RETAG: std::cell::RefCell<Vec<(NodeId, Msg)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Adapter: runs a single-topic handler inside a topic-tagged context by
-/// translating sends into [`TopicMsg`]s.
+/// translating sends into [`TopicMsg`]s. The inner context shares the
+/// outer context's RNG stream ([`Ctx::nest`]), so behaviour stays a
+/// deterministic function of the world seed without paying a fresh RNG
+/// construction per delivered message.
 fn with_topic_ctx(topic: TopicId, ctx: &mut Ctx<'_, TopicMsg>, f: impl FnOnce(&mut Ctx<'_, Msg>)) {
-    // Collect the inner sends through a detached context, then re-tag.
-    // Randomness: derive a per-call seed from the outer ctx so behaviour
-    // stays deterministic per world seed.
-    let seed = (u64::from(topic.0) << 32) ^ ctx.random_range(usize::MAX) as u64;
-    let sent = skippub_sim::testing::run_handler(ctx.me(), seed, f);
-    for (to, msg) in sent {
-        ctx.send(to, TopicMsg { topic, msg });
-    }
+    RETAG.with(|buf| {
+        let mut out = buf.take();
+        debug_assert!(out.is_empty());
+        ctx.nest(&mut out, f);
+        for (to, msg) in out.drain(..) {
+            ctx.send(to, TopicMsg { topic, msg });
+        }
+        buf.replace(out);
+    });
 }
 
 impl Protocol for MultiActor {

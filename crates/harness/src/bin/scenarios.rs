@@ -24,7 +24,7 @@ use skippub_harness::scenario::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <name|all|replay FILE> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--out DIR] [--trace FILE] [--list]"
+        "usage: scenarios <name|all|replay FILE> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--threads N] [--out DIR] [--trace FILE] [--list]"
     );
     std::process::exit(2);
 }
@@ -109,6 +109,7 @@ fn main() {
     let mut backend = "all".to_string();
     let mut backend_set = false;
     let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
     let mut out_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut list = false;
@@ -132,6 +133,16 @@ fn main() {
                         .parse()
                         .unwrap_or_else(|_| fail("--seed needs a number")),
                 );
+                i += 1;
+            }
+            "--threads" => {
+                let t: usize = take(&args, i, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads needs a number"));
+                if t < 1 {
+                    fail("--threads needs at least 1");
+                }
+                threads = Some(t);
                 i += 1;
             }
             "--out" => {
@@ -169,10 +180,11 @@ fn main() {
 
     // --- replay mode ---
     if let Some(path) = replay_file {
-        // A trace fixes its backend and seed in the header; overriding
-        // them would break byte-identity, so reject rather than ignore.
-        if backend_set || seed.is_some() || trace_path.is_some() {
-            fail("replay takes no --backend/--seed/--trace (the trace header fixes them)");
+        // A trace fixes its backend, seed, and thread count in the
+        // header; overriding them would break byte-identity, so reject
+        // rather than ignore.
+        if backend_set || seed.is_some() || threads.is_some() || trace_path.is_some() {
+            fail("replay takes no --backend/--seed/--threads/--trace (the trace header fixes them)");
         }
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
@@ -217,6 +229,12 @@ fn main() {
     for mut spec in specs {
         if let Some(s) = seed {
             spec.seed = s;
+        }
+        // Worker-thread cap for the sharded backend's parallel round
+        // executor — an execution knob only: delivered sets and reports
+        // (minus the config header) are identical for every value.
+        if let Some(t) = threads {
+            spec = spec.threads(t);
         }
         let targets: Vec<Target> = match chosen {
             None => spec

@@ -70,6 +70,7 @@ pub fn builder_for(spec: &ScenarioSpec) -> SystemBuilder {
     SystemBuilder::new(spec.seed)
         .topics(spec.topics)
         .shards(spec.shards)
+        .threads(spec.threads)
         .protocol(spec.protocol)
 }
 
@@ -169,6 +170,17 @@ impl Recorder<'_> {
         }
         ps.drain_events(id)
     }
+}
+
+/// Run identity + backend configuration carried into the report header,
+/// shared between live execution (from the spec) and trace replay (from
+/// the trace header) so both assemble byte-identical JSON.
+pub(crate) struct RunMeta<'a> {
+    pub scenario: &'a str,
+    pub seed: u64,
+    pub topics: u32,
+    pub shards: usize,
+    pub threads: usize,
 }
 
 /// Phase bookkeeping shared between live execution and trace replay.
@@ -364,16 +376,15 @@ fn execute(
         stop_ok,
         settle_rounds,
     };
-    let (report, delivered) = assemble_report(
-        ps,
-        &spec.name,
-        spec.seed,
-        spec.topics,
-        phases,
-        &membership,
-        &drained,
-        rec.ops,
-    );
+    let meta = RunMeta {
+        scenario: &spec.name,
+        seed: spec.seed,
+        topics: spec.topics,
+        shards: spec.shards,
+        threads: spec.threads,
+    };
+    let (report, delivered) =
+        assemble_report(ps, &meta, phases, &membership, &drained, rec.ops);
     ScenarioOutcome {
         report,
         slot_ids,
@@ -399,12 +410,9 @@ fn fingerprint(set: &DeliveredSet) -> String {
 /// Builds the report (and the per-topic common delivered sets) from the
 /// final backend state plus the run's bookkeeping. Shared by live
 /// execution and trace replay so both assemble byte-identical JSON.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn assemble_report(
     ps: &dyn PubSub,
-    scenario: &str,
-    seed: u64,
-    topics: u32,
+    meta: &RunMeta<'_>,
     phases: Phases,
     membership: &BTreeMap<u32, Vec<NodeId>>,
     drained: &BTreeMap<NodeId, Vec<Delivery>>,
@@ -447,10 +455,12 @@ pub(crate) fn assemble_report(
     }
     let (pubs_converged, total_pubs) = ps.publications_converged();
     let report = ScenarioReport {
-        scenario: scenario.to_string(),
+        scenario: meta.scenario.to_string(),
         backend: ps.backend_name().to_string(),
-        seed,
-        topics,
+        seed: meta.seed,
+        topics: meta.topics,
+        shards: meta.shards,
+        threads: meta.threads,
         final_population: ps.subscriber_ids().len(),
         warm_rounds: phases.warm_rounds,
         warm_ok: phases.warm_ok,

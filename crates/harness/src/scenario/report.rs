@@ -73,6 +73,12 @@ pub struct ScenarioReport {
     pub seed: u64,
     /// Topic count.
     pub topics: u32,
+    /// Supervisor-shard count the backend was built with (1 for
+    /// unsharded backends) — part of the self-describing config header.
+    pub shards: usize,
+    /// Worker-thread cap the backend was built with (an execution knob;
+    /// results are identical for every value).
+    pub threads: usize,
     /// Live clients at the end of the run.
     pub final_population: usize,
     /// Rounds the warm bootstrap took (0 for cold starts).
@@ -125,6 +131,11 @@ impl ScenarioReport {
         let _ = writeln!(j, "  \"backend\": {:?},", self.backend);
         let _ = writeln!(j, "  \"seed\": {},", self.seed);
         let _ = writeln!(j, "  \"topics\": {},", self.topics);
+        let _ = writeln!(
+            j,
+            "  \"config\": {{\"shards\": {}, \"threads\": {}, \"seed\": {}}},",
+            self.shards, self.threads, self.seed
+        );
         let _ = writeln!(j, "  \"final_population\": {},", self.final_population);
         let _ = writeln!(j, "  \"ok\": {},", self.ok());
         let _ = writeln!(
@@ -172,11 +183,23 @@ impl ScenarioReport {
             self.ops.reports,
             self.ops.steps
         );
-        let _ = writeln!(
+        let _ = write!(
             j,
-            "  \"stats\": {{\"steps\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}}}",
+            "  \"stats\": {{\"steps\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"per_partition\": [",
             self.stats.steps, self.stats.sent, self.stats.delivered, self.stats.dropped
         );
+        for (i, p) in self.stats.per_partition.iter().enumerate() {
+            let _ = write!(
+                j,
+                "{{\"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"cross_envelopes\": {}}}{}",
+                p.sent,
+                p.delivered,
+                p.dropped,
+                p.cross_envelopes,
+                if i + 1 == self.stats.per_partition.len() { "" } else { ", " }
+            );
+        }
+        j.push_str("]}\n");
         j.push_str("}\n");
         j
     }
@@ -185,6 +208,7 @@ impl ScenarioReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use skippub_core::PartitionStats;
 
     fn report() -> ScenarioReport {
         ScenarioReport {
@@ -192,6 +216,8 @@ mod tests {
             backend: "sim".into(),
             seed: 7,
             topics: 1,
+            shards: 2,
+            threads: 4,
             final_population: 3,
             warm_rounds: 12,
             warm_ok: true,
@@ -222,6 +248,20 @@ mod tests {
                 sent: 100,
                 delivered: 90,
                 dropped: 0,
+                per_partition: vec![
+                    PartitionStats {
+                        sent: 60,
+                        delivered: 55,
+                        dropped: 0,
+                        cross_envelopes: 3,
+                    },
+                    PartitionStats {
+                        sent: 40,
+                        delivered: 35,
+                        dropped: 0,
+                        cross_envelopes: 1,
+                    },
+                ],
             },
         }
     }
@@ -235,10 +275,12 @@ mod tests {
         for needle in [
             "\"schema\": \"skippub-scenario-report/v1\"",
             "\"scenario\": \"unit\"",
+            "\"config\": {\"shards\": 2, \"threads\": 4, \"seed\": 7}",
             "\"ok\": true",
             "\"stop_kind\": \"fixed_rounds\"",
             "\"fingerprint\": \"00ff\"",
             "\"publishes\": 4",
+            "\"per_partition\": [{\"sent\": 60, \"delivered\": 55, \"dropped\": 0, \"cross_envelopes\": 3}, {\"sent\": 40, \"delivered\": 35, \"dropped\": 0, \"cross_envelopes\": 1}]",
         ] {
             assert!(a.contains(needle), "missing {needle} in {a}");
         }

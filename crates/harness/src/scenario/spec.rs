@@ -138,6 +138,10 @@ pub struct ScenarioSpec {
     pub topics: u32,
     /// Supervisor shards for the sharded backend (ignored elsewhere).
     pub shards: usize,
+    /// Worker-thread cap for the sharded backend's parallel round
+    /// executor (ignored elsewhere). Purely an execution knob — results
+    /// are byte-identical for every value.
+    pub threads: usize,
     /// Protocol knobs applied to every subscriber.
     pub protocol: ProtocolConfig,
     /// Initial subscriber population (slots `0..population`).
@@ -199,6 +203,7 @@ impl ScenarioSpec {
             seed,
             topics: 1,
             shards: 1,
+            threads: 1,
             protocol: ProtocolConfig::default(),
             population: 0,
             popularity: Popularity::Uniform,
@@ -228,6 +233,14 @@ impl ScenarioSpec {
     pub fn shards(mut self, k: usize) -> Self {
         assert!(k >= 1, "need at least one shard");
         self.shards = k;
+        self
+    }
+
+    /// Sets the worker-thread cap for the sharded backend's parallel
+    /// round executor (results are identical for every value).
+    pub fn threads(mut self, t: usize) -> Self {
+        assert!(t >= 1, "need at least one worker thread");
+        self.threads = t;
         self
     }
 
@@ -354,6 +367,7 @@ mod tests {
         let s = ScenarioSpec::new("t", 3)
             .topics(4)
             .shards(2)
+            .threads(4)
             .population(10)
             .publishers(2)
             .publish_prob(0.5)
@@ -368,6 +382,7 @@ mod tests {
             .cold()
             .stop(Stop::UntilLegit { max_extra: 99 });
         assert_eq!(s.topics, 4);
+        assert_eq!(s.threads, 4);
         assert_eq!(s.population, 10);
         assert!(!s.warm);
         assert_eq!(s.bursts.len(), 1);

@@ -13,7 +13,7 @@
 //! The threaded backend can be *recorded* (via the CLI) but not
 //! byte-replayed: wall-clock slices are not reproducible.
 
-use super::engine::{assemble_report, stop_met, Phases};
+use super::engine::{assemble_report, stop_met, Phases, RunMeta};
 use super::report::{OpCounts, ScenarioReport};
 use super::spec::{ScenarioSpec, Stop};
 use skippub_core::pubsub::ops;
@@ -50,6 +50,10 @@ pub struct Trace {
     pub topics: u32,
     /// Shard count.
     pub shards: usize,
+    /// Worker-thread cap for the sharded backend (recorded so replays
+    /// rebuild the exact configuration; results are identical for every
+    /// value — determinism is the executor's contract).
+    pub threads: usize,
     /// Whether the run had a warm phase (replay needs it to reproduce
     /// the `warm_ok` verdict).
     pub warm: bool,
@@ -88,6 +92,7 @@ impl Trace {
             seed: spec.seed,
             topics: spec.topics,
             shards: spec.shards,
+            threads: spec.threads,
             warm: spec.warm,
             stop: spec.stop,
             protocol: spec.protocol,
@@ -104,6 +109,7 @@ impl Trace {
         s.push_str(&format!("seed {}\n", self.seed));
         s.push_str(&format!("topics {}\n", self.topics));
         s.push_str(&format!("shards {}\n", self.shards));
+        s.push_str(&format!("threads {}\n", self.threads));
         s.push_str(&format!("warm {}\n", self.warm));
         s.push_str(&format!("stop {} {}\n", self.stop.name(), self.stop.max_extra()));
         let p = &self.protocol;
@@ -144,6 +150,7 @@ impl Trace {
         let mut seed = None;
         let mut topics = None;
         let mut shards = None;
+        let mut threads = None;
         let mut warm = None;
         let mut stop = None;
         let mut protocol = None;
@@ -161,6 +168,7 @@ impl Trace {
                 "seed" => seed = Some(rest.parse::<u64>().map_err(|e| e.to_string())?),
                 "topics" => topics = Some(rest.parse::<u32>().map_err(|e| e.to_string())?),
                 "shards" => shards = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
+                "threads" => threads = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
                 "warm" => warm = Some(rest.parse::<bool>().map_err(|e| e.to_string())?),
                 "stop" => {
                     let (name, max) = rest
@@ -220,6 +228,9 @@ impl Trace {
             seed: seed.ok_or("missing seed header")?,
             topics: topics.ok_or("missing topics header")?,
             shards: shards.ok_or("missing shards header")?,
+            // Absent in traces recorded before the parallel executor
+            // existed; one worker reproduces them exactly.
+            threads: threads.unwrap_or(1),
             warm: warm.ok_or("missing warm header")?,
             stop: stop.ok_or("missing stop header")?,
             protocol: protocol.ok_or("missing protocol header")?,
@@ -248,6 +259,7 @@ impl Trace {
         let builder = SystemBuilder::new(self.seed)
             .topics(self.topics)
             .shards(self.shards)
+            .threads(self.threads)
             .protocol(self.protocol);
         let mut ps = builder.build(kind);
         self.replay_on(ps.as_mut())
@@ -321,16 +333,14 @@ impl Trace {
             stop_ok,
             settle_rounds: steps.get("settle").copied().unwrap_or(0),
         };
-        let (report, _) = assemble_report(
-            ps,
-            &self.scenario,
-            self.seed,
-            self.topics,
-            phases,
-            &membership,
-            &drained,
-            ops,
-        );
+        let meta = RunMeta {
+            scenario: &self.scenario,
+            seed: self.seed,
+            topics: self.topics,
+            shards: self.shards,
+            threads: self.threads,
+        };
+        let (report, _) = assemble_report(ps, &meta, phases, &membership, &drained, ops);
         Ok(report)
     }
 }

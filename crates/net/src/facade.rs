@@ -187,6 +187,7 @@ impl PubSub for NetBackend {
             sent,
             delivered,
             dropped,
+            per_partition: Vec::new(),
         }
     }
 }

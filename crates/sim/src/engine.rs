@@ -1,0 +1,691 @@
+//! The partition-generic slab stepping core.
+//!
+//! A [`Partition`] is one self-contained slice of a simulated system:
+//! a dense node slab, its own seeded RNG stream, reusable scratch
+//! buffers, and per-partition [`Metrics`]. The serial [`World`]
+//! (`crate::World`) is exactly one partition in *local-only* mode
+//! (sends to unknown nodes are dropped, §3.3); the parallel
+//! [`PartitionedWorld`](crate::PartitionedWorld) owns many partitions
+//! and routes sends between them as [`Envelope`]s.
+//!
+//! The slab layout, zero-allocation invariant, and RNG-consumption
+//! order documented on [`crate::World`] all live *here* — the wrapper
+//! types add routing policy, never stepping semantics.
+
+use crate::fx::FxBuildHasher;
+use crate::Metrics;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::mem;
+
+/// Unique node identifier (`v.id ∈ N` in the paper). The protocol layer
+/// reserves an ID for the supervisor; the simulator treats all nodes
+/// uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A protocol state machine driven by the world.
+///
+/// Handlers receive a [`Ctx`] for sending messages and drawing randomness;
+/// they must not block and must not communicate through any other channel
+/// (the paper's model: local variables + messages only).
+pub trait Protocol {
+    /// The wire message type.
+    type Msg: Clone;
+
+    /// Handles one delivered message (the remote action call
+    /// `⟨label⟩(⟨parameters⟩)`).
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, msg: Self::Msg);
+
+    /// The periodic `Timeout` action.
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Classifies a message for metrics (e.g. `"GetConfiguration"`).
+    fn msg_kind(_msg: &Self::Msg) -> &'static str {
+        "msg"
+    }
+}
+
+/// Handler-side context: the only way a node interacts with the world.
+pub struct Ctx<'a, M> {
+    me: NodeId,
+    round: u64,
+    out: &'a mut Vec<(NodeId, M)>,
+    rng: &'a mut StdRng,
+}
+
+impl<M> Ctx<'_, M> {
+    /// The executing node's own ID.
+    #[inline]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current round number (diagnostics only — protocols must not branch
+    /// on global time, but logging it is harmless).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sends `msg` to `to` (puts it into `to`'s channel).
+    #[inline]
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    /// Bernoulli draw from the world's seeded RNG.
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.random_bool(p)
+        }
+    }
+
+    /// Uniform draw from `0..n` (`n > 0`).
+    #[inline]
+    pub fn random_range(&mut self, n: usize) -> usize {
+        self.rng.random_range(0..n)
+    }
+
+    /// Runs `f` with a **nested** context of a different message type,
+    /// collecting its sends into `out` — the hook for adapter protocols
+    /// that wrap an inner protocol and re-tag its messages (the §4
+    /// multi-topic construction). The nested context shares this
+    /// context's node identity, round, and RNG stream, so the adapter
+    /// pays no per-call RNG construction and no allocation beyond the
+    /// caller-provided (reusable) buffer.
+    #[inline]
+    pub fn nest<M2>(
+        &mut self,
+        out: &mut Vec<(NodeId, M2)>,
+        f: impl FnOnce(&mut Ctx<'_, M2>),
+    ) {
+        let mut inner = Ctx {
+            me: self.me,
+            round: self.round,
+            out,
+            rng: self.rng,
+        };
+        f(&mut inner);
+    }
+}
+
+/// Backing for [`crate::testing::run_handler`]: materializes a detached
+/// context (contexts have private fields by design — protocol crates can
+/// only obtain one from a world or from this test hook).
+pub(crate) fn detached_ctx_run<M>(
+    me: NodeId,
+    seed: u64,
+    f: impl FnOnce(&mut Ctx<'_, M>),
+) -> Vec<(NodeId, M)> {
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ctx = Ctx {
+        me,
+        round: 0,
+        out: &mut out,
+        rng: &mut rng,
+    };
+    f(&mut ctx);
+    out
+}
+
+/// Chaos-scheduler tuning.
+///
+/// Together these knobs realize the paper's §1.1/§3.3 channel model in
+/// its adversarial form: delivery is reliable but unordered with
+/// unbounded *finite* delay. `delivery_prob` randomizes per-message
+/// delay, `max_age` enforces **fair message receipt** (no message stays
+/// in a channel forever — once its age exceeds the bound it is
+/// force-delivered), and `timeout_prob` realizes the weakly fair
+/// periodic `Timeout` action (over infinitely many rounds every node
+/// fires infinitely often).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Probability an in-flight message is delivered this round.
+    pub delivery_prob: f64,
+    /// Probability a node fires its `Timeout` this round.
+    pub timeout_prob: f64,
+    /// Forced delivery after this many rounds in flight (fair receipt).
+    pub max_age: u32,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            delivery_prob: 0.5,
+            timeout_prob: 0.5,
+            max_age: 8,
+        }
+    }
+}
+
+/// A cross-partition message in flight between two partitions of a
+/// [`PartitionedWorld`](crate::PartitionedWorld): stamped with its
+/// source partition and a per-source monotone sequence number, so the
+/// receiving partition can merge its inbound batch in the canonical
+/// `(src, seq)` order regardless of which worker thread enqueued what
+/// first.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Source partition index.
+    pub src: u32,
+    /// Monotone per-source sequence number.
+    pub seq: u64,
+    /// Destination node.
+    pub to: NodeId,
+    /// The message.
+    pub msg: M,
+}
+
+/// One live node: its protocol state, in-flight channel, and the
+/// metrics index cached so hot-path accounting never hashes.
+struct Slot<P: Protocol> {
+    id: NodeId,
+    /// Stable per-id metrics index (survives crash + rejoin).
+    midx: u32,
+    proto: P,
+    /// In-flight messages with their age in rounds.
+    channel: Vec<(u32, P::Msg)>,
+}
+
+/// One partition of a simulated system: the slab engine extracted from
+/// the serial `World`.
+///
+/// In **local-only** mode (the serial world) a send to an id this
+/// partition does not host is consumed and counted dropped (§3.3: the
+/// destination does not exist anywhere). Otherwise the send is staged
+/// in the partition's `outbox` for the executor to route — the
+/// destination may live in a sibling partition.
+pub(crate) struct Partition<P: Protocol> {
+    /// Dense slot storage; `None` is a tombstone left by a crash.
+    slots: Vec<Option<Slot<P>>>,
+    /// Tombstoned slot indices available for reuse.
+    free: Vec<u32>,
+    /// Live id → slot index (deterministic hashing, O(1) probes).
+    slot_of: HashMap<u64, u32, FxBuildHasher>,
+    /// Live `(id, slot)` pairs sorted by id — the canonical iteration
+    /// order (matches the old `BTreeMap` engine's sorted-key order).
+    order: Vec<(u64, u32)>,
+    rng: StdRng,
+    metrics: Metrics,
+    round: u64,
+    /// Serial-world routing policy (see type docs).
+    local_only: bool,
+    /// Cross-partition sends staged during a step, in send order.
+    outbox: Vec<(NodeId, P::Msg)>,
+    /// Next cross-partition sequence number (monotone per partition).
+    seq: u64,
+    /// Cumulative cross-partition envelopes this partition emitted.
+    cross_sent: u64,
+    /// Scratch: shuffled activation order (slot indices).
+    scratch_order: Vec<u32>,
+    /// Scratch: the inbox snapshot being drained for one node.
+    scratch_inbox: Vec<(u32, P::Msg)>,
+    /// Scratch: chaos-mode messages kept in flight for one node.
+    scratch_kept: Vec<(u32, P::Msg)>,
+    /// Scratch: the outbox handed to each handler invocation.
+    scratch_out: Vec<(NodeId, P::Msg)>,
+    /// Scratch: inbound envelope batch taken from the mailbox.
+    scratch_inbound: Vec<Envelope<P::Msg>>,
+}
+
+impl<P: Protocol> Partition<P> {
+    /// Creates an empty partition seeded with its own RNG stream.
+    pub(crate) fn new(seed: u64, local_only: bool) -> Self {
+        Partition {
+            slots: Vec::new(),
+            free: Vec::new(),
+            slot_of: HashMap::default(),
+            order: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::default(),
+            round: 0,
+            local_only,
+            outbox: Vec::new(),
+            seq: 0,
+            cross_sent: 0,
+            scratch_order: Vec::new(),
+            scratch_inbox: Vec::new(),
+            scratch_kept: Vec::new(),
+            scratch_out: Vec::new(),
+            scratch_inbound: Vec::new(),
+        }
+    }
+
+    /// Adds a node. Panics on duplicate IDs (a corrupted *world*, unlike a
+    /// corrupted protocol state, is a harness bug).
+    pub(crate) fn add_node(&mut self, id: NodeId, proto: P) {
+        assert!(
+            !self.slot_of.contains_key(&id.0),
+            "duplicate node {id}"
+        );
+        let midx = self.metrics.intern_node(id);
+        let slot = Slot {
+            id,
+            midx,
+            proto,
+            channel: Vec::new(),
+        };
+        let s = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(slot);
+                s
+            }
+            None => {
+                self.slots.push(Some(slot));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slot_of.insert(id.0, s);
+        let pos = self
+            .order
+            .binary_search_by_key(&id.0, |&(i, _)| i)
+            .unwrap_err();
+        self.order.insert(pos, (id.0, s));
+    }
+
+    /// Crashes a node without warning (§3.3): its state vanishes and all
+    /// current and future messages to it are consumed without any action.
+    pub(crate) fn crash(&mut self, id: NodeId) {
+        if let Some(s) = self.slot_of.remove(&id.0) {
+            let slot = self.slots[s as usize].take().expect("live slot");
+            self.metrics.dropped += slot.channel.len() as u64;
+            self.free.push(s);
+            let pos = self
+                .order
+                .binary_search_by_key(&id.0, |&(i, _)| i)
+                .expect("live node is ordered");
+            self.order.remove(pos);
+        }
+    }
+
+    /// Whether `id` is currently hosted live here.
+    pub(crate) fn is_alive(&self, id: NodeId) -> bool {
+        self.slot_of.contains_key(&id.0)
+    }
+
+    /// IDs of all live nodes, sorted. Allocates — external convenience
+    /// only; the round loop uses the internal order scratch.
+    pub(crate) fn ids(&self) -> Vec<NodeId> {
+        self.order.iter().map(|&(i, _)| NodeId(i)).collect()
+    }
+
+    /// Number of live nodes.
+    pub(crate) fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    #[inline]
+    fn slot(&self, id: NodeId) -> Option<u32> {
+        self.slot_of.get(&id.0).copied()
+    }
+
+    /// Immutable access to a node's protocol state (checkers, snapshots).
+    pub(crate) fn node(&self, id: NodeId) -> Option<&P> {
+        let s = self.slot(id)?;
+        self.slots[s as usize].as_ref().map(|slot| &slot.proto)
+    }
+
+    /// Mutable access — used by adversarial initializers to corrupt
+    /// protocol variables before a run, and by operations that model local
+    /// user input (subscribe/publish calls).
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        let s = self.slot(id)?;
+        self.slots[s as usize].as_mut().map(|slot| &mut slot.proto)
+    }
+
+    /// Iterates over `(id, state)` of live nodes in id order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.order.iter().map(|&(i, s)| {
+            let slot = self.slots[s as usize].as_ref().expect("live slot");
+            (NodeId(i), &slot.proto)
+        })
+    }
+
+    /// Live `(id, slot)` pairs in id order — the k-way merge input for
+    /// [`PartitionedWorld::iter`](crate::PartitionedWorld::iter).
+    pub(crate) fn order(&self) -> &[(u64, u32)] {
+        &self.order
+    }
+
+    /// The protocol state in slot `s` (must be live).
+    pub(crate) fn proto_at(&self, s: u32) -> &P {
+        &self.slots[s as usize].as_ref().expect("live slot").proto
+    }
+
+    /// Injects a message into `to`'s channel from outside the system
+    /// (external requests, or corrupted initial channel content).
+    /// Local-only routing: the caller resolves the partition.
+    pub(crate) fn inject(&mut self, to: NodeId, msg: P::Msg) {
+        self.metrics.note_sent(to, P::msg_kind(&msg));
+        match self.slot(to) {
+            Some(s) => {
+                let slot = self.slots[s as usize].as_mut().expect("live slot");
+                slot.channel.push((0, msg));
+            }
+            None => self.metrics.dropped += 1,
+        }
+    }
+
+    /// Number of in-flight messages to `id`.
+    pub(crate) fn channel_len(&self, id: NodeId) -> usize {
+        self.slot(id).map_or(0, |s| {
+            self.slots[s as usize]
+                .as_ref()
+                .map_or(0, |slot| slot.channel.len())
+        })
+    }
+
+    /// Total in-flight messages in this partition's channels.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.order
+            .iter()
+            .map(|&(_, s)| {
+                self.slots[s as usize]
+                    .as_ref()
+                    .map_or(0, |slot| slot.channel.len())
+            })
+            .sum()
+    }
+
+    /// Cumulative metrics of this partition.
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Rounds this partition has stepped.
+    pub(crate) fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Cumulative cross-partition envelopes emitted by this partition.
+    pub(crate) fn cross_sent(&self) -> u64 {
+        self.cross_sent
+    }
+
+    /// Lets the harness drive a node as if it acted locally: runs `f` with
+    /// the node's state and a context, then routes whatever it sent.
+    /// Returns `None` if the node does not exist. In partitioned mode the
+    /// caller must flush the outbox afterwards.
+    pub(crate) fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
+    ) -> Option<R> {
+        let s = self.slot(id)?;
+        let mut out = mem::take(&mut self.scratch_out);
+        debug_assert!(out.is_empty());
+        let round = self.round;
+        let slot = self.slots[s as usize].as_mut().expect("live slot");
+        let midx = slot.midx;
+        let mut ctx = Ctx {
+            me: id,
+            round,
+            out: &mut out,
+            rng: &mut self.rng,
+        };
+        let r = f(&mut slot.proto, &mut ctx);
+        self.route_from(midx, &mut out);
+        self.scratch_out = out;
+        Some(r)
+    }
+
+    /// Routes a drained outbox: one O(1) slot probe per message; the
+    /// buffer is left empty for reuse by the caller. Unknown
+    /// destinations are dropped in local-only mode and staged in the
+    /// cross-partition outbox otherwise.
+    fn route_from(&mut self, from_midx: u32, out: &mut Vec<(NodeId, P::Msg)>) {
+        for (to, msg) in out.drain(..) {
+            self.metrics.note_sent_at(from_midx, P::msg_kind(&msg));
+            match self.slot_of.get(&to.0) {
+                Some(&s) => {
+                    let slot = self.slots[s as usize].as_mut().expect("live slot");
+                    slot.channel.push((0, msg));
+                }
+                None if self.local_only => self.metrics.dropped += 1,
+                None => self.outbox.push((to, msg)),
+            }
+        }
+    }
+
+    /// Delivers one message to the node in slot `s` and routes its sends.
+    fn deliver_slot(&mut self, s: u32, msg: P::Msg) {
+        let mut out = mem::take(&mut self.scratch_out);
+        debug_assert!(out.is_empty());
+        let round = self.round;
+        let from_midx = match self.slots[s as usize].as_mut() {
+            Some(slot) => {
+                self.metrics.note_delivered_at(slot.midx);
+                let mut ctx = Ctx {
+                    me: slot.id,
+                    round,
+                    out: &mut out,
+                    rng: &mut self.rng,
+                };
+                slot.proto.on_message(&mut ctx, msg);
+                slot.midx
+            }
+            None => {
+                self.metrics.dropped += 1;
+                self.scratch_out = out;
+                return;
+            }
+        };
+        self.route_from(from_midx, &mut out);
+        self.scratch_out = out;
+    }
+
+    /// Fires `Timeout` for the node in slot `s` and routes its sends.
+    fn fire_timeout_slot(&mut self, s: u32) {
+        let mut out = mem::take(&mut self.scratch_out);
+        debug_assert!(out.is_empty());
+        let round = self.round;
+        let from_midx = match self.slots[s as usize].as_mut() {
+            Some(slot) => {
+                let mut ctx = Ctx {
+                    me: slot.id,
+                    round,
+                    out: &mut out,
+                    rng: &mut self.rng,
+                };
+                slot.proto.on_timeout(&mut ctx);
+                slot.midx
+            }
+            None => {
+                self.scratch_out = out;
+                return;
+            }
+        };
+        self.route_from(from_midx, &mut out);
+        self.scratch_out = out;
+    }
+
+    /// Takes the shuffled activation order into the caller's buffer.
+    /// Shuffling over id-sorted live nodes keeps the RNG-consumption
+    /// order identical to the old engine's `ids()`-then-shuffle.
+    fn shuffled_order(&mut self) -> Vec<u32> {
+        let mut order = mem::take(&mut self.scratch_order);
+        order.clear();
+        order.extend(self.order.iter().map(|&(_, s)| s));
+        order.shuffle(&mut self.rng);
+        order
+    }
+
+    /// Moves one node's channel snapshot into the inbox scratch.
+    /// `append` (not `swap`) on purpose: the channel keeps its own
+    /// capacity, so each node's buffer converges to its personal
+    /// high-water mark and stays there — swapping would shuffle
+    /// capacities randomly between nodes and re-trigger growth whenever
+    /// a traffic burst lands on a buffer that happened to be small.
+    /// Returns `None` for a tombstoned slot.
+    fn take_inbox(&mut self, s: u32) -> Option<Vec<(u32, P::Msg)>> {
+        let mut inbox = mem::take(&mut self.scratch_inbox);
+        debug_assert!(inbox.is_empty());
+        match self.slots[s as usize].as_mut() {
+            Some(slot) => {
+                inbox.append(&mut slot.channel);
+                Some(inbox)
+            }
+            None => {
+                self.scratch_inbox = inbox;
+                None
+            }
+        }
+    }
+
+    /// One **synchronous round** — the paper's §3.3 "timeout interval":
+    /// every live node, in random order, first processes (in random
+    /// order) all messages that were in its channel when it was
+    /// activated, then executes `Timeout` exactly once. Messages a node
+    /// sends to itself while processing are handled next round.
+    ///
+    /// Steady-state calls allocate nothing (module-level invariant).
+    pub(crate) fn run_round(&mut self) {
+        self.round += 1;
+        let order = self.shuffled_order();
+        for &s in &order {
+            let Some(mut inbox) = self.take_inbox(s) else {
+                continue;
+            };
+            inbox.shuffle(&mut self.rng);
+            for (_, msg) in inbox.drain(..) {
+                self.deliver_slot(s, msg);
+            }
+            self.scratch_inbox = inbox;
+            self.fire_timeout_slot(s);
+        }
+        self.scratch_order = order;
+        self.metrics.rounds += 1;
+    }
+
+    /// One **chaos round**: every node, in random order, delivers a
+    /// random subset of its channel — each message independently with
+    /// probability [`ChaosConfig::delivery_prob`], *forced* once its age
+    /// exceeds [`ChaosConfig::max_age`] (the paper's fair message
+    /// receipt: unbounded but finite delay) — and fires `Timeout` with
+    /// probability [`ChaosConfig::timeout_prob`] (weak fairness comes
+    /// from infinitely many rounds).
+    ///
+    /// Steady-state calls allocate nothing (module-level invariant).
+    pub(crate) fn run_chaos_round(&mut self, cfg: ChaosConfig) {
+        self.round += 1;
+        let order = self.shuffled_order();
+        for &s in &order {
+            let Some(mut inbox) = self.take_inbox(s) else {
+                continue;
+            };
+            inbox.shuffle(&mut self.rng);
+            let mut kept = mem::take(&mut self.scratch_kept);
+            debug_assert!(kept.is_empty());
+            for (age, msg) in inbox.drain(..) {
+                let force = age >= cfg.max_age;
+                if force || self.rng.random_bool(cfg.delivery_prob) {
+                    self.deliver_slot(s, msg);
+                } else {
+                    kept.push((age + 1, msg));
+                }
+            }
+            // Keep undelivered messages (new sends may have arrived).
+            match self.slots[s as usize].as_mut() {
+                Some(slot) => slot.channel.append(&mut kept),
+                None => {
+                    self.metrics.dropped += kept.len() as u64;
+                    kept.clear();
+                }
+            }
+            self.scratch_kept = kept;
+            self.scratch_inbox = inbox;
+            if self.rng.random_bool(cfg.timeout_prob) {
+                self.fire_timeout_slot(s);
+            }
+        }
+        self.scratch_order = order;
+        self.metrics.rounds += 1;
+    }
+
+    /// Drains the inbound mailbox into local channels, merging the batch
+    /// in the canonical `(src partition, seq)` order — the only order in
+    /// which cross-partition messages may enter channels, regardless of
+    /// the worker interleaving that enqueued them. Envelopes to nodes
+    /// that crashed since sending are consumed (§3.3).
+    pub(crate) fn drain_inbound(&mut self, mailbox: &std::sync::Mutex<Vec<Envelope<P::Msg>>>) {
+        let mut batch = mem::take(&mut self.scratch_inbound);
+        debug_assert!(batch.is_empty());
+        mem::swap(&mut batch, &mut *mailbox.lock().expect("mailbox poisoned"));
+        batch.sort_unstable_by_key(|e| (e.src, e.seq));
+        for env in batch.drain(..) {
+            match self.slot_of.get(&env.to.0) {
+                Some(&s) => {
+                    let slot = self.slots[s as usize].as_mut().expect("live slot");
+                    slot.channel.push((0, env.msg));
+                }
+                None => self.metrics.dropped += 1,
+            }
+        }
+        self.scratch_inbound = batch;
+    }
+
+    /// Routes the staged cross-partition sends: each becomes an
+    /// [`Envelope`] stamped `(me, seq)` and lands in the destination
+    /// partition's mailbox; sends to ids no partition hosts are dropped
+    /// here, charged to this (the sending) partition.
+    pub(crate) fn flush_outbox(
+        &mut self,
+        me: u32,
+        home: &HashMap<u64, u32, FxBuildHasher>,
+        mailboxes: &[std::sync::Mutex<Vec<Envelope<P::Msg>>>],
+    ) {
+        for (to, msg) in self.outbox.drain(..) {
+            match home.get(&to.0) {
+                Some(&dest) => {
+                    let env = Envelope {
+                        src: me,
+                        seq: self.seq,
+                        to,
+                        msg,
+                    };
+                    self.seq += 1;
+                    self.cross_sent += 1;
+                    mailboxes[dest as usize]
+                        .lock()
+                        .expect("mailbox poisoned")
+                        .push(env);
+                }
+                None => self.metrics.dropped += 1,
+            }
+        }
+    }
+
+    /// Capacity currently reserved by the scratch buffers —
+    /// `(order, inbox, kept, out)`. Test hook for the zero-allocation
+    /// invariant: steady-state rounds must not grow these.
+    pub(crate) fn scratch_capacities(&self) -> (usize, usize, usize, usize) {
+        (
+            self.scratch_order.capacity(),
+            self.scratch_inbox.capacity(),
+            self.scratch_kept.capacity(),
+            self.scratch_out.capacity(),
+        )
+    }
+}

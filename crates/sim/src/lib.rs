@@ -22,10 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod fx;
 mod metrics;
+mod partitioned;
 pub mod testing;
 mod world;
 
+pub use engine::{ChaosConfig, Ctx, Envelope, NodeId, Protocol};
 pub use metrics::Metrics;
-pub use world::{ChaosConfig, Ctx, NodeId, Protocol, World};
+pub use partitioned::{NodeView, PartitionedWorld};
+pub use world::World;

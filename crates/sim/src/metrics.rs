@@ -175,6 +175,27 @@ impl Metrics {
         self.delivered_total += 1;
         self.node_received[to as usize] += 1;
     }
+
+    /// Adds every counter of `other` into `self` (kinds and node ids are
+    /// interned on first sight). Used to aggregate per-partition metrics
+    /// into a whole-world view; note that `rounds` is summed like every
+    /// other counter — an aggregator whose partitions all step each
+    /// round overwrites it with the world round count afterwards.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.sent_total += other.sent_total;
+        self.delivered_total += other.delivered_total;
+        self.dropped += other.dropped;
+        self.rounds += other.rounds;
+        for (i, &name) in other.kind_names.iter().enumerate() {
+            let k = self.kind_index(name) as usize;
+            self.kind_counts[k] += other.kind_counts[i];
+        }
+        for (i, &id) in other.node_ids.iter().enumerate() {
+            let n = self.intern_node(id) as usize;
+            self.node_sent[n] += other.node_sent[i];
+            self.node_received[n] += other.node_received[i];
+        }
+    }
 }
 
 /// Fat-pointer fast path (address **and** length — a bare `as_ptr`

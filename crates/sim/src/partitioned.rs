@@ -1,0 +1,539 @@
+//! [`PartitionedWorld`]: many slab partitions stepped by a
+//! **deterministic parallel round executor**.
+//!
+//! # Why rounds are an exact parallelism barrier
+//!
+//! The paper's execution model is synchronous-round based: in one
+//! "timeout interval" every node processes the messages that were in
+//! its channel *at activation* and fires `Timeout` once; everything it
+//! sends is handled no earlier than the next round at a remote node.
+//! Partition the nodes, and a round factorizes: intra-partition
+//! scheduling touches only the partition's own slab and RNG stream,
+//! while every cross-partition message crosses a round boundary anyway.
+//! Stepping partitions concurrently therefore yields **bit-identical
+//! results for any worker count** — the only sharing is the mailbox
+//! hand-off, and that is ordered canonically (below).
+//!
+//! # The round protocol
+//!
+//! Each round runs in two phases separated by barriers:
+//!
+//! 1. **drain** — every partition takes its inbound mailbox, sorts the
+//!    batch by `(source partition, sequence number)`, and appends the
+//!    envelopes to the destination nodes' channels. The sort makes the
+//!    hand-off independent of which worker pushed first.
+//! 2. **step + flush** — every partition runs one synchronous round on
+//!    its own slab/RNG (sends to local nodes go straight to channels;
+//!    sends to foreign ids are staged in the partition's outbox), then
+//!    flushes the outbox: each staged send becomes an
+//!    [`Envelope`](crate::Envelope) stamped with the source partition
+//!    and a monotone per-source sequence number and is pushed to the
+//!    destination partition's mailbox.
+//!
+//! The barrier between the phases keeps round `r` drains from racing
+//! round `r` flushes; the barrier at the end of the round keeps round
+//! `r` flushes from racing round `r+1` drains.
+//!
+//! # RNG stream splitting
+//!
+//! Partition `i` owns `StdRng::seed_from_u64(splitmix64(seed, i))` — an
+//! independent stream derived from the world seed by a SplitMix64
+//! finalizer, so partition executions are deterministic functions of
+//! `(seed, partition count)` and entirely independent of the worker
+//! count. Worker threads only decide *which CPU* steps a partition,
+//! never *what* it computes.
+
+use crate::engine::{Envelope, Partition};
+use crate::fx::FxBuildHasher;
+use crate::{Ctx, Metrics, NodeId, Protocol, World};
+use std::collections::HashMap;
+use std::sync::{Barrier, Mutex};
+
+/// Shared read access to a simulated system's protocol states —
+/// implemented by both the serial [`World`] and the parallel
+/// [`PartitionedWorld`], so checkers and snapshot builders can be
+/// written once against either.
+pub trait NodeView<P: Protocol> {
+    /// Immutable access to node `id`'s protocol state, if alive.
+    fn peek(&self, id: NodeId) -> Option<&P>;
+
+    /// Iterates `(id, state)` over live nodes in ascending id order.
+    fn nodes<'a>(&'a self) -> impl Iterator<Item = (NodeId, &'a P)>
+    where
+        P: 'a;
+}
+
+impl<P: Protocol> NodeView<P> for World<P> {
+    fn peek(&self, id: NodeId) -> Option<&P> {
+        self.node(id)
+    }
+
+    fn nodes<'a>(&'a self) -> impl Iterator<Item = (NodeId, &'a P)>
+    where
+        P: 'a,
+    {
+        self.iter()
+    }
+}
+
+impl<P: Protocol> NodeView<P> for PartitionedWorld<P> {
+    fn peek(&self, id: NodeId) -> Option<&P> {
+        self.node(id)
+    }
+
+    fn nodes<'a>(&'a self) -> impl Iterator<Item = (NodeId, &'a P)>
+    where
+        P: 'a,
+    {
+        self.iter()
+    }
+}
+
+/// Derives partition `i`'s RNG stream seed from the world seed
+/// (SplitMix64 finalizer over `seed ⊕ (i+1)·φ`).
+fn split_seed(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A simulated system split into partitions, stepped by the
+/// deterministic parallel round executor (module docs).
+///
+/// Node placement is the caller's policy: [`PartitionedWorld::add_node`]
+/// takes an explicit partition index (the sharded backend co-locates
+/// each shard supervisor with its topics' clients). Results are
+/// byte-identical for every `threads` value, including `1`.
+pub struct PartitionedWorld<P: Protocol> {
+    partitions: Vec<Partition<P>>,
+    /// Per-destination-partition inbound envelope queues.
+    mailboxes: Vec<Mutex<Vec<Envelope<P::Msg>>>>,
+    /// id → hosting partition, for every live node.
+    home: HashMap<u64, u32, FxBuildHasher>,
+    threads: usize,
+    round: u64,
+    /// Accounting for external injects to ids no partition hosts: the
+    /// serial world counts such a send (and its immediate §3.3 drop) in
+    /// its single metrics, so the partitioned world keeps the same
+    /// counters here — aggregated totals stay comparable with serial
+    /// runs without charging any partition for a message none hosted.
+    orphan: Metrics,
+}
+
+impl<P: Protocol> PartitionedWorld<P> {
+    /// Creates `partitions` empty partitions with independent RNG
+    /// streams derived from `seed`, stepped by up to `threads` workers.
+    pub fn new(seed: u64, partitions: usize, threads: usize) -> Self {
+        assert!(partitions >= 1, "need at least one partition");
+        assert!(threads >= 1, "need at least one worker");
+        PartitionedWorld {
+            partitions: (0..partitions)
+                .map(|i| Partition::new(split_seed(seed, i as u64), false))
+                .collect(),
+            mailboxes: (0..partitions).map(|_| Mutex::new(Vec::new())).collect(),
+            home: HashMap::default(),
+            threads,
+            round: 0,
+            orphan: Metrics::default(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Adds a node to `partition`. Panics on duplicate IDs (across all
+    /// partitions) or an out-of-range partition.
+    pub fn add_node(&mut self, id: NodeId, proto: P, partition: u32) {
+        assert!(
+            (partition as usize) < self.partitions.len(),
+            "partition {partition} out of range"
+        );
+        assert!(
+            !self.home.contains_key(&id.0),
+            "duplicate node {id}"
+        );
+        self.partitions[partition as usize].add_node(id, proto);
+        self.home.insert(id.0, partition);
+    }
+
+    /// The partition hosting `id`, if alive.
+    pub fn partition_of(&self, id: NodeId) -> Option<u32> {
+        self.home.get(&id.0).copied()
+    }
+
+    /// Crashes a node without warning (§3.3). Envelopes already in
+    /// flight to it are consumed at the destination partition's next
+    /// drain.
+    pub fn crash(&mut self, id: NodeId) {
+        if let Some(p) = self.home.remove(&id.0) {
+            self.partitions[p as usize].crash(id);
+        }
+    }
+
+    /// Whether `id` is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.home.contains_key(&id.0)
+    }
+
+    /// Number of live nodes across all partitions.
+    pub fn len(&self) -> usize {
+        self.home.len()
+    }
+
+    /// Whether no nodes are alive.
+    pub fn is_empty(&self) -> bool {
+        self.home.is_empty()
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        let p = self.partition_of(id)?;
+        self.partitions[p as usize].node(id)
+    }
+
+    /// Mutable access to a node's protocol state.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        let p = self.partition_of(id)?;
+        self.partitions[p as usize].node_mut(id)
+    }
+
+    /// IDs of all live nodes, ascending.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.iter().map(|(id, _)| id).collect()
+    }
+
+    /// Iterates `(id, state)` of live nodes in ascending id order — a
+    /// k-way merge over the partitions' sorted orders.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        Merged {
+            parts: self.partitions.iter().map(|p| (p, 0usize)).collect(),
+        }
+    }
+
+    /// Injects a message from outside the system into `to`'s channel.
+    /// An inject to an id no partition hosts is counted exactly like
+    /// the serial world counts it: one send of its kind, immediately
+    /// dropped (§3.3).
+    pub fn inject(&mut self, to: NodeId, msg: P::Msg) {
+        match self.partition_of(to) {
+            Some(p) => self.partitions[p as usize].inject(to, msg),
+            None => {
+                self.orphan.note_sent(to, P::msg_kind(&msg));
+                self.orphan.dropped += 1;
+            }
+        }
+    }
+
+    /// Drives node `id` as if it acted locally (subscribe/publish calls):
+    /// runs `f` with its state and a context, routes local sends, and
+    /// immediately routes cross-partition sends into the destination
+    /// mailboxes (delivered from the next round on, exactly like a
+    /// local channel push). Returns `None` if the node does not exist.
+    pub fn with_node<R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
+    ) -> Option<R> {
+        let p = self.partition_of(id)?;
+        let r = self.partitions[p as usize].with_node(id, f);
+        self.partitions[p as usize].flush_outbox(p, &self.home, &self.mailboxes);
+        r
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total in-flight messages: channel contents plus mailbox envelopes.
+    pub fn in_flight(&self) -> usize {
+        let channels: usize = self.partitions.iter().map(|p| p.in_flight()).sum();
+        let boxed: usize = self
+            .mailboxes
+            .iter()
+            .map(|m| m.lock().expect("mailbox poisoned").len())
+            .sum();
+        channels + boxed
+    }
+
+    /// Partition `i`'s own cumulative metrics.
+    pub fn partition_metrics(&self, i: usize) -> &Metrics {
+        self.partitions[i].metrics()
+    }
+
+    /// Cumulative cross-partition envelopes emitted by partition `i`.
+    pub fn cross_envelopes(&self, i: usize) -> u64 {
+        self.partitions[i].cross_sent()
+    }
+
+    /// Aggregated metrics over all partitions: totals, per-kind and
+    /// per-node counters are summed (plus the orphan-inject bucket, so
+    /// totals match a serial world fed the same op sequence); `rounds`
+    /// is the world's round count, not the sum — every partition steps
+    /// every round.
+    pub fn metrics(&self) -> Metrics {
+        let mut agg = Metrics::default();
+        for p in &self.partitions {
+            agg.merge(p.metrics());
+        }
+        agg.merge(&self.orphan);
+        agg.rounds = self.round;
+        agg
+    }
+}
+
+impl<P: Protocol + Send> PartitionedWorld<P>
+where
+    P::Msg: Send,
+{
+    /// One synchronous round of the whole system (module docs). Results
+    /// are identical for every `threads` setting.
+    pub fn run_round(&mut self) {
+        self.run_rounds(1);
+    }
+
+    /// Runs `n` synchronous rounds. With `threads > 1` the worker scope
+    /// is spawned once for the whole batch, so driving the world in
+    /// batches amortizes thread start-up; single-round calls remain
+    /// correct (and remain deterministic) either way.
+    pub fn run_rounds(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.min(self.partitions.len()).max(1);
+        if workers == 1 {
+            for _ in 0..n {
+                for (i, p) in self.partitions.iter_mut().enumerate() {
+                    p.drain_inbound(&self.mailboxes[i]);
+                }
+                for (i, p) in self.partitions.iter_mut().enumerate() {
+                    p.run_round();
+                    p.flush_outbox(i as u32, &self.home, &self.mailboxes);
+                }
+            }
+        } else {
+            let chunk = self.partitions.len().div_ceil(workers);
+            let nchunks = self.partitions.len().div_ceil(chunk);
+            let barrier = Barrier::new(nchunks);
+            let home = &self.home;
+            let mailboxes = &self.mailboxes;
+            crossbeam::thread::scope(|s| {
+                for (ci, parts) in self.partitions.chunks_mut(chunk).enumerate() {
+                    let barrier = &barrier;
+                    let base = ci * chunk;
+                    s.spawn(move || {
+                        for _ in 0..n {
+                            for (j, p) in parts.iter_mut().enumerate() {
+                                p.drain_inbound(&mailboxes[base + j]);
+                            }
+                            barrier.wait();
+                            for (j, p) in parts.iter_mut().enumerate() {
+                                p.run_round();
+                                p.flush_outbox((base + j) as u32, home, mailboxes);
+                            }
+                            barrier.wait();
+                        }
+                    });
+                }
+            })
+            .expect("worker panicked");
+        }
+        self.round += n;
+    }
+}
+
+/// Ascending-id k-way merge over partitions' sorted node orders.
+struct Merged<'a, P: Protocol> {
+    /// `(partition, cursor into its order slice)` per partition.
+    parts: Vec<(&'a Partition<P>, usize)>,
+}
+
+impl<'a, P: Protocol> Iterator for Merged<'a, P> {
+    type Item = (NodeId, &'a P);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut best: Option<(usize, u64)> = None;
+        for (k, (p, c)) in self.parts.iter().enumerate() {
+            if let Some(&(id, _)) = p.order().get(*c) {
+                if best.is_none_or(|(_, bid)| id < bid) {
+                    best = Some((k, id));
+                }
+            }
+        }
+        let (k, _) = best?;
+        let (p, c) = &mut self.parts[k];
+        let (id, s) = p.order()[*c];
+        *c += 1;
+        Some((NodeId(id), p.proto_at(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: forwards a token along `next`, counts everything.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Toy {
+        next: NodeId,
+        tokens_seen: u64,
+        timeouts: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Token(u32);
+
+    impl Protocol for Toy {
+        type Msg = Token;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, msg: Token) {
+            self.tokens_seen += 1;
+            if msg.0 > 0 {
+                ctx.send(self.next, Token(msg.0 - 1));
+            }
+        }
+
+        fn on_timeout(&mut self, _ctx: &mut Ctx<'_, Token>) {
+            self.timeouts += 1;
+        }
+
+        fn msg_kind(_: &Token) -> &'static str {
+            "token"
+        }
+    }
+
+    /// `n` nodes in a ring, node `i` in partition `i % k`: every hop
+    /// crosses a partition boundary (for `k > 1`).
+    fn ring(n: u64, k: usize, threads: usize, seed: u64) -> PartitionedWorld<Toy> {
+        let mut w = PartitionedWorld::new(seed, k, threads);
+        for i in 0..n {
+            w.add_node(
+                NodeId(i),
+                Toy {
+                    next: NodeId((i + 1) % n),
+                    tokens_seen: 0,
+                    timeouts: 0,
+                },
+                (i % k as u64) as u32,
+            );
+        }
+        w
+    }
+
+    #[test]
+    fn cross_partition_token_is_delivered_exactly_ttl_plus_one_times() {
+        let mut w = ring(12, 4, 2, 3);
+        w.inject(NodeId(0), Token(25));
+        for _ in 0..60 {
+            w.run_round();
+        }
+        let total: u64 = w.iter().map(|(_, t)| t.tokens_seen).sum();
+        assert_eq!(total, 26);
+        let crossed: u64 = (0..4).map(|i| w.cross_envelopes(i)).sum();
+        assert!(crossed >= 25, "ring hops must cross partitions");
+        assert_eq!(w.metrics().kind("token"), 26);
+    }
+
+    #[test]
+    fn results_are_identical_for_every_thread_count() {
+        let run = |threads: usize| {
+            let mut w = ring(24, 6, threads, 7);
+            w.inject(NodeId(5), Token(200));
+            w.run_rounds(80);
+            let states: Vec<(NodeId, Toy)> =
+                w.iter().map(|(id, t)| (id, t.clone())).collect();
+            let per_part: Vec<Metrics> =
+                (0..6).map(|i| w.partition_metrics(i).clone()).collect();
+            (states, per_part, w.metrics())
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn single_round_stepping_equals_batched_stepping() {
+        let mut a = ring(10, 3, 4, 11);
+        let mut b = ring(10, 3, 4, 11);
+        a.inject(NodeId(0), Token(40));
+        b.inject(NodeId(0), Token(40));
+        for _ in 0..30 {
+            a.run_round();
+        }
+        b.run_rounds(30);
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.round(), b.round());
+    }
+
+    #[test]
+    fn crash_consumes_in_flight_envelopes() {
+        let mut w = ring(6, 3, 2, 13);
+        w.inject(NodeId(0), Token(30));
+        w.run_round();
+        // Node 1 (partition 1) has an envelope in flight; crash it.
+        w.crash(NodeId(1));
+        assert!(!w.is_alive(NodeId(1)));
+        let before = w.len();
+        for _ in 0..20 {
+            w.run_round();
+        }
+        assert_eq!(w.len(), before);
+        // The token died at the crash; nobody past node 0 saw it twice.
+        let total: u64 = w.iter().map(|(_, t)| t.tokens_seen).sum();
+        assert!(total <= 2, "token must stop at the crashed hop");
+        assert!(w.metrics().dropped >= 1);
+    }
+
+    #[test]
+    fn with_node_routes_across_partitions() {
+        let mut w = ring(4, 2, 1, 17);
+        // Node 0 (partition 0) sends to node 1 (partition 1) outside a
+        // round: the envelope must arrive with one round of latency.
+        w.with_node(NodeId(0), |_t, ctx| ctx.send(NodeId(1), Token(0)))
+            .unwrap();
+        assert_eq!(w.in_flight(), 1);
+        w.run_round();
+        assert_eq!(w.node(NodeId(1)).unwrap().tokens_seen, 1);
+    }
+
+    #[test]
+    fn inject_to_unknown_id_counts_like_the_serial_world() {
+        let mut w = ring(4, 2, 1, 19);
+        let before = w.metrics();
+        w.inject(NodeId(99), Token(0));
+        let after = w.metrics();
+        // Serial `World::inject` to a dead id counts the send (and its
+        // kind) before dropping; the partitioned world must agree.
+        assert_eq!(after.dropped, before.dropped + 1);
+        assert_eq!(after.sent_total, before.sent_total + 1);
+        assert_eq!(after.kind("token"), before.kind("token") + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_across_partitions_panics() {
+        let mut w = ring(4, 2, 1, 23);
+        w.add_node(
+            NodeId(0),
+            Toy {
+                next: NodeId(0),
+                tokens_seen: 0,
+                timeouts: 0,
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn iter_merges_partitions_in_id_order() {
+        let w = ring(9, 4, 1, 29);
+        let ids: Vec<u64> = w.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<u64>>());
+        assert_eq!(w.ids().len(), 9);
+        assert_eq!(w.partition_of(NodeId(5)), Some(1));
+    }
+}

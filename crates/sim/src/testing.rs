@@ -1,7 +1,7 @@
 //! Test support: run a protocol handler against a detached [`Ctx`] and
 //! capture its outbound messages, without building a whole [`crate::World`].
 
-use crate::world::{detached_ctx_run, Ctx, NodeId};
+use crate::engine::{detached_ctx_run, Ctx, NodeId};
 
 /// Runs `f` with a context for node `me` backed by a seeded RNG; returns
 /// every `(destination, message)` pair the handler sent.

@@ -2,370 +2,130 @@
 //!
 //! # Engine layout
 //!
-//! Nodes live in a **slab**: a dense `Vec` of slots plus an id → slot
-//! hash map (deterministic FxHash) and a free list. Crashes tombstone
-//! the slot; rejoins reuse free slots. Message delivery, routing, and
-//! timeout firing therefore cost one O(1) map probe + array index
-//! instead of the `BTreeMap` walk the previous engine paid per message.
+//! The stepping core lives in the partition-generic engine
+//! ([`crate::engine`]): nodes live in a **slab** — a dense `Vec` of
+//! slots plus an id → slot hash map (deterministic FxHash) and a free
+//! list. Crashes tombstone the slot; rejoins reuse free slots. Message
+//! delivery, routing, and timeout firing therefore cost one O(1) map
+//! probe + array index instead of the `BTreeMap` walk the original
+//! engine paid per message. A [`World`] is exactly **one partition in
+//! local-only mode** (sends to unknown ids are consumed, §3.3); the
+//! multi-partition executor over the same core is
+//! [`crate::PartitionedWorld`].
 //!
 //! # Zero-allocation invariant
 //!
 //! Steady-state rounds perform **no heap allocation in the engine**:
 //! the activation order, each node's drained inbox, the chaos `kept`
 //! buffer, and every handler outbox are reusable scratch buffers owned
-//! by the [`World`], rotated with `mem::take`/`mem::swap` so their
+//! by the partition, rotated with `mem::take`/`mem::swap` so their
 //! capacities persist across rounds. (Protocol handlers may of course
 //! still allocate in their own state.) The `engine_rounds_do_not_grow`
 //! test and the `sim_engine` benches in `skippub-bench` guard this.
 //!
 //! # Determinism
 //!
-//! All randomness flows through one seeded [`StdRng`]; the slab engine
-//! consumes draws in exactly the order the original `BTreeMap` engine
-//! did (activation shuffle over id-sorted nodes, inbox shuffle, chaos
-//! delivery draws, handler draws), so a seed reproduces byte-identical
-//! [`Metrics`] across engine versions — see
+//! All randomness flows through one seeded [`StdRng`](rand::rngs::StdRng);
+//! the slab engine consumes draws in exactly the order the original
+//! `BTreeMap` engine did (activation shuffle over id-sorted nodes, inbox
+//! shuffle, chaos delivery draws, handler draws), so a seed reproduces
+//! byte-identical [`Metrics`] across engine versions — see
 //! `tests/determinism_fixtures.rs`.
 
-use crate::fx::FxBuildHasher;
+use crate::engine::Partition;
 use crate::Metrics;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
-use std::fmt;
-use std::mem;
-
-/// Unique node identifier (`v.id ∈ N` in the paper). The protocol layer
-/// reserves an ID for the supervisor; the simulator treats all nodes
-/// uniformly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub u64);
-
-impl fmt::Debug for NodeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n{}", self.0)
-    }
-}
-
-impl fmt::Display for NodeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "n{}", self.0)
-    }
-}
-
-/// A protocol state machine driven by the world.
-///
-/// Handlers receive a [`Ctx`] for sending messages and drawing randomness;
-/// they must not block and must not communicate through any other channel
-/// (the paper's model: local variables + messages only).
-pub trait Protocol {
-    /// The wire message type.
-    type Msg: Clone;
-
-    /// Handles one delivered message (the remote action call
-    /// `⟨label⟩(⟨parameters⟩)`).
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, msg: Self::Msg);
-
-    /// The periodic `Timeout` action.
-    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
-
-    /// Classifies a message for metrics (e.g. `"GetConfiguration"`).
-    fn msg_kind(_msg: &Self::Msg) -> &'static str {
-        "msg"
-    }
-}
-
-/// Handler-side context: the only way a node interacts with the world.
-pub struct Ctx<'a, M> {
-    me: NodeId,
-    round: u64,
-    out: &'a mut Vec<(NodeId, M)>,
-    rng: &'a mut StdRng,
-}
-
-impl<M> Ctx<'_, M> {
-    /// The executing node's own ID.
-    #[inline]
-    pub fn me(&self) -> NodeId {
-        self.me
-    }
-
-    /// Current round number (diagnostics only — protocols must not branch
-    /// on global time, but logging it is harmless).
-    #[inline]
-    pub fn round(&self) -> u64 {
-        self.round
-    }
-
-    /// Sends `msg` to `to` (puts it into `to`'s channel).
-    #[inline]
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        self.out.push((to, msg));
-    }
-
-    /// Bernoulli draw from the world's seeded RNG.
-    #[inline]
-    pub fn random_bool(&mut self, p: f64) -> bool {
-        if p <= 0.0 {
-            false
-        } else if p >= 1.0 {
-            true
-        } else {
-            self.rng.random_bool(p)
-        }
-    }
-
-    /// Uniform draw from `0..n` (`n > 0`).
-    #[inline]
-    pub fn random_range(&mut self, n: usize) -> usize {
-        self.rng.random_range(0..n)
-    }
-}
-
-/// Backing for [`crate::testing::run_handler`]: materializes a detached
-/// context (contexts have private fields by design — protocol crates can
-/// only obtain one from a world or from this test hook).
-pub(crate) fn detached_ctx_run<M>(
-    me: NodeId,
-    seed: u64,
-    f: impl FnOnce(&mut Ctx<'_, M>),
-) -> Vec<(NodeId, M)> {
-    let mut out = Vec::new();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut ctx = Ctx {
-        me,
-        round: 0,
-        out: &mut out,
-        rng: &mut rng,
-    };
-    f(&mut ctx);
-    out
-}
-
-/// Chaos-scheduler tuning.
-///
-/// Together these knobs realize the paper's §1.1/§3.3 channel model in
-/// its adversarial form: delivery is reliable but unordered with
-/// unbounded *finite* delay. `delivery_prob` randomizes per-message
-/// delay, `max_age` enforces **fair message receipt** (no message stays
-/// in a channel forever — once its age exceeds the bound it is
-/// force-delivered), and `timeout_prob` realizes the weakly fair
-/// periodic `Timeout` action (over infinitely many rounds every node
-/// fires infinitely often).
-#[derive(Clone, Copy, Debug)]
-pub struct ChaosConfig {
-    /// Probability an in-flight message is delivered this round.
-    pub delivery_prob: f64,
-    /// Probability a node fires its `Timeout` this round.
-    pub timeout_prob: f64,
-    /// Forced delivery after this many rounds in flight (fair receipt).
-    pub max_age: u32,
-}
-
-impl Default for ChaosConfig {
-    fn default() -> Self {
-        ChaosConfig {
-            delivery_prob: 0.5,
-            timeout_prob: 0.5,
-            max_age: 8,
-        }
-    }
-}
-
-/// One live node: its protocol state, in-flight channel, and the
-/// metrics index cached so hot-path accounting never hashes.
-struct Slot<P: Protocol> {
-    id: NodeId,
-    /// Stable per-id metrics index (survives crash + rejoin).
-    midx: u32,
-    proto: P,
-    /// In-flight messages with their age in rounds.
-    channel: Vec<(u32, P::Msg)>,
-}
+pub use crate::engine::{ChaosConfig, Ctx, NodeId, Protocol};
 
 /// The simulated distributed system.
 ///
-/// See the crate docs for the slab layout, the
-/// zero-allocation invariant, and the determinism contract.
+/// See the module docs for the slab layout, the zero-allocation
+/// invariant, and the determinism contract.
 pub struct World<P: Protocol> {
-    /// Dense slot storage; `None` is a tombstone left by a crash.
-    slots: Vec<Option<Slot<P>>>,
-    /// Tombstoned slot indices available for reuse.
-    free: Vec<u32>,
-    /// Live id → slot index (deterministic hashing, O(1) probes).
-    slot_of: HashMap<u64, u32, FxBuildHasher>,
-    /// Live `(id, slot)` pairs sorted by id — the canonical iteration
-    /// order (matches the old `BTreeMap` engine's sorted-key order).
-    order: Vec<(u64, u32)>,
-    rng: StdRng,
-    metrics: Metrics,
-    round: u64,
-    /// Scratch: shuffled activation order (slot indices).
-    scratch_order: Vec<u32>,
-    /// Scratch: the inbox snapshot being drained for one node.
-    scratch_inbox: Vec<(u32, P::Msg)>,
-    /// Scratch: chaos-mode messages kept in flight for one node.
-    scratch_kept: Vec<(u32, P::Msg)>,
-    /// Scratch: the outbox handed to each handler invocation.
-    scratch_out: Vec<(NodeId, P::Msg)>,
+    p: Partition<P>,
 }
 
 impl<P: Protocol> World<P> {
     /// Creates an empty world with a deterministic seed.
     pub fn new(seed: u64) -> Self {
         World {
-            slots: Vec::new(),
-            free: Vec::new(),
-            slot_of: HashMap::default(),
-            order: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
-            metrics: Metrics::default(),
-            round: 0,
-            scratch_order: Vec::new(),
-            scratch_inbox: Vec::new(),
-            scratch_kept: Vec::new(),
-            scratch_out: Vec::new(),
+            p: Partition::new(seed, true),
         }
     }
 
     /// Adds a node. Panics on duplicate IDs (a corrupted *world*, unlike a
     /// corrupted protocol state, is a harness bug).
     pub fn add_node(&mut self, id: NodeId, proto: P) {
-        assert!(
-            !self.slot_of.contains_key(&id.0),
-            "duplicate node {id}"
-        );
-        let midx = self.metrics.intern_node(id);
-        let slot = Slot {
-            id,
-            midx,
-            proto,
-            channel: Vec::new(),
-        };
-        let s = match self.free.pop() {
-            Some(s) => {
-                self.slots[s as usize] = Some(slot);
-                s
-            }
-            None => {
-                self.slots.push(Some(slot));
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.slot_of.insert(id.0, s);
-        let pos = self
-            .order
-            .binary_search_by_key(&id.0, |&(i, _)| i)
-            .unwrap_err();
-        self.order.insert(pos, (id.0, s));
+        self.p.add_node(id, proto);
     }
 
     /// Crashes a node without warning (§3.3): its state vanishes and all
     /// current and future messages to it are consumed without any action.
     pub fn crash(&mut self, id: NodeId) {
-        if let Some(s) = self.slot_of.remove(&id.0) {
-            let slot = self.slots[s as usize].take().expect("live slot");
-            self.metrics.dropped += slot.channel.len() as u64;
-            self.free.push(s);
-            let pos = self
-                .order
-                .binary_search_by_key(&id.0, |&(i, _)| i)
-                .expect("live node is ordered");
-            self.order.remove(pos);
-        }
+        self.p.crash(id);
     }
 
     /// Whether `id` is currently alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.slot_of.contains_key(&id.0)
+        self.p.is_alive(id)
     }
 
     /// IDs of all live nodes, sorted. Allocates — external convenience
     /// only; the round loop uses the internal order scratch.
     pub fn ids(&self) -> Vec<NodeId> {
-        self.order.iter().map(|&(i, _)| NodeId(i)).collect()
+        self.p.ids()
     }
 
     /// Number of live nodes.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.p.len()
     }
 
     /// Whether the world has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
-    }
-
-    #[inline]
-    fn slot(&self, id: NodeId) -> Option<u32> {
-        self.slot_of.get(&id.0).copied()
+        self.p.len() == 0
     }
 
     /// Immutable access to a node's protocol state (checkers, snapshots).
     pub fn node(&self, id: NodeId) -> Option<&P> {
-        let s = self.slot(id)?;
-        self.slots[s as usize].as_ref().map(|slot| &slot.proto)
+        self.p.node(id)
     }
 
     /// Mutable access — used by adversarial initializers to corrupt
     /// protocol variables before a run, and by operations that model local
     /// user input (subscribe/publish calls).
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
-        let s = self.slot(id)?;
-        self.slots[s as usize].as_mut().map(|slot| &mut slot.proto)
+        self.p.node_mut(id)
     }
 
     /// Iterates over `(id, state)` of live nodes in id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &P)> {
-        self.order.iter().map(|&(i, s)| {
-            let slot = self.slots[s as usize].as_ref().expect("live slot");
-            (NodeId(i), &slot.proto)
-        })
+        self.p.iter()
     }
 
     /// Injects a message into `to`'s channel from outside the system
     /// (external requests, or corrupted initial channel content).
     pub fn inject(&mut self, to: NodeId, msg: P::Msg) {
-        self.metrics.note_sent(to, P::msg_kind(&msg));
-        match self.slot(to) {
-            Some(s) => {
-                let slot = self.slots[s as usize].as_mut().expect("live slot");
-                slot.channel.push((0, msg));
-            }
-            None => self.metrics.dropped += 1,
-        }
+        self.p.inject(to, msg);
     }
 
     /// Number of in-flight messages to `id`.
     pub fn channel_len(&self, id: NodeId) -> usize {
-        self.slot(id).map_or(0, |s| {
-            self.slots[s as usize]
-                .as_ref()
-                .map_or(0, |slot| slot.channel.len())
-        })
+        self.p.channel_len(id)
     }
 
     /// Total in-flight messages.
     pub fn in_flight(&self) -> usize {
-        self.order
-            .iter()
-            .map(|&(_, s)| {
-                self.slots[s as usize]
-                    .as_ref()
-                    .map_or(0, |slot| slot.channel.len())
-            })
-            .sum()
+        self.p.in_flight()
     }
 
     /// Cumulative metrics.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.p.metrics()
     }
 
     /// Current round number.
     pub fn round(&self) -> u64 {
-        self.round
+        self.p.round()
     }
 
     /// Lets the harness drive a node as if it acted locally: runs `f` with
@@ -376,122 +136,7 @@ impl<P: Protocol> World<P> {
         id: NodeId,
         f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>) -> R,
     ) -> Option<R> {
-        let s = self.slot(id)?;
-        let mut out = mem::take(&mut self.scratch_out);
-        debug_assert!(out.is_empty());
-        let round = self.round;
-        let slot = self.slots[s as usize].as_mut().expect("live slot");
-        let midx = slot.midx;
-        let mut ctx = Ctx {
-            me: id,
-            round,
-            out: &mut out,
-            rng: &mut self.rng,
-        };
-        let r = f(&mut slot.proto, &mut ctx);
-        self.route_from(midx, &mut out);
-        self.scratch_out = out;
-        Some(r)
-    }
-
-    /// Routes a drained outbox: one O(1) slot probe per message; the
-    /// buffer is left empty for reuse by the caller.
-    fn route_from(&mut self, from_midx: u32, out: &mut Vec<(NodeId, P::Msg)>) {
-        for (to, msg) in out.drain(..) {
-            self.metrics.note_sent_at(from_midx, P::msg_kind(&msg));
-            match self.slot_of.get(&to.0) {
-                Some(&s) => {
-                    let slot = self.slots[s as usize].as_mut().expect("live slot");
-                    slot.channel.push((0, msg));
-                }
-                None => self.metrics.dropped += 1, // crashed / never existed
-            }
-        }
-    }
-
-    /// Delivers one message to the node in slot `s` and routes its sends.
-    fn deliver_slot(&mut self, s: u32, msg: P::Msg) {
-        let mut out = mem::take(&mut self.scratch_out);
-        debug_assert!(out.is_empty());
-        let round = self.round;
-        let from_midx = match self.slots[s as usize].as_mut() {
-            Some(slot) => {
-                self.metrics.note_delivered_at(slot.midx);
-                let mut ctx = Ctx {
-                    me: slot.id,
-                    round,
-                    out: &mut out,
-                    rng: &mut self.rng,
-                };
-                slot.proto.on_message(&mut ctx, msg);
-                slot.midx
-            }
-            None => {
-                self.metrics.dropped += 1;
-                self.scratch_out = out;
-                return;
-            }
-        };
-        self.route_from(from_midx, &mut out);
-        self.scratch_out = out;
-    }
-
-    /// Fires `Timeout` for the node in slot `s` and routes its sends.
-    fn fire_timeout_slot(&mut self, s: u32) {
-        let mut out = mem::take(&mut self.scratch_out);
-        debug_assert!(out.is_empty());
-        let round = self.round;
-        let from_midx = match self.slots[s as usize].as_mut() {
-            Some(slot) => {
-                let mut ctx = Ctx {
-                    me: slot.id,
-                    round,
-                    out: &mut out,
-                    rng: &mut self.rng,
-                };
-                slot.proto.on_timeout(&mut ctx);
-                slot.midx
-            }
-            None => {
-                self.scratch_out = out;
-                return;
-            }
-        };
-        self.route_from(from_midx, &mut out);
-        self.scratch_out = out;
-    }
-
-    /// Takes the shuffled activation order into the caller's buffer.
-    /// Shuffling over id-sorted live nodes keeps the RNG-consumption
-    /// order identical to the old engine's `ids()`-then-shuffle.
-    fn shuffled_order(&mut self) -> Vec<u32> {
-        let mut order = mem::take(&mut self.scratch_order);
-        order.clear();
-        order.extend(self.order.iter().map(|&(_, s)| s));
-        order.shuffle(&mut self.rng);
-        order
-    }
-
-    /// Moves one node's channel snapshot into the inbox scratch.
-    /// `append` (not `swap`) on purpose: the channel keeps its own
-    /// capacity, so each node's buffer converges to its personal
-    /// high-water mark and stays there — swapping would shuffle
-    /// capacities randomly between nodes and re-trigger growth whenever
-    /// a traffic burst lands on a buffer that happened to be small.
-    /// Returns `None` for a tombstoned slot.
-    fn take_inbox(&mut self, s: u32) -> Option<Vec<(u32, P::Msg)>> {
-        let mut inbox = mem::take(&mut self.scratch_inbox);
-        debug_assert!(inbox.is_empty());
-        match self.slots[s as usize].as_mut() {
-            Some(slot) => {
-                inbox.append(&mut slot.channel);
-                Some(inbox)
-            }
-            None => {
-                self.scratch_inbox = inbox;
-                None
-            }
-        }
+        self.p.with_node(id, f)
     }
 
     /// One **synchronous round** — the paper's §3.3 "timeout interval":
@@ -502,21 +147,7 @@ impl<P: Protocol> World<P> {
     ///
     /// Steady-state calls allocate nothing (module-level invariant).
     pub fn run_round(&mut self) {
-        self.round += 1;
-        let order = self.shuffled_order();
-        for &s in &order {
-            let Some(mut inbox) = self.take_inbox(s) else {
-                continue;
-            };
-            inbox.shuffle(&mut self.rng);
-            for (_, msg) in inbox.drain(..) {
-                self.deliver_slot(s, msg);
-            }
-            self.scratch_inbox = inbox;
-            self.fire_timeout_slot(s);
-        }
-        self.scratch_order = order;
-        self.metrics.rounds += 1;
+        self.p.run_round();
     }
 
     /// One **chaos round**: every node, in random order, delivers a
@@ -529,39 +160,7 @@ impl<P: Protocol> World<P> {
     ///
     /// Steady-state calls allocate nothing (module-level invariant).
     pub fn run_chaos_round(&mut self, cfg: ChaosConfig) {
-        self.round += 1;
-        let order = self.shuffled_order();
-        for &s in &order {
-            let Some(mut inbox) = self.take_inbox(s) else {
-                continue;
-            };
-            inbox.shuffle(&mut self.rng);
-            let mut kept = mem::take(&mut self.scratch_kept);
-            debug_assert!(kept.is_empty());
-            for (age, msg) in inbox.drain(..) {
-                let force = age >= cfg.max_age;
-                if force || self.rng.random_bool(cfg.delivery_prob) {
-                    self.deliver_slot(s, msg);
-                } else {
-                    kept.push((age + 1, msg));
-                }
-            }
-            // Keep undelivered messages (new sends may have arrived).
-            match self.slots[s as usize].as_mut() {
-                Some(slot) => slot.channel.append(&mut kept),
-                None => {
-                    self.metrics.dropped += kept.len() as u64;
-                    kept.clear();
-                }
-            }
-            self.scratch_kept = kept;
-            self.scratch_inbox = inbox;
-            if self.rng.random_bool(cfg.timeout_prob) {
-                self.fire_timeout_slot(s);
-            }
-        }
-        self.scratch_order = order;
-        self.metrics.rounds += 1;
+        self.p.run_chaos_round(cfg);
     }
 
     /// Runs synchronous rounds until `pred(self)` holds or `max_rounds`
@@ -602,12 +201,7 @@ impl<P: Protocol> World<P> {
     /// invariant: steady-state rounds must not grow these.
     #[doc(hidden)]
     pub fn scratch_capacities(&self) -> (usize, usize, usize, usize) {
-        (
-            self.scratch_order.capacity(),
-            self.scratch_inbox.capacity(),
-            self.scratch_kept.capacity(),
-            self.scratch_out.capacity(),
-        )
+        self.p.scratch_capacities()
     }
 }
 
@@ -839,5 +433,23 @@ mod tests {
             w.run_round();
         }
         assert_eq!(w.scratch_capacities(), warmed);
+    }
+
+    #[test]
+    fn nested_ctx_shares_identity_and_rng() {
+        // `Ctx::nest` is the adapter hook (§4 multi-topic re-tagging):
+        // the inner context must report the same node id and feed sends
+        // into the caller's buffer, without constructing a fresh RNG.
+        let mut w = ring_world(2, 11);
+        let mut inner_sends: Vec<(NodeId, u8)> = Vec::new();
+        w.with_node(NodeId(0), |_t, ctx| {
+            ctx.nest(&mut inner_sends, |ictx| {
+                assert_eq!(ictx.me(), NodeId(0));
+                let _ = ictx.random_bool(0.5);
+                ictx.send(NodeId(1), 42u8);
+            });
+        })
+        .unwrap();
+        assert_eq!(inner_sends, vec![(NodeId(1), 42u8)]);
     }
 }

@@ -184,6 +184,177 @@ fn recorded_trace_replays_to_identical_json_report() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Parallel-executor conformance: the sharded backend is partitioned and
+// stepped by worker threads; the worker count must never change results.
+// ---------------------------------------------------------------------
+
+/// Canonical digest of a per-topic checker snapshot: the supervisor's
+/// full database (label → node) plus every member's label and believed
+/// ring neighbours. Byte-identical digests mean byte-identical final
+/// topology state, not merely an equivalent one.
+fn snapshot_digest(snap: &skippub_sim::World<skippub_core::Actor>) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for (id, actor) in snap.iter() {
+        if let Some(sup) = actor.supervisor() {
+            let _ = write!(text, "S{}:n={};", id.0, sup.n());
+            for (label, node) in &sup.database {
+                let _ = write!(text, "{label:?}->{node:?};");
+            }
+        } else if let Some(sub) = actor.subscriber() {
+            let _ = write!(
+                text,
+                "C{}:{:?},{:?},{:?};",
+                id.0,
+                sub.label,
+                sub.left.as_ref().map(|r| r.id),
+                sub.right.as_ref().map(|r| r.id)
+            );
+        }
+    }
+    format!(
+        "{:032x}",
+        skippub_bits::Hash128::of_bytes(text.as_bytes()).0
+    )
+}
+
+/// A crash storm riding on continuous churn, 12 topics over 8 shards —
+/// the workload from the issue's determinism checklist.
+fn parallel_determinism_spec() -> scenario::ScenarioSpec {
+    use skippub_harness::scenario::{Burst, BurstKind, ScenarioSpec, Stop};
+    ScenarioSpec::new("parallel-determinism", 0x9A7A11E1)
+        .topics(12)
+        .shards(8)
+        .population(24)
+        .publishers(6)
+        .publish_prob(0.25)
+        .arrivals_per_round(0.5)
+        .departures_per_round(0.4)
+        .rounds(16)
+        .burst(Burst {
+            at: 5,
+            count: 4,
+            kind: BurstKind::Crash {
+                detect_after: Some(3),
+            },
+        })
+        .stop(Stop::UntilLegit { max_extra: 8_000 })
+        .settle(3_000)
+}
+
+/// The crash-storm + churn spec runs on the sharded backend under 1, 2,
+/// 4, and 8 worker threads: delivered sets, the full report fingerprint,
+/// per-partition stats, and every topic's final checker-snapshot digest
+/// must be **byte-identical** across thread counts — and the delivered
+/// sets must equal the serial (multi-topic, single-world) backend's.
+#[test]
+fn sharded_runs_are_byte_identical_across_thread_counts() {
+    let base = parallel_determinism_spec();
+    // Serial reference: the unpartitioned multi-topic backend.
+    let serial = scenario::run_spec(&base, BackendKind::MultiTopic).expect("supported");
+    assert!(serial.report.ok(), "{}", serial.report.to_json());
+
+    let mut reference: Option<(scenario::ScenarioOutcome, Vec<String>)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let spec = base.clone().threads(threads);
+        let mut ps = scenario::builder_for(&spec).build_sharded();
+        let out = scenario::run_on(&mut ps, &spec, 1);
+        assert!(
+            out.report.ok(),
+            "threads={threads}: {}",
+            out.report.to_json()
+        );
+        let digests: Vec<String> = (0..spec.topics)
+            .map(|t| snapshot_digest(&ps.snapshot(TopicId(t))))
+            .collect();
+        // Identical to the serial backend: same delivered publications.
+        assert_eq!(
+            out.delivered, serial.delivered,
+            "threads={threads}: sharded delivered sets diverge from the serial backend"
+        );
+        match &reference {
+            None => reference = Some((out, digests)),
+            Some((ref_out, ref_digests)) => {
+                assert_eq!(
+                    out.report.delivered_fingerprint, ref_out.report.delivered_fingerprint,
+                    "threads={threads}: delivered fingerprint diverges"
+                );
+                assert_eq!(
+                    out.delivered, ref_out.delivered,
+                    "threads={threads}: delivered sets diverge"
+                );
+                assert_eq!(
+                    out.report.stats, ref_out.report.stats,
+                    "threads={threads}: traffic stats (incl. per-partition) diverge"
+                );
+                assert_eq!(
+                    &digests, ref_digests,
+                    "threads={threads}: final checker snapshots diverge"
+                );
+            }
+        }
+    }
+    let (ref_out, _) = reference.expect("at least one thread count ran");
+    assert_eq!(
+        ref_out.report.stats.per_partition.len(),
+        8,
+        "the report must expose one stats entry per shard partition"
+    );
+}
+
+/// Clients subscribed to topics on *different* shards force real
+/// cross-partition envelope traffic; the delivered sets and stats must
+/// still be byte-identical for every worker count, and the per-partition
+/// stats must show the envelopes flowing.
+#[test]
+fn multi_shard_clients_exercise_cross_partition_envelopes() {
+    let run = |threads: usize| {
+        let mut ps = SystemBuilder::new(0xC405)
+            .topics(8)
+            .shards(4)
+            .threads(threads)
+            .build_sharded();
+        let t0 = TopicId(0);
+        let other = (1..8)
+            .map(TopicId)
+            .find(|t| ps.supervisor_for(*t) != ps.supervisor_for(t0))
+            .expect("consistent hashing spreads 8 topics over >1 shard");
+        let ids: Vec<NodeId> = (0..6).map(|_| ps.subscribe(t0)).collect();
+        // Half the clients straddle a second topic on a foreign shard:
+        // their BuildSR instance for it runs against a supervisor in
+        // another partition, entirely over envelopes.
+        for &id in &ids[..3] {
+            ps.join(id, other);
+        }
+        assert!(ps.until_legit(10_000).1, "threads={threads}: stabilize");
+        ps.publish(ids[0], other, b"cross-shard story".to_vec())
+            .expect("straddling author");
+        assert!(ps.until_pubs_converged(6_000).1, "threads={threads}: converge");
+        let delivered: Vec<Vec<skippub_core::Delivery>> =
+            ids.iter().map(|&id| ps.drain_events(id)).collect();
+        for (i, events) in delivered.iter().enumerate() {
+            let expect = if i < 3 { 1 } else { 0 };
+            assert_eq!(
+                events.len(),
+                expect,
+                "threads={threads}: only straddling members see the story"
+            );
+        }
+        let stats = ps.stats();
+        let crossed: u64 = stats.per_partition.iter().map(|p| p.cross_envelopes).sum();
+        assert!(
+            crossed > 0,
+            "threads={threads}: foreign-shard membership must flow through envelopes"
+        );
+        (delivered, stats)
+    };
+    let reference = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), reference, "threads={threads} diverged");
+    }
+}
+
 #[test]
 fn threaded_backend_delivers_the_same_set() {
     // Reference run on the deterministic simulator.

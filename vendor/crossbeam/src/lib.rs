@@ -1,12 +1,37 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Only the `channel` module is provided, backed by
-//! `std::sync::mpsc::sync_channel`. The workspace uses channels in the
-//! MPSC shape (many producers, one consumer thread), which std covers;
-//! crossbeam's MPMC capability is not needed.
+//! Two modules are provided:
+//!
+//! * `channel`, backed by `std::sync::mpsc::sync_channel`. The
+//!   workspace uses channels in the MPSC shape (many producers, one
+//!   consumer thread), which std covers; crossbeam's MPMC capability is
+//!   not needed.
+//! * `thread`, backed by `std::thread::scope`. The workspace uses
+//!   scoped workers in the fork-join shape (spawn over disjoint `&mut`
+//!   chunks, join at the end of the scope), which std's scoped threads
+//!   cover; only the closure signature differs from upstream (see the
+//!   module docs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Scoped threads with crossbeam's entry-point shape.
+///
+/// Upstream's `crossbeam::thread::scope(|s| …)` returns a
+/// `thread::Result` and hands each `spawn` closure a scope reference;
+/// this stand-in delegates to `std::thread::scope`, whose `spawn`
+/// closures take no argument and whose panics propagate on join. The
+/// `Result` wrapper is kept so call sites read like upstream
+/// (`scope(|s| …).unwrap()`).
+pub mod thread {
+    /// Spawns a fork-join scope; borrowed data outlives every worker.
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
 
 /// Bounded channels with crossbeam's names.
 pub mod channel {
@@ -44,5 +69,21 @@ mod tests {
             Err(RecvTimeoutError::Timeout) => {}
             other => panic!("expected Timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scope_joins_workers_over_disjoint_chunks() {
+        let mut data = [0u64; 8];
+        super::thread::scope(|s| {
+            for chunk in data.chunks_mut(3) {
+                s.spawn(move || {
+                    for x in chunk.iter_mut() {
+                        *x += 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, [1; 8]);
     }
 }

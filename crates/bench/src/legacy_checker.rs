@@ -1,0 +1,269 @@
+//! The **pre-incremental-checking** polling predicates, preserved
+//! verbatim as a measured baseline (the same role `legacy` plays for
+//! the simulation engine): per poll, `is_legitimate` re-judges every
+//! topic by scanning every node in the world once per topic through
+//! the diagnostic `check_topology_parts` of the time — per-call
+//! `BTreeMap`s, `Vec`s, `String`-capable report, O(ring²) linear
+//! shortcut resolution — and `publications_converged` rebuilds a global
+//! `BTreeSet` union of all publication keys (cloning every key of every
+//! subscriber) per topic.
+//!
+//! `bench_checker_json` and the `checker` criterion group time these
+//! against the live incremental layer on the same backend state. Do not
+//! "fix" this module: its value is being the old algorithm, bit for
+//! bit (only the `pub(crate)` items were inlined so it compiles outside
+//! `skippub-core`).
+
+use skippub_core::topics::{MultiActor, TopicId};
+use skippub_core::{NodeRef, Subscriber, Supervisor};
+use skippub_ringmath::{shortcut, Label};
+use skippub_sim::{NodeId, NodeView};
+use std::collections::BTreeMap;
+
+/// Outcome of a legitimacy check (pre-PR shape).
+#[derive(Clone, Debug, Default)]
+pub struct LegitReport {
+    /// Human-readable violations (empty ⇔ legitimate).
+    pub issues: Vec<String>,
+}
+
+impl LegitReport {
+    /// Whether the snapshot is legitimate.
+    pub fn ok(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    fn note(&mut self, msg: String) {
+        if self.issues.len() < 64 {
+            self.issues.push(msg);
+        }
+    }
+}
+
+/// Expected edges for one subscriber, derived from the database ring.
+struct Expect {
+    left: Option<NodeRef>,
+    right: Option<NodeRef>,
+    ring: Option<NodeRef>,
+}
+
+fn expected_edges(sorted: &[(Label, NodeId)], i: usize) -> Expect {
+    let n = sorted.len();
+    if n == 1 {
+        return Expect {
+            left: None,
+            right: None,
+            ring: None,
+        };
+    }
+    let r = |j: usize| NodeRef::new(sorted[j].0, sorted[j].1);
+    if i == 0 {
+        Expect {
+            left: None,
+            right: Some(r(1)),
+            ring: Some(r(n - 1)),
+        }
+    } else if i == n - 1 {
+        Expect {
+            left: Some(r(n - 2)),
+            right: None,
+            ring: Some(r(0)),
+        }
+    } else {
+        Expect {
+            left: Some(r(i - 1)),
+            right: Some(r(i + 1)),
+            ring: None,
+        }
+    }
+}
+
+fn check_edge(
+    report: &mut LegitReport,
+    who: NodeId,
+    name: &str,
+    got: Option<NodeRef>,
+    want: Option<NodeRef>,
+) {
+    match (got, want) {
+        (None, None) => {}
+        (Some(g), Some(w)) if g == w => {}
+        (g, w) => report.note(format!("{who}: {name} is {g:?}, expected {w:?}")),
+    }
+}
+
+/// Pre-PR `check_topology_parts`, verbatim.
+pub fn check_topology_parts<'a>(
+    sup: &Supervisor,
+    members: impl IntoIterator<Item = (NodeId, &'a Subscriber)>,
+) -> LegitReport {
+    let mut report = LegitReport::default();
+
+    // --- database validity (Lemma 9) ---
+    let mut db: Vec<(Label, NodeId)> = Vec::with_capacity(sup.database.len());
+    for (l, v) in &sup.database {
+        match v {
+            None => report.note(format!("database has (label {l}, ⊥)")),
+            Some(node) => db.push((*l, *node)),
+        }
+    }
+    let n = db.len() as u64;
+    for (l, _) in &db {
+        match l.index() {
+            Some(i) if i < n => {}
+            _ => report.note(format!("database label {l} is outside l(0..{n})")),
+        }
+    }
+    {
+        let mut nodes: Vec<NodeId> = db.iter().map(|(_, v)| *v).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        if nodes.len() as u64 != n {
+            report.note("database maps several labels to one subscriber".into());
+        }
+    }
+    // --- membership agreement (Lemma 10) ---
+    let members: BTreeMap<NodeId, &Subscriber> = members.into_iter().collect();
+    for (_, v) in &db {
+        match members.get(v) {
+            None => report.note(format!("database references dead/unknown node {v}")),
+            Some(s) if !s.wants_membership => {
+                report.note(format!("database still holds unsubscribing node {v}"))
+            }
+            Some(_) => {}
+        }
+    }
+    for (id, s) in &members {
+        if s.wants_membership && !db.iter().any(|(_, v)| v == id) {
+            report.note(format!("live subscriber {id} missing from database"));
+        }
+        if !s.wants_membership && s.label.is_some() {
+            report.note(format!("departed subscriber {id} still labelled"));
+        }
+    }
+    if !report.ok() {
+        return report; // edge checks below assume a sane database
+    }
+
+    // --- per-subscriber state (Lemmas 11–12) ---
+    for (i, (label, v)) in db.iter().enumerate() {
+        let Some(s) = members.get(v) else { continue };
+        if s.label != Some(*label) {
+            report.note(format!(
+                "{v}: label is {:?}, database says {label}",
+                s.label
+            ));
+            continue;
+        }
+        let want = expected_edges(&db, i);
+        check_edge(&mut report, *v, "left", s.left, want.left);
+        check_edge(&mut report, *v, "right", s.right, want.right);
+        check_edge(&mut report, *v, "ring", s.ring, want.ring);
+        if s.cfg.shortcuts {
+            let eff_left = s.eff_left();
+            let eff_right = s.eff_right();
+            if let (Some(el), Some(er)) = (eff_left, eff_right) {
+                let expected = shortcut::expected_shortcuts(*label, el.label, er.label);
+                let want_map: BTreeMap<Label, NodeId> = expected
+                    .iter()
+                    .filter_map(|t| {
+                        db.iter()
+                            .find(|(l, _)| *l == t.label)
+                            .map(|(_, id)| (t.label, *id))
+                    })
+                    .collect();
+                if want_map.len() != expected.len() {
+                    report.note(format!(
+                        "{v}: some expected shortcut labels missing from db"
+                    ));
+                }
+                let got: BTreeMap<Label, Option<NodeId>> = s.shortcuts.clone();
+                for (l, want_id) in &want_map {
+                    match got.get(l) {
+                        Some(Some(id)) if id == want_id => {}
+                        other => report.note(format!(
+                            "{v}: shortcut {l} is {other:?}, expected {want_id}"
+                        )),
+                    }
+                }
+                for l in got.keys() {
+                    if !want_map.contains_key(l) {
+                        report.note(format!("{v}: unexpected shortcut slot {l}"));
+                    }
+                }
+            } else if db.len() > 1 {
+                report.note(format!("{v}: missing effective ring neighbours"));
+            }
+        }
+    }
+    report
+}
+
+/// Pre-PR `publications_converged_of`, verbatim: global key-set union
+/// with a clone of every key of every membership-wanting subscriber.
+pub fn publications_converged_of<'a>(
+    subs: impl IntoIterator<Item = &'a Subscriber>,
+) -> (bool, usize) {
+    let tries: Vec<&Subscriber> = subs
+        .into_iter()
+        .filter(|s| s.wants_membership)
+        .collect();
+    let mut union: std::collections::BTreeSet<skippub_bits::BitStr> =
+        std::collections::BTreeSet::new();
+    for s in &tries {
+        for k in s.trie.keys() {
+            union.insert(k);
+        }
+    }
+    let ok = tries.iter().all(|s| s.trie.len() == union.len());
+    let hashes: Vec<_> = tries.iter().map(|s| s.trie.root_hash()).collect();
+    let ok = ok && hashes.windows(2).all(|w| w[0] == w[1]);
+    (ok, union.len())
+}
+
+/// Pre-PR per-topic topology verdict: one whole-world scan per topic.
+pub fn topic_is_legit<V: NodeView<MultiActor>>(
+    world: &V,
+    sup_id: NodeId,
+    topic: TopicId,
+) -> bool {
+    let members = world
+        .nodes()
+        .filter_map(|(id, a)| a.topic_subscriber(topic).map(|s| (id, s)));
+    match world.peek(sup_id).and_then(|a| a.topic_supervisor(topic)) {
+        Some(sup) => check_topology_parts(sup, members).ok(),
+        None => {
+            let empty = Supervisor::new(sup_id);
+            check_topology_parts(&empty, members).ok()
+        }
+    }
+}
+
+/// Pre-PR whole-system legitimacy: every topic, each a full world scan.
+pub fn is_legitimate<V: NodeView<MultiActor>>(
+    world: &V,
+    topics: u32,
+    sup_for: impl Fn(TopicId) -> NodeId,
+) -> bool {
+    (0..topics).all(|t| {
+        let t = TopicId(t);
+        topic_is_legit(world, sup_for(t), t)
+    })
+}
+
+/// Pre-PR whole-system publication convergence: per topic, a full world
+/// scan plus the global key-union.
+pub fn publications_converged<V: NodeView<MultiActor>>(world: &V, topics: u32) -> (bool, usize) {
+    let mut all_ok = true;
+    let mut total = 0;
+    for t in 0..topics {
+        let (ok, n) = publications_converged_of(
+            world
+                .nodes()
+                .filter_map(|(_, a)| a.topic_subscriber(TopicId(t))),
+        );
+        all_ok &= ok;
+        total += n;
+    }
+    (all_ok, total)
+}

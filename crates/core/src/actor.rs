@@ -101,17 +101,52 @@ pub(crate) fn dispatch_subscriber(sub: &mut Subscriber, ctx: &mut Ctx<'_, Msg>, 
 impl Protocol for Actor {
     type Msg = Msg;
 
+    // Every dispatch is wrapped in state-change detection feeding the
+    // single topic's dirty channels (keys `topo_key(0)` / `pubs_key(0)`)
+    // so the incremental checker re-judges only after an actual change —
+    // see `crate::dirty` for why detection is state-driven, not
+    // message-kind-driven.
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
         match self {
-            Actor::Supervisor(sup) => dispatch_supervisor(sup, ctx, msg),
-            Actor::Subscriber(sub) => dispatch_subscriber(sub, ctx, msg),
+            Actor::Supervisor(sup) => {
+                let epoch = sup.db_epoch;
+                dispatch_supervisor(sup, ctx, msg);
+                if sup.db_epoch != epoch {
+                    ctx.mark_dirty(crate::dirty::topo_key(0));
+                }
+            }
+            Actor::Subscriber(sub) => {
+                let (topo, pubs) =
+                    crate::dirty::subscriber_delta(sub, |sub| dispatch_subscriber(sub, ctx, msg));
+                if topo {
+                    ctx.mark_dirty(crate::dirty::topo_key(0));
+                }
+                if pubs {
+                    ctx.mark_dirty(crate::dirty::pubs_key(0));
+                }
+            }
         }
     }
 
     fn on_timeout(&mut self, ctx: &mut Ctx<'_, Msg>) {
         match self {
-            Actor::Supervisor(sup) => sup.timeout(ctx),
-            Actor::Subscriber(sub) => sub.timeout(ctx),
+            Actor::Supervisor(sup) => {
+                let epoch = sup.db_epoch;
+                sup.timeout(ctx);
+                if sup.db_epoch != epoch {
+                    ctx.mark_dirty(crate::dirty::topo_key(0));
+                }
+            }
+            Actor::Subscriber(sub) => {
+                let (topo, pubs) = crate::dirty::subscriber_delta(sub, |sub| sub.timeout(ctx));
+                if topo {
+                    ctx.mark_dirty(crate::dirty::topo_key(0));
+                }
+                if pubs {
+                    ctx.mark_dirty(crate::dirty::pubs_key(0));
+                }
+            }
         }
     }
 

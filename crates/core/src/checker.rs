@@ -21,6 +21,7 @@ use crate::actor::Actor;
 use crate::msg::{Msg, NodeRef};
 use crate::subscriber::Subscriber;
 use crate::supervisor::Supervisor;
+use skippub_bits::Hash128;
 use skippub_ringmath::{shortcut, Label};
 use skippub_sim::{NodeId, Protocol, World};
 use std::collections::BTreeMap;
@@ -183,7 +184,17 @@ pub fn check_topology_parts<'a>(
     // --- per-subscriber state (Lemmas 11–12) ---
     // db is sorted by label (BTreeMap order = ring order).
     for (i, (label, v)) in db.iter().enumerate() {
-        let Some(s) = members.get(v) else { continue };
+        let Some(s) = members.get(v) else {
+            // Unreachable after the membership section returned above on
+            // any db entry without a live member — but the old code
+            // `continue`d here *silently*, which would have judged a
+            // db-references-dead-node world by its remaining members had
+            // the early return ever been relaxed. Note it defensively so
+            // the diagnostic and fast boolean paths can never disagree
+            // on this edge (regression-tested).
+            report.note(format!("database references dead/unknown node {v}"));
+            continue;
+        };
         if s.label != Some(*label) {
             report.note(format!(
                 "{v}: label is {:?}, database says {label}",
@@ -241,6 +252,144 @@ pub fn is_legitimate(world: &World<Actor>) -> bool {
     check_topology(world).ok()
 }
 
+/// Reusable buffers for the fast boolean checker: with a warm scratch,
+/// [`fast_check_parts`] performs **zero heap allocations** per call —
+/// the property the steady-state polling loop's counting-allocator test
+/// pins.
+#[derive(Clone, Debug, Default)]
+pub struct CheckScratch {
+    /// The database flattened in label (= ring) order.
+    db: Vec<(Label, NodeId)>,
+    /// `(node id, index into db)` sorted by id, for O(log n) membership
+    /// lookups.
+    by_id: Vec<(u64, u32)>,
+    /// Shortcut-derivation buffer.
+    expected: Vec<shortcut::ShortcutTarget>,
+}
+
+/// Boolean twin of [`check_topology_parts`]: same verdict on every
+/// input (`fast_check_parts(sup, m, s) == check_topology_parts(sup, m).ok()`,
+/// property-tested on randomly corrupted worlds), but built for the
+/// polling hot path — no `String` formatting, no per-call `BTreeMap`s or
+/// clones, and shortcut targets resolved by **binary search on the
+/// label-sorted database slice** (O(log ring)) instead of a linear scan.
+///
+/// `members` must yield each live subscriber of the topic exactly once,
+/// in ascending id order (both world shapes iterate that way).
+pub fn fast_check_parts<'a>(
+    sup: &Supervisor,
+    members: impl IntoIterator<Item = (NodeId, &'a Subscriber)>,
+    scratch: &mut CheckScratch,
+) -> bool {
+    let CheckScratch { db, by_id, expected } = scratch;
+    db.clear();
+    by_id.clear();
+
+    // --- database validity (Lemma 9) ---
+    for (l, v) in &sup.database {
+        match v {
+            None => return false, // (label, ⊥)
+            Some(node) => db.push((*l, *node)),
+        }
+    }
+    let n = db.len() as u64;
+    for (l, _) in db.iter() {
+        // Distinct labels with a valid index < n are exactly {l(0..n)}.
+        match l.index() {
+            Some(i) if i < n => {}
+            _ => return false,
+        }
+    }
+    by_id.extend(db.iter().enumerate().map(|(i, (_, v))| (v.0, i as u32)));
+    by_id.sort_unstable_by_key(|&(id, _)| id);
+    if by_id.windows(2).any(|w| w[0].0 == w[1].0) {
+        return false; // several labels map to one subscriber
+    }
+
+    // --- one pass over the members: Lemma 10 membership agreement
+    // interleaved with the per-subscriber Lemma 11–12 checks ---
+    let mut matched = 0u64;
+    for (id, s) in members {
+        let pos = by_id
+            .binary_search_by_key(&id.0, |&(i, _)| i)
+            .ok()
+            .map(|k| by_id[k].1 as usize);
+        match (s.wants_membership, pos) {
+            // Live, membership-wanting subscriber missing from the db.
+            (true, None) => return false,
+            // The db still holds an unsubscribing node.
+            (false, Some(_)) => return false,
+            // Departed subscriber must have dropped its label.
+            (false, None) => {
+                if s.label.is_some() {
+                    return false;
+                }
+            }
+            (true, Some(i)) => {
+                matched += 1;
+                let (label, _) = db[i];
+                if s.label != Some(label) {
+                    return false;
+                }
+                let want = expected_edges(db, i);
+                if s.left != want.left || s.right != want.right || s.ring != want.ring {
+                    return false;
+                }
+                if s.cfg.shortcuts {
+                    match (s.eff_left(), s.eff_right()) {
+                        (Some(el), Some(er)) => {
+                            shortcut::expected_shortcuts_into(label, el.label, er.label, expected);
+                            for t in expected.iter() {
+                                // O(log ring) resolution on the sorted db.
+                                let Ok(j) = db.binary_search_by_key(&t.label, |&(l, _)| l) else {
+                                    return false; // expected label missing from db
+                                };
+                                match s.shortcuts.get(&t.label) {
+                                    Some(Some(holder)) if *holder == db[j].1 => {}
+                                    _ => return false,
+                                }
+                            }
+                            // Expected labels are distinct (level is a
+                            // function of the label lengths), so equal
+                            // cardinality ⇒ no unexpected slots.
+                            if s.shortcuts.len() != expected.len() {
+                                return false;
+                            }
+                        }
+                        _ if db.len() > 1 => return false, // missing effective neighbours
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    // Every db entry must have been claimed by a live wanting member
+    // (values are distinct, so `matched` counts distinct entries).
+    matched == n
+}
+
+/// Boolean twin of [`check_topology`] over a whole single-topic world —
+/// the supervisor-count gate plus [`fast_check_parts`]. Allocation-free
+/// with a warm scratch.
+pub fn fast_check_topology(world: &World<Actor>, scratch: &mut CheckScratch) -> bool {
+    let mut sup = None;
+    for (_, a) in world.iter() {
+        if let Some(s) = a.supervisor() {
+            if sup.replace(s).is_some() {
+                return false; // more than one supervisor
+            }
+        }
+    }
+    let Some(sup) = sup else {
+        return false; // no supervisor at all
+    };
+    fast_check_parts(
+        sup,
+        world.iter().filter_map(|(id, a)| a.subscriber().map(|s| (id, s))),
+        scratch,
+    )
+}
+
 /// Publication convergence (Theorem 17): every membership-wanting
 /// subscriber stores the same key set, which is the union of all stored
 /// key sets. Returns `(converged, union_size)`.
@@ -257,10 +406,10 @@ pub fn publications_converged_of<'a>(
         .into_iter()
         .filter(|s| s.wants_membership)
         .collect();
-    let mut union: std::collections::BTreeSet<skippub_bits::BitStr> =
+    let mut union: std::collections::BTreeSet<&skippub_bits::BitStr> =
         std::collections::BTreeSet::new();
     for s in &tries {
-        for k in s.trie.keys() {
+        for k in s.trie.iter_keys() {
             union.insert(k);
         }
     }
@@ -268,6 +417,40 @@ pub fn publications_converged_of<'a>(
     let hashes: Vec<_> = tries.iter().map(|s| s.trie.root_hash()).collect();
     let ok = ok && hashes.windows(2).all(|w| w[0] == w[1]);
     (ok, union.len())
+}
+
+/// Root-hash fast path for Theorem 17: two tries hold the same key set
+/// **iff** their Merkle root hashes agree (pinned by the trie crate's
+/// `root_hash_equality_iff_same_keys` test), so when every
+/// membership-wanting subscriber reports the same root hash the stores
+/// are converged and the union size can be read off any one trie — O(1)
+/// per subscriber, no key-set union, no allocation. Only when hashes
+/// *disagree* (a transient, pre-convergence state) does it fall back to
+/// the exact union of [`publications_converged_of`], so the returned
+/// pair is identical to the from-scratch computation on every input.
+///
+/// `subs` is a closure because the fallback needs a second pass.
+pub fn pubs_converged_fast<'a, I, F>(subs: F) -> (bool, usize)
+where
+    F: Fn() -> I,
+    I: IntoIterator<Item = &'a Subscriber>,
+{
+    let mut first: Option<(Option<Hash128>, usize)> = None;
+    for s in subs() {
+        if !s.wants_membership {
+            continue;
+        }
+        let h = s.trie.root_hash();
+        match first {
+            None => first = Some((h, s.trie.len())),
+            Some((f, _)) if f == h => {}
+            Some(_) => return publications_converged_of(subs()),
+        }
+    }
+    match first {
+        Some((_, len)) => (true, len),
+        None => (true, 0),
+    }
 }
 
 /// Snapshot of message-kind counters for closure experiments: in a
@@ -368,5 +551,125 @@ mod tests {
         let (ok, n) = publications_converged(&world);
         assert!(ok);
         assert_eq!(n, 0);
+    }
+
+    /// The boolean fast path must agree with the diagnostic path on
+    /// every corruption the diagnostic unit tests above exercise (the
+    /// broad randomized agreement proptest lives in
+    /// `tests/checker_equiv.rs`).
+    #[test]
+    fn fast_check_agrees_with_diagnostic_on_unit_corruptions() {
+        let mut scratch = CheckScratch::default();
+        let agree = |world: &World<Actor>, scratch: &mut CheckScratch| {
+            let full = check_topology(world).ok();
+            let fast = fast_check_topology(world, scratch);
+            assert_eq!(fast, full, "paths disagree: {:?}", check_topology(world).issues);
+            full
+        };
+        for n in [1usize, 2, 4, 8, 33] {
+            let world = scenarios::legit_world(n, 7, ProtocolConfig::default());
+            assert!(agree(&world, &mut scratch), "n={n} must be legitimate");
+        }
+        let mut world = scenarios::legit_world(8, 7, ProtocolConfig::default());
+        let ids = scenarios::subscriber_ids(&world);
+        // Wrong label.
+        world.node_mut(ids[0]).unwrap().subscriber_mut().unwrap().label =
+            Some("111111".parse().unwrap());
+        assert!(!agree(&world, &mut scratch));
+        // Dropped edge.
+        let mut world = scenarios::legit_world(8, 7, ProtocolConfig::default());
+        world.node_mut(ids[2]).unwrap().subscriber_mut().unwrap().right = None;
+        assert!(!agree(&world, &mut scratch));
+        // Corrupt database value.
+        let mut world = scenarios::legit_world(8, 7, ProtocolConfig::default());
+        let sup_id = scenarios::supervisor_id(&world);
+        let sup = world.node_mut(sup_id).unwrap().supervisor_mut().unwrap();
+        let l: Label = "0101".parse().unwrap();
+        sup.database.insert(l, None);
+        assert!(!agree(&world, &mut scratch));
+        // Poisoned shortcut slot.
+        let mut world = scenarios::legit_world(8, 7, ProtocolConfig::default());
+        for id in scenarios::subscriber_ids(&world) {
+            let s = world.node_mut(id).unwrap().subscriber_mut().unwrap();
+            if let Some(k) = s.shortcuts.keys().next().copied() {
+                s.shortcuts.insert(k, None);
+                break;
+            }
+        }
+        assert!(!agree(&world, &mut scratch));
+        // Crashed supervisor: zero supervisors in the snapshot.
+        let mut world = scenarios::legit_world(4, 7, ProtocolConfig::default());
+        world.crash(scenarios::supervisor_id(&world));
+        assert!(!agree(&world, &mut scratch));
+    }
+
+    /// Regression for the latent asymmetry: a database entry whose node
+    /// is not among the members must fail on *both* paths, and the
+    /// diagnostic must say so.
+    #[test]
+    fn db_referencing_dead_node_fails_on_both_paths() {
+        let world = scenarios::legit_world(5, 11, ProtocolConfig::default());
+        let sup_id = scenarios::supervisor_id(&world);
+        let sup = world.node(sup_id).unwrap().supervisor().unwrap();
+        let ids = scenarios::subscriber_ids(&world);
+        let dead = ids[2];
+        // Present the checker with a member set missing one db-referenced
+        // node — exactly what a crashed-but-not-yet-evicted world shows.
+        let members = || {
+            world
+                .iter()
+                .filter_map(|(id, a)| a.subscriber().map(|s| (id, s)))
+                .filter(|(id, _)| *id != dead)
+        };
+        let report = check_topology_parts(sup, members());
+        assert!(!report.ok());
+        assert!(
+            report.issues.iter().any(|i| i.contains("dead/unknown")),
+            "diagnostic must name the dead reference: {:?}",
+            report.issues
+        );
+        let mut scratch = CheckScratch::default();
+        assert!(!fast_check_parts(sup, members(), &mut scratch));
+    }
+
+    #[test]
+    fn fast_pubs_path_matches_exact_union() {
+        use skippub_trie::Publication;
+        let mut world = scenarios::legit_world(4, 7, ProtocolConfig::default());
+        let ids = scenarios::subscriber_ids(&world);
+        let subs = |w: &World<Actor>| {
+            w.iter()
+                .filter_map(|(_, a)| a.subscriber())
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        let check = |w: &World<Actor>| {
+            let owned = subs(w);
+            let fast = pubs_converged_fast(|| owned.iter());
+            let full = publications_converged_of(owned.iter());
+            assert_eq!(fast, full);
+            fast
+        };
+        assert_eq!(check(&world), (true, 0));
+        // One node learns a publication: divergent (exact union path).
+        world
+            .node_mut(ids[0])
+            .unwrap()
+            .subscriber_mut()
+            .unwrap()
+            .trie
+            .insert(Publication::new(ids[0].0, b"solo".to_vec()));
+        assert_eq!(check(&world), (false, 1));
+        // Everyone learns it: converged via the root-hash fast path.
+        for &id in &ids[1..] {
+            world
+                .node_mut(id)
+                .unwrap()
+                .subscriber_mut()
+                .unwrap()
+                .trie
+                .insert(Publication::new(ids[0].0, b"solo".to_vec()));
+        }
+        assert_eq!(check(&world), (true, 1));
     }
 }

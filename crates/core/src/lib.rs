@@ -57,6 +57,7 @@ mod actor;
 mod api;
 pub mod checker;
 mod config;
+mod dirty;
 pub mod hierarchy;
 mod msg;
 mod publish;

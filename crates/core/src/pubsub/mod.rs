@@ -25,6 +25,7 @@
 //! [`PubSub::snapshot`], which yields a per-topic [`World`] the
 //! [`crate::checker`] predicates (and any custom probe) can judge.
 
+mod incremental;
 mod multi;
 pub mod ops;
 mod sharded;
@@ -241,12 +242,23 @@ pub trait PubSub {
     }
 }
 
+/// Per-`(node, topic)` cursor state: the key set already reported, plus
+/// the trie's Merkle root hash at the last drain. An unchanged root
+/// hash means an unchanged key set (the trie crate pins this), so a
+/// repeat drain of a quiet topic is **O(1) with zero allocation** — no
+/// leaf walk, no key clones.
+#[derive(Clone, Debug, Default)]
+struct SeenTopic {
+    root: Option<skippub_bits::Hash128>,
+    keys: BTreeSet<BitStr>,
+}
+
 /// Bookkeeping helper for implementing [`PubSub::drain_events`] on a new
 /// backend: remembers, per `(node, topic)`, which publication keys have
 /// already been reported, and diffs a trie against that cursor.
 #[derive(Clone, Debug, Default)]
 pub struct EventCursor {
-    seen: BTreeMap<(u64, u32), BTreeSet<BitStr>>,
+    seen: BTreeMap<(u64, u32), SeenTopic>,
 }
 
 impl EventCursor {
@@ -264,6 +276,10 @@ impl EventCursor {
 
     /// Diffs the given per-topic tries of node `id` against the cursor,
     /// returning (and remembering) every publication not yet reported.
+    /// A drain whose tries are all unchanged since the last call (the
+    /// common polling case) returns an empty `Vec` without allocating:
+    /// the per-topic root-hash short-circuit skips the leaf walks, and
+    /// an empty `Vec` holds no heap buffer.
     pub fn drain<'a>(
         &mut self,
         id: NodeId,
@@ -272,8 +288,15 @@ impl EventCursor {
         let mut out = Vec::new();
         for (topic, trie) in tries {
             let seen = self.seen.entry((id.0, topic.0)).or_default();
-            for p in trie.publications() {
-                if seen.insert(p.key().clone()) {
+            // Root-hash short-circuit: same Merkle root ⇔ same key set
+            // as the last drain ⇒ nothing new on this topic.
+            let root = trie.root_hash();
+            if seen.root == root {
+                continue;
+            }
+            for p in trie.iter_publications() {
+                if !seen.keys.contains(p.key()) {
+                    seen.keys.insert(p.key().clone());
                     out.push(Delivery {
                         topic,
                         key: p.key().clone(),
@@ -282,6 +305,7 @@ impl EventCursor {
                     });
                 }
             }
+            seen.root = root;
         }
         out.sort_by(|a, b| (a.topic, &a.key).cmp(&(b.topic, &b.key)));
         out

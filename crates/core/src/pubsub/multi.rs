@@ -3,14 +3,17 @@
 //! facade, replacing the hand-rolled `World<MultiActor>` driving that
 //! examples and tests used to do.
 
+use super::incremental::IncChecker;
 use super::{Delivery, EventCursor, PubSub, Stats};
 use crate::checker;
+use crate::dirty::{pubs_key, topo_key};
 use crate::scenarios::SUPERVISOR;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig, Supervisor};
 use skippub_bits::BitStr;
 use skippub_sim::{Metrics, NodeId, NodeView, World};
 use skippub_trie::Publication;
+use std::cell::RefCell;
 
 /// The multi-topic simulator backend (§4): clients subscribe to any
 /// subset of `TopicId(0..topic_count)`; the supervisor's per-timeout
@@ -22,6 +25,9 @@ pub struct MultiTopicBackend {
     topics: u32,
     next_id: u64,
     cursor: EventCursor,
+    /// Incremental verdict caches + member index (`RefCell`: the
+    /// facade's polling predicates take `&self`).
+    inc: RefCell<IncChecker>,
 }
 
 impl MultiTopicBackend {
@@ -34,6 +40,7 @@ impl MultiTopicBackend {
             topics,
             next_id: 1,
             cursor: EventCursor::new(),
+            inc: RefCell::new(IncChecker::new(topics)),
         }
     }
 
@@ -49,8 +56,31 @@ impl MultiTopicBackend {
     }
 
     /// Mutable access to the underlying world (adversarial injection).
+    /// Raw access may change anything, so every cached checker verdict
+    /// is dropped and the member index is rebuilt on the next poll.
     pub fn world_mut(&mut self) -> &mut World<MultiActor> {
+        self.inc.get_mut().invalidate_all();
         &mut self.world
+    }
+
+    /// Routes the facade's polling predicates through the pre-PR
+    /// from-scratch checker (`true`) instead of the incremental layer —
+    /// kept callable for A/B benchmarking.
+    pub fn set_full_checking(&mut self, full: bool) {
+        self.inc.get_mut().set_full(full);
+    }
+
+    /// From-scratch legitimacy over every topic (the pre-PR path: one
+    /// whole-world scan per topic through the diagnostic checker),
+    /// regardless of the A/B switch.
+    pub fn is_legitimate_full(&self) -> bool {
+        (0..self.topics).all(|t| topic_is_legit(&self.world, SUPERVISOR, TopicId(t)))
+    }
+
+    /// From-scratch publication convergence (the pre-PR per-poll global
+    /// key union), regardless of the switch.
+    pub fn publications_converged_full(&self) -> (bool, usize) {
+        fold_pubs_converged(&self.world, self.topics)
     }
 
     /// Simulator metrics (per-kind and per-node counters).
@@ -101,12 +131,10 @@ pub(crate) fn drain_client_events<V: NodeView<MultiActor>>(
     let Some(actor) = world.peek(id) else {
         return Vec::new();
     };
-    let tries: Vec<(TopicId, &skippub_trie::PatriciaTrie)> = actor
-        .topic_ids()
-        .into_iter()
-        .filter_map(|t| actor.topic_subscriber(t).map(|s| (t, &s.trie)))
-        .collect();
-    cursor.drain(id, tries)
+    // Borrowing subscription walk — no per-call topic-id or trie-ref
+    // Vecs; combined with the cursor's root-hash short-circuit, a drain
+    // of a quiet client allocates nothing beyond the (empty) result.
+    cursor.drain(id, actor.subscriptions().map(|(t, s)| (t, &s.trie)))
 }
 
 /// IDs of live clients (supervisors excluded), ascending — shared by
@@ -185,6 +213,9 @@ impl PubSub for MultiTopicBackend {
         let mut client = MultiActor::new_client(id, SUPERVISOR, self.cfg);
         client.join_topic(topic);
         self.world.add_node(id, client);
+        self.inc.get_mut().add_member(topic, id);
+        self.world.bump_dirty(topo_key(topic.0));
+        self.world.bump_dirty(pubs_key(topic.0));
         id
     }
 
@@ -192,6 +223,9 @@ impl PubSub for MultiTopicBackend {
         self.assert_topic(topic);
         if let Some(a) = self.world.node_mut(id) {
             a.join_topic(topic);
+            self.inc.get_mut().add_member(topic, id);
+            self.world.bump_dirty(topo_key(topic.0));
+            self.world.bump_dirty(pubs_key(topic.0));
         }
     }
 
@@ -199,29 +233,50 @@ impl PubSub for MultiTopicBackend {
         self.assert_topic(topic);
         if let Some(a) = self.world.node_mut(id) {
             a.leave_topic(topic);
+            self.world.bump_dirty(topo_key(topic.0));
+            self.world.bump_dirty(pubs_key(topic.0));
         }
     }
 
     fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
         self.assert_topic(topic);
-        self.world
-            .with_node(id, |actor, ctx| actor.publish_local(ctx, topic, payload))?
+        let key = self
+            .world
+            .with_node(id, |actor, ctx| actor.publish_local(ctx, topic, payload))??;
+        self.world.bump_dirty(pubs_key(topic.0));
+        Some(key)
     }
 
     fn seed_publication(&mut self, id: NodeId, topic: TopicId, publication: Publication) -> bool {
         self.assert_topic(topic);
-        self.world
+        let fresh = self
+            .world
             .node_mut(id)
             .map(|a| a.seed_publication(topic, publication))
-            .unwrap_or(false)
+            .unwrap_or(false);
+        if fresh {
+            self.world.bump_dirty(pubs_key(topic.0));
+        }
+        fresh
     }
 
     fn crash(&mut self, id: NodeId) {
+        if let Some(actor) = self.world.node(id) {
+            let topics: Vec<TopicId> = actor.topic_ids();
+            let inc = self.inc.get_mut();
+            for t in topics {
+                inc.remove_member(t, id);
+                self.world.bump_dirty(topo_key(t.0));
+                self.world.bump_dirty(pubs_key(t.0));
+            }
+        }
         self.world.crash(id);
         self.cursor.forget(id);
     }
 
     fn report_crash(&mut self, id: NodeId) {
+        // Feeds `suspected` only; the eviction at the supervisor's next
+        // timeout marks the affected topics via its db-epoch delta.
         if let Some(sup) = self.world.node_mut(SUPERVISOR) {
             sup.suspect(id);
         }
@@ -232,11 +287,26 @@ impl PubSub for MultiTopicBackend {
     }
 
     fn is_legitimate(&self) -> bool {
-        (0..self.topics).all(|t| topic_is_legit(&self.world, SUPERVISOR, TopicId(t)))
+        let mut inc = self.inc.borrow_mut();
+        if inc.full() {
+            return self.is_legitimate_full();
+        }
+        inc.all_legit(
+            &self.world,
+            self.topics,
+            |t| self.world.dirty_version(topo_key(t)),
+            |_| SUPERVISOR,
+        )
     }
 
     fn publications_converged(&self) -> (bool, usize) {
-        fold_pubs_converged(&self.world, self.topics)
+        let mut inc = self.inc.borrow_mut();
+        if inc.full() {
+            return self.publications_converged_full();
+        }
+        inc.all_pubs(&self.world, self.topics, |t| {
+            self.world.dirty_version(pubs_key(t))
+        })
     }
 
     fn drain_events(&mut self, id: NodeId) -> Vec<Delivery> {

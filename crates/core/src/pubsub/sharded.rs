@@ -12,13 +12,16 @@
 //! every [`SystemBuilder::threads`](super::SystemBuilder::threads)
 //! setting — worker count is an execution knob, never a semantics knob.
 
+use super::incremental::IncChecker;
 use super::{Delivery, EventCursor, PartitionStats, PubSub, Stats};
+use crate::dirty::{pubs_key, topo_key};
 use crate::sharding::SupervisorShards;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
 use skippub_sim::{Metrics, NodeId, PartitionedWorld, World};
 use skippub_trie::Publication;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 /// Base of the supervisor ID range. Client IDs count up from 1 exactly
@@ -50,6 +53,9 @@ pub struct ShardedBackend {
     /// Entries persist across the node's crash — the report arrives
     /// *after* the crash — and are bounded by total registrations.
     met: BTreeMap<u64, Vec<u32>>,
+    /// Incremental verdict caches + member index (`RefCell`: the
+    /// facade's polling predicates take `&self`).
+    inc: RefCell<IncChecker>,
 }
 
 impl ShardedBackend {
@@ -78,7 +84,31 @@ impl ShardedBackend {
             next_id: 1,
             cursor: EventCursor::new(),
             met: BTreeMap::new(),
+            inc: RefCell::new(IncChecker::new(topics)),
         }
+    }
+
+    /// Routes the facade's polling predicates through the pre-PR
+    /// from-scratch checker (`true`) instead of the incremental layer —
+    /// kept callable for A/B benchmarking.
+    pub fn set_full_checking(&mut self, full: bool) {
+        self.inc.get_mut().set_full(full);
+    }
+
+    /// From-scratch legitimacy over every topic (the pre-PR path: one
+    /// whole-world scan per topic through the diagnostic checker),
+    /// regardless of the A/B switch.
+    pub fn is_legitimate_full(&self) -> bool {
+        (0..self.topics).all(|t| {
+            let t = TopicId(t);
+            super::multi::topic_is_legit(&self.world, self.shards.supervisor_for(t), t)
+        })
+    }
+
+    /// From-scratch publication convergence (the pre-PR per-poll global
+    /// key union), regardless of the switch.
+    pub fn publications_converged_full(&self) -> (bool, usize) {
+        super::multi::fold_pubs_converged(&self.world, self.topics)
     }
 
     /// The consistent-hash ring mapping topics to supervisors.
@@ -161,6 +191,9 @@ impl PubSub for ShardedBackend {
         // docs — later joins to other shards stay cross-partition).
         self.world.add_node(id, client, shard);
         self.note_met(id, shard);
+        self.inc.get_mut().add_member(topic, id);
+        self.world.bump_dirty(topo_key(topic.0));
+        self.world.bump_dirty(pubs_key(topic.0));
         id
     }
 
@@ -171,6 +204,9 @@ impl PubSub for ShardedBackend {
         if let Some(a) = self.world.node_mut(id) {
             a.join_topic_at(topic, sup);
             self.note_met(id, shard);
+            self.inc.get_mut().add_member(topic, id);
+            self.world.bump_dirty(topo_key(topic.0));
+            self.world.bump_dirty(pubs_key(topic.0));
         }
     }
 
@@ -178,24 +214,43 @@ impl PubSub for ShardedBackend {
         self.assert_topic(topic);
         if let Some(a) = self.world.node_mut(id) {
             a.leave_topic(topic);
+            self.world.bump_dirty(topo_key(topic.0));
+            self.world.bump_dirty(pubs_key(topic.0));
         }
     }
 
     fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
         self.assert_topic(topic);
-        self.world
-            .with_node(id, |actor, ctx| actor.publish_local(ctx, topic, payload))?
+        let key = self
+            .world
+            .with_node(id, |actor, ctx| actor.publish_local(ctx, topic, payload))??;
+        self.world.bump_dirty(pubs_key(topic.0));
+        Some(key)
     }
 
     fn seed_publication(&mut self, id: NodeId, topic: TopicId, publication: Publication) -> bool {
         self.assert_topic(topic);
-        self.world
+        let fresh = self
+            .world
             .node_mut(id)
             .map(|a| a.seed_publication(topic, publication))
-            .unwrap_or(false)
+            .unwrap_or(false);
+        if fresh {
+            self.world.bump_dirty(pubs_key(topic.0));
+        }
+        fresh
     }
 
     fn crash(&mut self, id: NodeId) {
+        if let Some(actor) = self.world.node(id) {
+            let topics: Vec<TopicId> = actor.topic_ids();
+            let inc = self.inc.get_mut();
+            for t in topics {
+                inc.remove_member(t, id);
+                self.world.bump_dirty(topo_key(t.0));
+                self.world.bump_dirty(pubs_key(t.0));
+            }
+        }
         self.world.crash(id);
         self.cursor.forget(id);
     }
@@ -220,14 +275,26 @@ impl PubSub for ShardedBackend {
     }
 
     fn is_legitimate(&self) -> bool {
-        (0..self.topics).all(|t| {
-            let t = TopicId(t);
-            super::multi::topic_is_legit(&self.world, self.shards.supervisor_for(t), t)
-        })
+        let mut inc = self.inc.borrow_mut();
+        if inc.full() {
+            return self.is_legitimate_full();
+        }
+        inc.all_legit(
+            &self.world,
+            self.topics,
+            |t| self.world.dirty_version(topo_key(t)),
+            |t| self.shards.supervisor_for(t),
+        )
     }
 
     fn publications_converged(&self) -> (bool, usize) {
-        super::multi::fold_pubs_converged(&self.world, self.topics)
+        let mut inc = self.inc.borrow_mut();
+        if inc.full() {
+            return self.publications_converged_full();
+        }
+        inc.all_pubs(&self.world, self.topics, |t| {
+            self.world.dirty_version(pubs_key(t))
+        })
     }
 
     fn drain_events(&mut self, id: NodeId) -> Vec<Delivery> {

@@ -2,14 +2,17 @@
 //! [`PubSub`] facade — synchronous rounds, or chaos rounds when a
 //! [`ChaosConfig`] is attached.
 
+use super::incremental::SimChecker;
 use super::{Delivery, EventCursor, PubSub, Stats};
 use crate::api::SkipRingSim;
 use crate::checker::LegitReport;
+use crate::dirty::{pubs_key, topo_key};
 use crate::topics::TopicId;
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
 use skippub_sim::{ChaosConfig, Metrics, NodeId, World};
 use skippub_trie::Publication;
+use std::cell::RefCell;
 
 /// The deterministic-simulator backend: one supervisor, one topic
 /// (`TopicId(0)`), driven in synchronous rounds — or chaos rounds
@@ -19,6 +22,9 @@ pub struct SimBackend {
     sim: SkipRingSim,
     chaos: Option<ChaosConfig>,
     cursor: EventCursor,
+    /// Incremental verdict cache (`RefCell`: the facade's polling
+    /// predicates take `&self`; the backend is driven single-threaded).
+    inc: RefCell<SimChecker>,
 }
 
 /// The one topic a single-topic backend serves.
@@ -37,6 +43,7 @@ impl SimBackend {
             sim: SkipRingSim::new(seed, cfg),
             chaos,
             cursor: EventCursor::new(),
+            inc: RefCell::new(SimChecker::new()),
         }
     }
 
@@ -47,6 +54,7 @@ impl SimBackend {
             sim: SkipRingSim::from_world(world, cfg),
             chaos: None,
             cursor: EventCursor::new(),
+            inc: RefCell::new(SimChecker::new()),
         }
     }
 
@@ -64,9 +72,29 @@ impl SimBackend {
     }
 
     /// Mutable access to the wrapped simulator (adversarial state
-    /// injection).
+    /// injection). Raw access may change anything, so every cached
+    /// checker verdict is dropped.
     pub fn sim_mut(&mut self) -> &mut SkipRingSim {
+        self.inc.get_mut().invalidate_all();
         &mut self.sim
+    }
+
+    /// Routes the facade's polling predicates through the pre-PR
+    /// from-scratch checker (`true`) instead of the incremental layer —
+    /// kept callable for A/B benchmarking.
+    pub fn set_full_checking(&mut self, full: bool) {
+        self.inc.get_mut().set_full(full);
+    }
+
+    /// From-scratch legitimacy (the diagnostic checker), regardless of
+    /// the A/B switch.
+    pub fn is_legitimate_full(&self) -> bool {
+        self.sim.is_legitimate()
+    }
+
+    /// From-scratch publication convergence, regardless of the switch.
+    pub fn publications_converged_full(&self) -> (bool, usize) {
+        self.sim.publications_converged()
     }
 
     /// Detailed legitimacy report for the topic.
@@ -95,7 +123,12 @@ impl PubSub for SimBackend {
 
     fn subscribe(&mut self, topic: TopicId) -> NodeId {
         assert_topic(topic);
-        self.sim.add_subscriber()
+        let id = self.sim.add_subscriber();
+        // The member set is topology state, and the fresh empty trie
+        // joins the convergence predicate's scope.
+        self.sim.world_mut().bump_dirty(topo_key(0));
+        self.sim.world_mut().bump_dirty(pubs_key(0));
+        id
     }
 
     fn join(&mut self, id: NodeId, topic: TopicId) {
@@ -107,30 +140,47 @@ impl PubSub for SimBackend {
             .and_then(Actor::subscriber_mut)
         {
             s.wants_membership = true;
+            self.sim.world_mut().bump_dirty(topo_key(0));
+            self.sim.world_mut().bump_dirty(pubs_key(0));
         }
     }
 
     fn unsubscribe(&mut self, id: NodeId, topic: TopicId) {
         assert_topic(topic);
         self.sim.unsubscribe(id);
+        self.sim.world_mut().bump_dirty(topo_key(0));
+        self.sim.world_mut().bump_dirty(pubs_key(0));
     }
 
     fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
         assert_topic(topic);
-        self.sim.publish(id, payload)
+        let key = self.sim.publish(id, payload);
+        if key.is_some() {
+            self.sim.world_mut().bump_dirty(pubs_key(0));
+        }
+        key
     }
 
     fn seed_publication(&mut self, id: NodeId, topic: TopicId, publication: Publication) -> bool {
         assert_topic(topic);
-        self.sim.seed_publication(id, publication).unwrap_or(false)
+        let fresh = self.sim.seed_publication(id, publication).unwrap_or(false);
+        if fresh {
+            self.sim.world_mut().bump_dirty(pubs_key(0));
+        }
+        fresh
     }
 
     fn crash(&mut self, id: NodeId) {
         self.sim.crash(id);
         self.cursor.forget(id);
+        self.sim.world_mut().bump_dirty(topo_key(0));
+        self.sim.world_mut().bump_dirty(pubs_key(0));
     }
 
     fn report_crash(&mut self, id: NodeId) {
+        // Feeds `suspected` only; the database mutation happens at the
+        // supervisor's next timeout, where the db-epoch delta marks the
+        // channel — no bump needed here.
         self.sim.report_crash(id);
     }
 
@@ -142,11 +192,21 @@ impl PubSub for SimBackend {
     }
 
     fn is_legitimate(&self) -> bool {
-        self.sim.is_legitimate()
+        let mut inc = self.inc.borrow_mut();
+        if inc.full() {
+            return self.sim.is_legitimate();
+        }
+        let version = self.sim.world().dirty_version(topo_key(0));
+        inc.legit(self.sim.world(), version)
     }
 
     fn publications_converged(&self) -> (bool, usize) {
-        self.sim.publications_converged()
+        let mut inc = self.inc.borrow_mut();
+        if inc.full() {
+            return self.sim.publications_converged();
+        }
+        let version = self.sim.world().dirty_version(pubs_key(0));
+        inc.pubs(self.sim.world(), version)
     }
 
     fn drain_events(&mut self, id: NodeId) -> Vec<Delivery> {

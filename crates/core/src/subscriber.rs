@@ -24,6 +24,25 @@ pub(crate) fn place_key(label: Label, id: NodeId) -> (u64, u8, u64) {
     (label.frac(), label.len(), id.0)
 }
 
+/// Reusable working sets of [`Subscriber::shortcut_timeout`] — it runs
+/// once per node per round, so its chains/sets must not be rebuilt on
+/// the heap each call. Thread-local keeps the partitioned executor's
+/// workers off any shared state.
+#[derive(Default)]
+struct ShortcutScratch {
+    left: Vec<shortcut::ShortcutTarget>,
+    right: Vec<shortcut::ShortcutTarget>,
+    /// Sorted, deduped expected labels (set semantics via binary search).
+    expected: Vec<Label>,
+    stale: Vec<(Label, Option<NodeId>)>,
+    resolved: Vec<(Label, NodeId)>,
+}
+
+thread_local! {
+    static SHORTCUT_SCRATCH: std::cell::RefCell<ShortcutScratch> =
+        std::cell::RefCell::new(ShortcutScratch::default());
+}
+
 /// Experiment counters (never read by protocol logic).
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
@@ -66,6 +85,18 @@ pub struct Subscriber {
     /// `v.shortcuts ⊂ {0,1}* × (V ∪ {⊥})`: expected shortcut labels and,
     /// when known, the node holding each.
     pub shortcuts: BTreeMap<Label, Option<NodeId>>,
+    /// Monotone **shortcut epoch**: bumped by every protocol-path
+    /// mutation of `shortcuts` (slot fill, purge, prune, clear). The
+    /// incremental checker's change detection compares it in O(1)
+    /// instead of snapshotting the map per dispatch, so every handler
+    /// code path in this file that writes `shortcuts` must bump it —
+    /// keep the two in lock-step when editing (the cross-checker churn
+    /// conformance tests catch a missed site). Direct writes from
+    /// outside the protocol (tests, adversarial initializers) go
+    /// through the backends' raw-world escape hatches, which drop every
+    /// cached verdict instead. Not a protocol variable: nothing
+    /// protocol-side reads it.
+    pub shortcut_epoch: u64,
     /// Publication store `v.T` (paper §4.2).
     pub trie: PatriciaTrie,
     /// User intent: `false` once the user asked to unsubscribe.
@@ -88,6 +119,7 @@ impl Subscriber {
             right: None,
             ring: None,
             shortcuts: BTreeMap::new(),
+            shortcut_epoch: 0,
             trie: PatriciaTrie::new(),
             wants_membership: true,
             cfg,
@@ -240,6 +272,7 @@ impl Subscriber {
         for (lab, slot) in self.shortcuts.iter_mut() {
             if *slot == Some(c.id) && *lab != c.label {
                 *slot = None;
+                self.shortcut_epoch += 1;
             }
         }
         // Ring-label repair (Alg. 2 lines 18–23): new label information
@@ -354,6 +387,7 @@ impl Subscriber {
         for slot in self.shortcuts.values_mut() {
             if *slot == Some(node) {
                 *slot = None;
+                self.shortcut_epoch += 1;
             }
         }
     }
@@ -379,7 +413,10 @@ impl Subscriber {
             self.left = None;
             self.right = None;
             self.ring = None;
-            self.shortcuts.clear();
+            if !self.shortcuts.is_empty() {
+                self.shortcuts.clear();
+                self.shortcut_epoch += 1;
+            }
             return;
         };
         let old_label = self.label;
@@ -492,6 +529,9 @@ impl Subscriber {
             Some(slot) => {
                 let old = *slot;
                 *slot = Some(c.id);
+                if old != Some(c.id) {
+                    self.shortcut_epoch += 1;
+                }
                 if let Some(old_id) = old {
                     if old_id != c.id {
                         // Forward the replaced reference into the ring so
@@ -511,83 +551,101 @@ impl Subscriber {
     /// neighbourhood, prune stale slots, and introduce this node's
     /// level-k partners to each other (the bottom-up establishment rule of
     /// Lemma 12).
+    ///
+    /// Runs every round on every node, so the working sets (derivation
+    /// chains, expected-label set, prune list, resolved-slot list) live
+    /// in reusable thread-local scratch buffers: after warm-up a
+    /// steady-state call allocates nothing. The expected-label set is a
+    /// sorted deduped slice, which preserves the old `BTreeSet`'s
+    /// membership semantics and label-ordered iteration exactly — no
+    /// observable behaviour (messages, RNG draws) changes.
     fn shortcut_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, my: Label) {
-        let left_chain = match self.eff_left() {
-            Some(l) => shortcut::derive_side(my, l.label),
-            None => Vec::new(),
-        };
-        let right_chain = match self.eff_right() {
-            Some(r) => shortcut::derive_side(my, r.label),
-            None => Vec::new(),
-        };
-        // Prune slots whose label is no longer expected.
-        let expected: std::collections::BTreeSet<Label> = left_chain
-            .iter()
-            .chain(right_chain.iter())
-            .map(|t| t.label)
-            .collect();
-        let stale: Vec<(Label, Option<NodeId>)> = self
-            .shortcuts
-            .iter()
-            .filter(|(l, _)| !expected.contains(l))
-            .map(|(l, n)| (*l, *n))
-            .collect();
-        for (lab, node) in stale {
-            self.shortcuts.remove(&lab);
-            if let Some(nid) = node {
-                if nid != self.id {
-                    self.linearize(ctx, NodeRef::new(lab, nid));
+        SHORTCUT_SCRATCH.with(|cell| {
+            let mut sc = cell.take();
+            sc.left.clear();
+            sc.right.clear();
+            if let Some(l) = self.eff_left() {
+                shortcut::derive_side_into(my, l.label, &mut sc.left);
+            }
+            if let Some(r) = self.eff_right() {
+                shortcut::derive_side_into(my, r.label, &mut sc.right);
+            }
+            // Prune slots whose label is no longer expected.
+            sc.expected.clear();
+            sc.expected
+                .extend(sc.left.iter().chain(sc.right.iter()).map(|t| t.label));
+            sc.expected.sort_unstable();
+            sc.expected.dedup();
+            sc.stale.clear();
+            sc.stale.extend(
+                self.shortcuts
+                    .iter()
+                    .filter(|(l, _)| sc.expected.binary_search(l).is_err())
+                    .map(|(l, n)| (*l, *n)),
+            );
+            for (lab, node) in sc.stale.drain(..) {
+                self.shortcuts.remove(&lab);
+                self.shortcut_epoch += 1;
+                if let Some(nid) = node {
+                    if nid != self.id {
+                        self.linearize(ctx, NodeRef::new(lab, nid));
+                    }
                 }
             }
-        }
-        for lab in &expected {
-            self.shortcuts.entry(*lab).or_insert(None);
-        }
-        // Level-k introduction: my neighbours in the ring over K_k — the
-        // tail of each derivation chain, or the direct ring neighbour when
-        // the chain is empty (the "|v.label| = ⌈log n⌉" case of §3.2.2).
-        let resolve =
-            |chain: &[shortcut::ShortcutTarget], fallback: Option<NodeRef>| match chain.last() {
-                Some(t) => self
-                    .shortcuts
-                    .get(&t.label)
-                    .copied()
-                    .flatten()
-                    .map(|id| NodeRef::new(t.label, id)),
-                None => fallback,
-            };
-        let a = resolve(&left_chain, self.eff_left());
-        let b = resolve(&right_chain, self.eff_right());
-        if let (Some(a), Some(b)) = (a, b) {
-            if a.id != b.id && a.id != self.id && b.id != self.id {
-                ctx.send(a.id, Msg::IntroduceShortcut { node: b });
-                ctx.send(b.id, Msg::IntroduceShortcut { node: a });
+            for lab in &sc.expected {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.shortcuts.entry(*lab) {
+                    e.insert(None);
+                    self.shortcut_epoch += 1;
+                }
             }
-        }
-        // Verify ONE random resolved slot per timeout (constant work per
-        // process, matching the paper's maintenance-overhead claim): a
-        // mismatching holder answers with its correct label, purging the
-        // stale slot via `incorporate`.
-        if !self.cfg.verify_shortcuts {
-            return; // paper-verbatim ablation (E14)
-        }
-        let resolved: Vec<(Label, NodeId)> = self
-            .shortcuts
-            .iter()
-            .filter_map(|(l, v)| v.map(|id| (*l, id)))
-            .filter(|(_, id)| *id != self.id)
-            .collect();
-        if !resolved.is_empty() {
-            let (lab, id) = resolved[ctx.random_range(resolved.len())];
-            let me_ref = NodeRef::new(my, self.id);
-            ctx.send(
-                id,
-                Msg::CheckShortcut {
-                    sender: me_ref,
-                    assumed: lab,
-                },
-            );
-        }
+            // Level-k introduction: my neighbours in the ring over K_k —
+            // the tail of each derivation chain, or the direct ring
+            // neighbour when the chain is empty (the "|v.label| =
+            // ⌈log n⌉" case of §3.2.2).
+            let resolve =
+                |chain: &[shortcut::ShortcutTarget], fallback: Option<NodeRef>| match chain.last() {
+                    Some(t) => self
+                        .shortcuts
+                        .get(&t.label)
+                        .copied()
+                        .flatten()
+                        .map(|id| NodeRef::new(t.label, id)),
+                    None => fallback,
+                };
+            let a = resolve(&sc.left, self.eff_left());
+            let b = resolve(&sc.right, self.eff_right());
+            if let (Some(a), Some(b)) = (a, b) {
+                if a.id != b.id && a.id != self.id && b.id != self.id {
+                    ctx.send(a.id, Msg::IntroduceShortcut { node: b });
+                    ctx.send(b.id, Msg::IntroduceShortcut { node: a });
+                }
+            }
+            // Verify ONE random resolved slot per timeout (constant work
+            // per process, matching the paper's maintenance-overhead
+            // claim): a mismatching holder answers with its correct
+            // label, purging the stale slot via `incorporate`.
+            if self.cfg.verify_shortcuts {
+                sc.resolved.clear();
+                sc.resolved.extend(
+                    self.shortcuts
+                        .iter()
+                        .filter_map(|(l, v)| v.map(|id| (*l, id)))
+                        .filter(|(_, id)| *id != self.id),
+                );
+                if !sc.resolved.is_empty() {
+                    let (lab, id) = sc.resolved[ctx.random_range(sc.resolved.len())];
+                    let me_ref = NodeRef::new(my, self.id);
+                    ctx.send(
+                        id,
+                        Msg::CheckShortcut {
+                            sender: me_ref,
+                            assumed: lab,
+                        },
+                    );
+                }
+            }
+            cell.replace(sc);
+        });
     }
 
     /// Handles `CheckShortcut`: silent on a match; otherwise corrects the
@@ -634,7 +692,10 @@ impl Subscriber {
             {
                 ctx.send(r.id, Msg::RemoveConnections { node: self.id });
             }
-            self.shortcuts.clear();
+            if !self.shortcuts.is_empty() {
+                self.shortcuts.clear();
+                self.shortcut_epoch += 1;
+            }
             ctx.send(self.supervisor, Msg::Subscribe { node: self.id });
             return;
         };

@@ -44,6 +44,14 @@ pub struct Supervisor {
     pub database: BTreeMap<Label, Option<NodeId>>,
     /// Round-robin pointer for configuration dissemination.
     pub next: u64,
+    /// Monotone **database epoch**: bumped by every mutation of
+    /// `database` (insert, remove, repair, relabel, eviction). The
+    /// incremental checker invalidates a topic's cached verdict exactly
+    /// when this moved, so every code path that touches `database` must
+    /// bump it — keep the two in lock-step when editing this file (the
+    /// cross-checker conformance proptests catch a missed site).
+    /// Not a protocol variable: nothing protocol-side reads it.
+    pub db_epoch: u64,
     /// Failure-detector output: subscribers believed crashed (§3.3).
     /// Fed by [`Supervisor::suspect`]; an eventually-correct detector in
     /// the harness reports every real crash after a bounded delay.
@@ -68,6 +76,7 @@ impl Supervisor {
             id,
             database: BTreeMap::new(),
             next: 0,
+            db_epoch: 0,
             suspected: BTreeSet::new(),
             token_enabled: false,
             token_seq: 0,
@@ -114,6 +123,7 @@ impl Supervisor {
             .collect();
         for l in dups {
             self.database.remove(&l);
+            self.db_epoch += 1;
             self.counters.repairs += 1;
         }
     }
@@ -125,6 +135,7 @@ impl Supervisor {
         // (i): remove (label, ⊥) tuples.
         let before = self.database.len();
         self.database.retain(|_, v| v.is_some());
+        self.db_epoch += (before - self.database.len()) as u64;
         self.counters.repairs += (before - self.database.len()) as u64;
         // (ii): multiple labels for one subscriber — keep the lowest.
         let mut seen: BTreeSet<NodeId> = BTreeSet::new();
@@ -142,6 +153,7 @@ impl Supervisor {
             .collect();
         for l in dups {
             self.database.remove(&l);
+            self.db_epoch += 1;
             self.counters.repairs += 1;
         }
         // (iii)/(iv): re-pack labels onto the valid slots l(0..n).
@@ -164,6 +176,7 @@ impl Supervisor {
                 let (old, v) = pool.pop().expect("counting argument: a spare entry exists");
                 self.database.remove(&old);
                 self.database.insert(slot, Some(v));
+                self.db_epoch += 1;
                 self.counters.repairs += 1;
             }
         }
@@ -181,6 +194,7 @@ impl Supervisor {
             Some(node) => !victims.contains(node),
             None => true,
         });
+        self.db_epoch += (before - self.database.len()) as u64;
         self.counters.evictions += (before - self.database.len()) as u64;
     }
 
@@ -241,6 +255,7 @@ impl Supervisor {
                 let n = self.database.len() as u64;
                 let label = Label::from_index(n);
                 self.database.insert(label, Some(v));
+                self.db_epoch += 1;
                 self.send_config(ctx, label, v);
                 self.counters.subscribe_msgs += 1;
             }
@@ -266,6 +281,7 @@ impl Supervisor {
             if n > 1 && label_v != last {
                 let w = self.database.remove(&last).flatten().expect("repaired db");
                 self.database.insert(label_v, Some(w));
+                self.db_epoch += 1;
                 // paper-note: Alg. 3 line 20 writes SetData(pred_v,
                 // label_u, succ_v) with inconsistent naming; the intent is
                 // v's old label and its ring neighbours (DESIGN.md §7.1).
@@ -273,6 +289,7 @@ impl Supervisor {
                 self.counters.unsubscribe_msgs += 1;
             } else {
                 self.database.remove(&label_v);
+                self.db_epoch += 1;
             }
         }
         ctx.send(
@@ -556,6 +573,35 @@ mod tests {
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].0, NodeId(7));
         assert!(matches!(sent[0].1, Msg::SetData { label: None, .. }));
+    }
+
+    #[test]
+    fn db_epoch_moves_iff_database_changes() {
+        let mut s = Supervisor::new(NodeId(0));
+        let e0 = s.db_epoch;
+        run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(1)));
+        assert!(s.db_epoch > e0, "insert must bump the epoch");
+        let e1 = s.db_epoch;
+        // Duplicate subscribe resends the config; the database is
+        // untouched, so the epoch must hold (the incremental checker's
+        // cache stays valid through steady-state re-sends).
+        run(&mut s, |s, ctx| s.on_subscribe(ctx, NodeId(1)));
+        assert_eq!(s.db_epoch, e1);
+        // Steady-state timeout: round-robin read, no repair, no move.
+        run(&mut s, |s, ctx| s.timeout(ctx));
+        assert_eq!(s.db_epoch, e1);
+        // Unknown-target GetConfiguration: reply only.
+        run(&mut s, |s, ctx| s.on_get_configuration(ctx, NodeId(9), None));
+        assert_eq!(s.db_epoch, e1);
+        // Eviction via the failure detector must bump.
+        s.suspect(NodeId(1));
+        run(&mut s, |s, ctx| s.timeout(ctx));
+        assert!(s.db_epoch > e1, "eviction must bump the epoch");
+        // Repairs bump too.
+        let e2 = s.db_epoch;
+        s.database.insert(lab("0001"), None);
+        s.check_labels();
+        assert!(s.db_epoch > e2, "repair must bump the epoch");
     }
 
     #[test]

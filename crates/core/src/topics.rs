@@ -170,6 +170,19 @@ impl MultiActor {
         }
     }
 
+    /// Borrowing iterator over a client's `(topic, instance)` pairs in
+    /// topic order (empty for supervisors) — the allocation-free form
+    /// hot paths use instead of [`MultiActor::topic_ids`] + per-topic
+    /// lookups.
+    pub fn subscriptions(&self) -> impl Iterator<Item = (TopicId, &Subscriber)> {
+        match self {
+            MultiActor::Client { topics, .. } => Some(topics.iter().map(|(t, s)| (*t, s))),
+            MultiActor::Supervisor { .. } => None,
+        }
+        .into_iter()
+        .flatten()
+    }
+
     /// Whether this actor is a client.
     pub fn is_client(&self) -> bool {
         matches!(self, MultiActor::Client { .. })
@@ -263,17 +276,29 @@ impl Protocol for MultiActor {
                 // contact ("topics … predefined by the supervisor" — we
                 // model the predefined set as "whatever is contacted").
                 let sup = topics.entry(topic).or_insert_with(|| Supervisor::new(*id));
+                let epoch = sup.db_epoch;
                 with_topic_ctx(topic, ctx, |ictx| {
                     crate::actor::dispatch_supervisor(sup, ictx, msg)
                 });
+                if sup.db_epoch != epoch {
+                    ctx.mark_dirty(crate::dirty::topo_key(topic.0));
+                }
             }
             MultiActor::Client {
                 topics, departed, ..
             } => {
                 if let Some(sub) = topics.get_mut(&topic) {
-                    with_topic_ctx(topic, ctx, |ictx| {
-                        crate::actor::dispatch_subscriber(sub, ictx, msg)
+                    let (topo, pubs) = crate::dirty::subscriber_delta(sub, |sub| {
+                        with_topic_ctx(topic, ctx, |ictx| {
+                            crate::actor::dispatch_subscriber(sub, ictx, msg)
+                        })
                     });
+                    if topo {
+                        ctx.mark_dirty(crate::dirty::topo_key(topic.0));
+                    }
+                    if pubs {
+                        ctx.mark_dirty(crate::dirty::pubs_key(topic.0));
+                    }
                 } else if let (Some(&sup), Msg::SetData { label: Some(_), .. }) =
                     (departed.get(&topic), &msg)
                 {
@@ -304,7 +329,11 @@ impl Protocol for MultiActor {
                 // One round-robin config per topic per timeout — the §4
                 // "linear in |T|, independent of subscribers" overhead.
                 for (t, sup) in topics.iter_mut() {
+                    let epoch = sup.db_epoch;
                     with_topic_ctx(*t, ctx, |ictx| sup.timeout(ictx));
+                    if sup.db_epoch != epoch {
+                        ctx.mark_dirty(crate::dirty::topo_key(t.0));
+                    }
                 }
             }
             MultiActor::Client {
@@ -312,7 +341,15 @@ impl Protocol for MultiActor {
             } => {
                 let mut done: Vec<(TopicId, NodeId)> = Vec::new();
                 for (t, sub) in topics.iter_mut() {
-                    with_topic_ctx(*t, ctx, |ictx| sub.timeout(ictx));
+                    let (topo, pubs) = crate::dirty::subscriber_delta(sub, |sub| {
+                        with_topic_ctx(*t, ctx, |ictx| sub.timeout(ictx))
+                    });
+                    if topo {
+                        ctx.mark_dirty(crate::dirty::topo_key(t.0));
+                    }
+                    if pubs {
+                        ctx.mark_dirty(crate::dirty::pubs_key(t.0));
+                    }
                     // "Upon unsubscribing, the subscriber may remove the
                     // respective BuildSR protocol, once it gets the
                     // permission from the supervisor."
@@ -323,6 +360,9 @@ impl Protocol for MultiActor {
                 for (t, sup) in done {
                     topics.remove(&t);
                     departed.insert(t, sup);
+                    // The member set itself is topology state: dropping
+                    // the instance must invalidate the topic's verdict.
+                    ctx.mark_dirty(crate::dirty::topo_key(t.0));
                 }
             }
         }

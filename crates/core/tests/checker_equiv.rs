@@ -1,0 +1,149 @@
+//! Conformance of the fast boolean checker with the diagnostic checker:
+//! `fast_check_parts(sup, members, scratch) == check_topology_parts(sup, members).ok()`
+//! on randomly corrupted worlds (label flips, dropped/garbled edges,
+//! stale database entries, membership flips, shortcut poisoning) and on
+//! every mid-stabilization snapshot of a cold bootstrap — the
+//! correctness bar of the incremental checking layer.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use skippub_core::checker::{self, CheckScratch};
+use skippub_core::{scenarios, ProtocolConfig};
+use skippub_ringmath::Label;
+use skippub_sim::{NodeId, World};
+
+/// One random corruption, interpreted against the world's population
+/// (indices taken modulo the relevant collection sizes so every drawn
+/// tuple is applicable).
+type Corruption = (u8, u64, u64);
+
+fn apply(world: &mut World<skippub_core::Actor>, (kind, a, b): Corruption) {
+    let ids = scenarios::subscriber_ids(world);
+    if ids.is_empty() {
+        return;
+    }
+    let victim = ids[(a % ids.len() as u64) as usize];
+    let sup_id = scenarios::supervisor_id(world);
+    let label_pool = ["0", "1", "01", "11", "010", "111111"];
+    let lab: Label = label_pool[(b % label_pool.len() as u64) as usize]
+        .parse()
+        .unwrap();
+    match kind % 8 {
+        0 => {
+            // Label flip.
+            let s = world.node_mut(victim).unwrap().subscriber_mut().unwrap();
+            s.label = Some(lab);
+        }
+        1 => {
+            // Dropped edges.
+            let s = world.node_mut(victim).unwrap().subscriber_mut().unwrap();
+            s.left = None;
+            s.right = None;
+        }
+        2 => {
+            // Garbled ring edge pointing at self under a random label.
+            let s = world.node_mut(victim).unwrap().subscriber_mut().unwrap();
+            s.ring = Some(skippub_core::NodeRef::new(lab, victim));
+        }
+        3 => {
+            // Stale db entry: (label, ⊥).
+            let sup = world.node_mut(sup_id).unwrap().supervisor_mut().unwrap();
+            sup.database.insert(lab, None);
+        }
+        4 => {
+            // Duplicate db value under an extra label.
+            let sup = world.node_mut(sup_id).unwrap().supervisor_mut().unwrap();
+            sup.database.insert(lab, Some(victim));
+        }
+        5 => {
+            // Membership-intent flip (an "unsubscribing but still
+            // labelled and listed" state).
+            let s = world.node_mut(victim).unwrap().subscriber_mut().unwrap();
+            s.wants_membership = !s.wants_membership;
+        }
+        6 => {
+            // Shortcut poisoning: clear one slot or file a bogus one.
+            let s = world.node_mut(victim).unwrap().subscriber_mut().unwrap();
+            if b % 2 == 0 {
+                if let Some(k) = s.shortcuts.keys().next().copied() {
+                    s.shortcuts.insert(k, None);
+                }
+            } else {
+                s.shortcuts.insert(lab, Some(NodeId(a)));
+            }
+        }
+        _ => {
+            // db entry redirected to a dead/unknown node.
+            let sup = world.node_mut(sup_id).unwrap().supervisor_mut().unwrap();
+            if let Some(v) = sup.database.values_mut().next() {
+                *v = Some(NodeId(0xDEAD_0000 + a));
+            }
+        }
+    }
+}
+
+fn assert_paths_agree(world: &World<skippub_core::Actor>, scratch: &mut CheckScratch) {
+    let full = checker::check_topology(world);
+    let fast = checker::fast_check_topology(world, scratch);
+    assert_eq!(
+        fast,
+        full.ok(),
+        "fast and diagnostic checkers disagree; issues: {:?}",
+        full.issues
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fast_equals_diagnostic_on_corrupted_worlds(
+        seed in any::<u64>(),
+        n in 2usize..12,
+        corruptions in vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..6),
+    ) {
+        let mut world = scenarios::legit_world(n, seed, ProtocolConfig::default());
+        let mut scratch = CheckScratch::default();
+        // Sanity: the uncorrupted world agrees (and is legitimate).
+        prop_assert!(checker::fast_check_topology(&world, &mut scratch));
+        for c in corruptions {
+            apply(&mut world, c);
+            let full = checker::check_topology(&world).ok();
+            let fast = checker::fast_check_topology(&world, &mut scratch);
+            prop_assert_eq!(fast, full);
+        }
+    }
+
+    #[test]
+    fn fast_equals_diagnostic_on_mid_stabilization_snapshots(
+        seed in any::<u64>(),
+        n in 2usize..10,
+    ) {
+        // A cold start passes through every intermediate topology shape;
+        // the paths must agree on each per-round snapshot, not just on
+        // the fixed points.
+        let mut world = scenarios::cold_world(n, seed, ProtocolConfig::default());
+        let mut scratch = CheckScratch::default();
+        for _ in 0..120 {
+            let full = checker::check_topology(&world).ok();
+            let fast = checker::fast_check_topology(&world, &mut scratch);
+            prop_assert_eq!(fast, full);
+            if full {
+                break;
+            }
+            world.run_round();
+        }
+    }
+}
+
+#[test]
+fn scratch_is_reusable_across_divergent_worlds() {
+    // One scratch must serve worlds of very different sizes without
+    // carrying state over (stale buffers were a real failure mode of
+    // hand-rolled scratch reuse).
+    let mut scratch = CheckScratch::default();
+    for n in [1usize, 16, 2, 33, 1] {
+        let world = scenarios::legit_world(n, 5, ProtocolConfig::default());
+        assert_paths_agree(&world, &mut scratch);
+    }
+}

@@ -181,6 +181,12 @@ pub(crate) struct RunMeta<'a> {
     pub topics: u32,
     pub shards: usize,
     pub threads: usize,
+    /// Live clients at drain time, maintained by the caller's own op
+    /// bookkeeping (spawns minus crashes — leavers stay live nodes on
+    /// every backend) instead of a fresh `subscriber_ids()` scan+Vec of
+    /// the backend; `assemble_report` cross-checks the two in debug
+    /// builds.
+    pub final_population: usize,
 }
 
 /// Phase bookkeeping shared between live execution and trace replay.
@@ -382,6 +388,10 @@ fn execute(
         topics: spec.topics,
         shards: spec.shards,
         threads: spec.threads,
+        // The engine's own churn bookkeeping *is* the live-client list:
+        // every spawn lands in `slot_ids`, every crash in `crashed`, and
+        // graceful leavers remain live nodes on every backend.
+        final_population: slot_ids.len() - crashed.len(),
     };
     let (report, delivered) =
         assemble_report(ps, &meta, phases, &membership, &drained, rec.ops);
@@ -454,6 +464,11 @@ pub(crate) fn assemble_report(
         delivered.insert(topic, common);
     }
     let (pubs_converged, total_pubs) = ps.publications_converged();
+    debug_assert_eq!(
+        meta.final_population,
+        ps.subscriber_ids().len(),
+        "op-derived live-client count must match the backend's view"
+    );
     let report = ScenarioReport {
         scenario: meta.scenario.to_string(),
         backend: ps.backend_name().to_string(),
@@ -461,7 +476,7 @@ pub(crate) fn assemble_report(
         topics: meta.topics,
         shards: meta.shards,
         threads: meta.threads,
-        final_population: ps.subscriber_ids().len(),
+        final_population: meta.final_population,
         warm_rounds: phases.warm_rounds,
         warm_ok: phases.warm_ok,
         scheduled_rounds: phases.scheduled_rounds,

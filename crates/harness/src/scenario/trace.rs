@@ -280,6 +280,11 @@ impl Trace {
         let mut membership: BTreeMap<u32, Vec<NodeId>> =
             (0..self.topics).map(|t| (t, Vec::new())).collect();
         let mut drained: BTreeMap<NodeId, Vec<Delivery>> = BTreeMap::new();
+        // Live-client bookkeeping from the op stream (distinct crashed
+        // ids: traces come from files, so a hand-edited double-crash or
+        // crash-without-subscribe must not underflow or miscount).
+        let mut spawned = 0usize;
+        let mut crashed: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
         let phase_key = |name: &str| -> Result<&'static str, String> {
             ["populate", "warm", "seed", "run", "stop", "settle", "drain"]
                 .into_iter()
@@ -305,11 +310,18 @@ impl Trace {
                 }
                 TraceLine::Op(op) => {
                     ops.record(op);
-                    if matches!(op, Op::Step) {
-                        if phase.is_empty() {
-                            return Err("step before the first phase marker".into());
+                    match op {
+                        Op::Step => {
+                            if phase.is_empty() {
+                                return Err("step before the first phase marker".into());
+                            }
+                            *steps.entry(phase).or_default() += 1;
                         }
-                        *steps.entry(phase).or_default() += 1;
+                        Op::Subscribe { .. } => spawned += 1,
+                        Op::Crash { id } => {
+                            crashed.insert(*id);
+                        }
+                        _ => {}
                     }
                     op.apply(ps);
                 }
@@ -339,6 +351,11 @@ impl Trace {
             topics: self.topics,
             shards: self.shards,
             threads: self.threads,
+            // Same derivation as the live engine's bookkeeping (spawns
+            // minus distinct crashed ids); engine-recorded traces agree
+            // by construction, and corrupted traces saturate instead of
+            // underflowing.
+            final_population: spawned.saturating_sub(crashed.len()),
         };
         let (report, _) = assemble_report(ps, &meta, phases, &membership, &drained, ops);
         Ok(report)

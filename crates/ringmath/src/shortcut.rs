@@ -45,6 +45,14 @@ pub struct ShortcutTarget {
 /// ```
 pub fn derive_side(v: Label, neighbor: Label) -> Vec<ShortcutTarget> {
     let mut out = Vec::new();
+    derive_side_into(v, neighbor, &mut out);
+    out
+}
+
+/// [`derive_side`] into a caller-provided buffer (appended, not
+/// cleared) — the allocation-free form hot checkers use with a reusable
+/// scratch vector.
+pub fn derive_side_into(v: Label, neighbor: Label, out: &mut Vec<ShortcutTarget>) {
     let mut w = neighbor;
     let mut guard = 0u8;
     while w.len() > v.len() && guard < Label::MAX_LEN {
@@ -58,7 +66,6 @@ pub fn derive_side(v: Label, neighbor: Label) -> Vec<ShortcutTarget> {
         w = s;
         guard += 1;
     }
-    out
 }
 
 /// All shortcut targets of `v` given both direct ring neighbours, in
@@ -75,10 +82,25 @@ pub fn derive_all(v: Label, left: Label, right: Label) -> Vec<ShortcutTarget> {
 /// sorted by level then label — the exact content `v.shortcuts` must have
 /// in a legitimate state. Used by the checker and by `SetData` handling.
 pub fn expected_shortcuts(v: Label, left: Label, right: Label) -> Vec<ShortcutTarget> {
-    let mut all = derive_all(v, left, right);
-    all.sort_by_key(|t| (t.level, t.label));
-    all.dedup();
+    let mut all = Vec::new();
+    expected_shortcuts_into(v, left, right, &mut all);
     all
+}
+
+/// [`expected_shortcuts`] into a caller-provided buffer (cleared
+/// first). With a reused buffer this derivation allocates nothing after
+/// the buffer's one-time growth — the form the boolean checker's hot
+/// path uses.
+///
+/// The deduplicated labels are **distinct**: a target's level is a
+/// function of `(|v|, |label|)` alone, so the same label reached from
+/// both sides always carries the same level and collapses in the dedup.
+pub fn expected_shortcuts_into(v: Label, left: Label, right: Label, out: &mut Vec<ShortcutTarget>) {
+    out.clear();
+    derive_side_into(v, left, out);
+    derive_side_into(v, right, out);
+    out.sort_by_key(|t| (t.level, t.label));
+    out.dedup();
 }
 
 #[cfg(test)]

@@ -61,12 +61,47 @@ pub trait Protocol {
     }
 }
 
+/// Monotone per-key change counters — the engine's **dirty-channel
+/// table**. Protocols report "something checkable changed on channel
+/// `key`" via [`Ctx::mark_dirty`]; observers read the counters through
+/// [`World::dirty_version`](crate::World::dirty_version) (or the
+/// partitioned aggregate) and re-examine a channel only when its version
+/// moved. The engine attaches no meaning to keys: the protocol layer
+/// picks the keying scheme (the pub-sub layer uses two keys per topic —
+/// topology and publications).
+///
+/// Reads of unknown keys return 0 and never grow the table, so polling
+/// a quiescent channel allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct DirtyTable {
+    versions: Vec<u64>,
+}
+
+impl DirtyTable {
+    /// Bumps `key`'s version (growing the table on first sight).
+    #[inline]
+    pub fn bump(&mut self, key: u32) {
+        let key = key as usize;
+        if key >= self.versions.len() {
+            self.versions.resize(key + 1, 0);
+        }
+        self.versions[key] += 1;
+    }
+
+    /// Current version of `key` (0 if never bumped). Never allocates.
+    #[inline]
+    pub fn version(&self, key: u32) -> u64 {
+        self.versions.get(key as usize).copied().unwrap_or(0)
+    }
+}
+
 /// Handler-side context: the only way a node interacts with the world.
 pub struct Ctx<'a, M> {
     me: NodeId,
     round: u64,
     out: &'a mut Vec<(NodeId, M)>,
     rng: &'a mut StdRng,
+    dirty: &'a mut DirtyTable,
 }
 
 impl<M> Ctx<'_, M> {
@@ -107,6 +142,15 @@ impl<M> Ctx<'_, M> {
         self.rng.random_range(0..n)
     }
 
+    /// Reports that protocol state relevant to dirty channel `key`
+    /// changed during this handler invocation (see [`DirtyTable`]).
+    /// Consumes no randomness and sends nothing — purely observational,
+    /// so marking can never perturb a trajectory.
+    #[inline]
+    pub fn mark_dirty(&mut self, key: u32) {
+        self.dirty.bump(key);
+    }
+
     /// Runs `f` with a **nested** context of a different message type,
     /// collecting its sends into `out` — the hook for adapter protocols
     /// that wrap an inner protocol and re-tag its messages (the §4
@@ -125,6 +169,7 @@ impl<M> Ctx<'_, M> {
             round: self.round,
             out,
             rng: self.rng,
+            dirty: self.dirty,
         };
         f(&mut inner);
     }
@@ -140,11 +185,13 @@ pub(crate) fn detached_ctx_run<M>(
 ) -> Vec<(NodeId, M)> {
     let mut out = Vec::new();
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut dirty = DirtyTable::default();
     let mut ctx = Ctx {
         me,
         round: 0,
         out: &mut out,
         rng: &mut rng,
+        dirty: &mut dirty,
     };
     f(&mut ctx);
     out
@@ -229,6 +276,9 @@ pub(crate) struct Partition<P: Protocol> {
     order: Vec<(u64, u32)>,
     rng: StdRng,
     metrics: Metrics,
+    /// Dirty-channel versions reported by handlers via
+    /// [`Ctx::mark_dirty`] (plus external bumps routed by the wrapper).
+    dirty: DirtyTable,
     round: u64,
     /// Serial-world routing policy (see type docs).
     local_only: bool,
@@ -260,6 +310,7 @@ impl<P: Protocol> Partition<P> {
             order: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::default(),
+            dirty: DirtyTable::default(),
             round: 0,
             local_only,
             outbox: Vec::new(),
@@ -414,6 +465,16 @@ impl<P: Protocol> Partition<P> {
         &self.metrics
     }
 
+    /// This partition's dirty-channel table.
+    pub(crate) fn dirty(&self) -> &DirtyTable {
+        &self.dirty
+    }
+
+    /// Mutable dirty-channel table (external-operation bumps).
+    pub(crate) fn dirty_mut(&mut self) -> &mut DirtyTable {
+        &mut self.dirty
+    }
+
     /// Rounds this partition has stepped.
     pub(crate) fn round(&self) -> u64 {
         self.round
@@ -444,6 +505,7 @@ impl<P: Protocol> Partition<P> {
             round,
             out: &mut out,
             rng: &mut self.rng,
+            dirty: &mut self.dirty,
         };
         let r = f(&mut slot.proto, &mut ctx);
         self.route_from(midx, &mut out);
@@ -482,6 +544,7 @@ impl<P: Protocol> Partition<P> {
                     round,
                     out: &mut out,
                     rng: &mut self.rng,
+                    dirty: &mut self.dirty,
                 };
                 slot.proto.on_message(&mut ctx, msg);
                 slot.midx
@@ -508,6 +571,7 @@ impl<P: Protocol> Partition<P> {
                     round,
                     out: &mut out,
                     rng: &mut self.rng,
+                    dirty: &mut self.dirty,
                 };
                 slot.proto.on_timeout(&mut ctx);
                 slot.midx

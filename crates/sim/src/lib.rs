@@ -29,7 +29,7 @@ mod partitioned;
 pub mod testing;
 mod world;
 
-pub use engine::{ChaosConfig, Ctx, Envelope, NodeId, Protocol};
+pub use engine::{ChaosConfig, Ctx, DirtyTable, Envelope, NodeId, Protocol};
 pub use metrics::Metrics;
 pub use partitioned::{NodeView, PartitionedWorld};
 pub use world::World;

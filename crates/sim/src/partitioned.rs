@@ -113,6 +113,11 @@ pub struct PartitionedWorld<P: Protocol> {
     home: HashMap<u64, u32, FxBuildHasher>,
     threads: usize,
     round: u64,
+    /// Dirty-channel bumps from external operations (node additions,
+    /// crashes, harness-driven calls) — kept world-level so they need
+    /// no partition routing; [`PartitionedWorld::dirty_version`] sums
+    /// this table with every partition's handler-reported bumps.
+    extra_dirty: crate::DirtyTable,
     /// Accounting for external injects to ids no partition hosts: the
     /// serial world counts such a send (and its immediate §3.3 drop) in
     /// its single metrics, so the partitioned world keeps the same
@@ -135,6 +140,7 @@ impl<P: Protocol> PartitionedWorld<P> {
             home: HashMap::default(),
             threads,
             round: 0,
+            extra_dirty: crate::DirtyTable::default(),
             orphan: Metrics::default(),
         }
     }
@@ -246,6 +252,25 @@ impl<P: Protocol> PartitionedWorld<P> {
     /// Rounds executed so far.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Current version of dirty channel `key`: the sum of every
+    /// partition's handler-reported bumps plus the external-operation
+    /// bumps. A sum of monotone counters is monotone, and it moves iff
+    /// some component moved, which is all observers rely on. Never
+    /// allocates.
+    pub fn dirty_version(&self, key: u32) -> u64 {
+        let mut v = self.extra_dirty.version(key);
+        for p in &self.partitions {
+            v += p.dirty().version(key);
+        }
+        v
+    }
+
+    /// Bumps dirty channel `key` from outside the protocol (external
+    /// operations; see [`World::bump_dirty`]).
+    pub fn bump_dirty(&mut self, key: u32) {
+        self.extra_dirty.bump(key);
     }
 
     /// Total in-flight messages: channel contents plus mailbox envelopes.

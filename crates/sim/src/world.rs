@@ -128,6 +128,21 @@ impl<P: Protocol> World<P> {
         self.p.round()
     }
 
+    /// Current version of dirty channel `key` — monotone, bumped by
+    /// handlers via [`Ctx::mark_dirty`] and by [`World::bump_dirty`].
+    /// Observers cache work keyed on a channel and redo it only when the
+    /// version moved. Never allocates.
+    pub fn dirty_version(&self, key: u32) -> u64 {
+        self.p.dirty().version(key)
+    }
+
+    /// Bumps dirty channel `key` from outside the protocol — the hook
+    /// for external operations (join/leave/crash/publish calls) that
+    /// change observable state without a handler running.
+    pub fn bump_dirty(&mut self, key: u32) {
+        self.p.dirty_mut().bump(key);
+    }
+
     /// Lets the harness drive a node as if it acted locally: runs `f` with
     /// the node's state and a context, then routes whatever it sent.
     /// Returns `None` if the node does not exist.

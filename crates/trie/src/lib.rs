@@ -28,4 +28,4 @@ pub mod sync;
 mod trie;
 
 pub use publication::Publication;
-pub use trie::{CheckOutcome, NodeSummary, PatriciaTrie};
+pub use trie::{CheckOutcome, NodeSummary, PatriciaTrie, PubIter};

@@ -341,12 +341,28 @@ impl PatriciaTrie {
         out
     }
 
-    /// All stored keys in order (testing/diagnostics).
+    /// Borrowing depth-first iterator over stored publications in key
+    /// order. Unlike [`PatriciaTrie::publications`] it materializes no
+    /// `Vec` of references up front (only a small index stack), and
+    /// unlike [`PatriciaTrie::keys`] it clones nothing — the form hot
+    /// paths (event draining, convergence checking) iterate with.
+    pub fn iter_publications(&self) -> PubIter<'_> {
+        PubIter {
+            trie: self,
+            stack: self.root.into_iter().collect(),
+        }
+    }
+
+    /// Borrowing iterator over stored keys in order — see
+    /// [`PatriciaTrie::iter_publications`].
+    pub fn iter_keys(&self) -> impl Iterator<Item = &BitStr> {
+        self.iter_publications().map(|p| p.key())
+    }
+
+    /// All stored keys in order, cloned (testing/diagnostics; hot paths
+    /// use the borrowing [`PatriciaTrie::iter_keys`]).
     pub fn keys(&self) -> Vec<BitStr> {
-        self.publications()
-            .into_iter()
-            .map(|p| p.key().clone())
-            .collect()
+        self.iter_keys().cloned().collect()
     }
 
     /// Receiver-side handling of one `CheckTrie` tuple `(label, hash)` —
@@ -452,6 +468,31 @@ impl PatriciaTrie {
             }
         }
         Ok(())
+    }
+}
+
+/// Borrowing DFS over a trie's leaves in key order (child 0 before
+/// child 1 at every inner node) — see [`PatriciaTrie::iter_publications`].
+pub struct PubIter<'a> {
+    trie: &'a PatriciaTrie,
+    stack: Vec<usize>,
+}
+
+impl<'a> Iterator for PubIter<'a> {
+    type Item = &'a Publication;
+
+    fn next(&mut self) -> Option<&'a Publication> {
+        while let Some(idx) = self.stack.pop() {
+            match &self.trie.nodes[idx].kind {
+                Kind::Leaf(p) => return Some(p),
+                Kind::Inner([c0, c1]) => {
+                    // Push bit-1 first so bit-0 pops first: key order.
+                    self.stack.push(*c1);
+                    self.stack.push(*c0);
+                }
+            }
+        }
+        None
     }
 }
 
@@ -692,6 +733,22 @@ mod tests {
         assert_eq!(t.len(), 200);
         t.debug_validate().unwrap();
         assert_eq!(t.publications().len(), 200);
+    }
+
+    #[test]
+    fn borrowing_iterators_match_materialized_views() {
+        let (u, _) = figure2();
+        let iter_keys: Vec<String> = u.iter_keys().map(|k| k.to_string()).collect();
+        assert_eq!(iter_keys, ["000", "010", "100", "101"]);
+        let cloned: Vec<String> = u.keys().iter().map(|k| k.to_string()).collect();
+        assert_eq!(iter_keys, cloned);
+        let via_vec: Vec<&Publication> = u.publications();
+        let via_iter: Vec<&Publication> = u.iter_publications().collect();
+        assert_eq!(via_vec.len(), via_iter.len());
+        for (a, b) in via_vec.iter().zip(&via_iter) {
+            assert_eq!(a.key(), b.key());
+        }
+        assert_eq!(PatriciaTrie::new().iter_publications().count(), 0);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Incremental-vs-from-scratch checker conformance under churn: the
+//! facade's cached `is_legitimate` / `publications_converged` verdicts
+//! must equal the pre-PR from-scratch computations (`*_full`) **after
+//! every round** of a long randomized churn script — the correctness
+//! bar of the incremental checking layer, exercised on the multi-topic
+//! and sharded backends (whose per-topic member index and verdict
+//! caches carry the most state) and on the single-topic sim/chaos
+//! backends.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skippub_core::pubsub::{MultiTopicBackend, ShardedBackend, SimBackend};
+use skippub_core::{PubSub, SystemBuilder, TopicId};
+use skippub_sim::NodeId;
+
+/// Drives `rounds` rounds of randomized churn (arrivals, joins, leaves,
+/// crashes with delayed detector reports, publishes, seeds) and checks
+/// incremental == from-scratch after every round. `full`/`incr` adapt
+/// over the concrete backend type (the `_full` twins are inherent
+/// methods, not part of the `PubSub` trait).
+fn churn_conformance<B: PubSub>(
+    ps: &mut B,
+    topics: u32,
+    seed: u64,
+    rounds: u32,
+    full: impl Fn(&B) -> (bool, (bool, usize)),
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<NodeId> = Vec::new();
+    let mut pending_reports: Vec<(u32, NodeId)> = Vec::new();
+    // Initial population: 3 clients per topic.
+    for t in 0..topics {
+        for _ in 0..3 {
+            live.push(ps.subscribe(TopicId(t)));
+        }
+    }
+    for round in 0..rounds {
+        // A couple of random ops per round.
+        for _ in 0..2 {
+            let t = TopicId(rng.random_range(0..topics as usize) as u32);
+            match rng.random_range(0..10usize) {
+                0 => live.push(ps.subscribe(t)),
+                1 => {
+                    if let Some(&id) = live.get(rng.random_range(0..live.len().max(1)) % live.len().max(1)) {
+                        ps.join(id, t);
+                    }
+                }
+                2
+                    if !live.is_empty() => {
+                        let id = live[rng.random_range(0..live.len())];
+                        ps.unsubscribe(id, t);
+                    }
+                3
+                    if live.len() > topics as usize => {
+                        let id = live.swap_remove(rng.random_range(0..live.len()));
+                        ps.crash(id);
+                        pending_reports.push((round + 3, id));
+                    }
+                4 | 5
+                    if !live.is_empty() => {
+                        let id = live[rng.random_range(0..live.len())];
+                        let payload = format!("r{round} by {id}").into_bytes();
+                        ps.publish(id, t, payload);
+                    }
+                6
+                    if !live.is_empty() => {
+                        let id = live[rng.random_range(0..live.len())];
+                        let p = skippub_trie::Publication::new(id.0, format!("seed {round}").into_bytes());
+                        ps.seed_publication(id, t, p);
+                    }
+                _ => {}
+            }
+        }
+        // Detector reports land with a 3-round delay.
+        pending_reports.retain(|&(due, id)| {
+            if due <= round {
+                ps.report_crash(id);
+                false
+            } else {
+                true
+            }
+        });
+        ps.step();
+        let (legit_full, pubs_full) = full(ps);
+        assert_eq!(
+            ps.is_legitimate(),
+            legit_full,
+            "round {round}: incremental legitimacy diverged from from-scratch"
+        );
+        assert_eq!(
+            ps.publications_converged(),
+            pubs_full,
+            "round {round}: incremental convergence diverged from from-scratch"
+        );
+    }
+}
+
+#[test]
+fn multi_topic_incremental_matches_full_over_200_churn_rounds() {
+    let topics = 8u32;
+    let mut ps = SystemBuilder::new(0xC0FFEE).topics(topics).build_multi();
+    churn_conformance(&mut ps, topics, 17, 200, |ps: &MultiTopicBackend| {
+        (ps.is_legitimate_full(), ps.publications_converged_full())
+    });
+}
+
+#[test]
+fn sharded_incremental_matches_full_over_200_churn_rounds() {
+    let topics = 8u32;
+    let mut ps = SystemBuilder::new(0xC0FFEE)
+        .topics(topics)
+        .shards(4)
+        .threads(2)
+        .build_sharded();
+    churn_conformance(&mut ps, topics, 18, 200, |ps: &ShardedBackend| {
+        (ps.is_legitimate_full(), ps.publications_converged_full())
+    });
+}
+
+#[test]
+fn sim_and_chaos_incremental_matches_full_under_churn() {
+    for chaos in [false, true] {
+        let b = SystemBuilder::new(0xFACADE);
+        let mut ps = if chaos { b.build_chaos() } else { b.build_sim() };
+        churn_conformance(&mut ps, 1, 19, 120, |ps: &SimBackend| {
+            (ps.is_legitimate_full(), ps.publications_converged_full())
+        });
+    }
+}
+
+#[test]
+fn full_checking_switch_routes_to_the_from_scratch_path() {
+    // The A/B switch used by the checker bench: with full checking on,
+    // the facade verdicts still agree (they are the same predicate).
+    let mut ps = SystemBuilder::new(5).topics(3).build_multi();
+    for t in 0..3 {
+        ps.subscribe(TopicId(t));
+        ps.subscribe(TopicId(t));
+    }
+    assert!(ps.until_legit(4_000).1);
+    let inc = (ps.is_legitimate(), ps.publications_converged());
+    ps.set_full_checking(true);
+    assert_eq!((ps.is_legitimate(), ps.publications_converged()), inc);
+    ps.set_full_checking(false);
+    assert_eq!((ps.is_legitimate(), ps.publications_converged()), inc);
+}
+
+#[test]
+fn raw_world_access_invalidates_cached_verdicts() {
+    // The escape hatch must not leave stale verdicts behind: corrupting
+    // a subscriber through `world_mut` after a cached "legitimate" poll
+    // must flip the next poll.
+    let mut ps = SystemBuilder::new(6).topics(2).build_multi();
+    let a = ps.subscribe(TopicId(0));
+    ps.subscribe(TopicId(0));
+    ps.subscribe(TopicId(1));
+    assert!(ps.until_legit(4_000).1);
+    assert!(ps.is_legitimate());
+    let world = ps.world_mut();
+    let actor = world.node_mut(a).unwrap();
+    let sub = actor.topic_subscriber_mut(TopicId(0)).unwrap();
+    sub.label = Some("111111".parse().unwrap());
+    assert!(!ps.is_legitimate(), "corruption behind the facade must be seen");
+    assert_eq!(ps.is_legitimate(), ps.is_legitimate_full());
+    // Same for the sim backend's escape hatch.
+    let mut ps = SystemBuilder::new(7).build_sim();
+    let a = ps.subscribe(TopicId(0));
+    ps.subscribe(TopicId(0));
+    assert!(ps.until_legit(2_000).1);
+    assert!(ps.is_legitimate());
+    let s = ps
+        .sim_mut()
+        .world_mut()
+        .node_mut(a)
+        .unwrap()
+        .subscriber_mut()
+        .unwrap();
+    s.left = None;
+    s.right = None;
+    s.ring = None;
+    assert_eq!(ps.is_legitimate(), ps.is_legitimate_full());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Randomized-seed variant of the churn conformance on both
+    /// multi-world backends (shorter horizon; the 200-round fixed-seed
+    /// tests above are the deep soak).
+    #[test]
+    fn incremental_matches_full_for_random_seeds(seed in any::<u64>()) {
+        let topics = 5u32;
+        let mut ps = SystemBuilder::new(seed).topics(topics).build_multi();
+        churn_conformance(&mut ps, topics, seed ^ 0x55, 60, |ps: &MultiTopicBackend| {
+            (ps.is_legitimate_full(), ps.publications_converged_full())
+        });
+        let mut ps = SystemBuilder::new(seed)
+            .topics(topics)
+            .shards(3)
+            .build_sharded();
+        churn_conformance(&mut ps, topics, seed ^ 0xAA, 60, |ps: &ShardedBackend| {
+            (ps.is_legitimate_full(), ps.publications_converged_full())
+        });
+    }
+}

@@ -4,26 +4,74 @@
 //! starting at the most significant ("leftmost") position, matching the
 //! paper's notation `y = (y₁ … y_d)` where `y₁` is the bit that contributes
 //! `y₁/2` to the real value `r(y)`.
+//!
+//! ## Storage
+//!
+//! Strings of at most 64 bits — every skip-ring label up to `n ≈ 2^64`
+//! members and every publication key at the default `m = 64` — are stored
+//! **inline** in a single `u64` with no heap allocation. Longer strings
+//! spill to a `Vec<u64>`. The representation is canonical (`len ≤ 64` ⇔
+//! inline), but equality, ordering, hashing and the canonical byte
+//! encoding are all defined over the *logical* word sequence and therefore
+//! representation-independent by construction. Spill events are counted in
+//! a process-wide gauge ([`BitStr::heap_allocations`]) so tests can prove
+//! that protocol steady state never leaves the inline path.
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Number of bits stored per backing word.
 const WORD_BITS: usize = 64;
 
+/// Process-wide count of heap (spill) allocations made by `BitStr`.
+static HEAP_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Backing storage: a single inline word for strings of at most 64 bits,
+/// a word vector beyond that. `Spilled` is only ever constructed for
+/// `len > 64` (truncation un-spills), so the representation is a function
+/// of the length alone.
+enum Repr {
+    Inline(u64),
+    Spilled(Vec<u64>),
+}
+
 /// An arbitrary-length bit string over `{0,1}`, MSB-first.
 ///
-/// Bit `i` of the string is stored in `words[i / 64]` at bit position
-/// `63 - (i % 64)`, i.e. the string `"10"` is one word with the top bit set.
-/// All bits past `len` inside the last word are kept at zero (a maintained
-/// invariant that makes equality, hashing and comparison plain word
-/// operations).
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+/// Bit `i` of the string is stored in word `i / 64` at bit position
+/// `63 - (i % 64)`, i.e. the string `"10"` is one word with the top bit
+/// set. All bits past `len` inside the last word are kept at zero (a
+/// maintained invariant that makes equality, hashing and comparison plain
+/// word operations). The spilled word vector always holds exactly
+/// `len.div_ceil(64)` words.
 pub struct BitStr {
-    words: Vec<u64>,
+    repr: Repr,
     len: usize,
+}
+
+impl Clone for BitStr {
+    fn clone(&self) -> Self {
+        let repr = match &self.repr {
+            Repr::Inline(w) => Repr::Inline(*w),
+            Repr::Spilled(v) => {
+                HEAP_ALLOCATIONS.fetch_add(1, AtomicOrdering::Relaxed);
+                Repr::Spilled(v.clone())
+            }
+        };
+        BitStr {
+            repr,
+            len: self.len,
+        }
+    }
+}
+
+impl Default for BitStr {
+    #[inline]
+    fn default() -> Self {
+        BitStr::new()
+    }
 }
 
 impl BitStr {
@@ -31,17 +79,67 @@ impl BitStr {
     #[inline]
     pub fn new() -> Self {
         BitStr {
-            words: Vec::new(),
+            repr: Repr::Inline(0),
             len: 0,
         }
     }
 
-    /// Creates a bit string with capacity for `bits` bits pre-allocated.
+    /// Creates a bit string with capacity for `bits` bits. Strings up to
+    /// 64 bits live inline, so this allocates nothing; it is kept for API
+    /// compatibility and as documentation of intent at call sites.
     #[inline]
-    pub fn with_capacity(bits: usize) -> Self {
-        BitStr {
-            words: Vec::with_capacity(bits.div_ceil(WORD_BITS)),
-            len: 0,
+    pub fn with_capacity(_bits: usize) -> Self {
+        BitStr::new()
+    }
+
+    /// Number of heap allocations `BitStr` has performed process-wide
+    /// (spills past 64 bits, including clones of spilled strings).
+    /// Strings on the inline path never contribute. Monotone; tests
+    /// measure deltas across a workload window.
+    #[inline]
+    pub fn heap_allocations() -> u64 {
+        HEAP_ALLOCATIONS.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Whether this string is stored inline (no heap allocation).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+
+    /// The logical backing words: exactly `len.div_ceil(64)` of them,
+    /// MSB-first, bits past `len` zero.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => {
+                let n = usize::from(self.len != 0);
+                &std::slice::from_ref(w)[..n]
+            }
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// Converts to the spilled representation with room for `total` bits.
+    /// No-op if already spilled (beyond a `reserve`).
+    fn spill(&mut self, total: usize) {
+        if let Repr::Inline(w) = self.repr {
+            HEAP_ALLOCATIONS.fetch_add(1, AtomicOrdering::Relaxed);
+            let mut v = Vec::with_capacity(total.div_ceil(WORD_BITS));
+            if self.len != 0 {
+                v.push(w);
+            }
+            self.repr = Repr::Spilled(v);
+        }
+    }
+
+    /// Re-inlines a spilled string whose length has dropped to ≤ 64 bits,
+    /// restoring the canonical representation (and the no-alloc `Clone`).
+    fn unspill_if_short(&mut self) {
+        if self.len <= WORD_BITS {
+            if let Repr::Spilled(v) = &self.repr {
+                self.repr = Repr::Inline(v.first().copied().unwrap_or(0));
+            }
         }
     }
 
@@ -64,7 +162,7 @@ impl BitStr {
             value & ((1u64 << len) - 1)
         };
         BitStr {
-            words: vec![masked << (WORD_BITS - len)],
+            repr: Repr::Inline(masked << (WORD_BITS - len)),
             len,
         }
     }
@@ -84,7 +182,7 @@ impl BitStr {
             !((1u64 << (WORD_BITS - len)) - 1)
         };
         BitStr {
-            words: vec![frac & keep],
+            repr: Repr::Inline(frac & keep),
             len,
         }
     }
@@ -95,7 +193,10 @@ impl BitStr {
     /// for strings of at most 64 bits.
     #[inline]
     pub fn frac_u64(&self) -> u64 {
-        self.words.first().copied().unwrap_or(0)
+        match &self.repr {
+            Repr::Inline(w) => *w,
+            Repr::Spilled(v) => v.first().copied().unwrap_or(0),
+        }
     }
 
     /// Number of bits in the string.
@@ -118,18 +219,34 @@ impl BitStr {
             "bit index {i} out of range (len {})",
             self.len
         );
-        let word = self.words[i / WORD_BITS];
+        let word = self.words()[i / WORD_BITS];
         (word >> (WORD_BITS - 1 - (i % WORD_BITS))) & 1 == 1
     }
 
     /// Appends one bit at the end (least significant / rightmost position).
     pub fn push(&mut self, bit: bool) {
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                if self.len < WORD_BITS {
+                    if bit {
+                        *w |= 1u64 << (WORD_BITS - 1 - self.len);
+                    }
+                    self.len += 1;
+                    return;
+                }
+                self.spill(self.len + 1);
+            }
+            Repr::Spilled(_) => {}
+        }
+        let Repr::Spilled(v) = &mut self.repr else {
+            unreachable!("spill() always yields the spilled representation")
+        };
         let slot = self.len / WORD_BITS;
-        if slot == self.words.len() {
-            self.words.push(0);
+        if slot == v.len() {
+            v.push(0);
         }
         if bit {
-            self.words[slot] |= 1u64 << (WORD_BITS - 1 - (self.len % WORD_BITS));
+            v[slot] |= 1u64 << (WORD_BITS - 1 - (self.len % WORD_BITS));
         }
         self.len += 1;
     }
@@ -140,13 +257,25 @@ impl BitStr {
             return None;
         }
         self.len -= 1;
-        let slot = self.len / WORD_BITS;
         let mask = 1u64 << (WORD_BITS - 1 - (self.len % WORD_BITS));
-        let bit = self.words[slot] & mask != 0;
-        self.words[slot] &= !mask;
-        // Drop now-unused trailing words so equality/hash stay canonical
-        // (e.g. a push/pop pair across a word boundary must be a no-op).
-        self.words.truncate(self.len.div_ceil(WORD_BITS));
+        let bit = match &mut self.repr {
+            Repr::Inline(w) => {
+                let bit = *w & mask != 0;
+                *w &= !mask;
+                bit
+            }
+            Repr::Spilled(v) => {
+                let slot = self.len / WORD_BITS;
+                let bit = v[slot] & mask != 0;
+                v[slot] &= !mask;
+                // Drop now-unused trailing words so the word vector stays
+                // exactly `len.div_ceil(64)` long (e.g. a push/pop pair
+                // across a word boundary must be a no-op).
+                v.truncate(self.len.div_ceil(WORD_BITS));
+                bit
+            }
+        };
+        self.unspill_if_short();
         Some(bit)
     }
 
@@ -156,20 +285,46 @@ impl BitStr {
             return;
         }
         self.len = new_len;
-        let keep_words = new_len.div_ceil(WORD_BITS);
-        self.words.truncate(keep_words);
         let tail = new_len % WORD_BITS;
-        if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= !((1u64 << (WORD_BITS - tail)) - 1);
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                if tail != 0 {
+                    *w &= !((1u64 << (WORD_BITS - tail)) - 1);
+                } else {
+                    *w = 0;
+                }
+            }
+            Repr::Spilled(v) => {
+                v.truncate(new_len.div_ceil(WORD_BITS));
+                if tail != 0 {
+                    if let Some(last) = v.last_mut() {
+                        *last &= !((1u64 << (WORD_BITS - tail)) - 1);
+                    }
+                }
             }
         }
+        self.unspill_if_short();
     }
 
     /// Returns the prefix consisting of the first `n` bits.
     /// Panics if `n > len`.
     pub fn prefix(&self, n: usize) -> BitStr {
         assert!(n <= self.len, "prefix length {n} exceeds len {}", self.len);
+        if n <= WORD_BITS {
+            // Short prefixes of any string are built inline directly.
+            let mut out = BitStr {
+                repr: Repr::Inline(self.frac_u64()),
+                len: n,
+            };
+            if let Repr::Inline(w) = &mut out.repr {
+                if n == 0 {
+                    *w = 0;
+                } else if n < WORD_BITS {
+                    *w &= !((1u64 << (WORD_BITS - n)) - 1);
+                }
+            }
+            return out;
+        }
         let mut out = self.clone();
         out.truncate(n);
         out
@@ -184,10 +339,28 @@ impl BitStr {
 
     /// Appends all bits of `other` to `self`.
     pub fn extend_from(&mut self, other: &BitStr) {
+        if other.len == 0 {
+            return;
+        }
+        let total = self.len + other.len;
+        if total <= WORD_BITS {
+            // Both inline: a shift-or does the whole append.
+            let ow = other.frac_u64();
+            let Repr::Inline(w) = &mut self.repr else {
+                unreachable!("len ≤ 64 strings are always inline")
+            };
+            *w |= ow >> self.len;
+            self.len = total;
+            return;
+        }
         // Fast path: self ends on a word boundary — memcpy the words.
         if self.len.is_multiple_of(WORD_BITS) {
-            self.words.extend_from_slice(&other.words);
-            self.len += other.len;
+            self.spill(total);
+            let Repr::Spilled(v) = &mut self.repr else {
+                unreachable!("spill() always yields the spilled representation")
+            };
+            v.extend_from_slice(other.words());
+            self.len = total;
             return;
         }
         for bit in other.iter() {
@@ -210,8 +383,10 @@ impl BitStr {
         if self.len == 0 {
             return true;
         }
+        let a = self.words();
+        let b = other.words();
         let full = self.len / WORD_BITS;
-        if self.words[..full] != other.words[..full] {
+        if a[..full] != b[..full] {
             return false;
         }
         let tail = self.len % WORD_BITS;
@@ -219,14 +394,14 @@ impl BitStr {
             return true;
         }
         let mask = !((1u64 << (WORD_BITS - tail)) - 1);
-        (self.words[full] ^ other.words[full]) & mask == 0
+        (a[full] ^ b[full]) & mask == 0
     }
 
     /// Length (in bits) of the longest common prefix of `self` and `other`.
     pub fn common_prefix_len(&self, other: &BitStr) -> usize {
         let max = self.len.min(other.len);
         let mut matched = 0usize;
-        for (a, b) in self.words.iter().zip(other.words.iter()) {
+        for (a, b) in self.words().iter().zip(other.words().iter()) {
             let diff = a ^ b;
             if diff == 0 {
                 matched += WORD_BITS;
@@ -258,7 +433,7 @@ impl BitStr {
         if self.len == 0 {
             return 0;
         }
-        self.words[0] >> (WORD_BITS - self.len)
+        self.frac_u64() >> (WORD_BITS - self.len)
     }
 
     /// Feeds the canonical byte encoding (length header + packed words)
@@ -266,8 +441,64 @@ impl BitStr {
     /// differently.
     pub fn canonical_bytes(&self, sink: &mut Vec<u8>) {
         sink.extend_from_slice(&(self.len as u64).to_le_bytes());
-        for w in &self.words {
+        for w in self.words() {
             sink.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+}
+
+impl PartialEq for BitStr {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for BitStr {}
+
+impl Hash for BitStr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Over the logical words, so inline and spilled builds of the
+        // same string (if one ever escapes the canonical invariant) agree.
+        state.write_usize(self.len);
+        for w in self.words() {
+            state.write_u64(*w);
+        }
+    }
+}
+
+#[cfg(feature = "serde")]
+mod serde_impls {
+    //! The wire format is the pre-SSO struct layout `{words, len}` so
+    //! artifacts serialized by the `Vec<u64>`-backed representation
+    //! deserialize unchanged.
+    use super::BitStr;
+
+    #[derive(serde::Serialize, serde::Deserialize)]
+    struct Raw {
+        words: Vec<u64>,
+        len: usize,
+    }
+
+    impl serde::Serialize for BitStr {
+        fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+            Raw {
+                words: self.words().to_vec(),
+                len: self.len(),
+            }
+            .serialize(s)
+        }
+    }
+
+    impl<'de> serde::Deserialize<'de> for BitStr {
+        fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+            let raw = Raw::deserialize(d)?;
+            let mut out = BitStr::new();
+            for i in 0..raw.len {
+                let w = raw.words.get(i / 64).copied().unwrap_or(0);
+                out.push((w >> (63 - (i % 64))) & 1 == 1);
+            }
+            Ok(out)
         }
     }
 }
@@ -564,5 +795,86 @@ mod tests {
         );
         let collected: BitStr = s.iter().collect();
         assert_eq!(collected, s);
+    }
+
+    #[test]
+    fn short_strings_stay_inline() {
+        let mut s = BitStr::new();
+        assert!(s.is_inline());
+        for _ in 0..64 {
+            s.push(true);
+            assert!(s.is_inline(), "len {} must be inline", s.len());
+        }
+        assert!(BitStr::from_u64_msb(u64::MAX, 64).is_inline());
+        assert!(BitStr::from_frac_u64(u64::MAX, 64).is_inline());
+        assert!("0101010101".parse::<BitStr>().unwrap().is_inline());
+        assert!(s.clone().is_inline());
+        assert!(s.prefix(17).is_inline());
+    }
+
+    #[test]
+    fn spill_boundary_roundtrips() {
+        // 64 → 65 spills; popping back to 64 re-inlines with identical
+        // content, equality and hash.
+        let mut s = BitStr::new();
+        for i in 0..64 {
+            s.push(i % 2 == 0);
+        }
+        let at64 = s.clone();
+        s.push(true);
+        assert!(!s.is_inline());
+        assert_eq!(s.len(), 65);
+        assert_eq!(s.pop(), Some(true));
+        assert!(s.is_inline());
+        assert_eq!(s, at64);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |x: &BitStr| {
+            let mut d = DefaultHasher::new();
+            x.hash(&mut d);
+            d.finish()
+        };
+        assert_eq!(h(&s), h(&at64));
+    }
+
+    #[test]
+    fn truncate_unspills() {
+        let mut s = BitStr::new();
+        for i in 0..130 {
+            s.push(i % 3 == 0);
+        }
+        assert!(!s.is_inline());
+        let expect = s.prefix(40);
+        s.truncate(40);
+        assert!(s.is_inline());
+        assert_eq!(s, expect);
+        assert_eq!(s.to_string().len(), 40);
+    }
+
+    #[test]
+    fn long_prefix_of_long_string() {
+        let mut s = BitStr::new();
+        for i in 0..200 {
+            s.push(i % 5 == 0);
+        }
+        let p = s.prefix(130);
+        assert_eq!(p.len(), 130);
+        for i in 0..130 {
+            assert_eq!(p.get(i), i % 5 == 0, "bit {i}");
+        }
+        assert!(p.is_prefix_of(&s));
+    }
+
+    #[test]
+    fn heap_allocation_gauge_moves_only_on_spill() {
+        let before = BitStr::heap_allocations();
+        let mut s = BitStr::from_u64_msb(0xABCD, 16);
+        for _ in 0..48 {
+            s.push(false);
+        }
+        let t = s.clone();
+        let _ = t.prefix(10);
+        assert_eq!(BitStr::heap_allocations(), before, "inline path allocated");
+        s.push(true); // 65th bit: spill
+        assert!(BitStr::heap_allocations() > before);
     }
 }

@@ -14,7 +14,7 @@ use crate::subscriber::Subscriber;
 use crate::supervisor::Supervisor;
 use skippub_bits::BitStr;
 use skippub_sim::{ChaosConfig, Metrics, NodeId, World};
-use skippub_trie::Publication;
+use skippub_trie::{PayloadInterner, Publication};
 
 /// A single-topic self-stabilizing supervised publish-subscribe system
 /// running in the deterministic simulator.
@@ -22,6 +22,7 @@ pub struct SkipRingSim {
     world: World<Actor>,
     cfg: ProtocolConfig,
     next_id: u64,
+    interner: PayloadInterner,
 }
 
 impl SkipRingSim {
@@ -35,6 +36,7 @@ impl SkipRingSim {
             world,
             cfg,
             next_id: 1,
+            interner: PayloadInterner::new(),
         }
     }
 
@@ -45,7 +47,14 @@ impl SkipRingSim {
             world,
             cfg,
             next_id,
+            interner: PayloadInterner::new(),
         }
+    }
+
+    /// The payload pool backing [`publish`](Self::publish): repeated
+    /// payloads collapse to one shared allocation.
+    pub fn payload_interner(&self) -> &PayloadInterner {
+        &self.interner
     }
 
     /// Adds a fresh subscriber; it joins the topic via its first timeout
@@ -96,11 +105,23 @@ impl SkipRingSim {
     /// Publishes `payload` at subscriber `id`; returns the publication
     /// key, or `None` if the node does not exist.
     pub fn publish(&mut self, id: NodeId, payload: Vec<u8>) -> Option<BitStr> {
+        let shared = self.interner.intern(payload);
         self.world.with_node(id, |actor, ctx| {
             actor
                 .subscriber_mut()
-                .map(|s| s.publish_local(ctx, payload))
+                .map(|s| s.publish_local_shared(ctx, shared))
         })?
+    }
+
+    /// Sets the per-node per-round delivery budget (`None` = unbounded;
+    /// see [`World::set_delivery_budget`]).
+    pub fn set_delivery_budget(&mut self, budget: Option<u32>) {
+        self.world.set_delivery_budget(budget);
+    }
+
+    /// High-water mark of in-flight messages, sampled at round starts.
+    pub fn peak_in_flight(&self) -> usize {
+        self.world.peak_in_flight()
     }
 
     /// One synchronous round (every node: drain channel, then timeout).

@@ -149,7 +149,20 @@ impl Subscriber {
     /// Inserts into the own trie and, when enabled, floods (§4.3).
     /// Returns the derived publication key.
     pub fn publish_local(&mut self, ctx: &mut Ctx<'_, Msg>, payload: Vec<u8>) -> BitStr {
-        let p = Publication::with_key_bits(self.id.0, payload, self.cfg.key_bits);
+        self.publish_local_shared(ctx, payload.into())
+    }
+
+    /// [`publish_local`](Self::publish_local) over an already-shared
+    /// payload (e.g. from a backend's
+    /// [`PayloadInterner`](skippub_trie::PayloadInterner)): the bytes are
+    /// never copied — the trie copy, every flood copy and the caller's
+    /// pool entry all reference one allocation.
+    pub fn publish_local_shared(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        payload: std::sync::Arc<[u8]>,
+    ) -> BitStr {
+        let p = Publication::from_shared(self.id.0, payload, self.cfg.key_bits);
         let key = p.key().clone();
         if self.trie.insert(p.clone()) && self.cfg.flooding {
             self.flood(ctx, p, 1);

@@ -71,6 +71,11 @@ pub struct Stats {
     pub delivered: u64,
     /// Messages consumed without effect (crashed / unknown receivers).
     pub dropped: u64,
+    /// High-water mark of in-flight messages, sampled at step starts.
+    /// For partitioned backends this is the sum of per-partition peaks
+    /// (a deterministic, thread-count-invariant upper bound on the true
+    /// simultaneous peak); 0 for backends that do not track it.
+    pub peak_in_flight: u64,
     /// Per-partition counters, indexed by partition (= shard) — empty
     /// for unpartitioned backends. The existing total fields above stay
     /// the sum over partitions, so parallel runs remain comparable with
@@ -89,6 +94,8 @@ pub struct PartitionStats {
     pub dropped: u64,
     /// Cross-partition envelopes this partition emitted.
     pub cross_envelopes: u64,
+    /// This partition's own in-flight high-water mark.
+    pub peak_in_flight: u64,
 }
 
 /// The simulated backends a [`SystemBuilder`] can construct behind a
@@ -314,12 +321,15 @@ impl EventCursor {
 
 /// Maps simulator [`Metrics`](skippub_sim::Metrics) onto the
 /// backend-agnostic [`Stats`] — shared by every simulated backend.
-pub(crate) fn stats_of(m: &skippub_sim::Metrics) -> Stats {
+/// `peak_in_flight` comes from the world, not the metrics (it is slab
+/// state, not a traffic counter).
+pub(crate) fn stats_of(m: &skippub_sim::Metrics, peak_in_flight: u64) -> Stats {
     Stats {
         steps: m.rounds,
         sent: m.sent_total,
         delivered: m.delivered_total,
         dropped: m.dropped,
+        peak_in_flight,
         per_partition: Vec::new(),
     }
 }
@@ -349,6 +359,7 @@ pub struct SystemBuilder {
     threads: usize,
     protocol: ProtocolConfig,
     chaos: Option<ChaosConfig>,
+    budget: Option<u32>,
 }
 
 impl SystemBuilder {
@@ -364,6 +375,7 @@ impl SystemBuilder {
             threads: 1,
             protocol: ProtocolConfig::default(),
             chaos: None,
+            budget: None,
         }
     }
 
@@ -412,6 +424,20 @@ impl SystemBuilder {
         self
     }
 
+    /// Sets the per-node per-step delivery budget (`≥ 1`). `None` (the
+    /// default) is the paper's unbounded synchronous model and leaves
+    /// trajectories byte-identical to builds without the knob; with
+    /// `Some(b)` every node processes at most `b` messages per step and
+    /// carries the rest over, bounding in-flight memory under bursts
+    /// (e.g. flooding) at the cost of added delivery latency.
+    pub fn delivery_budget(mut self, budget: Option<u32>) -> Self {
+        if let Some(b) = budget {
+            assert!(b >= 1, "a zero budget would never deliver anything");
+        }
+        self.budget = budget;
+        self
+    }
+
     /// The configured RNG seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -427,28 +453,39 @@ impl SystemBuilder {
         self.topics
     }
 
+    /// The configured per-node per-step delivery budget.
+    pub fn delivery_budget_value(&self) -> Option<u32> {
+        self.budget
+    }
+
     /// Single-topic deterministic simulator (synchronous rounds).
     /// Requires `topics == 1`.
     pub fn build_sim(&self) -> SimBackend {
         assert!(self.topics == 1, "sim backend serves exactly one topic");
-        SimBackend::new(self.seed, self.protocol, None)
+        let mut b = SimBackend::new(self.seed, self.protocol, None);
+        b.set_delivery_budget(self.budget);
+        b
     }
 
     /// Single-topic simulator under the chaos scheduler (the configured
     /// [`ChaosConfig`], or its default). Requires `topics == 1`.
     pub fn build_chaos(&self) -> SimBackend {
         assert!(self.topics == 1, "sim backend serves exactly one topic");
-        SimBackend::new(
+        let mut b = SimBackend::new(
             self.seed,
             self.protocol,
             Some(self.chaos.unwrap_or_default()),
-        )
+        );
+        b.set_delivery_budget(self.budget);
+        b
     }
 
     /// Multi-topic system (§4): one supervisor hosting one `BuildSR`
     /// instance per topic.
     pub fn build_multi(&self) -> MultiTopicBackend {
-        MultiTopicBackend::new(self.seed, self.topics, self.protocol)
+        let mut b = MultiTopicBackend::new(self.seed, self.topics, self.protocol);
+        b.set_delivery_budget(self.budget);
+        b
     }
 
     /// Sharded multi-topic system (§1.3): topics consistent-hashed onto
@@ -456,14 +493,16 @@ impl SystemBuilder {
     /// round executor (stepped by up to [`SystemBuilder::threads`]
     /// workers).
     pub fn build_sharded(&self) -> ShardedBackend {
-        ShardedBackend::new(
+        let mut b = ShardedBackend::new(
             self.seed,
             self.topics,
             self.shards,
             self.replicas,
             self.threads,
             self.protocol,
-        )
+        );
+        b.set_delivery_budget(self.budget);
+        b
     }
 
     /// Builds the requested backend kind behind a trait object — the

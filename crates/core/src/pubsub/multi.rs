@@ -12,7 +12,7 @@ use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig, Supervisor};
 use skippub_bits::BitStr;
 use skippub_sim::{Metrics, NodeId, NodeView, World};
-use skippub_trie::Publication;
+use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
 
 /// The multi-topic simulator backend (§4): clients subscribe to any
@@ -28,6 +28,7 @@ pub struct MultiTopicBackend {
     /// Incremental verdict caches + member index (`RefCell`: the
     /// facade's polling predicates take `&self`).
     inc: RefCell<IncChecker>,
+    interner: PayloadInterner,
 }
 
 impl MultiTopicBackend {
@@ -41,7 +42,14 @@ impl MultiTopicBackend {
             next_id: 1,
             cursor: EventCursor::new(),
             inc: RefCell::new(IncChecker::new(topics)),
+            interner: PayloadInterner::new(),
         }
+    }
+
+    /// The payload pool behind `publish`: repeated payloads (across
+    /// authors and topics) collapse to one shared allocation.
+    pub fn payload_interner(&self) -> &PayloadInterner {
+        &self.interner
     }
 
     /// The supervisor's node ID.
@@ -86,6 +94,11 @@ impl MultiTopicBackend {
     /// Simulator metrics (per-kind and per-node counters).
     pub fn metrics(&self) -> &Metrics {
         self.world.metrics()
+    }
+
+    /// Sets the per-node per-step delivery budget (`None` = unbounded).
+    pub fn set_delivery_budget(&mut self, budget: Option<u32>) {
+        self.world.set_delivery_budget(budget);
     }
 
     fn assert_topic(&self, topic: TopicId) {
@@ -240,9 +253,10 @@ impl PubSub for MultiTopicBackend {
 
     fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
         self.assert_topic(topic);
-        let key = self
-            .world
-            .with_node(id, |actor, ctx| actor.publish_local(ctx, topic, payload))??;
+        let shared = self.interner.intern(payload);
+        let key = self.world.with_node(id, |actor, ctx| {
+            actor.publish_local_shared(ctx, topic, shared)
+        })??;
         self.world.bump_dirty(pubs_key(topic.0));
         Some(key)
     }
@@ -323,7 +337,7 @@ impl PubSub for MultiTopicBackend {
     }
 
     fn stats(&self) -> Stats {
-        super::stats_of(self.world.metrics())
+        super::stats_of(self.world.metrics(), self.world.peak_in_flight() as u64)
     }
 }
 

@@ -20,7 +20,7 @@ use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
 use skippub_sim::{Metrics, NodeId, PartitionedWorld, World};
-use skippub_trie::Publication;
+use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
@@ -56,6 +56,7 @@ pub struct ShardedBackend {
     /// Incremental verdict caches + member index (`RefCell`: the
     /// facade's polling predicates take `&self`).
     inc: RefCell<IncChecker>,
+    interner: PayloadInterner,
 }
 
 impl ShardedBackend {
@@ -85,7 +86,14 @@ impl ShardedBackend {
             cursor: EventCursor::new(),
             met: BTreeMap::new(),
             inc: RefCell::new(IncChecker::new(topics)),
+            interner: PayloadInterner::new(),
         }
+    }
+
+    /// The payload pool behind `publish`: repeated payloads (across
+    /// authors and topics) collapse to one shared allocation.
+    pub fn payload_interner(&self) -> &PayloadInterner {
+        &self.interner
     }
 
     /// Routes the facade's polling predicates through the pre-PR
@@ -137,6 +145,12 @@ impl ShardedBackend {
     /// available via [`PartitionedWorld::partition_metrics`].
     pub fn metrics(&self) -> Metrics {
         self.world.metrics()
+    }
+
+    /// Sets the per-node per-step delivery budget on every shard
+    /// partition (`None` = unbounded).
+    pub fn set_delivery_budget(&mut self, budget: Option<u32>) {
+        self.world.set_delivery_budget(budget);
     }
 
     /// Runs `n` synchronous rounds as one batch: with `threads > 1` the
@@ -221,9 +235,10 @@ impl PubSub for ShardedBackend {
 
     fn publish(&mut self, id: NodeId, topic: TopicId, payload: Vec<u8>) -> Option<BitStr> {
         self.assert_topic(topic);
-        let key = self
-            .world
-            .with_node(id, |actor, ctx| actor.publish_local(ctx, topic, payload))??;
+        let shared = self.interner.intern(payload);
+        let key = self.world.with_node(id, |actor, ctx| {
+            actor.publish_local_shared(ctx, topic, shared)
+        })??;
         self.world.bump_dirty(pubs_key(topic.0));
         Some(key)
     }
@@ -311,7 +326,8 @@ impl PubSub for ShardedBackend {
     }
 
     fn stats(&self) -> Stats {
-        let mut stats = super::stats_of(&self.world.metrics());
+        let mut stats =
+            super::stats_of(&self.world.metrics(), self.world.peak_in_flight() as u64);
         stats.per_partition = (0..self.world.partition_count())
             .map(|i| {
                 let m = self.world.partition_metrics(i);
@@ -320,6 +336,7 @@ impl PubSub for ShardedBackend {
                     delivered: m.delivered_total,
                     dropped: m.dropped,
                     cross_envelopes: self.world.cross_envelopes(i),
+                    peak_in_flight: self.world.partition_peak_in_flight(i) as u64,
                 }
             })
             .collect();

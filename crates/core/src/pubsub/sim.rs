@@ -106,6 +106,11 @@ impl SimBackend {
     pub fn metrics(&self) -> &Metrics {
         self.sim.metrics()
     }
+
+    /// Sets the per-node per-step delivery budget (`None` = unbounded).
+    pub fn set_delivery_budget(&mut self, budget: Option<u32>) {
+        self.sim.set_delivery_budget(budget);
+    }
 }
 
 impl PubSub for SimBackend {
@@ -230,7 +235,7 @@ impl PubSub for SimBackend {
     }
 
     fn stats(&self) -> Stats {
-        super::stats_of(self.sim.metrics())
+        super::stats_of(self.sim.metrics(), self.sim.peak_in_flight() as u64)
     }
 }
 

@@ -57,6 +57,9 @@ pub fn legit_world(n: usize, seed: u64, cfg: ProtocolConfig) -> World<Actor> {
     world.add_node(SUPERVISOR, Actor::Supervisor(sup));
     // Ring order.
     db.sort_by_key(|(l, _)| *l);
+    // Label → id index for shortcut resolution (a linear scan per
+    // shortcut target is O(n² log n) at experiment scales).
+    let by_label: std::collections::BTreeMap<Label, NodeId> = db.iter().copied().collect();
     for (i, (label, v)) in db.iter().enumerate() {
         let mut s = Subscriber::new(*v, SUPERVISOR, cfg);
         s.label = Some(*label);
@@ -76,8 +79,7 @@ pub fn legit_world(n: usize, seed: u64, cfg: ProtocolConfig) -> World<Actor> {
         if cfg.shortcuts {
             if let (Some(el), Some(er)) = (s.eff_left(), s.eff_right()) {
                 for t in shortcut::expected_shortcuts(*label, el.label, er.label) {
-                    let holder = db.iter().find(|(l, _)| *l == t.label).map(|(_, id)| *id);
-                    s.shortcuts.insert(t.label, holder);
+                    s.shortcuts.insert(t.label, by_label.get(&t.label).copied());
                 }
             }
         }

@@ -198,13 +198,25 @@ impl MultiActor {
         topic: TopicId,
         payload: Vec<u8>,
     ) -> Option<skippub_bits::BitStr> {
+        self.publish_local_shared(ctx, topic, payload.into())
+    }
+
+    /// [`publish_local`](Self::publish_local) over an already-shared
+    /// payload — the zero-copy form the facade backends feed from their
+    /// payload interner.
+    pub fn publish_local_shared(
+        &mut self,
+        ctx: &mut Ctx<'_, TopicMsg>,
+        topic: TopicId,
+        payload: std::sync::Arc<[u8]>,
+    ) -> Option<skippub_bits::BitStr> {
         let MultiActor::Client { topics, .. } = self else {
             return None;
         };
         let sub = topics.get_mut(&topic)?;
         let mut key = None;
         with_topic_ctx(topic, ctx, |ictx| {
-            key = Some(sub.publish_local(ictx, payload));
+            key = Some(sub.publish_local_shared(ictx, payload));
         });
         key
     }

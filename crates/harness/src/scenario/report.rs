@@ -185,17 +185,22 @@ impl ScenarioReport {
         );
         let _ = write!(
             j,
-            "  \"stats\": {{\"steps\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"per_partition\": [",
-            self.stats.steps, self.stats.sent, self.stats.delivered, self.stats.dropped
+            "  \"stats\": {{\"steps\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"peak_in_flight\": {}, \"per_partition\": [",
+            self.stats.steps,
+            self.stats.sent,
+            self.stats.delivered,
+            self.stats.dropped,
+            self.stats.peak_in_flight
         );
         for (i, p) in self.stats.per_partition.iter().enumerate() {
             let _ = write!(
                 j,
-                "{{\"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"cross_envelopes\": {}}}{}",
+                "{{\"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"cross_envelopes\": {}, \"peak_in_flight\": {}}}{}",
                 p.sent,
                 p.delivered,
                 p.dropped,
                 p.cross_envelopes,
+                p.peak_in_flight,
                 if i + 1 == self.stats.per_partition.len() { "" } else { ", " }
             );
         }
@@ -248,18 +253,21 @@ mod tests {
                 sent: 100,
                 delivered: 90,
                 dropped: 0,
+                peak_in_flight: 42,
                 per_partition: vec![
                     PartitionStats {
                         sent: 60,
                         delivered: 55,
                         dropped: 0,
                         cross_envelopes: 3,
+                        peak_in_flight: 30,
                     },
                     PartitionStats {
                         sent: 40,
                         delivered: 35,
                         dropped: 0,
                         cross_envelopes: 1,
+                        peak_in_flight: 12,
                     },
                 ],
             },
@@ -280,7 +288,8 @@ mod tests {
             "\"stop_kind\": \"fixed_rounds\"",
             "\"fingerprint\": \"00ff\"",
             "\"publishes\": 4",
-            "\"per_partition\": [{\"sent\": 60, \"delivered\": 55, \"dropped\": 0, \"cross_envelopes\": 3}, {\"sent\": 40, \"delivered\": 35, \"dropped\": 0, \"cross_envelopes\": 1}]",
+            "\"peak_in_flight\": 42",
+            "\"per_partition\": [{\"sent\": 60, \"delivered\": 55, \"dropped\": 0, \"cross_envelopes\": 3, \"peak_in_flight\": 30}, {\"sent\": 40, \"delivered\": 35, \"dropped\": 0, \"cross_envelopes\": 1, \"peak_in_flight\": 12}]",
         ] {
             assert!(a.contains(needle), "missing {needle} in {a}");
         }

@@ -187,6 +187,9 @@ impl PubSub for NetBackend {
             sent,
             delivered,
             dropped,
+            // The threaded transport has no synchronized round boundary
+            // to sample a coherent in-flight total at.
+            peak_in_flight: 0,
             per_partition: Vec::new(),
         }
     }

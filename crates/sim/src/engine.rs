@@ -11,6 +11,19 @@
 //! The slab layout, zero-allocation invariant, and RNG-consumption
 //! order documented on [`crate::World`] all live *here* — the wrapper
 //! types add routing policy, never stepping semantics.
+//!
+//! # Struct-of-arrays slab
+//!
+//! The slab is stored as three parallel arrays indexed by slot:
+//! `channels` (the in-flight message vectors), `meta` (id, metrics
+//! index, alive flag — 16 bytes per slot), and `protos` (the protocol
+//! state, which for the pub-sub stack is hundreds of bytes per node).
+//! The round sweep touches `channels` and `meta` for **every** slot
+//! every round but `protos` only for slots that actually handle a
+//! message or fire a timeout, so the hot loop walks two dense arrays
+//! instead of striding through cold protocol state. Crashes tombstone
+//! `protos[s]` and clear (not drop) `channels[s]`, so a rejoin reuses
+//! both the slot and its channel capacity.
 
 use crate::fx::FxBuildHasher;
 use crate::Metrics;
@@ -245,15 +258,17 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
-/// One live node: its protocol state, in-flight channel, and the
-/// metrics index cached so hot-path accounting never hashes.
-struct Slot<P: Protocol> {
-    id: NodeId,
+/// Hot per-slot identity: everything the round sweep needs to decide
+/// what to do with a slot *without* touching the (cold, large) protocol
+/// state. 16 bytes, `Copy`.
+#[derive(Clone, Copy)]
+struct Meta {
+    /// The node id occupying the slot (stale once tombstoned).
+    id: u64,
     /// Stable per-id metrics index (survives crash + rejoin).
     midx: u32,
-    proto: P,
-    /// In-flight messages with their age in rounds.
-    channel: Vec<(u32, P::Msg)>,
+    /// Whether the slot is live (mirrors `protos[s].is_some()`).
+    alive: bool,
 }
 
 /// One partition of a simulated system: the slab engine extracted from
@@ -265,8 +280,14 @@ struct Slot<P: Protocol> {
 /// in the partition's `outbox` for the executor to route — the
 /// destination may live in a sibling partition.
 pub(crate) struct Partition<P: Protocol> {
-    /// Dense slot storage; `None` is a tombstone left by a crash.
-    slots: Vec<Option<Slot<P>>>,
+    /// Hot: per-slot in-flight messages with their age in rounds.
+    /// Tombstoned slots keep their (cleared) vector so a rejoin reuses
+    /// the capacity.
+    channels: Vec<Vec<(u32, P::Msg)>>,
+    /// Hot: per-slot identity and liveness (see [`Meta`]).
+    meta: Vec<Meta>,
+    /// Cold: protocol state; `None` is a tombstone left by a crash.
+    protos: Vec<Option<P>>,
     /// Tombstoned slot indices available for reuse.
     free: Vec<u32>,
     /// Live id → slot index (deterministic hashing, O(1) probes).
@@ -282,6 +303,15 @@ pub(crate) struct Partition<P: Protocol> {
     round: u64,
     /// Serial-world routing policy (see type docs).
     local_only: bool,
+    /// Per-node per-round delivery budget; `None` = unbounded (the
+    /// paper's synchronous model, byte-identical to the pre-budget
+    /// engine). With `Some(b)` a node delivers at most `b` messages per
+    /// activation and carries the rest over with age+1.
+    budget: Option<u32>,
+    /// High-water mark of [`Partition::in_flight`], sampled at the top
+    /// of every round (after the executor's mailbox drain, so
+    /// cross-partition arrivals are counted where they land).
+    peak_in_flight: usize,
     /// Cross-partition sends staged during a step, in send order.
     outbox: Vec<(NodeId, P::Msg)>,
     /// Next cross-partition sequence number (monotone per partition).
@@ -292,7 +322,8 @@ pub(crate) struct Partition<P: Protocol> {
     scratch_order: Vec<u32>,
     /// Scratch: the inbox snapshot being drained for one node.
     scratch_inbox: Vec<(u32, P::Msg)>,
-    /// Scratch: chaos-mode messages kept in flight for one node.
+    /// Scratch: chaos-mode / over-budget messages kept in flight for
+    /// one node.
     scratch_kept: Vec<(u32, P::Msg)>,
     /// Scratch: the outbox handed to each handler invocation.
     scratch_out: Vec<(NodeId, P::Msg)>,
@@ -304,7 +335,9 @@ impl<P: Protocol> Partition<P> {
     /// Creates an empty partition seeded with its own RNG stream.
     pub(crate) fn new(seed: u64, local_only: bool) -> Self {
         Partition {
-            slots: Vec::new(),
+            channels: Vec::new(),
+            meta: Vec::new(),
+            protos: Vec::new(),
             free: Vec::new(),
             slot_of: HashMap::default(),
             order: Vec::new(),
@@ -313,6 +346,8 @@ impl<P: Protocol> Partition<P> {
             dirty: DirtyTable::default(),
             round: 0,
             local_only,
+            budget: None,
+            peak_in_flight: 0,
             outbox: Vec::new(),
             seq: 0,
             cross_sent: 0,
@@ -332,20 +367,24 @@ impl<P: Protocol> Partition<P> {
             "duplicate node {id}"
         );
         let midx = self.metrics.intern_node(id);
-        let slot = Slot {
-            id,
+        let meta = Meta {
+            id: id.0,
             midx,
-            proto,
-            channel: Vec::new(),
+            alive: true,
         };
         let s = match self.free.pop() {
             Some(s) => {
-                self.slots[s as usize] = Some(slot);
+                debug_assert!(self.protos[s as usize].is_none());
+                debug_assert!(self.channels[s as usize].is_empty());
+                self.protos[s as usize] = Some(proto);
+                self.meta[s as usize] = meta;
                 s
             }
             None => {
-                self.slots.push(Some(slot));
-                (self.slots.len() - 1) as u32
+                self.protos.push(Some(proto));
+                self.meta.push(meta);
+                self.channels.push(Vec::new());
+                (self.protos.len() - 1) as u32
             }
         };
         self.slot_of.insert(id.0, s);
@@ -360,9 +399,13 @@ impl<P: Protocol> Partition<P> {
     /// current and future messages to it are consumed without any action.
     pub(crate) fn crash(&mut self, id: NodeId) {
         if let Some(s) = self.slot_of.remove(&id.0) {
-            let slot = self.slots[s as usize].take().expect("live slot");
-            self.metrics.dropped += slot.channel.len() as u64;
-            self.free.push(s);
+            let s = s as usize;
+            debug_assert!(self.protos[s].is_some());
+            self.protos[s] = None;
+            self.meta[s].alive = false;
+            self.metrics.dropped += self.channels[s].len() as u64;
+            self.channels[s].clear();
+            self.free.push(s as u32);
             let pos = self
                 .order
                 .binary_search_by_key(&id.0, |&(i, _)| i)
@@ -395,7 +438,7 @@ impl<P: Protocol> Partition<P> {
     /// Immutable access to a node's protocol state (checkers, snapshots).
     pub(crate) fn node(&self, id: NodeId) -> Option<&P> {
         let s = self.slot(id)?;
-        self.slots[s as usize].as_ref().map(|slot| &slot.proto)
+        self.protos[s as usize].as_ref()
     }
 
     /// Mutable access — used by adversarial initializers to corrupt
@@ -403,14 +446,14 @@ impl<P: Protocol> Partition<P> {
     /// user input (subscribe/publish calls).
     pub(crate) fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
         let s = self.slot(id)?;
-        self.slots[s as usize].as_mut().map(|slot| &mut slot.proto)
+        self.protos[s as usize].as_mut()
     }
 
     /// Iterates over `(id, state)` of live nodes in id order.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (NodeId, &P)> {
         self.order.iter().map(|&(i, s)| {
-            let slot = self.slots[s as usize].as_ref().expect("live slot");
-            (NodeId(i), &slot.proto)
+            let proto = self.protos[s as usize].as_ref().expect("live slot");
+            (NodeId(i), proto)
         })
     }
 
@@ -422,7 +465,7 @@ impl<P: Protocol> Partition<P> {
 
     /// The protocol state in slot `s` (must be live).
     pub(crate) fn proto_at(&self, s: u32) -> &P {
-        &self.slots[s as usize].as_ref().expect("live slot").proto
+        self.protos[s as usize].as_ref().expect("live slot")
     }
 
     /// Injects a message into `to`'s channel from outside the system
@@ -431,32 +474,22 @@ impl<P: Protocol> Partition<P> {
     pub(crate) fn inject(&mut self, to: NodeId, msg: P::Msg) {
         self.metrics.note_sent(to, P::msg_kind(&msg));
         match self.slot(to) {
-            Some(s) => {
-                let slot = self.slots[s as usize].as_mut().expect("live slot");
-                slot.channel.push((0, msg));
-            }
+            Some(s) => self.channels[s as usize].push((0, msg)),
             None => self.metrics.dropped += 1,
         }
     }
 
     /// Number of in-flight messages to `id`.
     pub(crate) fn channel_len(&self, id: NodeId) -> usize {
-        self.slot(id).map_or(0, |s| {
-            self.slots[s as usize]
-                .as_ref()
-                .map_or(0, |slot| slot.channel.len())
-        })
+        self.slot(id)
+            .map_or(0, |s| self.channels[s as usize].len())
     }
 
     /// Total in-flight messages in this partition's channels.
     pub(crate) fn in_flight(&self) -> usize {
         self.order
             .iter()
-            .map(|&(_, s)| {
-                self.slots[s as usize]
-                    .as_ref()
-                    .map_or(0, |slot| slot.channel.len())
-            })
+            .map(|&(_, s)| self.channels[s as usize].len())
             .sum()
     }
 
@@ -485,6 +518,21 @@ impl<P: Protocol> Partition<P> {
         self.cross_sent
     }
 
+    /// Sets the per-node per-round delivery budget (`None` = unbounded).
+    pub(crate) fn set_budget(&mut self, budget: Option<u32>) {
+        self.budget = budget;
+    }
+
+    /// The current delivery budget.
+    pub(crate) fn budget(&self) -> Option<u32> {
+        self.budget
+    }
+
+    /// High-water mark of in-flight messages, sampled at round starts.
+    pub(crate) fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
     /// Lets the harness drive a node as if it acted locally: runs `f` with
     /// the node's state and a context, then routes whatever it sent.
     /// Returns `None` if the node does not exist. In partitioned mode the
@@ -498,8 +546,8 @@ impl<P: Protocol> Partition<P> {
         let mut out = mem::take(&mut self.scratch_out);
         debug_assert!(out.is_empty());
         let round = self.round;
-        let slot = self.slots[s as usize].as_mut().expect("live slot");
-        let midx = slot.midx;
+        let midx = self.meta[s as usize].midx;
+        let proto = self.protos[s as usize].as_mut().expect("live slot");
         let mut ctx = Ctx {
             me: id,
             round,
@@ -507,7 +555,7 @@ impl<P: Protocol> Partition<P> {
             rng: &mut self.rng,
             dirty: &mut self.dirty,
         };
-        let r = f(&mut slot.proto, &mut ctx);
+        let r = f(proto, &mut ctx);
         self.route_from(midx, &mut out);
         self.scratch_out = out;
         Some(r)
@@ -521,10 +569,7 @@ impl<P: Protocol> Partition<P> {
         for (to, msg) in out.drain(..) {
             self.metrics.note_sent_at(from_midx, P::msg_kind(&msg));
             match self.slot_of.get(&to.0) {
-                Some(&s) => {
-                    let slot = self.slots[s as usize].as_mut().expect("live slot");
-                    slot.channel.push((0, msg));
-                }
+                Some(&s) => self.channels[s as usize].push((0, msg)),
                 None if self.local_only => self.metrics.dropped += 1,
                 None => self.outbox.push((to, msg)),
             }
@@ -533,55 +578,47 @@ impl<P: Protocol> Partition<P> {
 
     /// Delivers one message to the node in slot `s` and routes its sends.
     fn deliver_slot(&mut self, s: u32, msg: P::Msg) {
+        let Meta { id, midx, alive } = self.meta[s as usize];
+        if !alive {
+            self.metrics.dropped += 1;
+            return;
+        }
         let mut out = mem::take(&mut self.scratch_out);
         debug_assert!(out.is_empty());
         let round = self.round;
-        let from_midx = match self.slots[s as usize].as_mut() {
-            Some(slot) => {
-                self.metrics.note_delivered_at(slot.midx);
-                let mut ctx = Ctx {
-                    me: slot.id,
-                    round,
-                    out: &mut out,
-                    rng: &mut self.rng,
-                    dirty: &mut self.dirty,
-                };
-                slot.proto.on_message(&mut ctx, msg);
-                slot.midx
-            }
-            None => {
-                self.metrics.dropped += 1;
-                self.scratch_out = out;
-                return;
-            }
+        self.metrics.note_delivered_at(midx);
+        let proto = self.protos[s as usize].as_mut().expect("live slot");
+        let mut ctx = Ctx {
+            me: NodeId(id),
+            round,
+            out: &mut out,
+            rng: &mut self.rng,
+            dirty: &mut self.dirty,
         };
-        self.route_from(from_midx, &mut out);
+        proto.on_message(&mut ctx, msg);
+        self.route_from(midx, &mut out);
         self.scratch_out = out;
     }
 
     /// Fires `Timeout` for the node in slot `s` and routes its sends.
     fn fire_timeout_slot(&mut self, s: u32) {
+        let Meta { id, midx, alive } = self.meta[s as usize];
+        if !alive {
+            return;
+        }
         let mut out = mem::take(&mut self.scratch_out);
         debug_assert!(out.is_empty());
         let round = self.round;
-        let from_midx = match self.slots[s as usize].as_mut() {
-            Some(slot) => {
-                let mut ctx = Ctx {
-                    me: slot.id,
-                    round,
-                    out: &mut out,
-                    rng: &mut self.rng,
-                    dirty: &mut self.dirty,
-                };
-                slot.proto.on_timeout(&mut ctx);
-                slot.midx
-            }
-            None => {
-                self.scratch_out = out;
-                return;
-            }
+        let proto = self.protos[s as usize].as_mut().expect("live slot");
+        let mut ctx = Ctx {
+            me: NodeId(id),
+            round,
+            out: &mut out,
+            rng: &mut self.rng,
+            dirty: &mut self.dirty,
         };
-        self.route_from(from_midx, &mut out);
+        proto.on_timeout(&mut ctx);
+        self.route_from(midx, &mut out);
         self.scratch_out = out;
     }
 
@@ -604,17 +641,23 @@ impl<P: Protocol> Partition<P> {
     /// a traffic burst lands on a buffer that happened to be small.
     /// Returns `None` for a tombstoned slot.
     fn take_inbox(&mut self, s: u32) -> Option<Vec<(u32, P::Msg)>> {
+        if !self.meta[s as usize].alive {
+            return None;
+        }
         let mut inbox = mem::take(&mut self.scratch_inbox);
         debug_assert!(inbox.is_empty());
-        match self.slots[s as usize].as_mut() {
-            Some(slot) => {
-                inbox.append(&mut slot.channel);
-                Some(inbox)
-            }
-            None => {
-                self.scratch_inbox = inbox;
-                None
-            }
+        inbox.append(&mut self.channels[s as usize]);
+        Some(inbox)
+    }
+
+    /// Returns carried-over messages to slot `s`'s channel (or drops
+    /// them on a tombstone), leaving `kept` empty for reuse.
+    fn keep_in_channel(&mut self, s: u32, kept: &mut Vec<(u32, P::Msg)>) {
+        if self.meta[s as usize].alive {
+            self.channels[s as usize].append(kept);
+        } else {
+            self.metrics.dropped += kept.len() as u64;
+            kept.clear();
         }
     }
 
@@ -624,8 +667,16 @@ impl<P: Protocol> Partition<P> {
     /// activated, then executes `Timeout` exactly once. Messages a node
     /// sends to itself while processing are handled next round.
     ///
+    /// With a delivery [budget](Partition::set_budget) set, a node
+    /// processes at most `b` messages of its shuffled inbox and carries
+    /// the rest over to the next round with age+1, so in-flight memory
+    /// stays O(n·b) under bursts instead of O(n·degree). `None` (the
+    /// default) is byte-identical to the unbudgeted engine — the budget
+    /// branch consumes no randomness of its own.
+    ///
     /// Steady-state calls allocate nothing (module-level invariant).
     pub(crate) fn run_round(&mut self) {
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
         self.round += 1;
         let order = self.shuffled_order();
         for &s in &order {
@@ -633,8 +684,28 @@ impl<P: Protocol> Partition<P> {
                 continue;
             };
             inbox.shuffle(&mut self.rng);
-            for (_, msg) in inbox.drain(..) {
-                self.deliver_slot(s, msg);
+            match self.budget {
+                None => {
+                    for (_, msg) in inbox.drain(..) {
+                        self.deliver_slot(s, msg);
+                    }
+                }
+                Some(b) => {
+                    let b = b as usize;
+                    let mut kept = mem::take(&mut self.scratch_kept);
+                    debug_assert!(kept.is_empty());
+                    for (i, (age, msg)) in inbox.drain(..).enumerate() {
+                        if i < b {
+                            self.deliver_slot(s, msg);
+                        } else {
+                            kept.push((age + 1, msg));
+                        }
+                    }
+                    if !kept.is_empty() {
+                        self.keep_in_channel(s, &mut kept);
+                    }
+                    self.scratch_kept = kept;
+                }
             }
             self.scratch_inbox = inbox;
             self.fire_timeout_slot(s);
@@ -651,9 +722,18 @@ impl<P: Protocol> Partition<P> {
     /// probability [`ChaosConfig::timeout_prob`] (weak fairness comes
     /// from infinitely many rounds).
     ///
+    /// A delivery [budget](Partition::set_budget) caps deliveries per
+    /// node per round; once exhausted the remaining messages are kept
+    /// with age+1 **without** consuming a delivery draw, so a `None`
+    /// budget leaves the RNG stream untouched. The cap defers even
+    /// over-age messages — fair receipt is then guaranteed by budget
+    /// ≥ 1 per round (ages only grow), not by `max_age` alone.
+    ///
     /// Steady-state calls allocate nothing (module-level invariant).
     pub(crate) fn run_chaos_round(&mut self, cfg: ChaosConfig) {
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
         self.round += 1;
+        let cap = self.budget.map_or(usize::MAX, |b| b as usize);
         let order = self.shuffled_order();
         for &s in &order {
             let Some(mut inbox) = self.take_inbox(s) else {
@@ -662,22 +742,22 @@ impl<P: Protocol> Partition<P> {
             inbox.shuffle(&mut self.rng);
             let mut kept = mem::take(&mut self.scratch_kept);
             debug_assert!(kept.is_empty());
+            let mut delivered = 0usize;
             for (age, msg) in inbox.drain(..) {
+                if delivered >= cap {
+                    kept.push((age + 1, msg));
+                    continue;
+                }
                 let force = age >= cfg.max_age;
                 if force || self.rng.random_bool(cfg.delivery_prob) {
                     self.deliver_slot(s, msg);
+                    delivered += 1;
                 } else {
                     kept.push((age + 1, msg));
                 }
             }
             // Keep undelivered messages (new sends may have arrived).
-            match self.slots[s as usize].as_mut() {
-                Some(slot) => slot.channel.append(&mut kept),
-                None => {
-                    self.metrics.dropped += kept.len() as u64;
-                    kept.clear();
-                }
-            }
+            self.keep_in_channel(s, &mut kept);
             self.scratch_kept = kept;
             self.scratch_inbox = inbox;
             if self.rng.random_bool(cfg.timeout_prob) {
@@ -700,10 +780,7 @@ impl<P: Protocol> Partition<P> {
         batch.sort_unstable_by_key(|e| (e.src, e.seq));
         for env in batch.drain(..) {
             match self.slot_of.get(&env.to.0) {
-                Some(&s) => {
-                    let slot = self.slots[s as usize].as_mut().expect("live slot");
-                    slot.channel.push((0, env.msg));
-                }
+                Some(&s) => self.channels[s as usize].push((0, env.msg)),
                 None => self.metrics.dropped += 1,
             }
         }

@@ -284,6 +284,33 @@ impl<P: Protocol> PartitionedWorld<P> {
         channels + boxed
     }
 
+    /// High-water mark of in-flight messages: the sum of every
+    /// partition's own peak (each sampled at its round starts, after the
+    /// mailbox drain). An upper bound on the true simultaneous peak that
+    /// is deterministic for every thread count — sampling a global
+    /// maximum mid-round would race the workers.
+    pub fn peak_in_flight(&self) -> usize {
+        self.partitions.iter().map(|p| p.peak_in_flight()).sum()
+    }
+
+    /// Partition `i`'s own in-flight high-water mark.
+    pub fn partition_peak_in_flight(&self, i: usize) -> usize {
+        self.partitions[i].peak_in_flight()
+    }
+
+    /// Sets the per-node per-round delivery budget on every partition
+    /// (see [`World::set_delivery_budget`]).
+    pub fn set_delivery_budget(&mut self, budget: Option<u32>) {
+        for p in &mut self.partitions {
+            p.set_budget(budget);
+        }
+    }
+
+    /// The current per-node per-round delivery budget.
+    pub fn delivery_budget(&self) -> Option<u32> {
+        self.partitions.first().and_then(|p| p.budget())
+    }
+
     /// Partition `i`'s own cumulative metrics.
     pub fn partition_metrics(&self, i: usize) -> &Metrics {
         self.partitions[i].metrics()
@@ -472,7 +499,9 @@ mod tests {
                 w.iter().map(|(id, t)| (id, t.clone())).collect();
             let per_part: Vec<Metrics> =
                 (0..6).map(|i| w.partition_metrics(i).clone()).collect();
-            (states, per_part, w.metrics())
+            let peaks: Vec<usize> =
+                (0..6).map(|i| w.partition_peak_in_flight(i)).collect();
+            (states, per_part, peaks, w.peak_in_flight(), w.metrics())
         };
         let reference = run(1);
         for threads in [2, 4, 8] {
@@ -492,6 +521,20 @@ mod tests {
         b.run_rounds(30);
         assert_eq!(a.metrics(), b.metrics());
         assert_eq!(a.round(), b.round());
+    }
+
+    #[test]
+    fn budgeted_partitioned_run_still_delivers_and_caps_per_round() {
+        let mut w = ring(8, 4, 2, 31);
+        w.set_delivery_budget(Some(1));
+        assert_eq!(w.delivery_budget(), Some(1));
+        w.inject(NodeId(0), Token(20));
+        for _ in 0..80 {
+            w.run_round();
+        }
+        let total: u64 = w.iter().map(|(_, t)| t.tokens_seen).sum();
+        assert_eq!(total, 21, "budgeted rounds must still deliver all hops");
+        assert!(w.peak_in_flight() >= 1);
     }
 
     #[test]

@@ -19,13 +19,18 @@
 //!   would respond.
 //! * [`sync`] — a two-party driver that runs the full message exchange
 //!   between two tries locally (used by tests and experiments E2/E8).
+//! * [`PayloadInterner`] — deduplicates payload bytes across
+//!   independently constructed publications so repeated payloads share a
+//!   single `Arc<[u8]>` allocation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod intern;
 mod publication;
 pub mod sync;
 mod trie;
 
+pub use intern::PayloadInterner;
 pub use publication::Publication;
 pub use trie::{CheckOutcome, NodeSummary, PatriciaTrie, PubIter};

@@ -2,6 +2,7 @@
 
 use skippub_bits::{publication_key, BitStr};
 use std::fmt;
+use std::sync::Arc;
 
 /// Default publication-key length `m` in bits (paper §4.2: a constant `m`
 /// known to all subscribers so every key has the same length).
@@ -13,11 +14,18 @@ pub const DEFAULT_KEY_BITS: usize = 64;
 /// The key is derived, never chosen: two subscribers that independently
 /// receive the same `(author, payload)` pair compute the same key, which is
 /// what lets Patricia-trie hashes agree once the publication sets agree.
+///
+/// The payload is reference-counted (`Arc<[u8]>`): cloning a publication —
+/// which flooding does once per edge and every subscriber's trie does once
+/// on insert — shares a single payload allocation instead of re-copying
+/// the bytes. Combined with the inline `BitStr` key (≤ 64 bits, no heap),
+/// a clone allocates nothing. Equality and hashing are by value (key,
+/// author, payload bytes), unchanged from the owned-`Vec` representation.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Publication {
     key: BitStr,
     author: u64,
-    payload: Vec<u8>,
+    payload: Arc<[u8]>,
 }
 
 impl Publication {
@@ -29,7 +37,13 @@ impl Publication {
 
     /// Creates a publication with an explicit key length `m ∈ 1..=128`.
     pub fn with_key_bits(author: u64, payload: impl Into<Vec<u8>>, m: usize) -> Self {
-        let payload = payload.into();
+        Self::from_shared(author, Arc::from(payload.into()), m)
+    }
+
+    /// Creates a publication from an already-shared payload (e.g. one
+    /// handed out by [`PayloadInterner`](crate::PayloadInterner)) without
+    /// copying the bytes.
+    pub fn from_shared(author: u64, payload: Arc<[u8]>, m: usize) -> Self {
         let key = publication_key(author, &payload, m);
         Publication {
             key,
@@ -45,7 +59,7 @@ impl Publication {
         Publication {
             key,
             author,
-            payload: payload.into(),
+            payload: Arc::from(payload.into()),
         }
     }
 
@@ -64,6 +78,14 @@ impl Publication {
     /// The published content.
     #[inline]
     pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The shared payload handle. Cloning it bumps a refcount instead of
+    /// copying bytes — callers that fan a payload out (delivery cursors,
+    /// floods) should prefer this over `payload().to_vec()`.
+    #[inline]
+    pub fn shared_payload(&self) -> &Arc<[u8]> {
         &self.payload
     }
 }

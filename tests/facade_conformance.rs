@@ -355,6 +355,110 @@ fn multi_shard_clients_exercise_cross_partition_envelopes() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Delivery-budget conformance: a bounded per-round message budget may
+// change *trajectories* (how many rounds stabilization takes) but never
+// *outcomes* — with joins serialized, every backend must end in the same
+// final checker snapshot and deliver the same publication set whether
+// the budget is unbounded, generous, or a single message per round.
+// ---------------------------------------------------------------------
+
+#[test]
+fn budgeted_runs_reach_identical_final_snapshots() {
+    for kind in BackendKind::all() {
+        let run = |budget: Option<u32>| {
+            let mut ps = SystemBuilder::new(0xB0D6E7)
+                .shards(4)
+                .delivery_budget(budget)
+                .build(kind);
+            let steps = match kind {
+                BackendKind::Chaos => 120_000,
+                _ => 30_000,
+            };
+            // Serialized joins: stabilize after each subscribe so the
+            // supervisor assigns labels in the same order regardless of
+            // how the budget paces deliveries.
+            let mut ids = Vec::new();
+            for _ in 0..5 {
+                ids.push(ps.subscribe(T));
+                let (_, ok) = ps.until_legit(steps);
+                assert!(ok, "{} budget={budget:?}: join must stabilize", kind.name());
+            }
+            ps.publish(ids[0], T, b"budget invariant".to_vec())
+                .expect("alive author");
+            ps.publish(ids[3], T, b"second story".to_vec())
+                .expect("alive author");
+            let (_, ok) = ps.until_pubs_converged(steps);
+            assert!(ok, "{} budget={budget:?}: must converge", kind.name());
+            let digest = snapshot_digest(&ps.snapshot(T));
+            let sets: Vec<DeliveredSet> = ids
+                .iter()
+                .map(|&m| {
+                    ps.drain_events(m)
+                        .into_iter()
+                        .map(|d| (d.author, d.payload, d.key.to_string()))
+                        .collect()
+                })
+                .collect();
+            (digest, sets, ps.stats().peak_in_flight)
+        };
+        let unbounded = run(None);
+        assert!(
+            unbounded.2 > 0,
+            "{}: the peak-in-flight gauge must move",
+            kind.name()
+        );
+        for b in [1u32, 4] {
+            let budgeted = run(Some(b));
+            assert_eq!(
+                budgeted.0,
+                unbounded.0,
+                "{} budget={b}: final snapshot digest diverges from unbounded",
+                kind.name()
+            );
+            assert_eq!(
+                budgeted.1,
+                unbounded.1,
+                "{} budget={b}: delivered sets diverge from unbounded",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// The peak-in-flight gauge is part of `Stats`, so the byte-identical
+/// thread-count assertions above already pin it; this spells the
+/// invariant out for the world-level aggregate as well.
+#[test]
+fn peak_in_flight_is_thread_count_invariant() {
+    let run = |threads: usize| {
+        let mut ps = SystemBuilder::new(0x9EA4)
+            .topics(6)
+            .shards(3)
+            .threads(threads)
+            .build_sharded();
+        let ids: Vec<NodeId> = (0..9)
+            .map(|i| ps.subscribe(TopicId(i % 6)))
+            .collect();
+        assert!(ps.until_legit(10_000).1, "threads={threads}");
+        ps.publish(ids[0], TopicId(0), b"peak probe".to_vec())
+            .expect("alive author");
+        assert!(ps.until_pubs_converged(6_000).1, "threads={threads}");
+        let stats = ps.stats();
+        let per_part: u64 = stats.per_partition.iter().map(|p| p.peak_in_flight).sum();
+        assert_eq!(
+            stats.peak_in_flight, per_part,
+            "threads={threads}: world peak must be the sum of partition peaks"
+        );
+        stats
+    };
+    let reference = run(1);
+    assert!(reference.peak_in_flight > 0);
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), reference, "threads={threads} diverged");
+    }
+}
+
 #[test]
 fn threaded_backend_delivers_the_same_set() {
     // Reference run on the deterministic simulator.

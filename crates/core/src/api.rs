@@ -51,6 +51,36 @@ impl SkipRingSim {
         }
     }
 
+    /// Reassembles a system from checkpointed parts — the **exact**
+    /// restore path (unlike [`from_world`](Self::from_world), which
+    /// re-derives `next_id` and starts an empty payload pool): the
+    /// world carries RNG stream positions and in-flight channels, and
+    /// the interner is the saved payload pool.
+    pub fn from_parts(
+        world: World<Actor>,
+        cfg: ProtocolConfig,
+        next_id: u64,
+        interner: PayloadInterner,
+    ) -> Self {
+        SkipRingSim {
+            world,
+            cfg,
+            next_id,
+            interner,
+        }
+    }
+
+    /// The protocol configuration new subscribers join with.
+    pub fn cfg(&self) -> ProtocolConfig {
+        self.cfg
+    }
+
+    /// The ID the next [`add_subscriber`](Self::add_subscriber) call
+    /// will assign.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// The payload pool backing [`publish`](Self::publish): repeated
     /// payloads collapse to one shared allocation.
     pub fn payload_interner(&self) -> &PayloadInterner {

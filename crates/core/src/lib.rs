@@ -64,6 +64,7 @@ mod publish;
 pub mod pubsub;
 pub mod scenarios;
 pub mod sharding;
+mod snap;
 mod subscriber;
 mod supervisor;
 #[cfg(test)]

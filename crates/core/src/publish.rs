@@ -20,7 +20,7 @@ use crate::msg::Msg;
 use crate::subscriber::Subscriber;
 use skippub_bits::BitStr;
 use skippub_sim::{Ctx, NodeId};
-use skippub_trie::{CheckOutcome, NodeSummary, Publication};
+use skippub_trie::{CheckOutcome, NodeSummary, Publication, TrieBatch};
 
 impl Subscriber {
     /// `PublishTimeout` (Algorithm 5 lines 1–4): send the trie root to a
@@ -117,13 +117,14 @@ impl Subscriber {
         }
     }
 
-    /// Handles `Publish(P)` (Algorithm 5 lines 6–9).
+    /// Handles `Publish(P)` (Algorithm 5 lines 6–9) as one batched
+    /// skeleton commit: each touched internal hash is recomputed once
+    /// per message instead of once per publication ([`TrieBatch`] is
+    /// proptest-equivalent to the insert loop, so the resulting trie —
+    /// and every root hash the protocol ships — is identical).
     pub(crate) fn on_publish(&mut self, pubs: Vec<Publication>) {
-        for p in pubs {
-            if self.trie.insert(p) {
-                self.counters.pubs_via_sync += 1;
-            }
-        }
+        let batch: TrieBatch = pubs.into_iter().collect();
+        self.counters.pubs_via_sync += batch.apply(&mut self.trie) as u64;
     }
 
     /// Handles `PublishNew(p)` (Algorithm 5 lines 30–34): insert if new

@@ -40,6 +40,8 @@ use crate::topics::TopicId;
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
 use skippub_sim::{ChaosConfig, NodeId, World};
+pub use skippub_snapshot::BackendSnapshot;
+use skippub_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use skippub_trie::{PatriciaTrie, Publication};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -217,6 +219,19 @@ pub trait PubSub {
     /// Backend-agnostic traffic counters.
     fn stats(&self) -> Stats;
 
+    /// Serializes this backend's **complete** state — actor states,
+    /// in-flight channels, RNG stream positions, payload pool, delivery
+    /// cursors — into a portable snapshot that [`restore`] turns back
+    /// into a running backend whose continued execution is
+    /// byte-identical to the uninterrupted original. Backends without
+    /// checkpoint support (the threaded `NetBackend`) return `Err`.
+    fn save_snapshot(&self) -> Result<BackendSnapshot, String> {
+        Err(format!(
+            "backend {:?} does not support snapshots",
+            self.backend_name()
+        ))
+    }
+
     /// Steps until every topic is legitimate; returns `(steps, reached)`.
     fn until_legit(&mut self, max_steps: u64) -> (u64, bool) {
         let mut s = 0;
@@ -316,6 +331,49 @@ impl EventCursor {
         }
         out.sort_by(|a, b| (a.topic, &a.key).cmp(&(b.topic, &b.key)));
         out
+    }
+}
+
+impl Snap for SeenTopic {
+    fn save(&self, w: &mut SnapWriter) {
+        self.root.save(w);
+        self.keys.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SeenTopic {
+            root: Snap::load(r)?,
+            keys: Snap::load(r)?,
+        })
+    }
+}
+
+/// Cursors are part of a backend snapshot: which publications have
+/// already been reported to the client is observable state (a restored
+/// backend must not re-deliver, nor swallow undelivered ones).
+impl Snap for EventCursor {
+    fn save(&self, w: &mut SnapWriter) {
+        self.seen.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(EventCursor {
+            seen: Snap::load(r)?,
+        })
+    }
+}
+
+/// Rebuilds a running backend from a snapshot produced by
+/// [`PubSub::save_snapshot`], dispatching on the snapshot's kind tag.
+///
+/// The restored backend's continued execution is byte-identical to the
+/// original's: same RNG draws, same message schedules, same delivered
+/// sets, same checker verdicts — the facade conformance suite replays
+/// restored backends against uninterrupted references to pin this.
+pub fn restore(snap: &BackendSnapshot) -> Result<Box<dyn PubSub>, String> {
+    match snap.kind.as_str() {
+        "sim" | "chaos" => Ok(Box::new(SimBackend::from_snapshot(snap)?)),
+        "multi-topic" => Ok(Box::new(MultiTopicBackend::from_snapshot(snap)?)),
+        "sharded" => Ok(Box::new(ShardedBackend::from_snapshot(snap)?)),
+        kind => Err(format!("unknown snapshot kind {kind:?}")),
     }
 }
 

@@ -4,14 +4,15 @@
 //! examples and tests used to do.
 
 use super::incremental::IncChecker;
-use super::{Delivery, EventCursor, PubSub, Stats};
+use super::{BackendSnapshot, Delivery, EventCursor, PubSub, Stats};
 use crate::checker;
 use crate::dirty::{pubs_key, topo_key};
 use crate::scenarios::SUPERVISOR;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig, Supervisor};
 use skippub_bits::BitStr;
-use skippub_sim::{Metrics, NodeId, NodeView, World};
+use skippub_sim::{Metrics, NodeId, NodeView, World, WorldState};
+use skippub_snapshot::{Snap, SnapWriter};
 use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
 
@@ -99,6 +100,37 @@ impl MultiTopicBackend {
     /// Sets the per-node per-step delivery budget (`None` = unbounded).
     pub fn set_delivery_budget(&mut self, budget: Option<u32>) {
         self.world.set_delivery_budget(budget);
+    }
+
+    /// Rebuilds a backend from a `multi-topic` snapshot. The checker
+    /// restarts cold with an invalidated member index (a fresh
+    /// `IncChecker` trusts its — empty — index, which would judge
+    /// against no members at all), so the first poll re-scans the world;
+    /// verdicts are pure functions of the world, so this is exact.
+    pub fn from_snapshot(snap: &BackendSnapshot) -> Result<Self, String> {
+        if snap.kind != "multi-topic" {
+            return Err(format!("expected a multi-topic snapshot, got {:?}", snap.kind));
+        }
+        let mut r = snap.reader().map_err(|e| e.to_string())?;
+        let err = |e: skippub_snapshot::SnapError| e.to_string();
+        let cfg = ProtocolConfig::load(&mut r).map_err(err)?;
+        let topics = u32::load(&mut r).map_err(err)?;
+        let next_id = u64::load(&mut r).map_err(err)?;
+        let interner = PayloadInterner::load(&mut r).map_err(err)?;
+        let world = WorldState::<MultiActor>::load(&mut r).map_err(err)?;
+        let cursor = EventCursor::load(&mut r).map_err(err)?;
+        r.finish().map_err(err)?;
+        let mut inc = IncChecker::new(topics);
+        inc.invalidate_all();
+        Ok(MultiTopicBackend {
+            world: World::from_state(world),
+            cfg,
+            topics,
+            next_id,
+            cursor,
+            inc: RefCell::new(inc),
+            interner,
+        })
     }
 
     fn assert_topic(&self, topic: TopicId) {
@@ -338,6 +370,17 @@ impl PubSub for MultiTopicBackend {
 
     fn stats(&self) -> Stats {
         super::stats_of(self.world.metrics(), self.world.peak_in_flight() as u64)
+    }
+
+    fn save_snapshot(&self) -> Result<BackendSnapshot, String> {
+        let mut w = SnapWriter::new();
+        self.cfg.save(&mut w);
+        self.topics.save(&mut w);
+        self.next_id.save(&mut w);
+        self.interner.save(&mut w);
+        self.world.export_state().save(&mut w);
+        self.cursor.save(&mut w);
+        Ok(w.finish(self.backend_name()))
     }
 }
 

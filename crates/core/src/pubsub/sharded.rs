@@ -13,13 +13,14 @@
 //! setting — worker count is an execution knob, never a semantics knob.
 
 use super::incremental::IncChecker;
-use super::{Delivery, EventCursor, PartitionStats, PubSub, Stats};
+use super::{BackendSnapshot, Delivery, EventCursor, PartitionStats, PubSub, Stats};
 use crate::dirty::{pubs_key, topo_key};
 use crate::sharding::SupervisorShards;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
-use skippub_sim::{Metrics, NodeId, PartitionedWorld, World};
+use skippub_sim::{Metrics, NodeId, PartitionedState, PartitionedWorld, World};
+use skippub_snapshot::{Snap, SnapVec, SnapWriter};
 use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -137,6 +138,61 @@ impl ShardedBackend {
     /// The underlying partitioned world, for white-box probes.
     pub fn world(&self) -> &PartitionedWorld<MultiActor> {
         &self.world
+    }
+
+    /// Mutable access to the underlying world (adversarial injection).
+    /// Raw access may change anything, so every cached checker verdict
+    /// is dropped and the member index is rebuilt on the next poll.
+    pub fn world_mut(&mut self) -> &mut PartitionedWorld<MultiActor> {
+        self.inc.get_mut().invalidate_all();
+        &mut self.world
+    }
+
+    /// Rebuilds a backend from a `sharded` snapshot. The consistent-hash
+    /// ring is **not** serialized: it is a pure function of the
+    /// supervisor IDs and replica count, both of which are, so restore
+    /// rebuilds it. The checker restarts cold with an invalidated member
+    /// index (a fresh `IncChecker` trusts its — empty — index), so the
+    /// first poll re-scans the world.
+    pub fn from_snapshot(snap: &BackendSnapshot) -> Result<Self, String> {
+        if snap.kind != "sharded" {
+            return Err(format!("expected a sharded snapshot, got {:?}", snap.kind));
+        }
+        let mut r = snap.reader().map_err(|e| e.to_string())?;
+        let err = |e: skippub_snapshot::SnapError| e.to_string();
+        let cfg = ProtocolConfig::load(&mut r).map_err(err)?;
+        let topics = u32::load(&mut r).map_err(err)?;
+        let next_id = u64::load(&mut r).map_err(err)?;
+        let replicas = usize::load(&mut r).map_err(err)?;
+        let sup_ids = SnapVec::<NodeId>::load(&mut r).map_err(err)?.0;
+        let met_len = u64::load(&mut r).map_err(err)? as usize;
+        let mut met = BTreeMap::new();
+        for _ in 0..met_len {
+            let key = u64::load(&mut r).map_err(err)?;
+            let shards = SnapVec::<u32>::load(&mut r).map_err(err)?.0;
+            met.insert(key, shards);
+        }
+        let interner = PayloadInterner::load(&mut r).map_err(err)?;
+        let world = PartitionedState::<MultiActor>::load(&mut r).map_err(err)?;
+        let cursor = EventCursor::load(&mut r).map_err(err)?;
+        r.finish().map_err(err)?;
+        if sup_ids.is_empty() || replicas == 0 {
+            return Err("sharded snapshot needs >=1 supervisor and >=1 replica".to_string());
+        }
+        let mut inc = IncChecker::new(topics);
+        inc.invalidate_all();
+        Ok(ShardedBackend {
+            shards: SupervisorShards::new(&sup_ids, replicas),
+            world: PartitionedWorld::from_state(world),
+            sup_ids,
+            cfg,
+            topics,
+            next_id,
+            cursor,
+            met,
+            inc: RefCell::new(inc),
+            interner,
+        })
     }
 
     /// Aggregated simulator metrics over all shard partitions (per-kind
@@ -341,6 +397,24 @@ impl PubSub for ShardedBackend {
             })
             .collect();
         stats
+    }
+
+    fn save_snapshot(&self) -> Result<BackendSnapshot, String> {
+        let mut w = SnapWriter::new();
+        self.cfg.save(&mut w);
+        self.topics.save(&mut w);
+        self.next_id.save(&mut w);
+        self.shards.replicas().save(&mut w);
+        SnapVec(self.sup_ids.clone()).save(&mut w);
+        w.put_u64(self.met.len() as u64);
+        for (key, shards) in &self.met {
+            key.save(&mut w);
+            SnapVec(shards.clone()).save(&mut w);
+        }
+        self.interner.save(&mut w);
+        self.world.export_state().save(&mut w);
+        self.cursor.save(&mut w);
+        Ok(w.finish(self.backend_name()))
     }
 }
 

@@ -3,15 +3,16 @@
 //! [`ChaosConfig`] is attached.
 
 use super::incremental::SimChecker;
-use super::{Delivery, EventCursor, PubSub, Stats};
+use super::{BackendSnapshot, Delivery, EventCursor, PubSub, Stats};
 use crate::api::SkipRingSim;
 use crate::checker::LegitReport;
 use crate::dirty::{pubs_key, topo_key};
 use crate::topics::TopicId;
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
-use skippub_sim::{ChaosConfig, Metrics, NodeId, World};
-use skippub_trie::Publication;
+use skippub_sim::{ChaosConfig, Metrics, NodeId, World, WorldState};
+use skippub_snapshot::{Snap, SnapWriter};
+use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
 
 /// The deterministic-simulator backend: one supervisor, one topic
@@ -110,6 +111,35 @@ impl SimBackend {
     /// Sets the per-node per-step delivery budget (`None` = unbounded).
     pub fn set_delivery_budget(&mut self, budget: Option<u32>) {
         self.sim.set_delivery_budget(budget);
+    }
+
+    /// Rebuilds a backend from a `sim`/`chaos` snapshot. The checker
+    /// caches restart cold (invalidated) and recompute on first poll —
+    /// verdicts are pure functions of the world, so this is exact.
+    pub fn from_snapshot(snap: &BackendSnapshot) -> Result<Self, String> {
+        if snap.kind != "sim" && snap.kind != "chaos" {
+            return Err(format!("expected a sim/chaos snapshot, got {:?}", snap.kind));
+        }
+        let mut r = snap.reader().map_err(|e| e.to_string())?;
+        let err = |e: skippub_snapshot::SnapError| e.to_string();
+        let chaos = Option::<ChaosConfig>::load(&mut r).map_err(err)?;
+        let cfg = ProtocolConfig::load(&mut r).map_err(err)?;
+        let next_id = u64::load(&mut r).map_err(err)?;
+        let interner = PayloadInterner::load(&mut r).map_err(err)?;
+        let world = WorldState::<Actor>::load(&mut r).map_err(err)?;
+        let cursor = EventCursor::load(&mut r).map_err(err)?;
+        r.finish().map_err(err)?;
+        if chaos.is_some() != (snap.kind == "chaos") {
+            return Err("snapshot kind disagrees with chaos config presence".to_string());
+        }
+        let mut inc = SimChecker::new();
+        inc.invalidate_all();
+        Ok(SimBackend {
+            sim: SkipRingSim::from_parts(World::from_state(world), cfg, next_id, interner),
+            chaos,
+            cursor,
+            inc: RefCell::new(inc),
+        })
     }
 }
 
@@ -236,6 +266,17 @@ impl PubSub for SimBackend {
 
     fn stats(&self) -> Stats {
         super::stats_of(self.sim.metrics(), self.sim.peak_in_flight() as u64)
+    }
+
+    fn save_snapshot(&self) -> Result<BackendSnapshot, String> {
+        let mut w = SnapWriter::new();
+        self.chaos.save(&mut w);
+        self.sim.cfg().save(&mut w);
+        self.sim.next_id().save(&mut w);
+        self.sim.payload_interner().save(&mut w);
+        self.sim.world().export_state().save(&mut w);
+        self.cursor.save(&mut w);
+        Ok(w.finish(self.backend_name()))
     }
 }
 

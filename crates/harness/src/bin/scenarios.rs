@@ -10,21 +10,28 @@
 //! scenarios steady-state --seed 9 --out reports/
 //! scenarios crash-storm --backend sim --trace run.trace
 //! scenarios replay run.trace               # re-execute a recorded trace
+//!
+//! # checkpoint/restore:
+//! scenarios crash-storm --backend sim --snapshot-at 6 --out-snapshot warm.snap
+//! scenarios crash-storm --from-snapshot warm.snap   # warm-start the rest
+//! scenarios crash-recovery crash-storm --corrupt 25 # restore + corrupt + re-legit
 //! ```
 //!
 //! Running a scenario on multiple backends asserts the conformance
 //! contract: the delivered-publication fingerprints must be identical
-//! across the in-process backends. Exit code 1 means a scenario failed
-//! a verdict (or a conformance mismatch); 2 means a usage or I/O error
-//! (bad flags, unknown names, unreadable/unwritable paths).
+//! across the in-process backends. A `--from-snapshot` run self-asserts
+//! the same contract against a fresh uninterrupted run. Exit code 1
+//! means a scenario failed a verdict (or a conformance mismatch); 2
+//! means a usage or I/O error (bad flags, unknown names,
+//! unreadable/unwritable paths).
 
 use skippub_harness::scenario::{
-    self, builtin, builtins, BackendKind, ScenarioSpec, Trace,
+    self, builtin, builtins, BackendKind, ScenarioSpec, Trace, WarmStart,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <name|all|replay FILE> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--threads N] [--out DIR] [--trace FILE] [--list]"
+        "usage: scenarios <name|all|replay FILE|crash-recovery NAME> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--rounds N] [--threads N] [--out DIR] [--trace FILE] [--snapshot-at R --out-snapshot FILE] [--from-snapshot FILE] [--corrupt K] [--list]"
     );
     std::process::exit(2);
 }
@@ -112,6 +119,12 @@ fn main() {
     let mut threads: Option<usize> = None;
     let mut out_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut rounds: Option<u64> = None;
+    let mut snapshot_at: Option<u64> = None;
+    let mut out_snapshot: Option<String> = None;
+    let mut from_snapshot: Option<String> = None;
+    let mut corrupt: usize = 25;
+    let mut recovery = false;
     let mut list = false;
     let mut i = 0;
     while i < args.len() {
@@ -135,6 +148,14 @@ fn main() {
                 );
                 i += 1;
             }
+            "--rounds" => {
+                rounds = Some(
+                    take(&args, i, "--rounds")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--rounds needs a number")),
+                );
+                i += 1;
+            }
             "--threads" => {
                 let t: usize = take(&args, i, "--threads")
                     .parse()
@@ -153,6 +174,29 @@ fn main() {
                 trace_path = Some(take(&args, i, "--trace"));
                 i += 1;
             }
+            "--snapshot-at" => {
+                snapshot_at = Some(
+                    take(&args, i, "--snapshot-at")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--snapshot-at needs a round number")),
+                );
+                i += 1;
+            }
+            "--out-snapshot" => {
+                out_snapshot = Some(take(&args, i, "--out-snapshot"));
+                i += 1;
+            }
+            "--from-snapshot" => {
+                from_snapshot = Some(take(&args, i, "--from-snapshot"));
+                i += 1;
+            }
+            "--corrupt" => {
+                corrupt = take(&args, i, "--corrupt")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--corrupt needs a count"));
+                i += 1;
+            }
+            "crash-recovery" if name.is_none() && !recovery => recovery = true,
             "replay" if name.is_none() => {
                 replay_file = Some(take(&args, i, "replay"));
                 i += 1;
@@ -225,10 +269,116 @@ fn main() {
     } else {
         Some(parse_target(&backend).unwrap_or_else(|| fail(&format!("unknown backend {backend:?}"))))
     };
+
+    // --- checkpoint / warm-start / crash-recovery modes ---
+    if snapshot_at.is_some() != out_snapshot.is_some() {
+        fail("--snapshot-at and --out-snapshot go together");
+    }
+    let modes = snapshot_at.is_some() as usize + from_snapshot.is_some() as usize + recovery as usize;
+    if modes > 1 {
+        fail("--snapshot-at, --from-snapshot, and crash-recovery are mutually exclusive");
+    }
+    if modes == 1 {
+        if specs.len() != 1 {
+            fail("checkpoint modes need a single scenario");
+        }
+        if trace_path.is_some() {
+            fail("checkpoint modes do not record traces");
+        }
+        let mut spec = specs.into_iter().next().unwrap();
+        if let Some(s) = seed {
+            spec.seed = s;
+        }
+        if let Some(r) = rounds {
+            spec.rounds = r;
+        }
+        if let Some(t) = threads {
+            spec = spec.threads(t);
+        }
+
+        // Capture: run to completion, writing the warm-start file.
+        if let (Some(at), Some(path)) = (snapshot_at, &out_snapshot) {
+            let kind = match chosen {
+                Some(Target::InProcess(k)) => k,
+                Some(Target::Threaded) => fail("the threaded runtime cannot snapshot"),
+                None => fail("--snapshot-at needs a single --backend"),
+            };
+            let (out, warm) = scenario::run_spec_with_snapshot(&spec, kind, at)
+                .unwrap_or_else(|e| fail(&e));
+            std::fs::write(path, warm.to_text())
+                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            eprintln!(
+                "wrote warm start at round {} ({} snapshot bytes) to {path}",
+                warm.round,
+                warm.snapshot.byte_len()
+            );
+            print!("{}", out.report.to_json());
+            std::process::exit(if out.report.ok() { 0 } else { 1 });
+        }
+
+        // Resume: warm-start the rest, self-asserting conformance with
+        // a fresh uninterrupted run of the same spec.
+        if let Some(path) = &from_snapshot {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+            let warm = WarmStart::parse(&text).unwrap_or_else(|e| fail(&format!("parse {path}: {e}")));
+            let kind = BackendKind::all()
+                .into_iter()
+                .find(|k| k.name() == warm.snapshot.kind)
+                .unwrap_or_else(|| fail(&format!("snapshot kind {:?} is not a backend", warm.snapshot.kind)));
+            let resumed = scenario::resume_spec(&spec, &warm).unwrap_or_else(|e| fail(&e));
+            print!("{}", resumed.report.to_json());
+            let fresh = scenario::run_spec(&spec, kind).unwrap_or_else(|e| fail(&e));
+            if resumed.report.delivered_fingerprint != fresh.report.delivered_fingerprint {
+                eprintln!(
+                    "WARM-START MISMATCH: resumed run delivers {} but an uninterrupted run delivers {}",
+                    resumed.report.delivered_fingerprint, fresh.report.delivered_fingerprint
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "resumed from round {}: delivered fingerprint matches the uninterrupted run",
+                warm.round
+            );
+            std::process::exit(if resumed.report.ok() { 0 } else { 1 });
+        }
+
+        // Crash recovery: checkpoint mid-run, restore, corrupt, re-legit.
+        let kinds: Vec<BackendKind> = match chosen {
+            Some(Target::InProcess(k)) => vec![k],
+            Some(Target::Threaded) => fail("the threaded runtime cannot snapshot"),
+            None => spec.supported_backends(),
+        };
+        let mut failed = false;
+        for kind in kinds {
+            let started = std::time::Instant::now();
+            let report = scenario::run_crash_recovery(&spec, kind, corrupt)
+                .unwrap_or_else(|e| fail(&e));
+            eprintln!(
+                "=== crash-recovery {} on {} ({:.2?}) {}",
+                spec.name,
+                kind.name(),
+                started.elapsed(),
+                if report.ok() { "ok" } else { "FAILED" }
+            );
+            println!("{}", report.to_json());
+            if let Some(dir) = &out_dir {
+                let path = format!("{dir}/{}.{}.recovery.json", spec.name, kind.name());
+                std::fs::write(&path, report.to_json())
+                    .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            }
+            failed |= !report.ok();
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
     let mut failures = 0usize;
     for mut spec in specs {
         if let Some(s) = seed {
             spec.seed = s;
+        }
+        if let Some(r) = rounds {
+            spec.rounds = r;
         }
         // Worker-thread cap for the sharded backend's parallel round
         // executor — an execution knob only: delivered sets and reports

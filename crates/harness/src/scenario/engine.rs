@@ -19,7 +19,7 @@ use super::schedule::{compile, PlannedOp};
 use super::spec::{ScenarioSpec, Stop};
 use super::trace::{Trace, TraceLine};
 use skippub_bits::Hash128;
-use skippub_core::pubsub::{Delivery, Op};
+use skippub_core::pubsub::{BackendSnapshot, Delivery, Op};
 use skippub_core::{BackendKind, PubSub, SystemBuilder, TopicId};
 use skippub_sim::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -112,6 +112,168 @@ pub fn run_recorded(
 /// the warm/stop/settle budgets.
 pub fn run_on(ps: &mut dyn PubSub, spec: &ScenarioSpec, budget_mult: u64) -> ScenarioOutcome {
     execute(ps, spec, budget_mult, None)
+}
+
+/// A mid-run checkpoint: the backend snapshot plus the engine's churn
+/// bookkeeping at the capture point — everything [`resume_spec`] needs
+/// to warm-start the remainder of the scenario in a fresh process.
+#[derive(Clone, Debug)]
+pub struct WarmStart {
+    /// Name of the spec the snapshot was captured under (resume
+    /// re-checks it; the schedule must be the one the bookkeeping
+    /// indexes into).
+    pub scenario: String,
+    /// Spec seed at capture (resume re-checks it for the same reason).
+    pub seed: u64,
+    /// Scheduled rounds completed at capture.
+    pub round: u64,
+    /// Slot → assigned `NodeId` at capture, in spawn order.
+    pub slot_ids: Vec<NodeId>,
+    /// IDs crashed by the schedule before capture.
+    pub crashed: Vec<NodeId>,
+    /// IDs that left gracefully before capture.
+    pub left: Vec<NodeId>,
+    /// The backend checkpoint itself.
+    pub snapshot: BackendSnapshot,
+}
+
+impl WarmStart {
+    /// Serializes to the two-line warm-start file format: a header line
+    /// with the engine bookkeeping, then the backend snapshot (itself a
+    /// single line of tokens).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut text = format!(
+            "scenariowarm 1 {} {} {}",
+            self.scenario, self.seed, self.round
+        );
+        for list in [&self.slot_ids, &self.crashed, &self.left] {
+            let _ = write!(text, " {}", list.len());
+            for id in list {
+                let _ = write!(text, " {}", id.0);
+            }
+        }
+        text.push('\n');
+        text.push_str(self.snapshot.as_text());
+        text.push('\n');
+        text
+    }
+
+    /// Parses the warm-start file format back.
+    pub fn parse(text: &str) -> Result<WarmStart, String> {
+        let (header, snap) = text
+            .split_once('\n')
+            .ok_or("warm-start file needs a header line and a snapshot line")?;
+        let mut toks = header.split_ascii_whitespace();
+        let mut tok = |what: &str| {
+            toks.next()
+                .ok_or_else(|| format!("warm-start header truncated at {what}"))
+        };
+        match (tok("magic")?, tok("version")?) {
+            ("scenariowarm", "1") => {}
+            (m, v) => return Err(format!("bad warm-start header: {m} {v}")),
+        }
+        let scenario = tok("scenario")?.to_string();
+        let seed = tok("seed")?.parse::<u64>().map_err(|e| e.to_string())?;
+        let round = tok("round")?.parse::<u64>().map_err(|e| e.to_string())?;
+        let mut lists: [Vec<NodeId>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = tok("list length")?
+                .parse::<usize>()
+                .map_err(|e| e.to_string())?;
+            for _ in 0..n {
+                list.push(NodeId(
+                    tok("node id")?.parse::<u64>().map_err(|e| e.to_string())?,
+                ));
+            }
+        }
+        if toks.next().is_some() {
+            return Err("trailing tokens in warm-start header".into());
+        }
+        let [slot_ids, crashed, left] = lists;
+        let snapshot =
+            BackendSnapshot::from_text(snap.trim_end()).map_err(|e| e.to_string())?;
+        Ok(WarmStart {
+            scenario,
+            seed,
+            round,
+            slot_ids,
+            crashed,
+            left,
+            snapshot,
+        })
+    }
+}
+
+/// Like [`run_spec`], but additionally captures a [`WarmStart`] after
+/// `at_round` scheduled rounds (0 = right after the seed phase) and
+/// runs the scenario to completion as usual. Errors if `at_round`
+/// exceeds the schedule or the backend cannot snapshot.
+pub fn run_spec_with_snapshot(
+    spec: &ScenarioSpec,
+    kind: BackendKind,
+    at_round: u64,
+) -> Result<(ScenarioOutcome, WarmStart), String> {
+    if !spec.supported(kind) {
+        return Err(format!(
+            "scenario {:?} does not support backend {}",
+            spec.name,
+            kind.name()
+        ));
+    }
+    let mut ps = builder_for(spec).build(kind);
+    let (out, captured) = run_phases(
+        ps.as_mut(),
+        spec,
+        budget_multiplier(kind),
+        None,
+        None,
+        Some(at_round as usize),
+    );
+    match captured {
+        Some(Ok(warm)) => Ok((out, warm)),
+        Some(Err(e)) => Err(format!("snapshot at round {at_round}: {e}")),
+        None => Err(format!(
+            "--snapshot-at {at_round} is past the end of the schedule"
+        )),
+    }
+}
+
+/// Warm-starts the *remainder* of `spec` from a [`WarmStart`]: restores
+/// the backend from the snapshot, then executes the scheduled rounds
+/// after the capture point plus the usual stop/settle/drain phases.
+/// On the deterministic backends the resumed run's delivered sets and
+/// fingerprints equal the uninterrupted run's.
+pub fn resume_spec(spec: &ScenarioSpec, warm: &WarmStart) -> Result<ScenarioOutcome, String> {
+    if warm.scenario != spec.name || warm.seed != spec.seed {
+        return Err(format!(
+            "warm start is for scenario {:?} seed {}, not {:?} seed {}",
+            warm.scenario, warm.seed, spec.name, spec.seed
+        ));
+    }
+    let rounds = compile(spec).rounds.len();
+    if warm.round as usize > rounds {
+        return Err(format!(
+            "warm start at round {} is past the {} scheduled rounds",
+            warm.round, rounds
+        ));
+    }
+    let mut ps = skippub_core::pubsub::restore(&warm.snapshot)?;
+    let mult = if ps.backend_name() == "chaos" { 10 } else { 1 };
+    let churn = Churn {
+        slot_ids: warm.slot_ids.clone(),
+        crashed: warm.crashed.clone(),
+        left: warm.left.clone(),
+    };
+    let (out, _) = run_phases(
+        ps.as_mut(),
+        spec,
+        mult,
+        None,
+        Some((churn, warm.round as usize)),
+        None,
+    );
+    Ok(out)
 }
 
 /// Runs the spec on the threaded runtime (`skippub-net`): one OS thread
@@ -209,127 +371,181 @@ pub(crate) fn stop_met(ps: &dyn PubSub, stop: &Stop) -> bool {
     }
 }
 
+/// Engine churn bookkeeping at a point in the run: slot → id bindings
+/// in spawn order plus the crash/leave lists the drain phase needs.
+#[derive(Clone, Debug, Default)]
+struct Churn {
+    slot_ids: Vec<NodeId>,
+    crashed: Vec<NodeId>,
+    left: Vec<NodeId>,
+}
+
+/// Freezes the backend + bookkeeping into a [`WarmStart`].
+fn capture_warm(
+    ps: &dyn PubSub,
+    spec: &ScenarioSpec,
+    round: usize,
+    churn: &Churn,
+) -> Result<WarmStart, String> {
+    Ok(WarmStart {
+        scenario: spec.name.clone(),
+        seed: spec.seed,
+        round: round as u64,
+        slot_ids: churn.slot_ids.clone(),
+        crashed: churn.crashed.clone(),
+        left: churn.left.clone(),
+        snapshot: ps.save_snapshot()?,
+    })
+}
+
 fn execute(
     ps: &mut dyn PubSub,
     spec: &ScenarioSpec,
     budget_mult: u64,
     trace: Option<&mut Trace>,
 ) -> ScenarioOutcome {
+    run_phases(ps, spec, budget_mult, trace, None, None).0
+}
+
+/// The seven phases. `resume_from = Some((churn, round))` skips
+/// populate/warm/seed and the first `round` scheduled rounds,
+/// continuing from the restored bookkeeping; `capture_at = Some(R)`
+/// snapshots the backend right before scheduled round `R`
+/// (`R == rounds.len()` captures after the last round) and returns the
+/// capture alongside the outcome (`None` when `R` is out of range).
+fn run_phases(
+    ps: &mut dyn PubSub,
+    spec: &ScenarioSpec,
+    budget_mult: u64,
+    trace: Option<&mut Trace>,
+    resume_from: Option<(Churn, usize)>,
+    capture_at: Option<usize>,
+) -> (ScenarioOutcome, Option<Result<WarmStart, String>>) {
     let schedule = compile(spec);
     let mut rec = Recorder {
         trace,
         ops: OpCounts::default(),
     };
-    let mut slot_ids: Vec<NodeId> = Vec::with_capacity(schedule.slots.len());
-    let mut crashed = Vec::new();
-    let mut left = Vec::new();
+    let fresh = resume_from.is_none();
+    let (mut churn, start_round) = resume_from.unwrap_or_default();
 
     // Slot → bound ID lookups index `slot_ids` directly: the compiler
     // guarantees ops only reference already-spawned slots.
-    let apply_planned = |rec: &mut Recorder,
-                             ps: &mut dyn PubSub,
-                             op: &PlannedOp,
-                             slot_ids: &mut Vec<NodeId>,
-                             crashed: &mut Vec<NodeId>,
-                             left: &mut Vec<NodeId>| {
-        match op {
-            PlannedOp::Subscribe { slot, topic } => {
-                let id = rec
-                    .apply(ps, Op::Subscribe { topic: TopicId(*topic) })
-                    .expect("subscribe returns an id");
-                debug_assert_eq!(*slot, slot_ids.len(), "slots spawn in order");
-                slot_ids.push(id);
+    let apply_planned =
+        |rec: &mut Recorder, ps: &mut dyn PubSub, op: &PlannedOp, churn: &mut Churn| {
+            match op {
+                PlannedOp::Subscribe { slot, topic } => {
+                    let id = rec
+                        .apply(ps, Op::Subscribe { topic: TopicId(*topic) })
+                        .expect("subscribe returns an id");
+                    debug_assert_eq!(*slot, churn.slot_ids.len(), "slots spawn in order");
+                    churn.slot_ids.push(id);
+                }
+                PlannedOp::Leave { slot, topic } => {
+                    let id = churn.slot_ids[*slot];
+                    churn.left.push(id);
+                    rec.apply(
+                        ps,
+                        Op::Unsubscribe {
+                            id,
+                            topic: TopicId(*topic),
+                        },
+                    );
+                }
+                PlannedOp::Publish {
+                    slot,
+                    topic,
+                    payload,
+                } => {
+                    rec.apply(
+                        ps,
+                        Op::Publish {
+                            id: churn.slot_ids[*slot],
+                            topic: TopicId(*topic),
+                            payload: payload.clone(),
+                        },
+                    );
+                }
+                PlannedOp::Seed {
+                    slot,
+                    topic,
+                    payload,
+                } => {
+                    let id = churn.slot_ids[*slot];
+                    rec.apply(
+                        ps,
+                        Op::SeedPublication {
+                            id,
+                            topic: TopicId(*topic),
+                            author: id.0,
+                            payload: payload.clone(),
+                        },
+                    );
+                }
+                PlannedOp::Crash { slot } => {
+                    let id = churn.slot_ids[*slot];
+                    churn.crashed.push(id);
+                    rec.apply(ps, Op::Crash { id });
+                }
+                PlannedOp::Report { slot } => {
+                    rec.apply(ps, Op::ReportCrash { id: churn.slot_ids[*slot] });
+                }
             }
-            PlannedOp::Leave { slot, topic } => {
-                let id = slot_ids[*slot];
-                left.push(id);
-                rec.apply(
-                    ps,
-                    Op::Unsubscribe {
-                        id,
-                        topic: TopicId(*topic),
-                    },
-                );
-            }
-            PlannedOp::Publish {
-                slot,
-                topic,
-                payload,
-            } => {
-                rec.apply(
-                    ps,
-                    Op::Publish {
-                        id: slot_ids[*slot],
-                        topic: TopicId(*topic),
-                        payload: payload.clone(),
-                    },
-                );
-            }
-            PlannedOp::Seed {
-                slot,
-                topic,
-                payload,
-            } => {
-                let id = slot_ids[*slot];
-                rec.apply(
-                    ps,
-                    Op::SeedPublication {
-                        id,
-                        topic: TopicId(*topic),
-                        author: id.0,
-                        payload: payload.clone(),
-                    },
-                );
-            }
-            PlannedOp::Crash { slot } => {
-                let id = slot_ids[*slot];
-                crashed.push(id);
-                rec.apply(ps, Op::Crash { id });
-            }
-            PlannedOp::Report { slot } => {
-                rec.apply(ps, Op::ReportCrash { id: slot_ids[*slot] });
-            }
-        }
-    };
+        };
 
-    // 1. populate
-    rec.phase("populate");
-    for op in &schedule.prelude {
-        apply_planned(&mut rec, ps, op, &mut slot_ids, &mut crashed, &mut left);
-    }
-
-    // 2. warm
-    rec.phase("warm");
+    // Phases 1–3 already ran before the capture point on a resumed run
+    // (re-warming mid-run would add steps the uninterrupted run never
+    // takes, breaking determinism).
     let mut warm_rounds = 0;
     let mut warm_ok = true;
-    if spec.warm {
-        let budget = spec.warm_budget.saturating_mul(budget_mult);
-        loop {
-            if ps.is_legitimate() {
-                break;
-            }
-            if warm_rounds >= budget {
-                warm_ok = false;
-                break;
-            }
-            rec.step(ps);
-            warm_rounds += 1;
+    if fresh {
+        // 1. populate
+        rec.phase("populate");
+        for op in &schedule.prelude {
+            apply_planned(&mut rec, ps, op, &mut churn);
         }
-    }
 
-    // 3. seed
-    rec.phase("seed");
-    for op in &schedule.seeds {
-        apply_planned(&mut rec, ps, op, &mut slot_ids, &mut crashed, &mut left);
+        // 2. warm
+        rec.phase("warm");
+        if spec.warm {
+            let budget = spec.warm_budget.saturating_mul(budget_mult);
+            loop {
+                if ps.is_legitimate() {
+                    break;
+                }
+                if warm_rounds >= budget {
+                    warm_ok = false;
+                    break;
+                }
+                rec.step(ps);
+                warm_rounds += 1;
+            }
+        }
+
+        // 3. seed
+        rec.phase("seed");
+        for op in &schedule.seeds {
+            apply_planned(&mut rec, ps, op, &mut churn);
+        }
     }
 
     // 4. run
     rec.phase("run");
-    for ops in &schedule.rounds {
+    let mut captured: Option<Result<WarmStart, String>> = None;
+    for (idx, ops) in schedule.rounds.iter().enumerate() {
+        if idx < start_round {
+            continue;
+        }
+        if capture_at == Some(idx) {
+            captured = Some(capture_warm(ps, spec, idx, &churn));
+        }
         for op in ops {
-            apply_planned(&mut rec, ps, op, &mut slot_ids, &mut crashed, &mut left);
+            apply_planned(&mut rec, ps, op, &mut churn);
         }
         rec.step(ps);
+    }
+    if capture_at == Some(schedule.rounds.len()) {
+        captured = Some(capture_warm(ps, spec, schedule.rounds.len(), &churn));
     }
 
     // 5. stop
@@ -365,7 +581,7 @@ fn execute(
     for (topic, slots) in schedule.survivors_by_topic(spec.topics) {
         let entry = membership.entry(topic).or_default();
         for slot in slots {
-            let id = slot_ids[slot];
+            let id = churn.slot_ids[slot];
             entry.push(id);
             rec.member(id, topic);
             let events = rec.drain(ps, id);
@@ -382,6 +598,11 @@ fn execute(
         stop_ok,
         settle_rounds,
     };
+    let Churn {
+        slot_ids,
+        crashed,
+        left,
+    } = churn;
     let meta = RunMeta {
         scenario: &spec.name,
         seed: spec.seed,
@@ -395,13 +616,16 @@ fn execute(
     };
     let (report, delivered) =
         assemble_report(ps, &meta, phases, &membership, &drained, rec.ops);
-    ScenarioOutcome {
-        report,
-        slot_ids,
-        crashed,
-        left,
-        delivered,
-    }
+    (
+        ScenarioOutcome {
+            report,
+            slot_ids,
+            crashed,
+            left,
+            delivered,
+        },
+        captured,
+    )
 }
 
 /// Hex fingerprint of one delivered set.
@@ -559,6 +783,47 @@ mod tests {
         let spec = ScenarioSpec::new("multi", 1).topics(3).population(6);
         assert!(run_spec(&spec, BackendKind::Sim).is_err());
         assert!(run_spec(&spec, BackendKind::MultiTopic).is_ok());
+    }
+
+    #[test]
+    fn warm_start_resume_matches_uninterrupted_run() {
+        let spec = small_spec();
+        for kind in spec.supported_backends() {
+            let reference = run_spec(&spec, kind).expect("supported");
+            let (full, warm) = run_spec_with_snapshot(&spec, kind, 6).expect("in range");
+            // Capturing must not perturb the capturing run itself.
+            assert_eq!(
+                full.report.delivered_fingerprint, reference.report.delivered_fingerprint,
+                "{}", kind.name()
+            );
+            // File-format round trip, then resume from the parsed copy.
+            let parsed = WarmStart::parse(&warm.to_text()).expect("parses back");
+            assert_eq!(parsed.round, 6);
+            assert_eq!(parsed.slot_ids, warm.slot_ids);
+            assert_eq!(parsed.snapshot.as_text(), warm.snapshot.as_text());
+            let resumed = resume_spec(&spec, &parsed).expect("resumes");
+            assert_eq!(
+                resumed.report.delivered_fingerprint, reference.report.delivered_fingerprint,
+                "resume diverged on {}", kind.name()
+            );
+            assert_eq!(resumed.delivered, reference.delivered);
+            assert_eq!(resumed.crashed, reference.crashed);
+            assert!(resumed.report.ok(), "{}", resumed.report.to_json());
+        }
+    }
+
+    #[test]
+    fn warm_start_guards_reject_mismatches() {
+        let spec = small_spec();
+        // Past the end of the 12-round schedule.
+        assert!(run_spec_with_snapshot(&spec, BackendKind::Sim, 13).is_err());
+        // Capture right after the last round is still valid.
+        let (_, warm) = run_spec_with_snapshot(&spec, BackendKind::Sim, 12).expect("boundary");
+        let other = ScenarioSpec::new("other", 23).population(8);
+        assert!(resume_spec(&other, &warm).is_err(), "wrong scenario name");
+        let mut reseeded = small_spec();
+        reseeded.seed = 99;
+        assert!(resume_spec(&reseeded, &warm).is_err(), "wrong seed");
     }
 
     #[test]

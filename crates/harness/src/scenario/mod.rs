@@ -48,16 +48,18 @@
 
 pub mod engine;
 pub mod library;
+pub mod recovery;
 pub mod report;
 pub mod schedule;
 pub mod spec;
 pub mod trace;
 
 pub use engine::{
-    budget_multiplier, builder_for, run_on, run_recorded, run_spec, run_threaded, DeliveredItem,
-    DeliveredSet, ScenarioOutcome,
+    budget_multiplier, builder_for, resume_spec, run_on, run_recorded, run_spec,
+    run_spec_with_snapshot, run_threaded, DeliveredItem, DeliveredSet, ScenarioOutcome, WarmStart,
 };
 pub use library::{builtin, builtins};
+pub use recovery::{run_crash_recovery, CrashRecoveryReport};
 pub use report::{OpCounts, ScenarioReport, TopicReport};
 pub use schedule::{compile, Fate, PlannedOp, Schedule, SlotPlan};
 pub use spec::{Burst, BurstKind, Popularity, ScenarioSpec, Stop};

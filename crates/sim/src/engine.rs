@@ -26,6 +26,7 @@
 //! both the slot and its channel capacity.
 
 use crate::fx::FxBuildHasher;
+use crate::state::{NodeState, PartitionState};
 use crate::Metrics;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -105,6 +106,16 @@ impl DirtyTable {
     #[inline]
     pub fn version(&self, key: u32) -> u64 {
         self.versions.get(key as usize).copied().unwrap_or(0)
+    }
+
+    /// The raw version table, indexed by key (checkpoint export).
+    pub fn export(&self) -> Vec<u64> {
+        self.versions.clone()
+    }
+
+    /// Rebuilds a table from an exported raw version vector.
+    pub fn import(versions: Vec<u64>) -> Self {
+        DirtyTable { versions }
     }
 }
 
@@ -816,6 +827,61 @@ impl<P: Protocol> Partition<P> {
                 None => self.metrics.dropped += 1,
             }
         }
+    }
+
+    /// Exports the partition's exact state for a checkpoint: live nodes
+    /// in id order with channel contents, RNG words, and every stepping
+    /// register. Must be called at a round boundary — the cross-partition
+    /// outbox must be flushed (staged sends would otherwise be lost).
+    pub(crate) fn export_state(&self) -> PartitionState<P>
+    where
+        P: Clone,
+    {
+        debug_assert!(self.outbox.is_empty(), "export with staged outbox sends");
+        PartitionState {
+            nodes: self
+                .order
+                .iter()
+                .map(|&(i, s)| NodeState {
+                    id: NodeId(i),
+                    proto: self.protos[s as usize].as_ref().expect("live slot").clone(),
+                    channel: self.channels[s as usize].clone(),
+                })
+                .collect(),
+            rng: self.rng.state(),
+            round: self.round,
+            budget: self.budget,
+            metrics: self.metrics.export(),
+            dirty: self.dirty.export(),
+            peak_in_flight: self.peak_in_flight as u64,
+            seq: self.seq,
+            cross_sent: self.cross_sent,
+        }
+    }
+
+    /// Rebuilds a partition from an exported state. Stepping the result
+    /// is byte-identical to stepping the original: the activation
+    /// shuffle draws over live-node order (restored exactly), sends to
+    /// dead ids miss `slot_of` and drop identically, and metrics import
+    /// precedes `add_node` so every node re-interns onto its original
+    /// counter index. Tombstones and free slots are *not* recreated —
+    /// they never influence behavior.
+    pub(crate) fn from_state(state: PartitionState<P>, local_only: bool) -> Self {
+        let mut p = Partition::new(0, local_only);
+        p.metrics = Metrics::import(&state.metrics);
+        for node in state.nodes {
+            p.add_node(node.id, node.proto);
+            let s = p.slot_of[&node.id.0] as usize;
+            p.channels[s] = node.channel;
+        }
+        p.rng = StdRng::from_state(state.rng);
+        p.dirty = DirtyTable::import(state.dirty);
+        p.round = state.round;
+        p.budget = state.budget;
+        p.peak_in_flight = state.peak_in_flight as usize;
+        p.seq = state.seq;
+        p.cross_sent = state.cross_sent;
+        p
     }
 
     /// Capacity currently reserved by the scratch buffers —

@@ -26,10 +26,12 @@ mod engine;
 mod fx;
 mod metrics;
 mod partitioned;
+mod state;
 pub mod testing;
 mod world;
 
 pub use engine::{ChaosConfig, Ctx, DirtyTable, Envelope, NodeId, Protocol};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsState};
 pub use partitioned::{NodeView, PartitionedWorld};
+pub use state::{NodeState, PartitionState, PartitionedState, WorldState};
 pub use world::World;

@@ -10,7 +10,8 @@
 
 use crate::fx::FxBuildHasher;
 use crate::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Mutex, OnceLock};
 
 /// Cumulative message counters maintained by the [`World`](crate::World).
 ///
@@ -176,6 +177,58 @@ impl Metrics {
         self.node_received[to as usize] += 1;
     }
 
+    /// Exports the counters in portable, owner-independent form
+    /// (checkpoint/restore). Kinds and nodes are emitted in **intern
+    /// order**, not sorted: [`Metrics::import`] rebuilds the same
+    /// internal index assignment, so a restored world's hot-path
+    /// `note_*_at` indices keep meaning exactly what they meant.
+    pub fn export(&self) -> MetricsState {
+        MetricsState {
+            sent_total: self.sent_total,
+            delivered_total: self.delivered_total,
+            dropped: self.dropped,
+            rounds: self.rounds,
+            kinds: self
+                .kind_names
+                .iter()
+                .zip(&self.kind_counts)
+                .map(|(&k, &c)| (k.to_string(), c))
+                .collect(),
+            nodes: self
+                .node_ids
+                .iter()
+                .enumerate()
+                .map(|(i, &id)| (id, self.node_sent[i], self.node_received[i]))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds metrics from an exported state. The inverse of
+    /// [`Metrics::export`]: `m.export()` then `Metrics::import` yields
+    /// metrics equal to `m` with identical intern order. Kind names
+    /// come back as `&'static str` via a process-wide leak-dedup pool
+    /// (bounded by the number of distinct kind names ever restored —
+    /// for a fixed protocol, a handful).
+    pub fn import(state: &MetricsState) -> Metrics {
+        let mut m = Metrics {
+            sent_total: state.sent_total,
+            delivered_total: state.delivered_total,
+            dropped: state.dropped,
+            rounds: state.rounds,
+            ..Metrics::default()
+        };
+        for (name, count) in &state.kinds {
+            let k = m.kind_index(intern_static(name)) as usize;
+            m.kind_counts[k] = *count;
+        }
+        for &(id, sent, received) in &state.nodes {
+            let n = m.intern_node(id) as usize;
+            m.node_sent[n] = sent;
+            m.node_received[n] = received;
+        }
+        m
+    }
+
     /// Adds every counter of `other` into `self` (kinds and node ids are
     /// interned on first sight). Used to aggregate per-partition metrics
     /// into a whole-world view; note that `rounds` is summed like every
@@ -196,6 +249,40 @@ impl Metrics {
             self.node_received[n] += other.node_received[i];
         }
     }
+}
+
+/// Portable, owner-independent form of [`Metrics`] — the
+/// checkpoint/restore wire shape. Kinds and nodes are in intern order
+/// (see [`Metrics::export`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsState {
+    /// Messages handed to the transport.
+    pub sent_total: u64,
+    /// Messages delivered to a handler.
+    pub delivered_total: u64,
+    /// Messages consumed without action (§3.3).
+    pub dropped: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// `(kind name, count)` in intern order (zero counts included).
+    pub kinds: Vec<(String, u64)>,
+    /// `(id, sent, received)` in intern order (zero counters included).
+    pub nodes: Vec<(NodeId, u64, u64)>,
+}
+
+/// Process-wide leak-dedup pool turning restored kind-name strings back
+/// into `&'static str` (the representation the hot-path interner
+/// requires). Each distinct name leaks exactly once, process-wide.
+fn intern_static(name: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = pool.lock().expect("kind-name pool poisoned");
+    if let Some(&existing) = guard.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    guard.insert(leaked);
+    leaked
 }
 
 /// Fat-pointer fast path (address **and** length — a bare `as_ptr`

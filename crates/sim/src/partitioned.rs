@@ -45,6 +45,7 @@
 
 use crate::engine::{Envelope, Partition};
 use crate::fx::FxBuildHasher;
+use crate::state::PartitionedState;
 use crate::{Ctx, Metrics, NodeId, Protocol, World};
 use std::collections::HashMap;
 use std::sync::{Barrier, Mutex};
@@ -319,6 +320,53 @@ impl<P: Protocol> PartitionedWorld<P> {
     /// Cumulative cross-partition envelopes emitted by partition `i`.
     pub fn cross_envelopes(&self, i: usize) -> u64 {
         self.partitions[i].cross_sent()
+    }
+
+    /// Exports the world's exact state for a checkpoint (see
+    /// [`crate::PartitionedState`]). Call at a round boundary only:
+    /// partition outboxes must be flushed (they always are between
+    /// rounds); inbound mailboxes may hold in-flight envelopes and are
+    /// captured verbatim.
+    pub fn export_state(&self) -> PartitionedState<P>
+    where
+        P: Clone,
+    {
+        PartitionedState {
+            partitions: self.partitions.iter().map(|p| p.export_state()).collect(),
+            mailboxes: self
+                .mailboxes
+                .iter()
+                .map(|m| m.lock().expect("mailbox poisoned").clone())
+                .collect(),
+            threads: self.threads as u64,
+            round: self.round,
+            extra_dirty: self.extra_dirty.export(),
+            orphan: self.orphan.export(),
+        }
+    }
+
+    /// Rebuilds a world from an exported state; the id → partition home
+    /// map is reconstructed from the partition node lists. Stepping the
+    /// restored world is byte-identical to stepping the original, for
+    /// every worker-thread count.
+    pub fn from_state(state: PartitionedState<P>) -> Self {
+        let mut home: HashMap<u64, u32, FxBuildHasher> = HashMap::default();
+        let mut partitions = Vec::with_capacity(state.partitions.len());
+        for (i, ps) in state.partitions.into_iter().enumerate() {
+            for node in &ps.nodes {
+                home.insert(node.id.0, i as u32);
+            }
+            partitions.push(Partition::from_state(ps, false));
+        }
+        PartitionedWorld {
+            partitions,
+            mailboxes: state.mailboxes.into_iter().map(Mutex::new).collect(),
+            home,
+            threads: (state.threads as usize).max(1),
+            round: state.round,
+            extra_dirty: crate::DirtyTable::import(state.extra_dirty),
+            orphan: Metrics::import(&state.orphan),
+        }
     }
 
     /// Aggregated metrics over all partitions: totals, per-kind and

@@ -1,0 +1,263 @@
+//! Portable world state — the checkpoint/restore shapes.
+//!
+//! A snapshot of a simulated system must let a restored world **continue
+//! byte-identically**: same RNG draws, same activation shuffles, same
+//! metrics, same message trajectories. These structs capture exactly the
+//! state that influences future behavior, in owner-independent form:
+//!
+//! * live nodes in ascending id order, each with its protocol state and
+//!   channel contents (message ages included, so chaos-mode fairness
+//!   clocks survive);
+//! * the xoshiro256** RNG state words of every stream;
+//! * every engine register (round, budget, peaks, sequence numbers);
+//! * metrics and dirty-table counters in intern order (see
+//!   [`MetricsState`](crate::MetricsState)).
+//!
+//! What is deliberately **not** here: slab slot assignments, tombstones,
+//! and free lists. Only the live-node order influences stepping (the
+//! activation shuffle draws over live nodes; sends to dead ids miss the
+//! id → slot map and are dropped identically either way), so a restored
+//! world packs nodes densely and still replays the original trajectory.
+
+use crate::engine::Envelope;
+use crate::metrics::MetricsState;
+use crate::{NodeId, Protocol};
+
+/// One live node: identity, protocol state, in-flight channel contents.
+pub struct NodeState<P: Protocol> {
+    /// The node's id.
+    pub id: NodeId,
+    /// The protocol state machine, exactly as it was.
+    pub proto: P,
+    /// In-flight `(age, message)` pairs in channel order.
+    pub channel: Vec<(u32, P::Msg)>,
+}
+
+/// Exact state of one engine partition (the serial world is a single
+/// partition): everything [`crate::World`]'s stepping reads.
+pub struct PartitionState<P: Protocol> {
+    /// Live nodes in ascending id order.
+    pub nodes: Vec<NodeState<P>>,
+    /// xoshiro256** RNG state words of the partition's stream.
+    pub rng: [u64; 4],
+    /// Rounds stepped so far.
+    pub round: u64,
+    /// Per-node per-round delivery budget (`None` = unbounded).
+    pub budget: Option<u32>,
+    /// Cumulative metrics (intern order preserved).
+    pub metrics: MetricsState,
+    /// Raw dirty-channel version counters, indexed by key.
+    pub dirty: Vec<u64>,
+    /// High-water mark of in-flight messages.
+    pub peak_in_flight: u64,
+    /// Next cross-partition envelope sequence number.
+    pub seq: u64,
+    /// Cumulative cross-partition envelopes emitted.
+    pub cross_sent: u64,
+}
+
+/// Exact state of a serial [`crate::World`].
+pub struct WorldState<P: Protocol> {
+    /// The world's single (local-only) partition.
+    pub partition: PartitionState<P>,
+}
+
+/// Exact state of a [`crate::PartitionedWorld`].
+///
+/// The id → partition home map is *not* stored: it is exactly "which
+/// partition's node list contains the id", so restore rebuilds it.
+pub struct PartitionedState<P: Protocol> {
+    /// Per-partition states, in partition-index order.
+    pub partitions: Vec<PartitionState<P>>,
+    /// Per-destination-partition inbound mailbox contents —
+    /// cross-partition envelopes in flight at the snapshot boundary.
+    pub mailboxes: Vec<Vec<Envelope<P::Msg>>>,
+    /// Worker-thread cap (a scheduling hint, never affects results).
+    pub threads: u64,
+    /// Rounds stepped so far.
+    pub round: u64,
+    /// Raw world-level external dirty bumps, indexed by key.
+    pub extra_dirty: Vec<u64>,
+    /// The orphan-inject metrics bucket (sends to ids no partition
+    /// hosts, counted world-level).
+    pub orphan: MetricsState,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ChaosConfig, Ctx, NodeId, PartitionedWorld, Protocol, World};
+
+    /// Toy protocol: forwards a decrementing token, draws randomness.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Toy {
+        next: NodeId,
+        tokens_seen: u64,
+        coin_flips: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Token(u32);
+
+    impl Protocol for Toy {
+        type Msg = Token;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, msg: Token) {
+            self.tokens_seen += 1;
+            if msg.0 > 0 {
+                ctx.send(self.next, Token(msg.0 - 1));
+            }
+        }
+
+        fn on_timeout(&mut self, ctx: &mut Ctx<'_, Token>) {
+            if ctx.random_bool(0.5) {
+                self.coin_flips += 1;
+            }
+        }
+
+        fn msg_kind(_: &Token) -> &'static str {
+            "token"
+        }
+    }
+
+    fn ring(n: u64, seed: u64) -> World<Toy> {
+        let mut w = World::new(seed);
+        for i in 0..n {
+            w.add_node(
+                NodeId(i),
+                Toy {
+                    next: NodeId((i + 1) % n),
+                    tokens_seen: 0,
+                    coin_flips: 0,
+                },
+            );
+        }
+        w
+    }
+
+    fn digest(w: &World<Toy>) -> (Vec<(NodeId, Toy)>, crate::Metrics, u64, usize) {
+        (
+            w.iter().map(|(id, t)| (id, t.clone())).collect(),
+            w.metrics().clone(),
+            w.round(),
+            w.in_flight(),
+        )
+    }
+
+    #[test]
+    fn serial_restore_continues_byte_identically() {
+        let mut reference = ring(10, 42);
+        reference.inject(NodeId(0), Token(300));
+        reference.set_delivery_budget(Some(2));
+        for _ in 0..20 {
+            reference.run_round();
+        }
+
+        let mut original = ring(10, 42);
+        original.inject(NodeId(0), Token(300));
+        original.set_delivery_budget(Some(2));
+        for _ in 0..10 {
+            original.run_round();
+        }
+        let mut restored = World::from_state(original.export_state());
+        for _ in 0..10 {
+            restored.run_round();
+        }
+        assert_eq!(digest(&restored), digest(&reference));
+        assert_eq!(restored.dirty_version(0), reference.dirty_version(0));
+    }
+
+    #[test]
+    fn chaos_restore_preserves_rng_stream_and_message_ages() {
+        let cfg = ChaosConfig {
+            delivery_prob: 0.3,
+            timeout_prob: 0.5,
+            max_age: 4,
+        };
+        let mut reference = ring(8, 7);
+        reference.inject(NodeId(3), Token(120));
+        for _ in 0..30 {
+            reference.run_chaos_round(cfg);
+        }
+
+        let mut original = ring(8, 7);
+        original.inject(NodeId(3), Token(120));
+        for _ in 0..13 {
+            original.run_chaos_round(cfg);
+        }
+        let mut restored = World::from_state(original.export_state());
+        for _ in 0..17 {
+            restored.run_chaos_round(cfg);
+        }
+        assert_eq!(digest(&restored), digest(&reference));
+    }
+
+    #[test]
+    fn restore_after_crash_keeps_drop_semantics_and_counters() {
+        let build = |crash_at: bool| {
+            let mut w = ring(6, 11);
+            w.inject(NodeId(0), Token(90));
+            for _ in 0..5 {
+                w.run_round();
+            }
+            w.crash(NodeId(2));
+            if crash_at {
+                return w;
+            }
+            w
+        };
+        let mut reference = build(false);
+        for _ in 0..15 {
+            reference.run_round();
+        }
+        let original = build(true);
+        let mut restored = World::from_state(original.export_state());
+        // Sends to the crashed id must still drop (slot map miss).
+        for _ in 0..15 {
+            restored.run_round();
+        }
+        assert_eq!(digest(&restored), digest(&reference));
+        // Crashed node's metrics survive (counters keyed by id).
+        assert_eq!(
+            restored.metrics().sent_by(NodeId(2)),
+            reference.metrics().sent_by(NodeId(2))
+        );
+    }
+
+    #[test]
+    fn partitioned_restore_is_identical_for_every_thread_count() {
+        let build = |threads: usize| {
+            let mut w: PartitionedWorld<Toy> = PartitionedWorld::new(5, 4, threads);
+            for i in 0..16u64 {
+                w.add_node(
+                    NodeId(i),
+                    Toy {
+                        next: NodeId((i + 1) % 16),
+                        tokens_seen: 0,
+                        coin_flips: 0,
+                    },
+                    (i % 4) as u32,
+                );
+            }
+            w.inject(NodeId(0), Token(200));
+            w
+        };
+        let mut reference = build(1);
+        reference.run_rounds(40);
+        let ref_states: Vec<(NodeId, Toy)> =
+            reference.iter().map(|(id, t)| (id, t.clone())).collect();
+        let ref_metrics = reference.metrics();
+
+        for threads in [1, 2, 4, 8] {
+            let mut original = build(threads);
+            original.run_rounds(17);
+            // Mid-flight snapshot: mailboxes may be non-empty.
+            let mut restored = PartitionedWorld::from_state(original.export_state());
+            restored.run_rounds(23);
+            let states: Vec<(NodeId, Toy)> =
+                restored.iter().map(|(id, t)| (id, t.clone())).collect();
+            assert_eq!(states, ref_states, "threads={threads} diverged");
+            assert_eq!(restored.metrics(), ref_metrics);
+            assert_eq!(restored.round(), reference.round());
+        }
+    }
+}

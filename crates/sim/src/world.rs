@@ -33,6 +33,7 @@
 //! `tests/determinism_fixtures.rs`.
 
 use crate::engine::Partition;
+use crate::state::WorldState;
 use crate::Metrics;
 pub use crate::engine::{ChaosConfig, Ctx, NodeId, Protocol};
 
@@ -229,6 +230,26 @@ impl<P: Protocol> World<P> {
             self.run_chaos_round(cfg);
         }
         (max_rounds, pred(self))
+    }
+
+    /// Exports the world's exact state for a checkpoint (see
+    /// [`crate::WorldState`]). Call at a round boundary only.
+    pub fn export_state(&self) -> WorldState<P>
+    where
+        P: Clone,
+    {
+        WorldState {
+            partition: self.p.export_state(),
+        }
+    }
+
+    /// Rebuilds a world from an exported state. Stepping the restored
+    /// world is byte-identical to stepping the original — same RNG
+    /// draws, same metrics, same trajectories.
+    pub fn from_state(state: WorldState<P>) -> Self {
+        World {
+            p: Partition::from_state(state.partition, true),
+        }
     }
 
     /// Capacity currently reserved by the engine's scratch buffers —

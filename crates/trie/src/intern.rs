@@ -45,6 +45,32 @@ impl PayloadInterner {
         shared
     }
 
+    /// Inserts an already-shared payload into the pool without counting
+    /// a hit — checkpoint restore re-seeds the pool from the payloads
+    /// of restored publications. Returns the pooled handle: if equal
+    /// bytes are already pooled the existing allocation wins, so
+    /// re-seeding also re-unifies duplicates that deserialization
+    /// materialized separately.
+    pub fn adopt(&mut self, payload: Arc<[u8]>) -> Arc<[u8]> {
+        if let Some(existing) = self.pool.get(&*payload) {
+            return Arc::clone(existing);
+        }
+        self.pool.insert(Arc::clone(&payload));
+        payload
+    }
+
+    /// Overwrites the hit gauge (restored from a snapshot, where the
+    /// pre-snapshot hit count is part of the saved state).
+    pub fn set_hits(&mut self, hits: u64) {
+        self.hits = hits;
+    }
+
+    /// Iterates the pooled payloads in arbitrary order (checkpointing
+    /// sorts them; the pool itself is an unordered set).
+    pub fn payloads(&self) -> impl Iterator<Item = &Arc<[u8]>> {
+        self.pool.iter()
+    }
+
     /// Number of distinct payloads in the pool.
     pub fn unique(&self) -> usize {
         self.pool.len()

@@ -22,15 +22,25 @@
 //! * [`PayloadInterner`] — deduplicates payload bytes across
 //!   independently constructed publications so repeated payloads share a
 //!   single `Arc<[u8]>` allocation.
+//! * [`TrieDb`] / [`MemoryTrieDb`] — node-addressed storage: tries are
+//!   committed post-order under their Merkle hashes
+//!   ([`PatriciaTrie::commit_to`]) and reopened from a root hash alone
+//!   ([`PatriciaTrie::open_from`]), the layer world snapshots persist
+//!   publication stores through.
+//! * [`TrieBatch`] — skeleton commits: a batch of inserts applied
+//!   structurally with each touched internal hash recomputed exactly
+//!   once, equivalent to (and much cheaper than) the insert loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod db;
 mod intern;
 mod publication;
 pub mod sync;
 mod trie;
 
+pub use db::{MemoryTrieDb, StoredNode, TrieBatch, TrieDb, TrieDbError};
 pub use intern::PayloadInterner;
 pub use publication::Publication;
 pub use trie::{CheckOutcome, NodeSummary, PatriciaTrie, PubIter};

@@ -12,6 +12,7 @@
 //!   publication keys); inserts violating this are rejected, which doubles
 //!   as a corruption guard in adversarial starts.
 
+use crate::db::{StoredNode, TrieDb, TrieDbError};
 use crate::Publication;
 use skippub_bits::{BitStr, Hash128};
 
@@ -127,6 +128,19 @@ impl PatriciaTrie {
     /// if its key is already present or has a different length than the
     /// established key length.
     pub fn insert(&mut self, publication: Publication) -> bool {
+        self.insert_inner(publication, None)
+    }
+
+    /// Structural insert shared by [`PatriciaTrie::insert`] (eager: the
+    /// root path is rehashed immediately) and the batched commit path
+    /// (deferred: `dirty` marks every touched node and
+    /// `recompute_hashes` settles each marked internal node exactly
+    /// once per batch — the starkware skeleton-commit pattern).
+    fn insert_inner(
+        &mut self,
+        publication: Publication,
+        mut dirty: Option<&mut Vec<bool>>,
+    ) -> bool {
         let key = publication.key().clone();
         if key.is_empty() {
             return false;
@@ -203,10 +217,62 @@ impl PatriciaTrie {
                     }
                 }
                 self.len += 1;
-                self.rehash_path(&path);
+                match dirty.as_deref_mut() {
+                    None => self.rehash_path(&path),
+                    Some(dirty) => {
+                        // The new inner's hash was computed from child
+                        // hashes that may themselves be stale within
+                        // this batch; mark it and the whole root path
+                        // for the single post-order settle.
+                        Self::mark(dirty, inner);
+                        for &idx in &path {
+                            Self::mark(dirty, idx);
+                        }
+                    }
+                }
                 return true;
             }
         }
+    }
+
+    fn mark(dirty: &mut Vec<bool>, idx: usize) {
+        if dirty.len() <= idx {
+            dirty.resize(idx + 1, false);
+        }
+        dirty[idx] = true;
+    }
+
+    /// Applies a whole batch of inserts structurally, then recomputes
+    /// each touched internal hash exactly once ([`crate::TrieBatch`]).
+    pub(crate) fn apply_batch(&mut self, pubs: Vec<Publication>) -> usize {
+        let mut dirty: Vec<bool> = vec![false; self.nodes.len()];
+        let mut added = 0usize;
+        for p in pubs {
+            if self.insert_inner(p, Some(&mut dirty)) {
+                added += 1;
+            }
+        }
+        if added > 0 {
+            if let Some(root) = self.root {
+                self.recompute_hashes(root, &dirty);
+            }
+        }
+        added
+    }
+
+    /// Post-order settle of a skeleton: recompute marked internal
+    /// hashes bottom-up, pruning clean subtrees (their hashes are still
+    /// valid). Leaf hashes are computed at creation and never go stale.
+    fn recompute_hashes(&mut self, idx: usize, dirty: &[bool]) -> Hash128 {
+        if !dirty.get(idx).copied().unwrap_or(false) {
+            return self.nodes[idx].hash;
+        }
+        if let Kind::Inner([c0, c1]) = self.nodes[idx].kind {
+            let h0 = self.recompute_hashes(c0, dirty);
+            let h1 = self.recompute_hashes(c1, dirty);
+            self.nodes[idx].hash = Hash128::combine(h0, h1);
+        }
+        self.nodes[idx].hash
     }
 
     fn rehash_path(&mut self, path: &[usize]) {
@@ -293,51 +359,52 @@ impl PatriciaTrie {
         }
     }
 
-    /// All stored publications whose key starts with `prefix` (Algorithm 5
-    /// line 27: "All publications with prefix pf from T_u").
-    pub fn publications_with_prefix(&self, prefix: &BitStr) -> Vec<&Publication> {
-        let mut out = Vec::new();
-        let Some(root) = self.root else { return out };
-        // Find the topmost node whose label extends-or-equals prefix.
-        let mut cur = root;
-        let top = loop {
+    /// Index of the topmost node whose label extends-or-equals `prefix`
+    /// — the root of the subtrie holding exactly the keys under
+    /// `prefix`.
+    fn prefix_top(&self, prefix: &BitStr) -> Option<usize> {
+        let mut cur = self.root?;
+        loop {
             let node = &self.nodes[cur];
             if prefix.is_prefix_of(&node.label) {
-                break Some(cur);
+                return Some(cur);
             }
             if !node.label.is_prefix_of(prefix) {
-                break None;
+                return None;
             }
             match node.kind {
-                Kind::Leaf(_) => break None,
+                Kind::Leaf(_) => return None,
                 Kind::Inner(children) => {
                     let bit = prefix.get(node.label.len());
                     cur = children[bit as usize];
                 }
             }
-        };
-        if let Some(top) = top {
-            self.collect_leaves(top, &mut out);
-        }
-        out
-    }
-
-    fn collect_leaves<'a>(&'a self, idx: usize, out: &mut Vec<&'a Publication>) {
-        match &self.nodes[idx].kind {
-            Kind::Leaf(p) => out.push(p),
-            Kind::Inner([c0, c1]) => {
-                self.collect_leaves(*c0, out);
-                self.collect_leaves(*c1, out);
-            }
         }
     }
 
-    /// Iterates over all stored publications in key order.
+    /// Borrowing iterator over the publications whose key starts with
+    /// `prefix`, in key order. Clones nothing — the form the batch
+    /// committer and snapshot serialization read publications with.
+    pub fn iter_publications_with_prefix(&self, prefix: &BitStr) -> PubIter<'_> {
+        PubIter {
+            trie: self,
+            stack: self.prefix_top(prefix).into_iter().collect(),
+        }
+    }
+
+    /// All stored publications whose key starts with `prefix` (Algorithm 5
+    /// line 27: "All publications with prefix pf from T_u") — a `Vec`
+    /// wrapper over [`PatriciaTrie::iter_publications_with_prefix`] for
+    /// callers that need a materialized slice.
+    pub fn publications_with_prefix(&self, prefix: &BitStr) -> Vec<&Publication> {
+        self.iter_publications_with_prefix(prefix).collect()
+    }
+
+    /// All stored publications in key order — a `Vec` wrapper over the
+    /// borrowing [`PatriciaTrie::iter_publications`].
     pub fn publications(&self) -> Vec<&Publication> {
         let mut out = Vec::with_capacity(self.len);
-        if let Some(root) = self.root {
-            self.collect_leaves(root, &mut out);
-        }
+        out.extend(self.iter_publications());
         out
     }
 
@@ -397,6 +464,110 @@ impl PatriciaTrie {
                     publish_prefix: tuple.label.clone(),
                 },
             },
+        }
+    }
+
+    /// Commits the trie into a node-addressed store: every node is
+    /// stored under its Merkle hash ([`StoredNode`]), post-order, and
+    /// the root hash is returned (`None` for an empty trie). Subtries
+    /// whose root hash is already present are pruned — across converged
+    /// subscribers the shared trie is stored exactly once, and repeated
+    /// commits of a slowly-growing trie only write the changed spine.
+    pub fn commit_to(&self, db: &mut dyn TrieDb) -> Option<Hash128> {
+        let root = self.root?;
+        self.commit_node(root, db);
+        Some(self.nodes[root].hash)
+    }
+
+    fn commit_node(&self, idx: usize, db: &mut dyn TrieDb) {
+        let hash = self.nodes[idx].hash;
+        if db.contains(hash) {
+            return;
+        }
+        match &self.nodes[idx].kind {
+            Kind::Leaf(p) => db.put(hash, StoredNode::Leaf(p.clone())),
+            Kind::Inner([c0, c1]) => {
+                self.commit_node(*c0, db);
+                self.commit_node(*c1, db);
+                db.put(
+                    hash,
+                    StoredNode::Inner {
+                        left: self.nodes[*c0].hash,
+                        right: self.nodes[*c1].hash,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Reopens a trie from a root hash against a store previously
+    /// written by [`PatriciaTrie::commit_to`]. Every fetched node is
+    /// re-verified against its address on the way up (leaf hash,
+    /// combine hash, child bit order, key lengths), so a corrupted or
+    /// truncated store surfaces as an error instead of a silently wrong
+    /// trie. Two tries opened from the same root hash are identical.
+    pub fn open_from(db: &dyn TrieDb, root: Option<Hash128>) -> Result<Self, TrieDbError> {
+        let mut trie = PatriciaTrie::new();
+        if let Some(root_hash) = root {
+            let idx = trie.load_node(db, root_hash)?;
+            trie.root = Some(idx);
+        }
+        Ok(trie)
+    }
+
+    fn load_node(&mut self, db: &dyn TrieDb, hash: Hash128) -> Result<usize, TrieDbError> {
+        match db.get(hash).ok_or(TrieDbError::Missing(hash))? {
+            StoredNode::Leaf(p) => {
+                if Hash128::leaf(p.key()) != hash {
+                    return Err(TrieDbError::Corrupt(format!(
+                        "leaf under {hash} hashes to {}",
+                        Hash128::leaf(p.key())
+                    )));
+                }
+                match self.key_len {
+                    None => self.key_len = Some(p.key().len()),
+                    Some(m) if m != p.key().len() => {
+                        return Err(TrieDbError::Corrupt(format!(
+                            "leaf key length {} != trie key length {m}",
+                            p.key().len()
+                        )))
+                    }
+                    Some(_) => {}
+                }
+                self.len += 1;
+                let label = p.key().clone();
+                Ok(self.alloc(Node {
+                    label,
+                    hash,
+                    kind: Kind::Leaf(p),
+                }))
+            }
+            StoredNode::Inner { left, right } => {
+                if Hash128::combine(left, right) != hash {
+                    return Err(TrieDbError::Corrupt(format!(
+                        "inner under {hash} combines to {}",
+                        Hash128::combine(left, right)
+                    )));
+                }
+                let c0 = self.load_node(db, left)?;
+                let c1 = self.load_node(db, right)?;
+                let (l0, l1) = (&self.nodes[c0].label, &self.nodes[c1].label);
+                let label = l0.common_prefix(l1);
+                if l0.len() <= label.len()
+                    || l1.len() <= label.len()
+                    || l0.get(label.len())
+                    || !l1.get(label.len())
+                {
+                    return Err(TrieDbError::Corrupt(format!(
+                        "children {l0} / {l1} violate bit order under {hash}"
+                    )));
+                }
+                Ok(self.alloc(Node {
+                    label,
+                    hash,
+                    kind: Kind::Inner([c0, c1]),
+                }))
+            }
         }
     }
 

@@ -473,3 +473,200 @@ fn threaded_backend_delivers_the_same_set() {
         "threaded delivery set must match the simulator's"
     );
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore conformance: a backend snapshotted mid-script and
+// restored (through serialized text) must continue **byte-identically**
+// to the uninterrupted run — same delivered sets, same checker verdicts
+// and digests, and a byte-identical final snapshot (which pins RNG
+// stream positions, in-flight channels, cursors, and the payload pool).
+// ---------------------------------------------------------------------
+
+/// Phase 1 of the checkpoint script: bootstrap, publish (with a repeated
+/// payload, so the interner pool is non-trivial), drain one member (so
+/// the delivery cursor is non-trivial), then a crash mid-detection —
+/// the snapshot lands *mid-stabilization* with messages in flight.
+fn checkpoint_phase1(ps: &mut dyn PubSub) -> Vec<NodeId> {
+    let k = ps.topic_count();
+    let ids: Vec<NodeId> = (0..5).map(|i| ps.subscribe(TopicId(i % k))).collect();
+    for _ in 0..30 {
+        ps.step();
+    }
+    ps.publish(ids[0], TopicId(0), b"checkpoint alpha".to_vec())
+        .expect("alive author");
+    ps.publish(ids[1], TopicId(1 % k), b"checkpoint alpha".to_vec())
+        .expect("alive author");
+    ps.publish(ids[2], TopicId(2 % k), b"checkpoint beta".to_vec())
+        .expect("alive author");
+    for _ in 0..20 {
+        ps.step();
+    }
+    let _ = ps.drain_events(ids[0]);
+    ps.crash(ids[3]);
+    for _ in 0..2 {
+        ps.step();
+    }
+    ps.report_crash(ids[3]);
+    // Two more steps leave repair traffic in flight at the boundary.
+    for _ in 0..2 {
+        ps.step();
+    }
+    ids
+}
+
+/// Everything observable from a phase-2 run: per-member delivered sets,
+/// verdict sequence, per-topic checker digests, and the final snapshot
+/// text (so byte-exactness is part of the comparison).
+type Phase2Observations = (Vec<DeliveredSet>, Vec<(bool, bool)>, Vec<String>, String);
+
+/// Phase 2: a newcomer joins, more publishes (repeating a phase-1
+/// payload — a restored payload pool must still collapse it), verdict
+/// polls interleaved with steps, then every live member drains.
+/// Returns everything observable: per-member delivered sets, verdict
+/// sequence, and final per-topic checker digests.
+fn checkpoint_phase2(ps: &mut dyn PubSub, ids: &[NodeId]) -> Phase2Observations {
+    let k = ps.topic_count();
+    let late = ps.subscribe(TopicId(0));
+    ps.publish(ids[1], TopicId(1 % k), b"checkpoint alpha".to_vec())
+        .expect("alive author");
+    ps.publish(ids[4], TopicId(4 % k), b"post-restore".to_vec())
+        .expect("alive author");
+    let mut verdicts = Vec::new();
+    for _ in 0..6 {
+        for _ in 0..10 {
+            ps.step();
+        }
+        verdicts.push((ps.is_legitimate(), ps.publications_converged().0));
+    }
+    let mut sets = Vec::new();
+    for &m in ids.iter().chain([&late]) {
+        let set: DeliveredSet = ps
+            .drain_events(m)
+            .into_iter()
+            .map(|d| (d.author, d.payload, d.key.to_string()))
+            .collect();
+        sets.push(set);
+    }
+    let digests = (0..k)
+        .map(|t| snapshot_digest(&ps.snapshot(TopicId(t))))
+        .collect();
+    let final_snap = ps
+        .save_snapshot()
+        .expect("snapshot-capable backend")
+        .as_text()
+        .to_string();
+    (sets, verdicts, digests, final_snap)
+}
+
+/// Runs the interrupted (snapshot → serialize → restore → continue) run
+/// against the uninterrupted reference and asserts every observable —
+/// including the byte-exact final snapshot — matches.
+fn assert_snapshot_round_trip(make: &dyn Fn() -> Box<dyn PubSub>) {
+    let mut reference = make();
+    let name = reference.backend_name();
+    let ids = checkpoint_phase1(reference.as_mut());
+    let want = checkpoint_phase2(reference.as_mut(), &ids);
+
+    let mut original = make();
+    let ids2 = checkpoint_phase1(original.as_mut());
+    assert_eq!(ids, ids2, "{name}: phase 1 must be deterministic");
+    let saved = original.save_snapshot().expect("snapshot-capable backend");
+    drop(original); // the restored backend stands fully on its own
+    let reparsed = skippub_core::pubsub::BackendSnapshot::from_text(saved.as_text())
+        .expect("serialized snapshot must reparse");
+    assert_eq!(reparsed.kind, name);
+    let mut restored = skippub_core::pubsub::restore(&reparsed).expect("restore");
+    assert_eq!(restored.backend_name(), name);
+    let got = checkpoint_phase2(restored.as_mut(), &ids);
+
+    assert_eq!(got.0, want.0, "{name}: delivered sets diverged");
+    assert_eq!(got.1, want.1, "{name}: checker verdicts diverged");
+    assert_eq!(got.2, want.2, "{name}: checker digests diverged");
+    assert_eq!(
+        got.3, want.3,
+        "{name}: final snapshots diverged — restore is not exact"
+    );
+}
+
+#[test]
+fn snapshot_round_trip_is_exact_on_every_simulated_backend() {
+    for kind in BackendKind::all() {
+        let make = move || -> Box<dyn PubSub> {
+            SystemBuilder::new(0x5A7_C0DE)
+                .topics(match kind {
+                    BackendKind::Sim | BackendKind::Chaos => 1,
+                    _ => 3,
+                })
+                .shards(2)
+                .build(kind)
+        };
+        assert_snapshot_round_trip(&make);
+    }
+}
+
+#[test]
+fn snapshot_round_trip_is_exact_on_sharded_at_every_thread_count() {
+    for threads in [1usize, 2, 4, 8] {
+        let make = move || -> Box<dyn PubSub> {
+            Box::new(
+                SystemBuilder::new(0x5A7_C0DE)
+                    .topics(6)
+                    .shards(4)
+                    .threads(threads)
+                    .build_sharded(),
+            )
+        };
+        assert_snapshot_round_trip(&make);
+    }
+}
+
+/// The restored payload pool keeps deduplicating: a payload published
+/// before the snapshot is pooled, so re-publishing it after restore
+/// hits the pool instead of growing it.
+#[test]
+fn restored_interner_still_pools_known_payloads() {
+    let mut ps = SystemBuilder::new(0x1A7E).build_sim();
+    let a = ps.subscribe(T);
+    let b = ps.subscribe(T);
+    assert!(ps.until_legit(2_000).1);
+    ps.publish(a, T, b"evergreen payload".to_vec()).unwrap();
+    ps.publish(b, T, b"evergreen payload".to_vec()).unwrap();
+    let (unique, hits) = {
+        let pool = ps.sim().payload_interner();
+        (pool.unique(), pool.hits())
+    };
+    assert_eq!((unique, hits), (1, 1));
+
+    let saved = ps.save_snapshot().expect("sim snapshots");
+    let mut restored =
+        skippub_core::pubsub::SimBackend::from_snapshot(&saved).expect("restore");
+    let pool = restored.sim().payload_interner();
+    assert_eq!((pool.unique(), pool.hits()), (unique, hits));
+    restored
+        .publish(a, T, b"evergreen payload".to_vec())
+        .unwrap();
+    let pool = restored.sim().payload_interner();
+    assert_eq!(
+        (pool.unique(), pool.hits()),
+        (1, 2),
+        "a restored pool must satisfy a re-publish from the pool"
+    );
+}
+
+/// The threaded backend opts out of snapshots with an error, not a
+/// panic — and the facade's restore rejects unknown kind tags.
+#[test]
+fn snapshot_unsupported_and_unknown_kinds_fail_cleanly() {
+    let net = NetBackend::from_builder(&SystemBuilder::new(7));
+    let err = net.save_snapshot().expect_err("net backend cannot snapshot");
+    net.shutdown();
+    assert!(err.contains("does not support snapshots"), "{err}");
+
+    let alien = skippub_core::pubsub::BackendSnapshot::from_text("skippubsnap 1 alien 0")
+        .expect("well-formed header");
+    let err = match skippub_core::pubsub::restore(&alien) {
+        Ok(_) => panic!("restoring an unknown kind must fail"),
+        Err(e) => e,
+    };
+    assert!(err.contains("unknown snapshot kind"), "{err}");
+}

@@ -161,6 +161,28 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Snapshot of the raw xoshiro256\*\* state words. Together with
+        /// [`StdRng::from_state`] this allows checkpoint/restore of a
+        /// generator mid-stream: the restored generator continues the
+        /// exact same draw sequence (upstream `rand` has no equivalent;
+        /// the simulator's world snapshots need it).
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`]. The caller is responsible for passing a
+        /// state that came from a real generator (all-zero state is
+        /// degenerate for xoshiro and is rejected by debug assertion).
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            debug_assert!(s.iter().any(|&w| w != 0), "all-zero xoshiro state");
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;

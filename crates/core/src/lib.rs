@@ -24,6 +24,9 @@
 //!   convergence/closure are verified from *global snapshots*, never by
 //!   the protocol itself.
 //! * [`scenarios`] — legitimate / cold / adversarial world builders.
+//! * [`replica`] — the replicated supervisor: a self-stabilizing
+//!   replicated op log with deterministic primary election, lifting the
+//!   paper's "supervisor never crashes" assumption (`ReplicaGroup`).
 //! * [`pubsub`] — the backend-agnostic [`PubSub`] facade +
 //!   [`SystemBuilder`]: one client API over the single-topic simulator
 //!   (synchronous or chaos-scheduled), the multi-topic system, and the
@@ -62,6 +65,7 @@ pub mod hierarchy;
 mod msg;
 mod publish;
 pub mod pubsub;
+pub mod replica;
 pub mod scenarios;
 pub mod sharding;
 mod snap;
@@ -76,6 +80,7 @@ pub use api::SkipRingSim;
 pub use config::{ProbeMode, ProtocolConfig};
 pub use msg::{Msg, NodeRef};
 pub use pubsub::{BackendKind, Delivery, PartitionStats, PubSub, Stats, SystemBuilder};
+pub use replica::{RepOp, RepOpKind, ReplicaGroup, ReplicaLog, SupervisorReplica};
 pub use subscriber::{Counters, Subscriber};
 pub use supervisor::{Supervisor, SupervisorCounters};
 pub use topics::TopicId;

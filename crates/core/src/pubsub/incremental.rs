@@ -22,6 +22,7 @@
 //! round by the churn conformance tests.
 
 use crate::checker::{self, CheckScratch};
+use crate::replica::ReplicaGroup;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, Supervisor};
 use skippub_sim::{NodeId, NodeView, World};
@@ -47,6 +48,53 @@ impl<T: Copy + Default> Default for Cached<T> {
     }
 }
 
+/// Cached replica-agreement verdict, keyed on a [`ReplicaGroup`]'s
+/// monotone version counter — the incremental-checker extension for
+/// replicated supervisors. With `k ≥ 2` replicas, legitimacy
+/// additionally requires all live replicas to hold identical replayed
+/// database states (the group behaves as *one logical supervisor*);
+/// this cache makes that an O(1) version read per poll, re-comparing
+/// digests only when the group actually changed.
+#[derive(Default)]
+pub(crate) struct ReplicaAgreement {
+    cache: Cached<bool>,
+}
+
+impl ReplicaAgreement {
+    /// Cached-or-recomputed agreement of `group` (`None` = unreplicated
+    /// supervisor, trivially one logical supervisor).
+    pub(crate) fn check(&mut self, group: Option<&ReplicaGroup>) -> bool {
+        let Some(g) = group else { return true };
+        let version = g.version();
+        if self.cache.version == version {
+            return self.cache.value;
+        }
+        let value = g.agreement();
+        self.cache = Cached { version, value };
+        value
+    }
+
+    /// Multi-group variant (the sharded backend: one group per shard).
+    /// Versions are monotone, so their sum strictly increases whenever
+    /// any group changes — a valid cache key for the conjunction.
+    pub(crate) fn check_many(&mut self, groups: &[ReplicaGroup]) -> bool {
+        if groups.is_empty() {
+            return true;
+        }
+        let version: u64 = groups.iter().map(|g| g.version()).sum();
+        if self.cache.version == version {
+            return self.cache.value;
+        }
+        let value = groups.iter().all(|g| g.agreement());
+        self.cache = Cached { version, value };
+        value
+    }
+
+    fn invalidate(&mut self) {
+        self.cache.version = INVALID;
+    }
+}
+
 /// Verdict caches + per-topic member index for the multi-topic world
 /// shapes (serial and partitioned).
 pub(crate) struct IncChecker {
@@ -62,6 +110,8 @@ pub(crate) struct IncChecker {
     /// Set by the raw-world escape hatch: the next judge rebuilds the
     /// member index from a full world scan.
     members_stale: bool,
+    /// Replica-agreement verdict (replicated supervisors).
+    replicas: ReplicaAgreement,
     /// A/B switch: `true` routes the facade predicates through the
     /// pre-PR from-scratch path (kept callable for benchmarking).
     full: bool,
@@ -75,8 +125,20 @@ impl IncChecker {
             members: vec![Vec::new(); topics as usize],
             scratch: CheckScratch::default(),
             members_stale: false,
+            replicas: ReplicaAgreement::default(),
             full: false,
         }
+    }
+
+    /// Cached replica-agreement component of the legitimacy predicate.
+    pub(crate) fn replicas_agree(&mut self, group: Option<&ReplicaGroup>) -> bool {
+        self.replicas.check(group)
+    }
+
+    /// Cached agreement over several replica groups (sharded backend:
+    /// one per shard; an empty slice means replication is off).
+    pub(crate) fn replica_groups_agree(&mut self, groups: &[ReplicaGroup]) -> bool {
+        self.replicas.check_many(groups)
     }
 
     /// Routes the facade predicates through the from-scratch checker
@@ -99,6 +161,7 @@ impl IncChecker {
         for c in &mut self.pubs {
             c.version = INVALID;
         }
+        self.replicas.invalidate();
         self.members_stale = true;
     }
 
@@ -233,6 +296,8 @@ pub(crate) struct SimChecker {
     topo: Cached<bool>,
     pubs: Cached<(bool, usize)>,
     scratch: CheckScratch,
+    /// Replica-agreement verdict (replicated supervisors).
+    replicas: ReplicaAgreement,
     full: bool,
 }
 
@@ -242,8 +307,14 @@ impl SimChecker {
             topo: Cached::default(),
             pubs: Cached::default(),
             scratch: CheckScratch::default(),
+            replicas: ReplicaAgreement::default(),
             full: false,
         }
+    }
+
+    /// Cached replica-agreement component of the legitimacy predicate.
+    pub(crate) fn replicas_agree(&mut self, group: Option<&ReplicaGroup>) -> bool {
+        self.replicas.check(group)
     }
 
     pub(crate) fn set_full(&mut self, full: bool) {
@@ -258,6 +329,7 @@ impl SimChecker {
     pub(crate) fn invalidate_all(&mut self) {
         self.topo.version = INVALID;
         self.pubs.version = INVALID;
+        self.replicas.invalidate();
     }
 
     pub(crate) fn legit(&mut self, world: &World<Actor>, version: u64) -> bool {

@@ -232,6 +232,29 @@ pub trait PubSub {
         ))
     }
 
+    /// Number of supervisor replicas behind each logical supervisor
+    /// endpoint (`1` = the paper's unreplicated supervisor).
+    fn supervisor_replicas(&self) -> usize {
+        1
+    }
+
+    /// Crashes the **primary supervisor replica** responsible for
+    /// `topic`: the endpoint's state is wiped (the process died) and,
+    /// when a live backup exists, the deterministic election installs
+    /// the new primary's replayed state at the same endpoint. Returns
+    /// whether a failover happened; with one replica this is a uniform
+    /// no-op (`false`) — the paper's "supervisor never crashes"
+    /// assumption is kept rather than destroying the system.
+    fn crash_supervisor(&mut self, topic: TopicId) -> bool {
+        let _ = topic;
+        false
+    }
+
+    /// Completed supervisor failovers across all replica groups.
+    fn supervisor_failovers(&self) -> u64 {
+        0
+    }
+
     /// Steps until every topic is legitimate; returns `(steps, reached)`.
     fn until_legit(&mut self, max_steps: u64) -> (u64, bool) {
         let mut s = 0;
@@ -413,6 +436,7 @@ pub struct SystemBuilder {
     seed: u64,
     topics: u32,
     shards: usize,
+    vnodes: usize,
     replicas: usize,
     threads: usize,
     protocol: ProtocolConfig,
@@ -422,14 +446,16 @@ pub struct SystemBuilder {
 
 impl SystemBuilder {
     /// A builder with the given RNG seed and defaults: one topic, one
-    /// shard, 64 consistent-hash replicas, one worker thread, default
-    /// protocol, no chaos.
+    /// shard, 64 consistent-hash virtual nodes, one supervisor replica
+    /// (the paper's never-crashing supervisor), one worker thread,
+    /// default protocol, no chaos.
     pub fn new(seed: u64) -> Self {
         SystemBuilder {
             seed,
             topics: 1,
             shards: 1,
-            replicas: 64,
+            vnodes: 64,
+            replicas: 1,
             threads: 1,
             protocol: ProtocolConfig::default(),
             chaos: None,
@@ -453,9 +479,21 @@ impl SystemBuilder {
     }
 
     /// Sets the virtual nodes per shard on the consistent-hash ring.
-    pub fn replicas(mut self, r: usize) -> Self {
-        assert!(r >= 1);
-        self.replicas = r;
+    pub fn vnodes(mut self, v: usize) -> Self {
+        assert!(v >= 1);
+        self.vnodes = v;
+        self
+    }
+
+    /// Sets the number of supervisor replicas (`≥ 1`) behind each
+    /// logical supervisor endpoint. `1` (the default) is the paper's
+    /// unreplicated supervisor with zero overhead; `k ≥ 2` records every
+    /// supervisor operation to a replicated, self-stabilizing op log
+    /// ([`crate::replica::ReplicaGroup`]) so a primary crash fails over
+    /// to a backup with identical replayed state.
+    pub fn replicas(mut self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one supervisor replica");
+        self.replicas = k;
         self
     }
 
@@ -522,6 +560,7 @@ impl SystemBuilder {
         assert!(self.topics == 1, "sim backend serves exactly one topic");
         let mut b = SimBackend::new(self.seed, self.protocol, None);
         b.set_delivery_budget(self.budget);
+        b.set_replicas(self.replicas);
         b
     }
 
@@ -535,6 +574,7 @@ impl SystemBuilder {
             Some(self.chaos.unwrap_or_default()),
         );
         b.set_delivery_budget(self.budget);
+        b.set_replicas(self.replicas);
         b
     }
 
@@ -543,6 +583,7 @@ impl SystemBuilder {
     pub fn build_multi(&self) -> MultiTopicBackend {
         let mut b = MultiTopicBackend::new(self.seed, self.topics, self.protocol);
         b.set_delivery_budget(self.budget);
+        b.set_replicas(self.replicas);
         b
     }
 
@@ -555,11 +596,12 @@ impl SystemBuilder {
             self.seed,
             self.topics,
             self.shards,
-            self.replicas,
+            self.vnodes,
             self.threads,
             self.protocol,
         );
         b.set_delivery_budget(self.budget);
+        b.set_replicas(self.replicas);
         b
     }
 
@@ -584,11 +626,64 @@ mod tests {
         let b = SystemBuilder::new(9)
             .topics(3)
             .shards(2)
-            .replicas(8)
+            .vnodes(8)
+            .replicas(3)
             .protocol(ProtocolConfig::topology_only());
         assert_eq!(b.seed(), 9);
         assert_eq!(b.topic_count(), 3);
         assert!(!b.protocol_config().flooding);
+    }
+
+    #[test]
+    fn replicas_knob_reaches_every_backend() {
+        for kind in BackendKind::all() {
+            let ps = SystemBuilder::new(4).replicas(3).build(kind);
+            assert_eq!(ps.supervisor_replicas(), 3, "{}", ps.backend_name());
+            let ps1 = SystemBuilder::new(4).build(kind);
+            assert_eq!(ps1.supervisor_replicas(), 1, "{}", ps1.backend_name());
+        }
+    }
+
+    #[test]
+    fn report_crash_on_supervisor_routes_to_replica_group() {
+        // Pins the once-silent behavior: a crash report on a supervisor
+        // endpoint now routes to its replica group on every backend.
+        // With k = 3 it triggers exactly one deterministic failover and
+        // the system stays legitimate; with k = 1 it is a uniform no-op
+        // (the paper's never-crashing supervisor), not a panic and not
+        // a self-suspect.
+        for kind in BackendKind::all() {
+            let sup_id = match kind {
+                BackendKind::Sharded => NodeId(SHARD_SUPERVISOR_BASE),
+                _ => NodeId(0),
+            };
+            let mut ps = SystemBuilder::new(77).replicas(3).build(kind);
+            for _ in 0..4 {
+                ps.subscribe(TopicId(0));
+            }
+            assert!(ps.until_legit(4000).1, "{}", ps.backend_name());
+            assert_eq!(ps.supervisor_failovers(), 0);
+            ps.report_crash(sup_id);
+            assert_eq!(ps.supervisor_failovers(), 1, "{}", ps.backend_name());
+            assert!(
+                ps.until_legit(4000).1,
+                "{} must re-legitimize after failover",
+                ps.backend_name()
+            );
+
+            let mut ps1 = SystemBuilder::new(77).build(kind);
+            for _ in 0..4 {
+                ps1.subscribe(TopicId(0));
+            }
+            assert!(ps1.until_legit(4000).1);
+            ps1.report_crash(sup_id);
+            assert_eq!(ps1.supervisor_failovers(), 0);
+            assert!(
+                ps1.is_legitimate(),
+                "{} k=1 supervisor report must be a no-op",
+                ps1.backend_name()
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use super::incremental::IncChecker;
 use super::{BackendSnapshot, Delivery, EventCursor, PubSub, Stats};
 use crate::checker;
 use crate::dirty::{pubs_key, topo_key};
+use crate::replica::ReplicaGroup;
 use crate::scenarios::SUPERVISOR;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig, Supervisor};
@@ -30,6 +31,10 @@ pub struct MultiTopicBackend {
     /// facade's polling predicates take `&self`).
     inc: RefCell<IncChecker>,
     interner: PayloadInterner,
+    /// Supervisor replica group (`None` = the paper's unreplicated
+    /// supervisor). One group covers every topic: the replica log tags
+    /// each operation with its topic.
+    group: Option<ReplicaGroup>,
 }
 
 impl MultiTopicBackend {
@@ -44,7 +49,42 @@ impl MultiTopicBackend {
             cursor: EventCursor::new(),
             inc: RefCell::new(IncChecker::new(topics)),
             interner: PayloadInterner::new(),
+            group: None,
         }
+    }
+
+    /// Configures `k` supervisor replicas behind the endpoint. `k = 1`
+    /// disables replication (the paper's model). Call before driving
+    /// the system: the replica log starts at the current state.
+    pub fn set_replicas(&mut self, k: usize) {
+        if let Some(sup) = self.world.node_mut(SUPERVISOR) {
+            sup.set_replicated(k >= 2);
+        }
+        // Lazily instantiated topic supervisors run with the token
+        // machinery off, so replicas replay with the same setting.
+        self.group = (k >= 2).then(|| ReplicaGroup::new(k, SUPERVISOR, false));
+    }
+
+    /// Drains the endpoint supervisor's recorded operations (ascending
+    /// topic order) into the primary's log and runs one anti-entropy
+    /// round. Called after every facade operation that can execute
+    /// supervisor handlers, so outboxes are always empty at facade
+    /// boundaries (snapshots rely on this).
+    fn sync_group(&mut self) {
+        let Some(group) = self.group.as_mut() else {
+            return;
+        };
+        if let Some(sup) = self.world.node_mut(SUPERVISOR) {
+            for (topic, kinds) in sup.drain_outboxes() {
+                group.record_topic(topic, kinds);
+            }
+        }
+        group.anti_entropy();
+    }
+
+    /// The replica group, when replication is configured.
+    pub fn replica_group(&self) -> Option<&ReplicaGroup> {
+        self.group.as_ref()
     }
 
     /// The payload pool behind `publish`: repeated payloads (across
@@ -119,6 +159,7 @@ impl MultiTopicBackend {
         let interner = PayloadInterner::load(&mut r).map_err(err)?;
         let world = WorldState::<MultiActor>::load(&mut r).map_err(err)?;
         let cursor = EventCursor::load(&mut r).map_err(err)?;
+        let group = Option::<ReplicaGroup>::load(&mut r).map_err(err)?;
         r.finish().map_err(err)?;
         let mut inc = IncChecker::new(topics);
         inc.invalidate_all();
@@ -130,6 +171,7 @@ impl MultiTopicBackend {
             cursor,
             inc: RefCell::new(inc),
             interner,
+            group,
         })
     }
 
@@ -321,19 +363,32 @@ impl PubSub for MultiTopicBackend {
     }
 
     fn report_crash(&mut self, id: NodeId) {
+        if id == SUPERVISOR {
+            // A crash report on the supervisor endpoint routes to the
+            // replica group (previously a silent self-suspect no-op):
+            // with live backups this triggers failover; with a single
+            // replica it stays a uniform no-op.
+            self.crash_supervisor(TopicId(0));
+            return;
+        }
         // Feeds `suspected` only; the eviction at the supervisor's next
         // timeout marks the affected topics via its db-epoch delta.
         if let Some(sup) = self.world.node_mut(SUPERVISOR) {
             sup.suspect(id);
         }
+        self.sync_group();
     }
 
     fn step(&mut self) {
         self.world.run_round();
+        self.sync_group();
     }
 
     fn is_legitimate(&self) -> bool {
         let mut inc = self.inc.borrow_mut();
+        if !inc.replicas_agree(self.group.as_ref()) {
+            return false;
+        }
         if inc.full() {
             return self.is_legitimate_full();
         }
@@ -380,7 +435,39 @@ impl PubSub for MultiTopicBackend {
         self.interner.save(&mut w);
         self.world.export_state().save(&mut w);
         self.cursor.save(&mut w);
+        self.group.save(&mut w);
         Ok(w.finish(self.backend_name()))
+    }
+
+    fn supervisor_replicas(&self) -> usize {
+        self.group.as_ref().map(|g| g.live_count()).unwrap_or(1)
+    }
+
+    fn supervisor_failovers(&self) -> u64 {
+        self.group.as_ref().map(|g| g.failovers()).unwrap_or(0)
+    }
+
+    fn crash_supervisor(&mut self, topic: TopicId) -> bool {
+        self.assert_topic(topic);
+        // One supervisor hosts every topic, so `topic` only selects the
+        // endpoint (always `SUPERVISOR` here); the whole per-topic map
+        // dies and is re-installed from the electee's replayed state.
+        self.sync_group();
+        let Some(group) = self.group.as_mut() else {
+            return false;
+        };
+        if !group.fail_primary() {
+            return false;
+        }
+        let installed = group.primary_topics();
+        if let Some(sup) = self.world.node_mut(SUPERVISOR) {
+            sup.install_topics(installed);
+        }
+        for t in 0..self.topics {
+            self.world.bump_dirty(topo_key(t));
+        }
+        self.inc.get_mut().invalidate_all();
+        true
     }
 }
 

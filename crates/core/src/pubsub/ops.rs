@@ -95,6 +95,14 @@ pub enum Op {
         /// Reported node.
         id: NodeId,
     },
+    /// Crash the primary supervisor replica responsible for `topic`
+    /// ([`PubSub::crash_supervisor`]): the endpoint's state is wiped
+    /// and, when backups exist, a deterministic failover re-installs the
+    /// replicated state at the same endpoint.
+    CrashSupervisor {
+        /// Topic whose responsible supervisor's primary crashes.
+        topic: TopicId,
+    },
     /// One unit of progress ([`PubSub::step`]).
     Step,
 }
@@ -132,6 +140,10 @@ impl Op {
             }
             Op::ReportCrash { id } => {
                 ps.report_crash(*id);
+                None
+            }
+            Op::CrashSupervisor { topic } => {
+                ps.crash_supervisor(*topic);
                 None
             }
             Op::Step => {
@@ -192,6 +204,9 @@ impl Op {
             "report" => Op::ReportCrash {
                 id: NodeId(num("id")?),
             },
+            "crashsup" => Op::CrashSupervisor {
+                topic: TopicId(num("topic")? as u32),
+            },
             "step" => Op::Step,
             other => return Err(format!("unknown op {other:?}")),
         };
@@ -226,6 +241,7 @@ impl fmt::Display for Op {
             ),
             Op::Crash { id } => write!(f, "crash {}", id.0),
             Op::ReportCrash { id } => write!(f, "report {}", id.0),
+            Op::CrashSupervisor { topic } => write!(f, "crashsup {}", topic.0),
             Op::Step => write!(f, "step"),
         }
     }
@@ -300,6 +316,7 @@ mod tests {
             },
             Op::Crash { id: NodeId(2) },
             Op::ReportCrash { id: NodeId(2) },
+            Op::CrashSupervisor { topic: TopicId(1) },
             Op::Step,
         ]
     }
@@ -323,6 +340,8 @@ mod tests {
             "pub 1 0 abc",  // odd-length hex
             "pub 1 0 zz",   // non-hex
             "crash 1 extra",
+            "crashsup",
+            "crashsup 0 9",
         ] {
             assert!(Op::parse_line(bad).is_err(), "accepted {bad:?}");
         }

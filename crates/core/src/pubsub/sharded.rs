@@ -15,6 +15,7 @@
 use super::incremental::IncChecker;
 use super::{BackendSnapshot, Delivery, EventCursor, PartitionStats, PubSub, Stats};
 use crate::dirty::{pubs_key, topo_key};
+use crate::replica::ReplicaGroup;
 use crate::sharding::SupervisorShards;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig};
@@ -58,6 +59,11 @@ pub struct ShardedBackend {
     /// facade's polling predicates take `&self`).
     inc: RefCell<IncChecker>,
     interner: PayloadInterner,
+    /// Supervisor replica groups, one per shard, in shard-index order.
+    /// Empty = the paper's unreplicated supervisors. Each shard fails
+    /// over independently: a primary crash only affects its own
+    /// sub-interval of topics.
+    groups: Vec<ReplicaGroup>,
 }
 
 impl ShardedBackend {
@@ -65,7 +71,7 @@ impl ShardedBackend {
         seed: u64,
         topics: u32,
         shard_count: usize,
-        replicas: usize,
+        vnodes: usize,
         threads: usize,
         cfg: ProtocolConfig,
     ) -> Self {
@@ -78,7 +84,7 @@ impl ShardedBackend {
             world.add_node(s, MultiActor::new_supervisor(s), i as u32);
         }
         ShardedBackend {
-            shards: SupervisorShards::new(&sup_ids, replicas),
+            shards: SupervisorShards::new(&sup_ids, vnodes),
             world,
             sup_ids,
             cfg,
@@ -88,7 +94,76 @@ impl ShardedBackend {
             met: BTreeMap::new(),
             inc: RefCell::new(IncChecker::new(topics)),
             interner: PayloadInterner::new(),
+            groups: Vec::new(),
         }
+    }
+
+    /// Configures `k` supervisor replicas behind every shard endpoint.
+    /// `k = 1` disables replication (the paper's model). Call before
+    /// driving the system: each replica log starts at the current state.
+    pub fn set_replicas(&mut self, k: usize) {
+        for &s in &self.sup_ids {
+            if let Some(sup) = self.world.node_mut(s) {
+                sup.set_replicated(k >= 2);
+            }
+        }
+        self.groups = if k >= 2 {
+            // Lazily instantiated topic supervisors run with the token
+            // machinery off, so replicas replay with the same setting.
+            self.sup_ids
+                .iter()
+                .map(|&s| ReplicaGroup::new(k, s, false))
+                .collect()
+        } else {
+            Vec::new()
+        };
+    }
+
+    /// Drains every shard endpoint's recorded operations (shards in
+    /// index order, topics ascending within a shard — deterministic for
+    /// any worker count, since the outboxes are part of the bit-exact
+    /// world state) and runs one anti-entropy round per group. Called
+    /// after every facade operation that can execute supervisor
+    /// handlers, so outboxes are always empty at facade boundaries.
+    fn sync_groups(&mut self) {
+        for (i, group) in self.groups.iter_mut().enumerate() {
+            if let Some(sup) = self.world.node_mut(self.sup_ids[i]) {
+                for (topic, kinds) in sup.drain_outboxes() {
+                    group.record_topic(topic, kinds);
+                }
+            }
+            group.anti_entropy();
+        }
+    }
+
+    /// The replica groups (one per shard), when replication is
+    /// configured; empty otherwise.
+    pub fn replica_groups(&self) -> &[ReplicaGroup] {
+        &self.groups
+    }
+
+    /// Fails shard `i`'s primary replica and installs the electee's
+    /// replayed per-topic state at the shard endpoint. Returns `false`
+    /// when no failover is possible (unreplicated, or no live backup).
+    fn fail_shard(&mut self, i: usize) -> bool {
+        self.sync_groups();
+        let Some(group) = self.groups.get_mut(i) else {
+            return false;
+        };
+        if !group.fail_primary() {
+            return false;
+        }
+        let installed = group.primary_topics();
+        if let Some(sup) = self.world.node_mut(self.sup_ids[i]) {
+            sup.install_topics(installed);
+        }
+        // Only this shard's sub-interval of topics changed, but the
+        // verdict caches are all dropped anyway by invalidate_all.
+        for t in 0..self.topics {
+            self.world.bump_dirty(topo_key(t));
+        }
+        self.inc.get_mut().invalidate_all();
+        true
     }
 
     /// The payload pool behind `publish`: repeated payloads (across
@@ -163,7 +238,7 @@ impl ShardedBackend {
         let cfg = ProtocolConfig::load(&mut r).map_err(err)?;
         let topics = u32::load(&mut r).map_err(err)?;
         let next_id = u64::load(&mut r).map_err(err)?;
-        let replicas = usize::load(&mut r).map_err(err)?;
+        let vnodes = usize::load(&mut r).map_err(err)?;
         let sup_ids = SnapVec::<NodeId>::load(&mut r).map_err(err)?.0;
         let met_len = u64::load(&mut r).map_err(err)? as usize;
         let mut met = BTreeMap::new();
@@ -175,14 +250,22 @@ impl ShardedBackend {
         let interner = PayloadInterner::load(&mut r).map_err(err)?;
         let world = PartitionedState::<MultiActor>::load(&mut r).map_err(err)?;
         let cursor = EventCursor::load(&mut r).map_err(err)?;
+        let group_len = u64::load(&mut r).map_err(err)? as usize;
+        let mut groups = Vec::with_capacity(group_len);
+        for _ in 0..group_len {
+            groups.push(ReplicaGroup::load(&mut r).map_err(err)?);
+        }
         r.finish().map_err(err)?;
-        if sup_ids.is_empty() || replicas == 0 {
-            return Err("sharded snapshot needs >=1 supervisor and >=1 replica".to_string());
+        if sup_ids.is_empty() || vnodes == 0 {
+            return Err("sharded snapshot needs >=1 supervisor and >=1 ring point".to_string());
+        }
+        if !groups.is_empty() && groups.len() != sup_ids.len() {
+            return Err("sharded snapshot replica groups disagree with shard count".to_string());
         }
         let mut inc = IncChecker::new(topics);
         inc.invalidate_all();
         Ok(ShardedBackend {
-            shards: SupervisorShards::new(&sup_ids, replicas),
+            shards: SupervisorShards::new(&sup_ids, vnodes),
             world: PartitionedWorld::from_state(world),
             sup_ids,
             cfg,
@@ -192,6 +275,7 @@ impl ShardedBackend {
             met,
             inc: RefCell::new(inc),
             interner,
+            groups,
         })
     }
 
@@ -216,6 +300,10 @@ impl ShardedBackend {
     /// identical to `n` single steps — and to any worker count.
     pub fn run_rounds(&mut self, n: u64) {
         self.world.run_rounds(n);
+        // One drain for the whole batch: per-topic op order is the same
+        // as draining every round (outboxes append in execution order),
+        // and replay is per-topic, so the replicated state is identical.
+        self.sync_groups();
     }
 
     /// Partition index of the shard owned by supervisor `sup`.
@@ -327,6 +415,18 @@ impl PubSub for ShardedBackend {
     }
 
     fn report_crash(&mut self, id: NodeId) {
+        if id.0 >= SHARD_SUPERVISOR_BASE {
+            // A crash report on a shard supervisor endpoint routes to
+            // that shard's replica group (previously a silent no-op —
+            // supervisors never appear in `met`): with live backups
+            // this triggers failover; unreplicated it stays a uniform
+            // no-op. Reports on IDs outside the shard range are ignored.
+            let idx = (id.0 - SHARD_SUPERVISOR_BASE) as usize;
+            if idx < self.sup_ids.len() {
+                self.fail_shard(idx);
+            }
+            return;
+        }
         // The detector feed is routed by registration-time membership:
         // only the shard(s) that met the node are told. Suspecting a
         // node no shard ever met is a true no-op (regression-tested).
@@ -339,14 +439,19 @@ impl PubSub for ShardedBackend {
                 s.suspect(id);
             }
         }
+        self.sync_groups();
     }
 
     fn step(&mut self) {
         self.world.run_round();
+        self.sync_groups();
     }
 
     fn is_legitimate(&self) -> bool {
         let mut inc = self.inc.borrow_mut();
+        if !inc.replica_groups_agree(&self.groups) {
+            return false;
+        }
         if inc.full() {
             return self.is_legitimate_full();
         }
@@ -414,7 +519,31 @@ impl PubSub for ShardedBackend {
         self.interner.save(&mut w);
         self.world.export_state().save(&mut w);
         self.cursor.save(&mut w);
+        w.put_u64(self.groups.len() as u64);
+        for g in &self.groups {
+            g.save(&mut w);
+        }
         Ok(w.finish(self.backend_name()))
+    }
+
+    fn supervisor_replicas(&self) -> usize {
+        // The weakest shard bounds the system's remaining redundancy.
+        self.groups
+            .iter()
+            .map(|g| g.live_count())
+            .min()
+            .unwrap_or(1)
+    }
+
+    fn supervisor_failovers(&self) -> u64 {
+        self.groups.iter().map(|g| g.failovers()).sum()
+    }
+
+    fn crash_supervisor(&mut self, topic: TopicId) -> bool {
+        self.assert_topic(topic);
+        let sup = self.shards.supervisor_for(topic);
+        let idx = self.shard_index(sup) as usize;
+        self.fail_shard(idx)
     }
 }
 

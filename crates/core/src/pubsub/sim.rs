@@ -7,6 +7,8 @@ use super::{BackendSnapshot, Delivery, EventCursor, PubSub, Stats};
 use crate::api::SkipRingSim;
 use crate::checker::LegitReport;
 use crate::dirty::{pubs_key, topo_key};
+use crate::replica::ReplicaGroup;
+use crate::scenarios::SUPERVISOR;
 use crate::topics::TopicId;
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
@@ -26,6 +28,9 @@ pub struct SimBackend {
     /// Incremental verdict cache (`RefCell`: the facade's polling
     /// predicates take `&self`; the backend is driven single-threaded).
     inc: RefCell<SimChecker>,
+    /// Supervisor replica group (`None` = the paper's unreplicated
+    /// supervisor: zero logging, zero overhead).
+    group: Option<ReplicaGroup>,
 }
 
 /// The one topic a single-topic backend serves.
@@ -45,6 +50,7 @@ impl SimBackend {
             chaos,
             cursor: EventCursor::new(),
             inc: RefCell::new(SimChecker::new()),
+            group: None,
         }
     }
 
@@ -56,6 +62,7 @@ impl SimBackend {
             chaos: None,
             cursor: EventCursor::new(),
             inc: RefCell::new(SimChecker::new()),
+            group: None,
         }
     }
 
@@ -113,6 +120,50 @@ impl SimBackend {
         self.sim.set_delivery_budget(budget);
     }
 
+    /// Configures `k` supervisor replicas behind the endpoint. `k = 1`
+    /// disables replication (the paper's model). Call before driving
+    /// the system: the replica log starts at the current state.
+    pub fn set_replicas(&mut self, k: usize) {
+        let mut token_enabled = false;
+        if let Some(sup) = self
+            .sim
+            .world_mut()
+            .node_mut(SUPERVISOR)
+            .and_then(Actor::supervisor_mut)
+        {
+            sup.replicated = k >= 2;
+            sup.outbox.clear();
+            token_enabled = sup.token_enabled;
+        }
+        self.group = (k >= 2).then(|| ReplicaGroup::new(k, SUPERVISOR, token_enabled));
+    }
+
+    /// Drains the endpoint supervisor's recorded operations into the
+    /// primary's log and runs one anti-entropy round. Called after
+    /// every facade operation that can execute supervisor handlers, so
+    /// the outbox is always empty at facade boundaries (snapshots rely
+    /// on this).
+    fn sync_group(&mut self) {
+        let Some(group) = self.group.as_mut() else {
+            return;
+        };
+        if let Some(sup) = self
+            .sim
+            .world_mut()
+            .node_mut(SUPERVISOR)
+            .and_then(Actor::supervisor_mut)
+        {
+            let kinds = sup.drain_outbox();
+            group.record_topic(TOPIC, kinds);
+        }
+        group.anti_entropy();
+    }
+
+    /// The replica group, when replication is configured.
+    pub fn replica_group(&self) -> Option<&ReplicaGroup> {
+        self.group.as_ref()
+    }
+
     /// Rebuilds a backend from a `sim`/`chaos` snapshot. The checker
     /// caches restart cold (invalidated) and recompute on first poll —
     /// verdicts are pure functions of the world, so this is exact.
@@ -128,6 +179,7 @@ impl SimBackend {
         let interner = PayloadInterner::load(&mut r).map_err(err)?;
         let world = WorldState::<Actor>::load(&mut r).map_err(err)?;
         let cursor = EventCursor::load(&mut r).map_err(err)?;
+        let group = Option::<ReplicaGroup>::load(&mut r).map_err(err)?;
         r.finish().map_err(err)?;
         if chaos.is_some() != (snap.kind == "chaos") {
             return Err("snapshot kind disagrees with chaos config presence".to_string());
@@ -139,6 +191,7 @@ impl SimBackend {
             chaos,
             cursor,
             inc: RefCell::new(inc),
+            group,
         })
     }
 }
@@ -213,10 +266,19 @@ impl PubSub for SimBackend {
     }
 
     fn report_crash(&mut self, id: NodeId) {
+        if id == SUPERVISOR {
+            // A crash report on the supervisor endpoint routes to the
+            // replica group (previously a silent, backend-dependent
+            // no-op): with live backups this triggers failover; with a
+            // single replica it stays a uniform no-op.
+            self.crash_supervisor(TOPIC);
+            return;
+        }
         // Feeds `suspected` only; the database mutation happens at the
         // supervisor's next timeout, where the db-epoch delta marks the
         // channel — no bump needed here.
         self.sim.report_crash(id);
+        self.sync_group();
     }
 
     fn step(&mut self) {
@@ -224,10 +286,14 @@ impl PubSub for SimBackend {
             Some(cfg) => self.sim.world_mut().run_chaos_round(cfg),
             None => self.sim.run_round(),
         }
+        self.sync_group();
     }
 
     fn is_legitimate(&self) -> bool {
         let mut inc = self.inc.borrow_mut();
+        if !inc.replicas_agree(self.group.as_ref()) {
+            return false;
+        }
         if inc.full() {
             return self.sim.is_legitimate();
         }
@@ -276,7 +342,45 @@ impl PubSub for SimBackend {
         self.sim.payload_interner().save(&mut w);
         self.sim.world().export_state().save(&mut w);
         self.cursor.save(&mut w);
+        self.group.save(&mut w);
         Ok(w.finish(self.backend_name()))
+    }
+
+    fn supervisor_replicas(&self) -> usize {
+        self.group.as_ref().map(|g| g.live_count()).unwrap_or(1)
+    }
+
+    fn supervisor_failovers(&self) -> u64 {
+        self.group.as_ref().map(|g| g.failovers()).unwrap_or(0)
+    }
+
+    fn crash_supervisor(&mut self, topic: TopicId) -> bool {
+        assert_topic(topic);
+        // Capture any still-undrained operations before the process
+        // "dies", then run the election.
+        self.sync_group();
+        let Some(group) = self.group.as_mut() else {
+            return false;
+        };
+        if !group.fail_primary() {
+            return false;
+        }
+        // Virtual-endpoint takeover: the new primary's replayed state is
+        // installed at the same protocol endpoint, so in-flight messages
+        // addressed to the supervisor are re-homed without any
+        // client-side redirect.
+        let installed = group.primary_topic(TOPIC);
+        if let Some(sup) = self
+            .sim
+            .world_mut()
+            .node_mut(SUPERVISOR)
+            .and_then(Actor::supervisor_mut)
+        {
+            *sup = installed;
+        }
+        self.sim.world_mut().bump_dirty(topo_key(0));
+        self.inc.get_mut().invalidate_all();
+        true
     }
 }
 

@@ -248,18 +248,40 @@ snap_struct!(SupervisorCounters {
     tokens_returned,
 });
 
-snap_struct!(Supervisor {
-    id,
-    database,
-    next,
-    db_epoch,
-    suspected,
-    token_enabled,
-    token_seq,
-    token_outstanding,
-    token_age,
-    counters,
-});
+// Manual impl: `outbox` is intentionally not serialized. Backends drain
+// it after every step and facade call, so it is always empty at
+// snapshot boundaries; restore starts it empty.
+impl Snap for Supervisor {
+    fn save(&self, w: &mut SnapWriter) {
+        self.id.save(w);
+        self.database.save(w);
+        self.next.save(w);
+        self.db_epoch.save(w);
+        self.suspected.save(w);
+        self.token_enabled.save(w);
+        self.token_seq.save(w);
+        self.token_outstanding.save(w);
+        self.token_age.save(w);
+        self.counters.save(w);
+        self.replicated.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Supervisor {
+            id: Snap::load(r)?,
+            database: Snap::load(r)?,
+            next: Snap::load(r)?,
+            db_epoch: Snap::load(r)?,
+            suspected: Snap::load(r)?,
+            token_enabled: Snap::load(r)?,
+            token_seq: Snap::load(r)?,
+            token_outstanding: Snap::load(r)?,
+            token_age: Snap::load(r)?,
+            counters: Snap::load(r)?,
+            replicated: Snap::load(r)?,
+            outbox: Vec::new(),
+        })
+    }
+}
 
 impl Snap for Actor {
     fn save(&self, w: &mut SnapWriter) {
@@ -297,10 +319,15 @@ snap_struct!(TopicMsg { topic, msg });
 impl Snap for MultiActor {
     fn save(&self, w: &mut SnapWriter) {
         match self {
-            MultiActor::Supervisor { topics, id } => {
+            MultiActor::Supervisor {
+                topics,
+                id,
+                replicated,
+            } => {
                 w.put_u64(0);
                 topics.save(w);
                 id.save(w);
+                replicated.save(w);
             }
             MultiActor::Client {
                 topics,
@@ -323,6 +350,7 @@ impl Snap for MultiActor {
             0 => Ok(MultiActor::Supervisor {
                 topics: Snap::load(r)?,
                 id: Snap::load(r)?,
+                replicated: Snap::load(r)?,
             }),
             1 => Ok(MultiActor::Client {
                 topics: Snap::load(r)?,

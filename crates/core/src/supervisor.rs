@@ -10,6 +10,7 @@
 //! (Theorem 7): one `SetData` for subscribe, two for unsubscribe.
 
 use crate::msg::{Msg, NodeRef};
+use crate::replica::RepOpKind;
 use skippub_ringmath::Label;
 use skippub_sim::{Ctx, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -67,6 +68,17 @@ pub struct Supervisor {
     pub token_age: u64,
     /// Experiment counters.
     pub counters: SupervisorCounters,
+    /// When `true`, every semantic operation this supervisor executes
+    /// is also pushed to [`Supervisor::outbox`] so a
+    /// [`crate::replica::ReplicaGroup`] can append it to the replicated
+    /// op log. Off by default — a `k = 1` deployment (the paper's
+    /// never-crashing supervisor) pays nothing.
+    pub replicated: bool,
+    /// Operations executed since the last drain (see
+    /// [`Supervisor::drain_outbox`]). Always empty at facade
+    /// boundaries: backends drain after every step and facade call, so
+    /// snapshots never need to serialize it.
+    pub outbox: Vec<RepOpKind>,
 }
 
 impl Supervisor {
@@ -83,6 +95,20 @@ impl Supervisor {
             token_outstanding: false,
             token_age: 0,
             counters: SupervisorCounters::default(),
+            replicated: false,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Takes the operations recorded since the last drain.
+    pub fn drain_outbox(&mut self) -> Vec<RepOpKind> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Records `op` for the replica log when replication is on.
+    fn record(&mut self, op: RepOpKind) {
+        if self.replicated {
+            self.outbox.push(op);
         }
     }
 
@@ -93,6 +119,7 @@ impl Supervisor {
 
     /// Failure-detector input: mark `v` as crashed.
     pub fn suspect(&mut self, v: NodeId) {
+        self.record(RepOpKind::Suspect { v });
         self.suspected.insert(v);
     }
 
@@ -249,6 +276,7 @@ impl Supervisor {
         if v == self.id {
             return;
         }
+        self.record(RepOpKind::Subscribe { v });
         self.check_labels(); // keep the insert slot l(n) well-defined
         match self.label_of(v) {
             None => {
@@ -273,6 +301,7 @@ impl Supervisor {
         if v == self.id {
             return;
         }
+        self.record(RepOpKind::Unsubscribe { v });
         self.check_labels();
         self.check_multiple_copies(v);
         if let Some(label_v) = self.label_of(v) {
@@ -318,6 +347,7 @@ impl Supervisor {
         if u == self.id {
             return;
         }
+        self.record(RepOpKind::GetConfig { u, requester });
         self.check_multiple_copies(u);
         match self.label_of(u) {
             Some(label) => self.send_config(ctx, label, u),
@@ -342,6 +372,7 @@ impl Supervisor {
     /// The supervisor `Timeout` (Algorithm 3 lines 1–5), or the §6 token
     /// bookkeeping when token mode is on.
     pub(crate) fn timeout(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.record(RepOpKind::Timeout);
         self.evict_suspected();
         self.check_labels();
         let n = self.database.len() as u64;
@@ -390,6 +421,7 @@ impl Supervisor {
 
     /// Handles the token coming home from the ring maximum.
     pub(crate) fn on_token_return(&mut self, seq: u64) {
+        self.record(RepOpKind::TokenReturn { seq });
         if self.token_enabled && seq == self.token_seq {
             self.token_outstanding = false;
             self.token_age = 0;

@@ -40,6 +40,10 @@ pub enum MultiActor {
         topics: BTreeMap<TopicId, Supervisor>,
         /// Own id.
         id: NodeId,
+        /// Whether lazily instantiated topic supervisors record their
+        /// operations for a [`crate::replica::ReplicaGroup`]. Seeded by
+        /// the backend when `SystemBuilder::replicas(k)` with `k ≥ 2`.
+        replicated: bool,
     },
     /// A client: one `BuildSR` subscriber instance per subscribed topic.
     Client {
@@ -70,6 +74,17 @@ impl MultiActor {
         MultiActor::Supervisor {
             topics: BTreeMap::new(),
             id,
+            replicated: false,
+        }
+    }
+
+    /// New multi-topic supervisor whose topic instances record their
+    /// operations for a replica group.
+    pub fn new_replicated_supervisor(id: NodeId) -> Self {
+        MultiActor::Supervisor {
+            topics: BTreeMap::new(),
+            id,
+            replicated: true,
         }
     }
 
@@ -247,6 +262,46 @@ impl MultiActor {
             }
         }
     }
+
+    /// Backend-side replication hook: flips operation recording on or
+    /// off for this supervisor and every topic instance it already
+    /// hosts (lazily instantiated topics inherit the flag). No-op on
+    /// clients.
+    pub fn set_replicated(&mut self, on: bool) {
+        if let MultiActor::Supervisor {
+            topics, replicated, ..
+        } = self
+        {
+            *replicated = on;
+            for sup in topics.values_mut() {
+                sup.replicated = on;
+                sup.outbox.clear();
+            }
+        }
+    }
+
+    /// Drains every topic instance's recorded operations, in ascending
+    /// topic order (deterministic regardless of message interleaving
+    /// within a round). Empty for clients.
+    pub fn drain_outboxes(&mut self) -> Vec<(TopicId, Vec<crate::replica::RepOpKind>)> {
+        let MultiActor::Supervisor { topics, .. } = self else {
+            return Vec::new();
+        };
+        topics
+            .iter_mut()
+            .filter(|(_, s)| !s.outbox.is_empty())
+            .map(|(t, s)| (*t, s.drain_outbox()))
+            .collect()
+    }
+
+    /// Replaces the hosted per-topic supervisor map — the replica
+    /// failover install (the electee's replayed state takes over the
+    /// endpoint). No-op on clients.
+    pub fn install_topics(&mut self, new_topics: BTreeMap<TopicId, Supervisor>) {
+        if let MultiActor::Supervisor { topics, .. } = self {
+            *topics = new_topics;
+        }
+    }
 }
 
 thread_local! {
@@ -283,11 +338,19 @@ impl Protocol for MultiActor {
     fn on_message(&mut self, ctx: &mut Ctx<'_, TopicMsg>, tm: TopicMsg) {
         let TopicMsg { topic, msg } = tm;
         match self {
-            MultiActor::Supervisor { topics, id } => {
+            MultiActor::Supervisor {
+                topics,
+                id,
+                replicated,
+            } => {
                 // The supervisor lazily instantiates a topic on first
                 // contact ("topics … predefined by the supervisor" — we
                 // model the predefined set as "whatever is contacted").
-                let sup = topics.entry(topic).or_insert_with(|| Supervisor::new(*id));
+                let sup = topics.entry(topic).or_insert_with(|| {
+                    let mut s = Supervisor::new(*id);
+                    s.replicated = *replicated;
+                    s
+                });
                 let epoch = sup.db_epoch;
                 with_topic_ctx(topic, ctx, |ictx| {
                     crate::actor::dispatch_supervisor(sup, ictx, msg)

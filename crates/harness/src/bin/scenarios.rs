@@ -15,6 +15,9 @@
 //! scenarios crash-storm --backend sim --snapshot-at 6 --out-snapshot warm.snap
 //! scenarios crash-storm --from-snapshot warm.snap   # warm-start the rest
 //! scenarios crash-recovery crash-storm --corrupt 25 # restore + corrupt + re-legit
+//!
+//! # supervisor failover, oracle-checked against a never-crashing run:
+//! scenarios supervisor-crash supervisor-crash-churn --backend all
 //! ```
 //!
 //! Running a scenario on multiple backends asserts the conformance
@@ -31,7 +34,7 @@ use skippub_harness::scenario::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <name|all|replay FILE|crash-recovery NAME> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--rounds N] [--threads N] [--out DIR] [--trace FILE] [--snapshot-at R --out-snapshot FILE] [--from-snapshot FILE] [--corrupt K] [--list]"
+        "usage: scenarios <name|all|replay FILE|crash-recovery NAME|supervisor-crash NAME> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--rounds N] [--threads N] [--out DIR] [--trace FILE] [--snapshot-at R --out-snapshot FILE] [--from-snapshot FILE] [--corrupt K] [--list]"
     );
     std::process::exit(2);
 }
@@ -125,6 +128,7 @@ fn main() {
     let mut from_snapshot: Option<String> = None;
     let mut corrupt: usize = 25;
     let mut recovery = false;
+    let mut failover = false;
     let mut list = false;
     let mut i = 0;
     while i < args.len() {
@@ -197,6 +201,7 @@ fn main() {
                 i += 1;
             }
             "crash-recovery" if name.is_none() && !recovery => recovery = true,
+            "supervisor-crash" if name.is_none() && !failover => failover = true,
             "replay" if name.is_none() => {
                 replay_file = Some(take(&args, i, "replay"));
                 i += 1;
@@ -274,9 +279,12 @@ fn main() {
     if snapshot_at.is_some() != out_snapshot.is_some() {
         fail("--snapshot-at and --out-snapshot go together");
     }
-    let modes = snapshot_at.is_some() as usize + from_snapshot.is_some() as usize + recovery as usize;
+    let modes = snapshot_at.is_some() as usize
+        + from_snapshot.is_some() as usize
+        + recovery as usize
+        + failover as usize;
     if modes > 1 {
-        fail("--snapshot-at, --from-snapshot, and crash-recovery are mutually exclusive");
+        fail("--snapshot-at, --from-snapshot, crash-recovery, and supervisor-crash are mutually exclusive");
     }
     if modes == 1 {
         if specs.len() != 1 {
@@ -341,6 +349,42 @@ fn main() {
                 warm.round
             );
             std::process::exit(if resumed.report.ok() { 0 } else { 1 });
+        }
+
+        // Supervisor-failover oracle: run the scenario's scheduled
+        // supervisor-primary crashes, run the same schedule stripped of
+        // them, and self-assert the two runs are observationally
+        // identical (delivered sets + final checker digests). Exit 1 on
+        // divergence.
+        if failover {
+            let kinds: Vec<BackendKind> = match chosen {
+                Some(Target::InProcess(k)) => vec![k],
+                Some(Target::Threaded) => {
+                    fail("the threaded runtime cannot run the failover oracle")
+                }
+                None => spec.supported_backends(),
+            };
+            let mut failed = false;
+            for kind in kinds {
+                let started = std::time::Instant::now();
+                let report =
+                    scenario::run_supervisor_crash(&spec, kind).unwrap_or_else(|e| fail(&e));
+                eprintln!(
+                    "=== supervisor-crash {} on {} ({:.2?}) {}",
+                    spec.name,
+                    kind.name(),
+                    started.elapsed(),
+                    if report.ok() { "ok" } else { "DIVERGED" }
+                );
+                println!("{}", report.to_json());
+                if let Some(dir) = &out_dir {
+                    let path = format!("{dir}/{}.{}.failover.json", spec.name, kind.name());
+                    std::fs::write(&path, report.to_json())
+                        .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+                }
+                failed |= !report.ok();
+            }
+            std::process::exit(if failed { 1 } else { 0 });
         }
 
         // Crash recovery: checkpoint mid-run, restore, corrupt, re-legit.

@@ -71,6 +71,7 @@ pub fn builder_for(spec: &ScenarioSpec) -> SystemBuilder {
         .topics(spec.topics)
         .shards(spec.shards)
         .threads(spec.threads)
+        .replicas(spec.replicas)
         .protocol(spec.protocol)
 }
 
@@ -489,6 +490,12 @@ fn run_phases(
                 }
                 PlannedOp::Report { slot } => {
                     rec.apply(ps, Op::ReportCrash { id: churn.slot_ids[*slot] });
+                }
+                PlannedOp::CrashSupervisor { topic } => {
+                    // No churn bookkeeping: the supervisor is a virtual
+                    // endpoint, not a slot — failover replaces it in
+                    // place under the same NodeId.
+                    rec.apply(ps, Op::CrashSupervisor { topic: TopicId(*topic) });
                 }
             }
         };

@@ -154,6 +154,86 @@ pub fn shard_churn() -> ScenarioSpec {
         .settle(3_000)
 }
 
+/// `supervisor-crash-churn`: the paper's dropped "supervisor never
+/// crashes" assumption, tested mid-churn — a 3-replica supervisor group
+/// loses its primary twice while arrivals, departures, and publishes
+/// are in flight. The failover-oracle contract: delivered sets and
+/// final checker digests must equal a never-crashing run of the same
+/// schedule (`scenarios supervisor-crash supervisor-crash-churn`).
+pub fn supervisor_crash_churn() -> ScenarioSpec {
+    ScenarioSpec::new("supervisor-crash-churn", 0x5C4A5)
+        .population(12)
+        .publishers(3)
+        .publish_prob(0.25)
+        .arrivals_per_round(0.5)
+        .departures_per_round(0.4)
+        .rounds(16)
+        .replicas(3)
+        .sup_crash(5, 0)
+        .sup_crash(11, 0)
+        .stop(Stop::UntilLegit { max_extra: 6_000 })
+        .settle(1_500)
+}
+
+/// `supervisor-crash-storm`: primaries killed three times in the middle
+/// of a publish storm (five publishers at 0.6 per round) — every
+/// in-flight publication must still reach every member, exactly as in
+/// the never-crashing run.
+pub fn supervisor_crash_storm() -> ScenarioSpec {
+    ScenarioSpec::new("supervisor-crash-storm", 0x5C4B5)
+        .population(10)
+        .publishers(5)
+        .publish_prob(0.6)
+        .rounds(14)
+        .replicas(3)
+        .sup_crash(4, 0)
+        .sup_crash(7, 0)
+        .sup_crash(10, 0)
+        .stop(Stop::UntilPubsConverged { max_extra: 6_000 })
+        .settle(1_500)
+}
+
+/// `supervisor-crash-cold`: the primary dies *during* an adversarial
+/// cold start — no warm-up, flooding disabled, publications scattered
+/// over arbitrary stores — so failover composes with topology and
+/// publication self-stabilization from an arbitrary initial state.
+pub fn supervisor_crash_cold() -> ScenarioSpec {
+    ScenarioSpec::new("supervisor-crash-cold", 0x5C4C0)
+        .population(10)
+        .protocol(ProtocolConfig {
+            flooding: false,
+            ..ProtocolConfig::default()
+        })
+        .cold()
+        .scattered_pubs(12)
+        .rounds(4)
+        .replicas(3)
+        .sup_crash(1, 0)
+        .stop(Stop::UntilPubsConverged { max_extra: 20_000 })
+        .settle(1_000)
+}
+
+/// `supervisor-crash-shards`: 8 topics consistent-hashed onto 4
+/// supervisor shards, each shard backed by a 3-replica group; three
+/// different shards lose their primary mid-run. Failover must stay
+/// shard-local and the oracle contract must hold across the sharded
+/// executor's thread counts. Multi-topic/sharded backends only.
+pub fn supervisor_crash_shards() -> ScenarioSpec {
+    ScenarioSpec::new("supervisor-crash-shards", 0x5C4D5)
+        .topics(8)
+        .shards(4)
+        .population(16)
+        .publishers(4)
+        .publish_prob(0.3)
+        .rounds(14)
+        .replicas(3)
+        .sup_crash(4, 0)
+        .sup_crash(8, 3)
+        .sup_crash(11, 6)
+        .stop(Stop::UntilLegit { max_extra: 8_000 })
+        .settle(3_000)
+}
+
 /// Every built-in scenario, in documentation order.
 pub fn builtins() -> Vec<ScenarioSpec> {
     vec![
@@ -165,6 +245,10 @@ pub fn builtins() -> Vec<ScenarioSpec> {
         churn_steady(),
         zipf_fanout(),
         shard_churn(),
+        supervisor_crash_churn(),
+        supervisor_crash_storm(),
+        supervisor_crash_cold(),
+        supervisor_crash_shards(),
     ]
 }
 
@@ -218,6 +302,24 @@ mod tests {
                 kind.name(),
                 out.report.to_json()
             );
+        }
+    }
+
+    #[test]
+    fn supervisor_crash_builtins_schedule_crashes_over_replicas() {
+        let family = [
+            supervisor_crash_churn(),
+            supervisor_crash_storm(),
+            supervisor_crash_cold(),
+            supervisor_crash_shards(),
+        ];
+        for spec in family {
+            assert!(spec.replicas >= 2, "{}: needs a replica group", spec.name);
+            assert!(!spec.sup_crashes.is_empty(), "{}: schedules no crash", spec.name);
+            for &(at, topic) in &spec.sup_crashes {
+                assert!(at < spec.rounds, "{}: crash outside schedule", spec.name);
+                assert!(topic < spec.topics, "{}: crash on unknown topic", spec.name);
+            }
         }
     }
 

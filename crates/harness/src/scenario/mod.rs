@@ -47,6 +47,7 @@
 //! [`PubSub`]: skippub_core::PubSub
 
 pub mod engine;
+pub mod failover;
 pub mod library;
 pub mod recovery;
 pub mod report;
@@ -58,6 +59,7 @@ pub use engine::{
     budget_multiplier, builder_for, resume_spec, run_on, run_recorded, run_spec,
     run_spec_with_snapshot, run_threaded, DeliveredItem, DeliveredSet, ScenarioOutcome, WarmStart,
 };
+pub use failover::{run_supervisor_crash, FailoverReport};
 pub use library::{builtin, builtins};
 pub use recovery::{run_crash_recovery, CrashRecoveryReport};
 pub use report::{OpCounts, ScenarioReport, TopicReport};

@@ -38,6 +38,8 @@ pub struct OpCounts {
     pub crashes: u64,
     /// `report_crash` calls.
     pub reports: u64,
+    /// `crash_supervisor` calls (supervisor-replica failovers).
+    pub sup_crashes: u64,
     /// `step` calls across all phases.
     pub steps: u64,
 }
@@ -56,6 +58,7 @@ impl OpCounts {
             Op::SeedPublication { .. } => self.seeds += 1,
             Op::Crash { .. } => self.crashes += 1,
             Op::ReportCrash { .. } => self.reports += 1,
+            Op::CrashSupervisor { .. } => self.sup_crashes += 1,
             Op::Step => self.steps += 1,
         }
     }
@@ -174,13 +177,14 @@ impl ScenarioReport {
         );
         let _ = writeln!(
             j,
-            "  \"ops\": {{\"subscribes\": {}, \"leaves\": {}, \"publishes\": {}, \"seeds\": {}, \"crashes\": {}, \"reports\": {}, \"steps\": {}}},",
+            "  \"ops\": {{\"subscribes\": {}, \"leaves\": {}, \"publishes\": {}, \"seeds\": {}, \"crashes\": {}, \"reports\": {}, \"sup_crashes\": {}, \"steps\": {}}},",
             self.ops.subscribes,
             self.ops.leaves,
             self.ops.publishes,
             self.ops.seeds,
             self.ops.crashes,
             self.ops.reports,
+            self.ops.sup_crashes,
             self.ops.steps
         );
         let _ = write!(

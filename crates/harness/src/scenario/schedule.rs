@@ -60,6 +60,14 @@ pub enum PlannedOp {
         /// Reported slot.
         slot: usize,
     },
+    /// Kill the primary replica of the supervisor group responsible for
+    /// `topic`; a backup is elected and installed in its place. Slots
+    /// are untouched — the supervisor is a virtual endpoint, not a
+    /// client.
+    CrashSupervisor {
+        /// Topic whose responsible supervisor group loses its primary.
+        topic: u32,
+    },
 }
 
 /// What ultimately happens to a slot within the schedule.
@@ -335,6 +343,24 @@ pub fn compile(spec: &ScenarioSpec) -> Schedule {
         })
         .collect();
 
+    // --- supervisor-primary crashes: appended after every RNG draw, so
+    // a spec stripped of them (`sup_crashes` cleared) compiles to the
+    // byte-identical remaining schedule — the failover oracle's
+    // never-crashing baseline.
+    for &(at, topic) in &spec.sup_crashes {
+        assert!(
+            at < spec.rounds,
+            "supervisor crash at round {at} outside schedule of {} rounds",
+            spec.rounds
+        );
+        assert!(
+            topic < spec.topics,
+            "supervisor crash targets topic {topic}, spec has {} topics",
+            spec.topics
+        );
+        rounds[at as usize].push(PlannedOp::CrashSupervisor { topic });
+    }
+
     let prelude: Vec<PlannedOp> = (0..spec.population)
         .map(|slot| PlannedOp::Subscribe {
             slot,
@@ -457,6 +483,37 @@ mod tests {
             "zipf must skew toward rank 0: {:?}",
             by_topic.iter().map(|(t, v)| (*t, v.len())).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn stripping_supervisor_crashes_changes_nothing_else() {
+        // The failover oracle compares a crash run against the same spec
+        // with `sup_crashes` cleared; that only works if the crash ops
+        // consume no randomness — every other op must land identically.
+        let crash = compile(&spec().replicas(3).sup_crash(3, 0).sup_crash(8, 0));
+        let plain = compile(&spec());
+        assert_eq!(crash.prelude, plain.prelude);
+        assert_eq!(crash.seeds, plain.seeds);
+        assert_eq!(crash.rounds.len(), plain.rounds.len());
+        for (r, (c, p)) in crash.rounds.iter().zip(&plain.rounds).enumerate() {
+            let stripped: Vec<&PlannedOp> = c
+                .iter()
+                .filter(|op| !matches!(op, PlannedOp::CrashSupervisor { .. }))
+                .collect();
+            let plain_ops: Vec<&PlannedOp> = p.iter().collect();
+            assert_eq!(stripped, plain_ops, "round {r} diverges beyond the crash ops");
+        }
+        let crashes: Vec<usize> = crash
+            .rounds
+            .iter()
+            .enumerate()
+            .filter(|(_, ops)| {
+                ops.iter()
+                    .any(|op| matches!(op, PlannedOp::CrashSupervisor { .. }))
+            })
+            .map(|(r, _)| r)
+            .collect();
+        assert_eq!(crashes, vec![3, 8], "crash ops land in their rounds");
     }
 
     #[test]

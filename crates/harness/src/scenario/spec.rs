@@ -142,6 +142,17 @@ pub struct ScenarioSpec {
     /// executor (ignored elsewhere). Purely an execution knob — results
     /// are byte-identical for every value.
     pub threads: usize,
+    /// Supervisor replicas per group (`1` = the paper's unreplicated
+    /// supervisor; `≥ 2` maintains a replica group behind every
+    /// supervisor endpoint, enabling [`ScenarioSpec::sup_crash`]).
+    pub replicas: usize,
+    /// Scheduled supervisor-primary crashes, as `(round, topic)`: at
+    /// the start of `round` the primary replica of the supervisor group
+    /// responsible for `topic` is killed and a backup takes over. The
+    /// compiler appends these **after** every RNG draw, so a spec
+    /// stripped of them compiles to the byte-identical remaining
+    /// schedule — the failover oracle's never-crashing baseline.
+    pub sup_crashes: Vec<(u64, u32)>,
     /// Protocol knobs applied to every subscriber.
     pub protocol: ProtocolConfig,
     /// Initial subscriber population (slots `0..population`).
@@ -204,6 +215,8 @@ impl ScenarioSpec {
             topics: 1,
             shards: 1,
             threads: 1,
+            replicas: 1,
+            sup_crashes: Vec::new(),
             protocol: ProtocolConfig::default(),
             population: 0,
             popularity: Popularity::Uniform,
@@ -241,6 +254,22 @@ impl ScenarioSpec {
     pub fn threads(mut self, t: usize) -> Self {
         assert!(t >= 1, "need at least one worker thread");
         self.threads = t;
+        self
+    }
+
+    /// Sets the supervisor replica count (`≥ 1`; `1` = unreplicated).
+    pub fn replicas(mut self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one supervisor replica");
+        self.replicas = k;
+        self
+    }
+
+    /// Schedules a supervisor-primary crash at the start of round `at`,
+    /// targeting the group responsible for `topic`. Requires
+    /// `replicas ≥ 2` to actually fail anything over (the op is a
+    /// uniform no-op on an unreplicated supervisor).
+    pub fn sup_crash(mut self, at: u64, topic: u32) -> Self {
+        self.sup_crashes.push((at, topic));
         self
     }
 
@@ -398,6 +427,19 @@ mod tests {
         assert!(!multi.supported(BackendKind::Chaos));
         assert!(multi.supported(BackendKind::MultiTopic));
         assert!(multi.supported(BackendKind::Sharded));
+    }
+
+    #[test]
+    fn replica_knobs_chain_and_default_off() {
+        let plain = ScenarioSpec::new("p", 1);
+        assert_eq!(plain.replicas, 1);
+        assert!(plain.sup_crashes.is_empty());
+        let s = ScenarioSpec::new("r", 1)
+            .replicas(3)
+            .sup_crash(4, 0)
+            .sup_crash(9, 0);
+        assert_eq!(s.replicas, 3);
+        assert_eq!(s.sup_crashes, vec![(4, 0), (9, 0)]);
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct Trace {
     /// rebuild the exact configuration; results are identical for every
     /// value — determinism is the executor's contract).
     pub threads: usize,
+    /// Supervisor replicas per group (recorded so replays rebuild a
+    /// replicated backend — `crashsup` ops are no-ops without one).
+    pub replicas: usize,
     /// Whether the run had a warm phase (replay needs it to reproduce
     /// the `warm_ok` verdict).
     pub warm: bool,
@@ -93,6 +96,7 @@ impl Trace {
             topics: spec.topics,
             shards: spec.shards,
             threads: spec.threads,
+            replicas: spec.replicas,
             warm: spec.warm,
             stop: spec.stop,
             protocol: spec.protocol,
@@ -110,6 +114,7 @@ impl Trace {
         s.push_str(&format!("topics {}\n", self.topics));
         s.push_str(&format!("shards {}\n", self.shards));
         s.push_str(&format!("threads {}\n", self.threads));
+        s.push_str(&format!("replicas {}\n", self.replicas));
         s.push_str(&format!("warm {}\n", self.warm));
         s.push_str(&format!("stop {} {}\n", self.stop.name(), self.stop.max_extra()));
         let p = &self.protocol;
@@ -151,6 +156,7 @@ impl Trace {
         let mut topics = None;
         let mut shards = None;
         let mut threads = None;
+        let mut replicas = None;
         let mut warm = None;
         let mut stop = None;
         let mut protocol = None;
@@ -169,6 +175,7 @@ impl Trace {
                 "topics" => topics = Some(rest.parse::<u32>().map_err(|e| e.to_string())?),
                 "shards" => shards = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
                 "threads" => threads = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
+                "replicas" => replicas = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
                 "warm" => warm = Some(rest.parse::<bool>().map_err(|e| e.to_string())?),
                 "stop" => {
                     let (name, max) = rest
@@ -231,6 +238,9 @@ impl Trace {
             // Absent in traces recorded before the parallel executor
             // existed; one worker reproduces them exactly.
             threads: threads.unwrap_or(1),
+            // Absent in traces recorded before supervisor replication
+            // existed; an unreplicated backend reproduces them exactly.
+            replicas: replicas.unwrap_or(1),
             warm: warm.ok_or("missing warm header")?,
             stop: stop.ok_or("missing stop header")?,
             protocol: protocol.ok_or("missing protocol header")?,
@@ -260,6 +270,7 @@ impl Trace {
             .topics(self.topics)
             .shards(self.shards)
             .threads(self.threads)
+            .replicas(self.replicas)
             .protocol(self.protocol);
         let mut ps = builder.build(kind);
         self.replay_on(ps.as_mut())

@@ -620,6 +620,132 @@ fn snapshot_round_trip_is_exact_on_sharded_at_every_thread_count() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Replicated-supervisor failover conformance: a run whose schedule kills
+// supervisor primaries must be observationally identical to the same
+// schedule never crashing them — the failover oracle — on every backend
+// and at every worker-thread count; and a snapshot taken mid-failover
+// (replica groups already failed over, repair traffic in flight) must
+// round-trip byte-exactly through the text codec.
+// ---------------------------------------------------------------------
+
+/// The failover oracle holds on sim, multi-topic, and sharded for a
+/// single-topic supervisor-crash workload, and the crash runs deliver
+/// identical sets across those backends (the usual conformance
+/// contract, now with failovers in the schedule).
+#[test]
+fn supervisor_failover_matches_never_crashing_run_across_backends() {
+    let spec = library::supervisor_crash_churn();
+    let mut reference: Option<(String, String)> = None;
+    for kind in [BackendKind::Sim, BackendKind::MultiTopic, BackendKind::Sharded] {
+        let r = scenario::run_supervisor_crash(&spec, kind).expect("supported backend");
+        assert!(r.ok(), "{}", r.to_json());
+        assert_eq!(r.failovers, r.crashes, "{}: every kill must fail over", r.backend);
+        match &reference {
+            None => reference = Some((r.backend.clone(), r.fingerprint.clone())),
+            Some((ref_name, ref_fp)) => assert_eq!(
+                &r.fingerprint, ref_fp,
+                "{} crash run delivers a different set than {ref_name}",
+                r.backend
+            ),
+        }
+    }
+}
+
+/// The oracle holds on the sharded backend's parallel executor at 1, 2,
+/// 4, and 8 worker threads — with three different shards failing over —
+/// and the crash runs are byte-identical across thread counts.
+#[test]
+fn supervisor_failover_oracle_holds_at_every_thread_count() {
+    let base = library::supervisor_crash_shards();
+    let mut reference: Option<(String, Vec<String>)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let spec = base.clone().threads(threads);
+        let r = scenario::run_supervisor_crash(&spec, BackendKind::Sharded)
+            .expect("supported backend");
+        assert!(r.ok(), "threads={threads}: {}", r.to_json());
+        match &reference {
+            None => reference = Some((r.fingerprint.clone(), r.digests.clone())),
+            Some((ref_fp, ref_digests)) => {
+                assert_eq!(
+                    &r.fingerprint, ref_fp,
+                    "threads={threads}: crash-run delivered sets diverge"
+                );
+                assert_eq!(
+                    &r.digests, ref_digests,
+                    "threads={threads}: crash-run final checker digests diverge"
+                );
+            }
+        }
+    }
+}
+
+/// A snapshot captured *mid-failover* — the replica group has already
+/// elected a backup, repair traffic is in flight — must round-trip
+/// byte-exactly: restoring it and re-saving yields the original text,
+/// replica-log section included, and the restored backend still reports
+/// the failover.
+#[test]
+fn mid_failover_snapshot_round_trips_byte_exactly() {
+    for kind in BackendKind::all() {
+        let topics = match kind {
+            BackendKind::Sim | BackendKind::Chaos => 1,
+            _ => 3,
+        };
+        let mut ps = SystemBuilder::new(0x5AFE_FA11)
+            .topics(topics)
+            .shards(2)
+            .replicas(3)
+            .build(kind);
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| ps.subscribe(TopicId(i % topics)))
+            .collect();
+        for _ in 0..30 {
+            ps.step();
+        }
+        ps.publish(ids[0], T, b"pre-failover".to_vec())
+            .expect("alive author");
+        for _ in 0..10 {
+            ps.step();
+        }
+        assert!(
+            ps.crash_supervisor(T),
+            "{}: a 3-replica group must fail over",
+            kind.name()
+        );
+        // Two more steps leave stabilization traffic in flight at the
+        // snapshot boundary.
+        for _ in 0..2 {
+            ps.step();
+        }
+        assert_eq!(ps.supervisor_failovers(), 1, "{}", kind.name());
+
+        let saved = ps.save_snapshot().expect("snapshot-capable backend");
+        let reparsed = skippub_core::pubsub::BackendSnapshot::from_text(saved.as_text())
+            .expect("serialized snapshot must reparse");
+        let restored = skippub_core::pubsub::restore(&reparsed).expect("restore");
+        let resaved = restored.save_snapshot().expect("re-save");
+        assert_eq!(
+            resaved.as_text(),
+            saved.as_text(),
+            "{}: mid-failover snapshot must re-save byte-exactly",
+            kind.name()
+        );
+        assert_eq!(
+            restored.supervisor_failovers(),
+            1,
+            "{}: the failover count must survive the round trip",
+            kind.name()
+        );
+        assert_eq!(
+            restored.supervisor_replicas(),
+            3,
+            "{}: the replica group must survive the round trip",
+            kind.name()
+        );
+    }
+}
+
 /// The restored payload pool keeps deduplicating: a payload published
 /// before the snapshot is pooled, so re-publishing it after restore
 /// hits the pool instead of growing it.

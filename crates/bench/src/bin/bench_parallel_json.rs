@@ -127,6 +127,51 @@ struct Row {
     batched_rps: f64,
     stepped_rps: f64,
     metrics: Metrics,
+    locks_per_round: f64,
+}
+
+/// A deliberately skewed population for the rebalancing demo: client
+/// `i` subscribes to topic `trailing_zeros(i+1)` (half the clients on
+/// topic 0, a quarter on topic 1, …), so one shard starts with most of
+/// the subscriber work. A handful of fixed publishers flood their
+/// topics every round to keep delivered-work traffic flowing.
+fn skewed_system(a: &Args, rebalance_every: u64) -> (ShardedBackend, Vec<(NodeId, TopicId)>) {
+    const SKEW_CLIENTS: u64 = 512;
+    let mut ps = SystemBuilder::new(SEED ^ 0x5EED)
+        .topics(a.topics)
+        .shards(a.shards)
+        .rebalance_every(rebalance_every)
+        .build_sharded();
+    let mut publishers = Vec::new();
+    for i in 0..SKEW_CLIENTS {
+        let topic = TopicId((i + 1).trailing_zeros().min(a.topics - 1));
+        let id = ps.subscribe(topic);
+        if i < 6 {
+            publishers.push((id, topic));
+        }
+    }
+    ps.run_rounds(a.warmup);
+    (ps, publishers)
+}
+
+/// Drives a skewed system `rounds` rounds with per-round publishes and
+/// returns `(delivered_imbalance, lock_acquisitions_per_round,
+/// rebalances)`.
+fn run_skewed(a: &Args, rebalance_every: u64, rounds: u64) -> (f64, f64, u64) {
+    let (mut ps, publishers) = skewed_system(a, rebalance_every);
+    for r in 0..rounds {
+        for &(id, topic) in &publishers {
+            ps.publish(id, topic, vec![r as u8]);
+        }
+        ps.step();
+    }
+    let stats = ps.stats();
+    let total_rounds = a.warmup + rounds;
+    (
+        stats.delivered_imbalance(),
+        stats.lock_acquisitions() as f64 / total_rounds as f64,
+        ps.rebalances(),
+    )
 }
 
 /// Timed blocks per system: every system is timed in the same
@@ -203,6 +248,9 @@ fn main() {
     }
     let mono_rps = block_rounds as f64 / mono_best;
 
+    // Every measured system stepped warmup + 2×BLOCKS×block_rounds
+    // rounds in total (batched + stepped block per iteration).
+    let rounds_total = a.warmup + 2 * BLOCKS * block_rounds;
     let rows: Vec<Row> = systems
         .iter()
         .enumerate()
@@ -211,8 +259,32 @@ fn main() {
             batched_rps: block_rounds as f64 / batched_best[i],
             stepped_rps: block_rounds as f64 / stepped_best[i],
             metrics: ps.metrics(),
+            locks_per_round: ps.stats().lock_acquisitions() as f64 / rounds_total as f64,
         })
         .collect();
+
+    // Comms batching contract for round-driven execution: one drain per
+    // partition plus at most one mailbox-lock acquisition per ordered
+    // partition pair (flushes, self excluded — local sends bypass the
+    // mailbox) — ≤ partitions·(partitions−1) + partitions = partitions²
+    // per round. A per-envelope locking regression blows well past
+    // this. (Facade operations like `publish` flush their outbox under
+    // one extra batched lock per destination; the measured rows here
+    // are purely round-driven, so the p² bound applies directly.)
+    let lock_bound = (a.shards * a.shards) as f64;
+    for r in &rows {
+        assert!(
+            r.locks_per_round <= lock_bound,
+            "threads={} acquired {:.2} locks/round > partitions² = {lock_bound}",
+            r.threads,
+            r.locks_per_round
+        );
+    }
+
+    eprintln!("rebalancing demo (skewed population) ...");
+    let skew_rounds = 60;
+    let (imb_off, locks_off, _) = run_skewed(&a, 0, skew_rounds);
+    let (imb_on, locks_on, rebalances) = run_skewed(&a, 5, skew_rounds);
 
     // Determinism: every thread count must have produced the identical
     // execution (the measured worlds all stepped warmup + 2×rounds).
@@ -249,18 +321,29 @@ fn main() {
         };
         let _ = writeln!(
             json,
-            "    {{\"threads\": {}, \"batched_rounds_per_sec\": {:.2}, \"stepped_rounds_per_sec\": {:.2}, \"speedup_vs_threads1\": {vs_base}, \"speedup_vs_monolithic\": {:.2}}}{}",
+            "    {{\"threads\": {}, \"batched_rounds_per_sec\": {:.2}, \"stepped_rounds_per_sec\": {:.2}, \"speedup_vs_threads1\": {vs_base}, \"speedup_vs_monolithic\": {:.2}, \"lock_acquisitions_per_round\": {:.2}}}{}",
             r.threads,
             r.batched_rps,
             r.stepped_rps,
             r.batched_rps / mono_rps,
+            r.locks_per_round,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"note\": \"speedup_vs_threads1 is bounded by cores ({cores} here); determinism (byte-identical metrics for every thread count) is the machine-independent claim. speedup_vs_monolithic compares against the old single-world serial execution on the same population.\""
+        "  \"lock_acquisitions_per_round_bound\": {},",
+        a.shards * a.shards
+    );
+    let _ = writeln!(
+        json,
+        "  \"rebalancing\": {{\"workload\": \"512 clients, topic = trailing_zeros(i+1) (half on topic 0), 6 publishers, {skew_rounds} rounds, cadence 5\", \"delivered_imbalance_off\": {imb_off:.4}, \"delivered_imbalance_on\": {imb_on:.4}, \"improvement\": {:.2}, \"rebalances\": {rebalances}, \"lock_acquisitions_per_round_off\": {locks_off:.2}, \"lock_acquisitions_per_round_on\": {locks_on:.2}, \"lock_note\": \"this workload adds 6 facade publishes per round, each flushing its outbox under one batched lock per destination — the round-loop bound stays partitions\\u00b2\"}},",
+        imb_off / imb_on
+    );
+    let _ = writeln!(
+        json,
+        "  \"note\": \"speedup_vs_threads1 is bounded by cores ({cores} here — on this single-core container it cannot exceed 1.0 and thread overhead makes it slightly below; the scaling headroom only shows on multi-core hardware); determinism (byte-identical metrics for every thread count) and the lock/imbalance counters are the machine-independent claims. speedup_vs_monolithic compares against the old single-world serial execution on the same population.\""
     );
     json.push_str("}\n");
 

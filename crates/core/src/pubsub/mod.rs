@@ -85,6 +85,50 @@ pub struct Stats {
     pub per_partition: Vec<PartitionStats>,
 }
 
+impl Stats {
+    /// Max/mean ratio of the given per-partition extractor — the
+    /// skew gauge the rebalancer optimizes. `1.0` is a perfectly even
+    /// spread; returns `1.0` when unpartitioned or when every
+    /// partition is at zero (an idle system is not skewed). Computed
+    /// from the integer counters on demand so `Stats` stays `Eq` and
+    /// byte-comparable across thread counts.
+    fn imbalance(&self, f: impl Fn(&PartitionStats) -> u64) -> f64 {
+        if self.per_partition.len() < 2 {
+            return 1.0;
+        }
+        let total: u64 = self.per_partition.iter().map(&f).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.per_partition.iter().map(&f).max().unwrap_or(0);
+        (max * self.per_partition.len() as u64) as f64 / total as f64
+    }
+
+    /// Max/mean imbalance of per-partition *delivered* messages — the
+    /// skew the paper's workload induces when hot topics hash onto one
+    /// shard.
+    pub fn delivered_imbalance(&self) -> f64 {
+        self.imbalance(|p| p.delivered)
+    }
+
+    /// Max/mean imbalance of per-partition node activations (`stepped`)
+    /// — the executor-level work gauge: a partition full of idle nodes
+    /// still steps them, so this complements [`delivered_imbalance`]
+    /// with the cost of *hosting* rather than *serving*.
+    ///
+    /// [`delivered_imbalance`]: Stats::delivered_imbalance
+    pub fn stepped_imbalance(&self) -> f64 {
+        self.imbalance(|p| p.stepped)
+    }
+
+    /// Total cross-partition mailbox lock acquisitions — with batched
+    /// flushing, bounded by `(partitions + partitions²) · steps`
+    /// regardless of envelope volume.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.per_partition.iter().map(|p| p.lock_acquisitions).sum()
+    }
+}
+
 /// Traffic counters of one partition of a partitioned backend.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PartitionStats {
@@ -98,6 +142,13 @@ pub struct PartitionStats {
     pub cross_envelopes: u64,
     /// This partition's own in-flight high-water mark.
     pub peak_in_flight: u64,
+    /// Node activations this partition executed (its share of the
+    /// executor's per-round work, independent of message traffic).
+    pub stepped: u64,
+    /// Mailbox lock acquisitions this partition performed: one per
+    /// inbound drain plus one per non-empty outbound batch — data-
+    /// determined, so identical across thread counts.
+    pub lock_acquisitions: u64,
 }
 
 /// The simulated backends a [`SystemBuilder`] can construct behind a
@@ -439,6 +490,7 @@ pub struct SystemBuilder {
     vnodes: usize,
     replicas: usize,
     threads: usize,
+    rebalance_every: u64,
     protocol: ProtocolConfig,
     chaos: Option<ChaosConfig>,
     budget: Option<u32>,
@@ -457,6 +509,7 @@ impl SystemBuilder {
             vnodes: 64,
             replicas: 1,
             threads: 1,
+            rebalance_every: 0,
             protocol: ProtocolConfig::default(),
             chaos: None,
             budget: None,
@@ -507,6 +560,19 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables deterministic topic→shard rebalancing on the sharded
+    /// backend: every `r` rounds the backend re-examines the
+    /// per-partition delivered-work counters and moves hot topics off
+    /// overloaded shards (`0`, the default, disables it). The decision
+    /// reads only round-synchronous state, so trajectories stay
+    /// byte-identical across thread counts. Backends with a single
+    /// supervisor (sim, chaos, multi-topic) have nothing to move and
+    /// ignore the knob; mutually exclusive with `replicas ≥ 2`.
+    pub fn rebalance_every(mut self, r: u64) -> Self {
+        self.rebalance_every = r;
+        self
+    }
+
     /// Sets the protocol knobs applied to every subscriber.
     pub fn protocol(mut self, cfg: ProtocolConfig) -> Self {
         self.protocol = cfg;
@@ -554,6 +620,11 @@ impl SystemBuilder {
         self.budget
     }
 
+    /// The configured rebalancing cadence (`0` = disabled).
+    pub fn rebalance_every_value(&self) -> u64 {
+        self.rebalance_every
+    }
+
     /// Single-topic deterministic simulator (synchronous rounds).
     /// Requires `topics == 1`.
     pub fn build_sim(&self) -> SimBackend {
@@ -579,9 +650,13 @@ impl SystemBuilder {
     }
 
     /// Multi-topic system (§4): one supervisor hosting one `BuildSR`
-    /// instance per topic.
+    /// instance per topic. Runs on the partitioned executor: clients
+    /// spread round-robin over [`SystemBuilder::shards`] partitions,
+    /// stepped by up to [`SystemBuilder::threads`] workers (defaults:
+    /// one of each — the serial execution).
     pub fn build_multi(&self) -> MultiTopicBackend {
-        let mut b = MultiTopicBackend::new(self.seed, self.topics, self.protocol);
+        let mut b =
+            MultiTopicBackend::new(self.seed, self.topics, self.shards, self.threads, self.protocol);
         b.set_delivery_budget(self.budget);
         b.set_replicas(self.replicas);
         b
@@ -602,6 +677,7 @@ impl SystemBuilder {
         );
         b.set_delivery_budget(self.budget);
         b.set_replicas(self.replicas);
+        b.set_rebalance_every(self.rebalance_every);
         b
     }
 

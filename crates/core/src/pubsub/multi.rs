@@ -2,9 +2,20 @@
 //! hosting one `BuildSR` instance per topic — behind the [`PubSub`]
 //! facade, replacing the hand-rolled `World<MultiActor>` driving that
 //! examples and tests used to do.
+//!
+//! Since the sharding PR the backend executes on a
+//! [`PartitionedWorld`], the same parallel round executor the sharded
+//! backend uses: the supervisor lives in partition 0 and clients are
+//! spread round-robin (`id % partitions`) across
+//! [`SystemBuilder::shards`](super::SystemBuilder::shards) partitions,
+//! stepped by up to [`SystemBuilder::threads`](super::SystemBuilder::threads)
+//! workers. With the defaults (one shard, one thread) this is the
+//! serial single-mailbox execution the backend always had; with more,
+//! every scalable backend exercises the parallel path — and results
+//! stay byte-identical for every thread count.
 
 use super::incremental::IncChecker;
-use super::{BackendSnapshot, Delivery, EventCursor, PubSub, Stats};
+use super::{BackendSnapshot, Delivery, EventCursor, PartitionStats, PubSub, Stats};
 use crate::checker;
 use crate::dirty::{pubs_key, topo_key};
 use crate::replica::ReplicaGroup;
@@ -12,7 +23,7 @@ use crate::scenarios::SUPERVISOR;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig, Supervisor};
 use skippub_bits::BitStr;
-use skippub_sim::{Metrics, NodeId, NodeView, World, WorldState};
+use skippub_sim::{Metrics, NodeId, NodeView, PartitionedState, PartitionedWorld, World};
 use skippub_snapshot::{Snap, SnapWriter};
 use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
@@ -22,7 +33,7 @@ use std::cell::RefCell;
 /// work is linear in the number of topics and independent of the number
 /// of subscribers.
 pub struct MultiTopicBackend {
-    world: World<MultiActor>,
+    world: PartitionedWorld<MultiActor>,
     cfg: ProtocolConfig,
     topics: u32,
     next_id: u64,
@@ -38,9 +49,15 @@ pub struct MultiTopicBackend {
 }
 
 impl MultiTopicBackend {
-    pub(crate) fn new(seed: u64, topics: u32, cfg: ProtocolConfig) -> Self {
-        let mut world = World::new(seed);
-        world.add_node(SUPERVISOR, MultiActor::new_supervisor(SUPERVISOR));
+    pub(crate) fn new(
+        seed: u64,
+        topics: u32,
+        partitions: usize,
+        threads: usize,
+        cfg: ProtocolConfig,
+    ) -> Self {
+        let mut world = PartitionedWorld::new(seed, partitions, threads);
+        world.add_node(SUPERVISOR, MultiActor::new_supervisor(SUPERVISOR), 0);
         MultiTopicBackend {
             world,
             cfg,
@@ -100,14 +117,14 @@ impl MultiTopicBackend {
 
     /// The underlying multi-topic world, for white-box probes (metrics,
     /// per-node state) the facade does not cover.
-    pub fn world(&self) -> &World<MultiActor> {
+    pub fn world(&self) -> &PartitionedWorld<MultiActor> {
         &self.world
     }
 
     /// Mutable access to the underlying world (adversarial injection).
     /// Raw access may change anything, so every cached checker verdict
     /// is dropped and the member index is rebuilt on the next poll.
-    pub fn world_mut(&mut self) -> &mut World<MultiActor> {
+    pub fn world_mut(&mut self) -> &mut PartitionedWorld<MultiActor> {
         self.inc.get_mut().invalidate_all();
         &mut self.world
     }
@@ -132,8 +149,9 @@ impl MultiTopicBackend {
         fold_pubs_converged(&self.world, self.topics)
     }
 
-    /// Simulator metrics (per-kind and per-node counters).
-    pub fn metrics(&self) -> &Metrics {
+    /// Simulator metrics, folded over all partitions (by value now that
+    /// the backend runs partitioned).
+    pub fn metrics(&self) -> Metrics {
         self.world.metrics()
     }
 
@@ -157,14 +175,14 @@ impl MultiTopicBackend {
         let topics = u32::load(&mut r).map_err(err)?;
         let next_id = u64::load(&mut r).map_err(err)?;
         let interner = PayloadInterner::load(&mut r).map_err(err)?;
-        let world = WorldState::<MultiActor>::load(&mut r).map_err(err)?;
+        let world = PartitionedState::<MultiActor>::load(&mut r).map_err(err)?;
         let cursor = EventCursor::load(&mut r).map_err(err)?;
         let group = Option::<ReplicaGroup>::load(&mut r).map_err(err)?;
         r.finish().map_err(err)?;
         let mut inc = IncChecker::new(topics);
         inc.invalidate_all();
         Ok(MultiTopicBackend {
-            world: World::from_state(world),
+            world: PartitionedWorld::from_state(world),
             cfg,
             topics,
             next_id,
@@ -299,7 +317,11 @@ impl PubSub for MultiTopicBackend {
         self.next_id += 1;
         let mut client = MultiActor::new_client(id, SUPERVISOR, self.cfg);
         client.join_topic(topic);
-        self.world.add_node(id, client);
+        // Round-robin placement: a pure function of the client's ID, so
+        // the node→partition map — and with it every trajectory — is
+        // identical for every thread count.
+        let partition = (id.0 % self.world.partition_count() as u64) as u32;
+        self.world.add_node(id, client, partition);
         self.inc.get_mut().add_member(topic, id);
         self.world.bump_dirty(topo_key(topic.0));
         self.world.bump_dirty(pubs_key(topic.0));
@@ -424,7 +446,23 @@ impl PubSub for MultiTopicBackend {
     }
 
     fn stats(&self) -> Stats {
-        super::stats_of(self.world.metrics(), self.world.peak_in_flight() as u64)
+        let mut stats =
+            super::stats_of(&self.world.metrics(), self.world.peak_in_flight() as u64);
+        stats.per_partition = (0..self.world.partition_count())
+            .map(|i| {
+                let m = self.world.partition_metrics(i);
+                PartitionStats {
+                    sent: m.sent_total,
+                    delivered: m.delivered_total,
+                    dropped: m.dropped,
+                    cross_envelopes: self.world.cross_envelopes(i),
+                    peak_in_flight: self.world.partition_peak_in_flight(i) as u64,
+                    stepped: self.world.partition_stepped(i),
+                    lock_acquisitions: self.world.partition_lock_acquisitions(i),
+                }
+            })
+            .collect();
+        stats
     }
 
     fn save_snapshot(&self) -> Result<BackendSnapshot, String> {

@@ -64,6 +64,20 @@ pub struct ShardedBackend {
     /// over independently: a primary crash only affects its own
     /// sub-interval of topics.
     groups: Vec<ReplicaGroup>,
+    /// Topic → shard placement overrides installed by the deterministic
+    /// rebalancer; consulted before the consistent-hash ring. Empty
+    /// until the first rebalance moves a topic.
+    overrides: BTreeMap<u32, u32>,
+    /// Rebalance cadence in rounds (0 = off): at every round multiple,
+    /// per-partition delivered-work deltas are examined and skewed topic
+    /// placements corrected via supervisor-mediated handoff.
+    rebalance_every: u64,
+    /// Completed topic handoffs (for reports and tests).
+    rebalances: u64,
+    /// Per-partition delivered totals at the last rebalance decision —
+    /// the baseline that turns cumulative counters into per-window
+    /// deltas.
+    last_delivered: Vec<u64>,
 }
 
 impl ShardedBackend {
@@ -95,6 +109,10 @@ impl ShardedBackend {
             inc: RefCell::new(IncChecker::new(topics)),
             interner: PayloadInterner::new(),
             groups: Vec::new(),
+            overrides: BTreeMap::new(),
+            rebalance_every: 0,
+            rebalances: 0,
+            last_delivered: vec![0; shard_count],
         }
     }
 
@@ -102,6 +120,11 @@ impl ShardedBackend {
     /// `k = 1` disables replication (the paper's model). Call before
     /// driving the system: each replica log starts at the current state.
     pub fn set_replicas(&mut self, k: usize) {
+        assert!(
+            k < 2 || self.rebalance_every == 0,
+            "topic rebalancing and supervisor replication are mutually \
+             exclusive (a handoff would have to transfer the replica log)"
+        );
         for &s in &self.sup_ids {
             if let Some(sup) = self.world.node_mut(s) {
                 sup.set_replicated(k >= 2);
@@ -185,7 +208,7 @@ impl ShardedBackend {
     pub fn is_legitimate_full(&self) -> bool {
         (0..self.topics).all(|t| {
             let t = TopicId(t);
-            super::multi::topic_is_legit(&self.world, self.shards.supervisor_for(t), t)
+            super::multi::topic_is_legit(&self.world, self.supervisor_for(t), t)
         })
     }
 
@@ -205,9 +228,43 @@ impl ShardedBackend {
         &self.sup_ids
     }
 
-    /// The supervisor responsible for `topic`.
+    /// The supervisor responsible for `topic`: a rebalancer override if
+    /// one is installed, the consistent-hash ring otherwise. Every
+    /// routing decision in the backend goes through here.
     pub fn supervisor_for(&self, topic: TopicId) -> NodeId {
-        self.shards.supervisor_for(topic)
+        match self.overrides.get(&topic.0) {
+            Some(&shard) => self.sup_ids[shard as usize],
+            None => self.shards.supervisor_for(topic),
+        }
+    }
+
+    /// Sets the rebalance cadence in rounds (`0` disables; the initial
+    /// state). Mutually exclusive with supervisor replication: a topic
+    /// handoff moves the supervisor instance but not the shard's replica
+    /// log, so combining the two would desynchronize failover state.
+    pub fn set_rebalance_every(&mut self, every: u64) {
+        assert!(
+            every == 0 || self.groups.is_empty(),
+            "topic rebalancing and supervisor replication are mutually \
+             exclusive (a handoff would have to transfer the replica log)"
+        );
+        self.rebalance_every = every;
+    }
+
+    /// The configured rebalance cadence in rounds (0 = off).
+    pub fn rebalance_every(&self) -> u64 {
+        self.rebalance_every
+    }
+
+    /// Completed topic handoffs so far.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Current placement overrides (topic → shard index) installed by
+    /// the rebalancer.
+    pub fn placement_overrides(&self) -> &BTreeMap<u32, u32> {
+        &self.overrides
     }
 
     /// The underlying partitioned world, for white-box probes.
@@ -255,12 +312,21 @@ impl ShardedBackend {
         for _ in 0..group_len {
             groups.push(ReplicaGroup::load(&mut r).map_err(err)?);
         }
+        let overrides = BTreeMap::<u32, u32>::load(&mut r).map_err(err)?;
+        let rebalance_every = u64::load(&mut r).map_err(err)?;
+        let rebalances = u64::load(&mut r).map_err(err)?;
+        let last_delivered = SnapVec::<u64>::load(&mut r).map_err(err)?.0;
         r.finish().map_err(err)?;
         if sup_ids.is_empty() || vnodes == 0 {
             return Err("sharded snapshot needs >=1 supervisor and >=1 ring point".to_string());
         }
         if !groups.is_empty() && groups.len() != sup_ids.len() {
             return Err("sharded snapshot replica groups disagree with shard count".to_string());
+        }
+        if overrides.values().any(|&s| s as usize >= sup_ids.len())
+            || last_delivered.len() != sup_ids.len()
+        {
+            return Err("sharded snapshot rebalancer state disagrees with shard count".to_string());
         }
         let mut inc = IncChecker::new(topics);
         inc.invalidate_all();
@@ -276,6 +342,10 @@ impl ShardedBackend {
             inc: RefCell::new(inc),
             interner,
             groups,
+            overrides,
+            rebalance_every,
+            rebalances,
+            last_delivered,
         })
     }
 
@@ -299,11 +369,21 @@ impl ShardedBackend {
     /// fixed-round warmups) should step the backend. Results are
     /// identical to `n` single steps — and to any worker count.
     pub fn run_rounds(&mut self, n: u64) {
-        self.world.run_rounds(n);
-        // One drain for the whole batch: per-topic op order is the same
-        // as draining every round (outboxes append in execution order),
-        // and replay is per-topic, so the replicated state is identical.
-        self.sync_groups();
+        if self.rebalance_every == 0 {
+            self.world.run_rounds(n);
+            // One drain for the whole batch: per-topic op order is the
+            // same as draining every round (outboxes append in execution
+            // order), and replay is per-topic, so the replicated state
+            // is identical.
+            self.sync_groups();
+        } else {
+            // Rebalance decisions fire at fixed round numbers, so a
+            // batch must hit the same boundaries as n single steps.
+            for _ in 0..n {
+                self.world.run_rounds(1);
+                self.maybe_rebalance();
+            }
+        }
     }
 
     /// Partition index of the shard owned by supervisor `sup`.
@@ -326,6 +406,194 @@ impl ShardedBackend {
             self.topics
         );
     }
+
+    /// Fires a rebalance decision when the cadence says so. Decisions
+    /// are a pure function of round-synchronous world state (round
+    /// number, per-partition delivered counters, supervisor databases)
+    /// — never wall clock or worker identity — so outcomes are
+    /// digest-identical for every thread count.
+    fn maybe_rebalance(&mut self) {
+        let r = self.world.round();
+        if self.rebalance_every == 0 || r == 0 || !r.is_multiple_of(self.rebalance_every) {
+            return;
+        }
+        self.rebalance();
+    }
+
+    /// One rebalance decision, applied at a round boundary.
+    ///
+    /// Load model: each partition's delivered-work delta since the last
+    /// decision (the per-partition `Stats` counters) is apportioned over
+    /// the topics it hosts by supervisor-side member count — Zipf-hot
+    /// topics carry most of their shard's delta. A longest-processing-
+    /// time assignment then spreads the loaded topics over shards
+    /// (heaviest first onto the currently lightest shard, ties broken by
+    /// lowest index), and every topic whose assignment differs from its
+    /// current owner is handed off. A hysteresis gate skips the whole
+    /// decision while delivered-work max/mean ≤ 1.25, so a balanced
+    /// system never churns placements.
+    fn rebalance(&mut self) {
+        let parts = self.world.partition_count();
+        let delivered: Vec<u64> = (0..parts)
+            .map(|i| self.world.partition_metrics(i).delivered_total)
+            .collect();
+        let delta: Vec<u64> = delivered
+            .iter()
+            .zip(&self.last_delivered)
+            .map(|(d, l)| d.saturating_sub(*l))
+            .collect();
+        self.last_delivered = delivered;
+        let total: u64 = delta.iter().sum();
+        if parts < 2 || total == 0 {
+            return;
+        }
+        let maxd = *delta.iter().max().expect("parts >= 2");
+        if maxd * (parts as u64) * 4 <= total * 5 {
+            return; // max/mean ≤ 1.25 — balanced enough, don't churn
+        }
+        let owner: Vec<u32> = (0..self.topics)
+            .map(|t| self.shard_index(self.supervisor_for(TopicId(t))))
+            .collect();
+        let members: Vec<u64> = (0..self.topics as usize)
+            .map(|t| {
+                let sup = self.sup_ids[owner[t] as usize];
+                self.world
+                    .node(sup)
+                    .and_then(|a| a.topic_supervisor(TopicId(t as u32)))
+                    .map(|s| s.n() as u64)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let members_of: Vec<u64> = (0..parts)
+            .map(|p| {
+                (0..self.topics as usize)
+                    .filter(|&t| owner[t] == p as u32)
+                    .map(|t| members[t])
+                    .sum()
+            })
+            .collect();
+        let load: Vec<u64> = (0..self.topics as usize)
+            .map(|t| {
+                let p = owner[t] as usize;
+                (delta[p] * members[t]).checked_div(members_of[p]).unwrap_or(0)
+            })
+            .collect();
+        let mut hot: Vec<usize> = (0..self.topics as usize).filter(|&t| load[t] > 0).collect();
+        hot.sort_by(|&a, &b| load[b].cmp(&load[a]).then(a.cmp(&b)));
+        let mut new_load = vec![0u64; parts];
+        let mut assign = owner.clone();
+        for t in hot {
+            let best = (0..parts)
+                .min_by_key(|&p| (new_load[p], p))
+                .expect("parts >= 2");
+            assign[t] = best as u32;
+            new_load[best] += load[t];
+        }
+        for t in 0..self.topics {
+            if assign[t as usize] != owner[t as usize] {
+                self.move_topic(TopicId(t), assign[t as usize]);
+            }
+        }
+        self.rebalance_clients();
+    }
+
+    /// Spreads subscriber actors over partitions. A topic's delivered
+    /// work (flood fan-out, ring probes) runs at its *subscribers*, and
+    /// subscribers of one topic need not be co-located — cross-partition
+    /// gossip rides the batched mailbox path. So after the supervisor
+    /// endpoints are placed, clients get their own LPT pass: per-client
+    /// load proxy = Σ member-count over its subscriptions (the messages
+    /// a client handles per publish scale with topic size), heaviest
+    /// client first onto the currently lightest partition, ties broken
+    /// by lowest id / lowest partition. Pure function of
+    /// round-synchronous supervisor state, so placement is identical at
+    /// every thread count.
+    fn rebalance_clients(&mut self) {
+        let parts = self.world.partition_count();
+        if parts < 2 {
+            return;
+        }
+        let members: Vec<u64> = (0..self.topics)
+            .map(|t| {
+                let sup = self.supervisor_for(TopicId(t));
+                self.world
+                    .node(sup)
+                    .and_then(|a| a.topic_supervisor(TopicId(t)))
+                    .map(|s| s.n() as u64)
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut clients: Vec<(u64, NodeId)> = self
+            .world
+            .iter()
+            .filter(|(_, a)| a.is_client())
+            .map(|(id, a)| {
+                let load: u64 = a
+                    .topic_ids()
+                    .iter()
+                    .map(|t| members.get(t.0 as usize).copied().unwrap_or(0))
+                    .sum();
+                (load, id)
+            })
+            .collect();
+        clients.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut new_load = vec![0u64; parts];
+        for (load, id) in clients {
+            let best = (0..parts)
+                .min_by_key(|&p| (new_load[p], p))
+                .expect("parts >= 2");
+            // `max(1)` so idle clients still round-robin instead of
+            // piling onto partition 0.
+            new_load[best] += load.max(1);
+            self.world.move_node(id, best as u32);
+        }
+    }
+
+    /// Hands `topic` off to shard `dest`: extracts the supervisor
+    /// instance from the old owner (leaving a forwarding tombstone for
+    /// stale in-flight messages), installs it at the new owner under its
+    /// identity, retargets every subscribed client's instance in
+    /// ascending id order, and installs the routing override. Client
+    /// *placement* is handled separately by [`Self::rebalance_clients`]
+    /// — the supervisor endpoint and the subscriber work it fronts are
+    /// balanced independently.
+    fn move_topic(&mut self, topic: TopicId, dest: u32) {
+        let old = self.supervisor_for(topic);
+        let new = self.sup_ids[dest as usize];
+        if old == new {
+            return;
+        }
+        let instance = self
+            .world
+            .node_mut(old)
+            .and_then(|a| a.begin_move(topic, new));
+        if let Some(instance) = instance {
+            if let Some(a) = self.world.node_mut(new) {
+                a.adopt_topic(topic, instance);
+            }
+        }
+        let subscribed: Vec<NodeId> = self
+            .world
+            .iter()
+            .filter(|(_, a)| {
+                a.topic_subscriber(topic).is_some()
+                    || matches!(a, MultiActor::Client { departed, .. }
+                        if departed.contains_key(&topic))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        self.overrides.insert(topic.0, dest);
+        for &id in &subscribed {
+            if let Some(a) = self.world.node_mut(id) {
+                a.retarget_topic(topic, new);
+            }
+            self.note_met(id, dest);
+        }
+        self.world.bump_dirty(topo_key(topic.0));
+        self.world.bump_dirty(pubs_key(topic.0));
+        self.inc.get_mut().invalidate_all();
+        self.rebalances += 1;
+    }
 }
 
 impl PubSub for ShardedBackend {
@@ -341,7 +609,7 @@ impl PubSub for ShardedBackend {
         self.assert_topic(topic);
         let id = NodeId(self.next_id);
         self.next_id += 1;
-        let sup = self.shards.supervisor_for(topic);
+        let sup = self.supervisor_for(topic);
         let shard = self.shard_index(sup);
         let mut client = MultiActor::new_client(id, self.sup_ids[0], self.cfg);
         client.join_topic_at(topic, sup);
@@ -357,7 +625,7 @@ impl PubSub for ShardedBackend {
 
     fn join(&mut self, id: NodeId, topic: TopicId) {
         self.assert_topic(topic);
-        let sup = self.shards.supervisor_for(topic);
+        let sup = self.supervisor_for(topic);
         let shard = self.shard_index(sup);
         if let Some(a) = self.world.node_mut(id) {
             a.join_topic_at(topic, sup);
@@ -445,6 +713,7 @@ impl PubSub for ShardedBackend {
     fn step(&mut self) {
         self.world.run_round();
         self.sync_groups();
+        self.maybe_rebalance();
     }
 
     fn is_legitimate(&self) -> bool {
@@ -459,7 +728,7 @@ impl PubSub for ShardedBackend {
             &self.world,
             self.topics,
             |t| self.world.dirty_version(topo_key(t)),
-            |t| self.shards.supervisor_for(t),
+            |t| self.supervisor_for(t),
         )
     }
 
@@ -483,7 +752,7 @@ impl PubSub for ShardedBackend {
 
     fn snapshot(&self, topic: TopicId) -> World<Actor> {
         self.assert_topic(topic);
-        super::multi::snapshot_topic(&self.world, self.shards.supervisor_for(topic), topic)
+        super::multi::snapshot_topic(&self.world, self.supervisor_for(topic), topic)
     }
 
     fn stats(&self) -> Stats {
@@ -498,6 +767,8 @@ impl PubSub for ShardedBackend {
                     dropped: m.dropped,
                     cross_envelopes: self.world.cross_envelopes(i),
                     peak_in_flight: self.world.partition_peak_in_flight(i) as u64,
+                    stepped: self.world.partition_stepped(i),
+                    lock_acquisitions: self.world.partition_lock_acquisitions(i),
                 }
             })
             .collect();
@@ -523,6 +794,10 @@ impl PubSub for ShardedBackend {
         for g in &self.groups {
             g.save(&mut w);
         }
+        self.overrides.save(&mut w);
+        self.rebalance_every.save(&mut w);
+        self.rebalances.save(&mut w);
+        SnapVec(self.last_delivered.clone()).save(&mut w);
         Ok(w.finish(self.backend_name()))
     }
 
@@ -541,7 +816,7 @@ impl PubSub for ShardedBackend {
 
     fn crash_supervisor(&mut self, topic: TopicId) -> bool {
         self.assert_topic(topic);
-        let sup = self.shards.supervisor_for(topic);
+        let sup = self.supervisor_for(topic);
         let idx = self.shard_index(sup) as usize;
         self.fail_shard(idx)
     }

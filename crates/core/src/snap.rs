@@ -323,11 +323,13 @@ impl Snap for MultiActor {
                 topics,
                 id,
                 replicated,
+                moved,
             } => {
                 w.put_u64(0);
                 topics.save(w);
                 id.save(w);
                 replicated.save(w);
+                moved.save(w);
             }
             MultiActor::Client {
                 topics,
@@ -351,6 +353,7 @@ impl Snap for MultiActor {
                 topics: Snap::load(r)?,
                 id: Snap::load(r)?,
                 replicated: Snap::load(r)?,
+                moved: Snap::load(r)?,
             }),
             1 => Ok(MultiActor::Client {
                 topics: Snap::load(r)?,

@@ -44,6 +44,14 @@ pub enum MultiActor {
         /// operations for a [`crate::replica::ReplicaGroup`]. Seeded by
         /// the backend when `SystemBuilder::replicas(k)` with `k ≥ 2`.
         replicated: bool,
+        /// Forwarding tombstones for topics handed off to another
+        /// supervisor (shard rebalancing): topic → current owner at the
+        /// time of the last handoff. A stale in-flight message for a
+        /// moved topic is forwarded one hop instead of lazily
+        /// resurrecting a zombie instance here. Following the chain of
+        /// last-handoff pointers always terminates at the current owner
+        /// (whose own tombstone is cleared on adoption).
+        moved: BTreeMap<TopicId, NodeId>,
     },
     /// A client: one `BuildSR` subscriber instance per subscribed topic.
     Client {
@@ -75,6 +83,7 @@ impl MultiActor {
             topics: BTreeMap::new(),
             id,
             replicated: false,
+            moved: BTreeMap::new(),
         }
     }
 
@@ -85,6 +94,7 @@ impl MultiActor {
             topics: BTreeMap::new(),
             id,
             replicated: true,
+            moved: BTreeMap::new(),
         }
     }
 
@@ -302,6 +312,55 @@ impl MultiActor {
             *topics = new_topics;
         }
     }
+
+    /// Supervisor-side start of a topic handoff (shard rebalancing):
+    /// records a forwarding tombstone `topic → new_owner` and extracts
+    /// the hosted instance, if any. The tombstone is recorded even when
+    /// no instance exists yet — a `Subscribe` may already be in flight
+    /// toward this supervisor, and without the tombstone its arrival
+    /// would lazily resurrect a zombie instance here. No-op (`None`) on
+    /// clients.
+    pub fn begin_move(&mut self, topic: TopicId, new_owner: NodeId) -> Option<Supervisor> {
+        let MultiActor::Supervisor { topics, moved, .. } = self else {
+            return None;
+        };
+        moved.insert(topic, new_owner);
+        topics.remove(&topic)
+    }
+
+    /// Supervisor-side completion of a topic handoff: installs the moved
+    /// instance under this supervisor's identity and clears any stale
+    /// tombstone from an earlier outbound move of the same topic (this
+    /// supervisor is the owner again). No-op on clients.
+    pub fn adopt_topic(&mut self, topic: TopicId, mut instance: Supervisor) {
+        if let MultiActor::Supervisor {
+            topics, id, moved, ..
+        } = self
+        {
+            instance.id = *id;
+            moved.remove(&topic);
+            topics.insert(topic, instance);
+        }
+    }
+
+    /// Client-side supervisor retarget after a topic handoff: future
+    /// probes and departure requests for `topic` go to `new_sup`. Both
+    /// the live instance and a departed tombstone are retargeted (a
+    /// stale-Subscribe refusal must reach the current owner). No-op on
+    /// supervisors and on clients without state for the topic.
+    pub fn retarget_topic(&mut self, topic: TopicId, new_sup: NodeId) {
+        if let MultiActor::Client {
+            topics, departed, ..
+        } = self
+        {
+            if let Some(sub) = topics.get_mut(&topic) {
+                sub.supervisor = new_sup;
+            }
+            if let Some(granter) = departed.get_mut(&topic) {
+                *granter = new_sup;
+            }
+        }
+    }
 }
 
 thread_local! {
@@ -342,7 +401,16 @@ impl Protocol for MultiActor {
                 topics,
                 id,
                 replicated,
+                moved,
             } => {
+                // A message for a topic handed off to another shard:
+                // forward one hop toward the current owner (a moved
+                // tombstone implies no local instance; lazily creating
+                // one here would resurrect a zombie supervisor).
+                if let Some(&owner) = moved.get(&topic) {
+                    ctx.send(owner, TopicMsg { topic, msg });
+                    return;
+                }
                 // The supervisor lazily instantiates a topic on first
                 // contact ("topics … predefined by the supervisor" — we
                 // model the predefined set as "whatever is contacted").

@@ -34,7 +34,7 @@ use skippub_harness::scenario::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <name|all|replay FILE|crash-recovery NAME|supervisor-crash NAME> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--rounds N] [--threads N] [--out DIR] [--trace FILE] [--snapshot-at R --out-snapshot FILE] [--from-snapshot FILE] [--corrupt K] [--list]"
+        "usage: scenarios <name|all|replay FILE|crash-recovery NAME|supervisor-crash NAME> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--rounds N] [--threads N] [--rebalance N] [--out DIR] [--trace FILE] [--snapshot-at R --out-snapshot FILE] [--from-snapshot FILE] [--corrupt K] [--list]"
     );
     std::process::exit(2);
 }
@@ -120,6 +120,7 @@ fn main() {
     let mut backend_set = false;
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
+    let mut rebalance: Option<u64> = None;
     let mut out_dir: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut rounds: Option<u64> = None;
@@ -168,6 +169,14 @@ fn main() {
                     fail("--threads needs at least 1");
                 }
                 threads = Some(t);
+                i += 1;
+            }
+            "--rebalance" => {
+                rebalance = Some(
+                    take(&args, i, "--rebalance")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--rebalance needs a round cadence (0 = off)")),
+                );
                 i += 1;
             }
             "--out" => {
@@ -232,8 +241,8 @@ fn main() {
         // A trace fixes its backend, seed, and thread count in the
         // header; overriding them would break byte-identity, so reject
         // rather than ignore.
-        if backend_set || seed.is_some() || threads.is_some() || trace_path.is_some() {
-            fail("replay takes no --backend/--seed/--threads/--trace (the trace header fixes them)");
+        if backend_set || seed.is_some() || threads.is_some() || rebalance.is_some() || trace_path.is_some() {
+            fail("replay takes no --backend/--seed/--threads/--rebalance/--trace (the trace header fixes them)");
         }
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
@@ -302,6 +311,9 @@ fn main() {
         }
         if let Some(t) = threads {
             spec = spec.threads(t);
+        }
+        if let Some(r) = rebalance {
+            spec = spec.rebalance_every(r);
         }
 
         // Capture: run to completion, writing the warm-start file.
@@ -429,6 +441,12 @@ fn main() {
         // (minus the config header) are identical for every value.
         if let Some(t) = threads {
             spec = spec.threads(t);
+        }
+        // Topic→shard rebalancing cadence (sharded backend only; 0 =
+        // off). Deterministic: reports are identical for every thread
+        // count at any fixed cadence.
+        if let Some(r) = rebalance {
+            spec = spec.rebalance_every(r);
         }
         let targets: Vec<Target> = match chosen {
             None => spec

@@ -72,6 +72,7 @@ pub fn builder_for(spec: &ScenarioSpec) -> SystemBuilder {
         .shards(spec.shards)
         .threads(spec.threads)
         .replicas(spec.replicas)
+        .rebalance_every(spec.rebalance_every)
         .protocol(spec.protocol)
 }
 

@@ -187,24 +187,32 @@ impl ScenarioReport {
             self.ops.sup_crashes,
             self.ops.steps
         );
+        // The imbalance gauges are computed from the integer counters
+        // (fixed 4-decimal formatting), so the emission stays part of
+        // the byte-identical-replay contract.
         let _ = write!(
             j,
-            "  \"stats\": {{\"steps\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"peak_in_flight\": {}, \"per_partition\": [",
+            "  \"stats\": {{\"steps\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"peak_in_flight\": {}, \"lock_acquisitions\": {}, \"delivered_imbalance\": {:.4}, \"stepped_imbalance\": {:.4}, \"per_partition\": [",
             self.stats.steps,
             self.stats.sent,
             self.stats.delivered,
             self.stats.dropped,
-            self.stats.peak_in_flight
+            self.stats.peak_in_flight,
+            self.stats.lock_acquisitions(),
+            self.stats.delivered_imbalance(),
+            self.stats.stepped_imbalance()
         );
         for (i, p) in self.stats.per_partition.iter().enumerate() {
             let _ = write!(
                 j,
-                "{{\"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"cross_envelopes\": {}, \"peak_in_flight\": {}}}{}",
+                "{{\"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"cross_envelopes\": {}, \"peak_in_flight\": {}, \"stepped\": {}, \"lock_acquisitions\": {}}}{}",
                 p.sent,
                 p.delivered,
                 p.dropped,
                 p.cross_envelopes,
                 p.peak_in_flight,
+                p.stepped,
+                p.lock_acquisitions,
                 if i + 1 == self.stats.per_partition.len() { "" } else { ", " }
             );
         }
@@ -265,6 +273,8 @@ mod tests {
                         dropped: 0,
                         cross_envelopes: 3,
                         peak_in_flight: 30,
+                        stepped: 100,
+                        lock_acquisitions: 9,
                     },
                     PartitionStats {
                         sent: 40,
@@ -272,6 +282,8 @@ mod tests {
                         dropped: 0,
                         cross_envelopes: 1,
                         peak_in_flight: 12,
+                        stepped: 80,
+                        lock_acquisitions: 7,
                     },
                 ],
             },
@@ -293,7 +305,8 @@ mod tests {
             "\"fingerprint\": \"00ff\"",
             "\"publishes\": 4",
             "\"peak_in_flight\": 42",
-            "\"per_partition\": [{\"sent\": 60, \"delivered\": 55, \"dropped\": 0, \"cross_envelopes\": 3, \"peak_in_flight\": 30}, {\"sent\": 40, \"delivered\": 35, \"dropped\": 0, \"cross_envelopes\": 1, \"peak_in_flight\": 12}]",
+            "\"lock_acquisitions\": 16, \"delivered_imbalance\": 1.2222, \"stepped_imbalance\": 1.1111",
+            "\"per_partition\": [{\"sent\": 60, \"delivered\": 55, \"dropped\": 0, \"cross_envelopes\": 3, \"peak_in_flight\": 30, \"stepped\": 100, \"lock_acquisitions\": 9}, {\"sent\": 40, \"delivered\": 35, \"dropped\": 0, \"cross_envelopes\": 1, \"peak_in_flight\": 12, \"stepped\": 80, \"lock_acquisitions\": 7}]",
         ] {
             assert!(a.contains(needle), "missing {needle} in {a}");
         }

@@ -57,6 +57,9 @@ pub struct Trace {
     /// Supervisor replicas per group (recorded so replays rebuild a
     /// replicated backend — `crashsup` ops are no-ops without one).
     pub replicas: usize,
+    /// Topic→shard rebalancing cadence (recorded so replays re-enable
+    /// the rebalancer — placement moves are part of the trajectory).
+    pub rebalance_every: u64,
     /// Whether the run had a warm phase (replay needs it to reproduce
     /// the `warm_ok` verdict).
     pub warm: bool,
@@ -97,6 +100,7 @@ impl Trace {
             shards: spec.shards,
             threads: spec.threads,
             replicas: spec.replicas,
+            rebalance_every: spec.rebalance_every,
             warm: spec.warm,
             stop: spec.stop,
             protocol: spec.protocol,
@@ -115,6 +119,7 @@ impl Trace {
         s.push_str(&format!("shards {}\n", self.shards));
         s.push_str(&format!("threads {}\n", self.threads));
         s.push_str(&format!("replicas {}\n", self.replicas));
+        s.push_str(&format!("rebalance {}\n", self.rebalance_every));
         s.push_str(&format!("warm {}\n", self.warm));
         s.push_str(&format!("stop {} {}\n", self.stop.name(), self.stop.max_extra()));
         let p = &self.protocol;
@@ -157,6 +162,7 @@ impl Trace {
         let mut shards = None;
         let mut threads = None;
         let mut replicas = None;
+        let mut rebalance = None;
         let mut warm = None;
         let mut stop = None;
         let mut protocol = None;
@@ -176,6 +182,7 @@ impl Trace {
                 "shards" => shards = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
                 "threads" => threads = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
                 "replicas" => replicas = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
+                "rebalance" => rebalance = Some(rest.parse::<u64>().map_err(|e| e.to_string())?),
                 "warm" => warm = Some(rest.parse::<bool>().map_err(|e| e.to_string())?),
                 "stop" => {
                     let (name, max) = rest
@@ -241,6 +248,9 @@ impl Trace {
             // Absent in traces recorded before supervisor replication
             // existed; an unreplicated backend reproduces them exactly.
             replicas: replicas.unwrap_or(1),
+            // Absent in traces recorded before rebalancing existed; a
+            // fixed ring placement reproduces them exactly.
+            rebalance_every: rebalance.unwrap_or(0),
             warm: warm.ok_or("missing warm header")?,
             stop: stop.ok_or("missing stop header")?,
             protocol: protocol.ok_or("missing protocol header")?,
@@ -271,6 +281,7 @@ impl Trace {
             .shards(self.shards)
             .threads(self.threads)
             .replicas(self.replicas)
+            .rebalance_every(self.rebalance_every)
             .protocol(self.protocol);
         let mut ps = builder.build(kind);
         self.replay_on(ps.as_mut())

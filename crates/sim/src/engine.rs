@@ -282,6 +282,11 @@ struct Meta {
     alive: bool,
 }
 
+/// One slot's in-flight channel: pending messages with their age in
+/// rounds — the unit that travels with a node on cross-partition
+/// migration.
+pub(crate) type Channel<P> = Vec<(u32, <P as Protocol>::Msg)>;
+
 /// One partition of a simulated system: the slab engine extracted from
 /// the serial `World`.
 ///
@@ -329,6 +334,17 @@ pub(crate) struct Partition<P: Protocol> {
     seq: u64,
     /// Cumulative cross-partition envelopes this partition emitted.
     cross_sent: u64,
+    /// Cumulative node activations (live slots visited by a round) —
+    /// together with delivered counts, the per-partition work gauge the
+    /// skew rebalancer and imbalance metrics read.
+    stepped: u64,
+    /// Cumulative mailbox lock acquisitions (drains + batched flushes).
+    /// Data-determined — one per non-empty destination batch plus one
+    /// per drain — so it is identical for every worker count.
+    lock_acquisitions: u64,
+    /// Scratch: per-destination-partition envelope batches, flushed with
+    /// one lock per non-empty destination instead of one per envelope.
+    staging: Vec<Vec<Envelope<P::Msg>>>,
     /// Scratch: shuffled activation order (slot indices).
     scratch_order: Vec<u32>,
     /// Scratch: the inbox snapshot being drained for one node.
@@ -362,6 +378,9 @@ impl<P: Protocol> Partition<P> {
             outbox: Vec::new(),
             seq: 0,
             cross_sent: 0,
+            stepped: 0,
+            lock_acquisitions: 0,
+            staging: Vec::new(),
             scratch_order: Vec::new(),
             scratch_inbox: Vec::new(),
             scratch_kept: Vec::new(),
@@ -423,6 +442,34 @@ impl<P: Protocol> Partition<P> {
                 .expect("live node is ordered");
             self.order.remove(pos);
         }
+    }
+
+    /// Extracts a live node for migration to a sibling partition:
+    /// returns its protocol state and pending channel contents (which
+    /// travel with the node — unlike [`Partition::crash`], nothing is
+    /// consumed). `None` if the node is not hosted here.
+    pub(crate) fn extract_node(&mut self, id: NodeId) -> Option<(P, Channel<P>)> {
+        let s = self.slot_of.remove(&id.0)?;
+        let s = s as usize;
+        let proto = self.protos[s].take().expect("live slot");
+        self.meta[s].alive = false;
+        let pending = std::mem::take(&mut self.channels[s]);
+        self.free.push(s as u32);
+        let pos = self
+            .order
+            .binary_search_by_key(&id.0, |&(i, _)| i)
+            .expect("live node is ordered");
+        self.order.remove(pos);
+        Some((proto, pending))
+    }
+
+    /// Installs a node extracted from a sibling partition, restoring
+    /// its pending channel contents (message ages included, so budget
+    /// carry-over and chaos aging continue exactly where they left off).
+    pub(crate) fn install_node(&mut self, id: NodeId, proto: P, pending: Channel<P>) {
+        self.add_node(id, proto);
+        let s = self.slot_of[&id.0] as usize;
+        self.channels[s] = pending;
     }
 
     /// Whether `id` is currently hosted live here.
@@ -527,6 +574,16 @@ impl<P: Protocol> Partition<P> {
     /// Cumulative cross-partition envelopes emitted by this partition.
     pub(crate) fn cross_sent(&self) -> u64 {
         self.cross_sent
+    }
+
+    /// Cumulative node activations (live slots visited by rounds).
+    pub(crate) fn stepped(&self) -> u64 {
+        self.stepped
+    }
+
+    /// Cumulative mailbox lock acquisitions (see field docs).
+    pub(crate) fn lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions
     }
 
     /// Sets the per-node per-round delivery budget (`None` = unbounded).
@@ -694,6 +751,7 @@ impl<P: Protocol> Partition<P> {
             let Some(mut inbox) = self.take_inbox(s) else {
                 continue;
             };
+            self.stepped += 1;
             inbox.shuffle(&mut self.rng);
             match self.budget {
                 None => {
@@ -750,6 +808,7 @@ impl<P: Protocol> Partition<P> {
             let Some(mut inbox) = self.take_inbox(s) else {
                 continue;
             };
+            self.stepped += 1;
             inbox.shuffle(&mut self.rng);
             let mut kept = mem::take(&mut self.scratch_kept);
             debug_assert!(kept.is_empty());
@@ -787,6 +846,7 @@ impl<P: Protocol> Partition<P> {
     pub(crate) fn drain_inbound(&mut self, mailbox: &std::sync::Mutex<Vec<Envelope<P::Msg>>>) {
         let mut batch = mem::take(&mut self.scratch_inbound);
         debug_assert!(batch.is_empty());
+        self.lock_acquisitions += 1;
         mem::swap(&mut batch, &mut *mailbox.lock().expect("mailbox poisoned"));
         batch.sort_unstable_by_key(|e| (e.src, e.seq));
         for env in batch.drain(..) {
@@ -802,12 +862,27 @@ impl<P: Protocol> Partition<P> {
     /// [`Envelope`] stamped `(me, seq)` and lands in the destination
     /// partition's mailbox; sends to ids no partition hosts are dropped
     /// here, charged to this (the sending) partition.
+    ///
+    /// Envelopes are first batched into reusable per-destination staging
+    /// buffers, then each **non-empty** destination mailbox is locked
+    /// exactly once and the whole batch appended — at most one lock per
+    /// partition pair per round instead of one per envelope. The stamp
+    /// order is unchanged (outbox send order), and within one mailbox a
+    /// source's envelopes arrive as one contiguous seq-ascending run, so
+    /// the receiver's canonical `(src, seq)` sort reproduces exactly the
+    /// merge the per-envelope path produced.
     pub(crate) fn flush_outbox(
         &mut self,
         me: u32,
         home: &HashMap<u64, u32, FxBuildHasher>,
         mailboxes: &[std::sync::Mutex<Vec<Envelope<P::Msg>>>],
     ) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        if self.staging.len() < mailboxes.len() {
+            self.staging.resize_with(mailboxes.len(), Vec::new);
+        }
         for (to, msg) in self.outbox.drain(..) {
             match home.get(&to.0) {
                 Some(&dest) => {
@@ -819,13 +894,20 @@ impl<P: Protocol> Partition<P> {
                     };
                     self.seq += 1;
                     self.cross_sent += 1;
-                    mailboxes[dest as usize]
-                        .lock()
-                        .expect("mailbox poisoned")
-                        .push(env);
+                    self.staging[dest as usize].push(env);
                 }
                 None => self.metrics.dropped += 1,
             }
+        }
+        for (dest, batch) in self.staging.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.lock_acquisitions += 1;
+            mailboxes[dest]
+                .lock()
+                .expect("mailbox poisoned")
+                .append(batch);
         }
     }
 
@@ -838,6 +920,10 @@ impl<P: Protocol> Partition<P> {
         P: Clone,
     {
         debug_assert!(self.outbox.is_empty(), "export with staged outbox sends");
+        debug_assert!(
+            self.staging.iter().all(Vec::is_empty),
+            "export with staged envelope batches"
+        );
         PartitionState {
             nodes: self
                 .order
@@ -856,6 +942,8 @@ impl<P: Protocol> Partition<P> {
             peak_in_flight: self.peak_in_flight as u64,
             seq: self.seq,
             cross_sent: self.cross_sent,
+            stepped: self.stepped,
+            lock_acquisitions: self.lock_acquisitions,
         }
     }
 
@@ -881,6 +969,8 @@ impl<P: Protocol> Partition<P> {
         p.peak_in_flight = state.peak_in_flight as usize;
         p.seq = state.seq;
         p.cross_sent = state.cross_sent;
+        p.stepped = state.stepped;
+        p.lock_acquisitions = state.lock_acquisitions;
         p
     }
 

@@ -180,6 +180,55 @@ impl<P: Protocol> PartitionedWorld<P> {
         }
     }
 
+    /// Moves a live node to another partition, carrying its pending
+    /// channel contents and re-routing its in-flight mailbox envelopes.
+    /// A no-op for unknown nodes or a same-partition destination.
+    ///
+    /// Call at a round boundary only (outboxes are always flushed
+    /// there). The result is deterministic for every worker count:
+    /// everything moved is data-determined state, and although the
+    /// *order* of envelopes inside a mailbox can differ between runs,
+    /// the destination's drain sorts by `(src, seq)` before delivering.
+    pub fn move_node(&mut self, id: NodeId, dest: u32) {
+        assert!(
+            (dest as usize) < self.partitions.len(),
+            "partition {dest} out of range"
+        );
+        let Some(&old) = self.home.get(&id.0) else {
+            return;
+        };
+        if old == dest {
+            return;
+        }
+        let (proto, pending) = self.partitions[old as usize]
+            .extract_node(id)
+            .expect("home map out of sync");
+        self.partitions[dest as usize].install_node(id, proto, pending);
+        self.home.insert(id.0, dest);
+        // Envelopes already in flight to the node sit in its *old*
+        // partition's mailbox; re-route them so they still arrive.
+        let mut moved: Vec<Envelope<P::Msg>> = Vec::new();
+        {
+            let mut mb = self.mailboxes[old as usize]
+                .lock()
+                .expect("mailbox poisoned");
+            let mut i = 0;
+            while i < mb.len() {
+                if mb[i].to == id {
+                    moved.push(mb.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        if !moved.is_empty() {
+            self.mailboxes[dest as usize]
+                .lock()
+                .expect("mailbox poisoned")
+                .append(&mut moved);
+        }
+    }
+
     /// Whether `id` is currently alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
         self.home.contains_key(&id.0)
@@ -320,6 +369,28 @@ impl<P: Protocol> PartitionedWorld<P> {
     /// Cumulative cross-partition envelopes emitted by partition `i`.
     pub fn cross_envelopes(&self, i: usize) -> u64 {
         self.partitions[i].cross_sent()
+    }
+
+    /// Cumulative node activations in partition `i` — live slots visited
+    /// by rounds. Together with delivered counts this is the
+    /// per-partition *work* gauge behind the imbalance metrics.
+    pub fn partition_stepped(&self, i: usize) -> u64 {
+        self.partitions[i].stepped()
+    }
+
+    /// Cumulative mailbox lock acquisitions charged to partition `i`:
+    /// one per inbound drain plus one per non-empty destination batch it
+    /// flushed. Data-determined, so identical for every thread count.
+    pub fn partition_lock_acquisitions(&self, i: usize) -> u64 {
+        self.partitions[i].lock_acquisitions()
+    }
+
+    /// Total mailbox lock acquisitions across all partitions. Bounded
+    /// by `(1 + partitions) · partitions · rounds` in the worst case —
+    /// per round each partition takes one drain lock and at most one
+    /// flush lock per destination — instead of one lock per envelope.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.partitions.iter().map(|p| p.lock_acquisitions()).sum()
     }
 
     /// Exports the world's exact state for a checkpoint (see
@@ -549,12 +620,56 @@ mod tests {
                 (0..6).map(|i| w.partition_metrics(i).clone()).collect();
             let peaks: Vec<usize> =
                 (0..6).map(|i| w.partition_peak_in_flight(i)).collect();
-            (states, per_part, peaks, w.peak_in_flight(), w.metrics())
+            let locks: Vec<u64> =
+                (0..6).map(|i| w.partition_lock_acquisitions(i)).collect();
+            let stepped: Vec<u64> =
+                (0..6).map(|i| w.partition_stepped(i)).collect();
+            (
+                states,
+                per_part,
+                peaks,
+                locks,
+                stepped,
+                w.peak_in_flight(),
+                w.metrics(),
+            )
         };
         let reference = run(1);
         for threads in [2, 4, 8] {
             assert_eq!(run(threads), reference, "threads={threads} diverged");
         }
+    }
+
+    #[test]
+    fn batched_flush_takes_at_most_partitions_squared_locks_per_round() {
+        // Every ring hop crosses a partition boundary, so the old
+        // per-envelope locking would take ~1 lock per delivered token
+        // hop; the batched flush must stay within the structural bound
+        // of (drains + pairwise flushes) per round. Two long-lived
+        // tokens per node keep ~48 envelopes crossing every round.
+        let mut w = ring(24, 6, 2, 7);
+        for i in 0..24 {
+            w.inject(NodeId(i), Token(10_000));
+            w.inject(NodeId(i), Token(10_000));
+        }
+        let rounds = 80u64;
+        w.run_rounds(rounds);
+        let locks = w.lock_acquisitions();
+        let parts = w.partition_count() as u64;
+        // Per round: one drain lock per partition plus at most one
+        // flush lock per ordered partition pair.
+        let bound = rounds * (parts + parts * parts);
+        assert!(
+            locks <= bound,
+            "lock acquisitions {locks} exceed structural bound {bound}"
+        );
+        // And the batching must actually beat per-envelope locking.
+        let envelopes: u64 = (0..6).map(|i| w.cross_envelopes(i)).sum();
+        assert!(
+            locks < envelopes,
+            "batched flush ({locks} locks) must undercut per-envelope \
+             locking ({envelopes} envelopes)"
+        );
     }
 
     #[test]
@@ -651,5 +766,57 @@ mod tests {
         assert_eq!(ids, (0..9).collect::<Vec<u64>>());
         assert_eq!(w.ids().len(), 9);
         assert_eq!(w.partition_of(NodeId(5)), Some(1));
+    }
+
+    /// Moving a node between partitions carries its protocol state, its
+    /// pending channel contents, and any in-flight mailbox envelopes —
+    /// a token circulating a ring must survive the hop count exactly,
+    /// no matter when its holder is moved.
+    #[test]
+    fn move_node_preserves_state_channels_and_in_flight_envelopes() {
+        let run = |move_at: Option<u64>| -> (Vec<u64>, u64) {
+            let mut w = ring(6, 3, 1, 31);
+            w.inject(NodeId(0), Token(20));
+            for r in 0..40 {
+                if move_at == Some(r) {
+                    // Mid-run: node 1 may hold queued channel messages
+                    // and have envelopes in flight toward it.
+                    w.move_node(NodeId(1), 2);
+                    assert_eq!(w.partition_of(NodeId(1)), Some(2));
+                }
+                w.run_round();
+            }
+            let seen: Vec<u64> = w.iter().map(|(_, t)| t.tokens_seen).collect();
+            let total = seen.iter().sum::<u64>();
+            (seen, total)
+        };
+        let (baseline_seen, baseline_total) = run(None);
+        assert_eq!(baseline_total, 21, "token must make exactly 21 hops");
+        for move_at in [0, 3, 7, 15] {
+            let (seen, total) = run(Some(move_at));
+            assert_eq!(
+                total, baseline_total,
+                "move at round {move_at} lost or duplicated deliveries"
+            );
+            assert_eq!(
+                seen, baseline_seen,
+                "move at round {move_at} changed per-node delivery counts"
+            );
+        }
+    }
+
+    /// A move to the node's current partition and a move of an unknown
+    /// id are both no-ops; a move to an out-of-range partition panics.
+    #[test]
+    fn move_node_edge_cases() {
+        let mut w = ring(4, 2, 1, 37);
+        w.move_node(NodeId(1), 1); // already home
+        assert_eq!(w.partition_of(NodeId(1)), Some(1));
+        w.move_node(NodeId(99), 0); // unknown id
+        assert_eq!(w.partition_of(NodeId(99)), None);
+        let moved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.move_node(NodeId(0), 7)
+        }));
+        assert!(moved.is_err(), "out-of-range partition must panic");
     }
 }

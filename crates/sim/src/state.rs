@@ -54,6 +54,10 @@ pub struct PartitionState<P: Protocol> {
     pub seq: u64,
     /// Cumulative cross-partition envelopes emitted.
     pub cross_sent: u64,
+    /// Cumulative node activations (live slots visited by rounds).
+    pub stepped: u64,
+    /// Cumulative mailbox lock acquisitions (batched flushes + drains).
+    pub lock_acquisitions: u64,
 }
 
 /// Exact state of a serial [`crate::World`].

@@ -431,6 +431,8 @@ where
         self.peak_in_flight.save(w);
         self.seq.save(w);
         self.cross_sent.save(w);
+        self.stepped.save(w);
+        self.lock_acquisitions.save(w);
     }
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         let len = r.u64()? as usize;
@@ -447,6 +449,8 @@ where
             peak_in_flight: Snap::load(r)?,
             seq: Snap::load(r)?,
             cross_sent: Snap::load(r)?,
+            stepped: Snap::load(r)?,
+            lock_acquisitions: Snap::load(r)?,
         })
     }
 }

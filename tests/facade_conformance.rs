@@ -301,6 +301,19 @@ fn sharded_runs_are_byte_identical_across_thread_counts() {
         8,
         "the report must expose one stats entry per shard partition"
     );
+    // The imbalance gauges are derived from the same per-partition
+    // counters, so they must be finite and at least 1.0 (max/mean) on
+    // any run that delivered traffic.
+    let delivered = ref_out.report.stats.delivered_imbalance();
+    let stepped = ref_out.report.stats.stepped_imbalance();
+    assert!(
+        delivered.is_finite() && delivered >= 1.0,
+        "delivered_imbalance gauge must be a finite max/mean ratio, got {delivered}"
+    );
+    assert!(
+        stepped.is_finite() && stepped >= 1.0,
+        "stepped_imbalance gauge must be a finite max/mean ratio, got {stepped}"
+    );
 }
 
 /// Clients subscribed to topics on *different* shards force real

@@ -1,0 +1,225 @@
+//! Rebalancing determinism: topic→shard handoffs and subscriber
+//! migration are driven purely by round-synchronous state (round
+//! number, per-partition delivered counters, supervisor databases), so
+//! a zipf-skewed churning workload with rebalancing **enabled** must
+//! stay byte-identical across worker-thread counts — delivered sets,
+//! traffic stats (incl. per-partition), and every topic's final
+//! checker-snapshot digest. A snapshot taken mid-handoff (forwarding
+//! tombstones live, subscribers freshly migrated) must round-trip
+//! byte-exactly and continue identically.
+
+use skippub_core::pubsub::PubSub;
+use skippub_core::{SystemBuilder, TopicId};
+use skippub_harness::scenario::{self, Popularity, ScenarioSpec, Stop};
+
+/// ~200 rounds of zipf-skewed subscriptions with continuous churn, on
+/// 4 shards with a rebalance decision every 7 rounds — enough skew that
+/// the hysteresis gate opens and handoffs actually fire.
+fn zipf_churn_spec(name: &'static str) -> ScenarioSpec {
+    ScenarioSpec::new(name, 0x5EED_BA1A)
+        .topics(8)
+        .shards(4)
+        .population(32)
+        .popularity(Popularity::Zipf { s: 1.1 })
+        .publishers(6)
+        .publish_prob(0.3)
+        .arrivals_per_round(0.3)
+        .departures_per_round(0.25)
+        .rounds(200)
+        .stop(Stop::FixedRounds)
+        .rebalance_every(7)
+}
+
+/// Canonical digest of a per-topic checker snapshot (same shape as the
+/// facade-conformance digest): byte-identical digests mean
+/// byte-identical final topology state.
+fn snapshot_digest(snap: &skippub_sim::World<skippub_core::Actor>) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    for (id, actor) in snap.iter() {
+        if let Some(sup) = actor.supervisor() {
+            let _ = write!(text, "S{}:n={};", id.0, sup.n());
+            for (label, node) in &sup.database {
+                let _ = write!(text, "{label:?}->{node:?};");
+            }
+        } else if let Some(sub) = actor.subscriber() {
+            let _ = write!(
+                text,
+                "C{}:{:?},{:?},{:?};",
+                id.0,
+                sub.label,
+                sub.left.as_ref().map(|r| r.id),
+                sub.right.as_ref().map(|r| r.id)
+            );
+        }
+    }
+    format!(
+        "{:032x}",
+        skippub_bits::Hash128::of_bytes(text.as_bytes()).0
+    )
+}
+
+/// Sharded backend, rebalancing on: threads 1/2/4/8 must produce
+/// byte-identical delivered sets, stats, and checker digests — and the
+/// run must have performed at least one handoff, or the test would
+/// vacuously pass without exercising migration.
+#[test]
+fn sharded_rebalancing_is_byte_identical_across_thread_counts() {
+    let base = zipf_churn_spec("rebalance-determinism-sharded");
+    let mut reference: Option<(scenario::ScenarioOutcome, Vec<String>)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let spec = base.clone().threads(threads);
+        let mut ps = scenario::builder_for(&spec).build_sharded();
+        let out = scenario::run_on(&mut ps, &spec, 1);
+        assert!(
+            out.report.ok(),
+            "threads={threads}: {}",
+            out.report.to_json()
+        );
+        assert!(
+            ps.rebalances() > 0,
+            "threads={threads}: the zipf skew must trigger at least one handoff"
+        );
+        let digests: Vec<String> = (0..spec.topics)
+            .map(|t| snapshot_digest(&ps.snapshot(TopicId(t))))
+            .collect();
+        match &reference {
+            None => reference = Some((out, digests)),
+            Some((ref_out, ref_digests)) => {
+                assert_eq!(
+                    out.report.delivered_fingerprint, ref_out.report.delivered_fingerprint,
+                    "threads={threads}: delivered fingerprint diverges"
+                );
+                assert_eq!(
+                    out.delivered, ref_out.delivered,
+                    "threads={threads}: delivered sets diverge"
+                );
+                assert_eq!(
+                    out.report.stats, ref_out.report.stats,
+                    "threads={threads}: traffic stats (incl. per-partition) diverge"
+                );
+                assert_eq!(
+                    &digests, ref_digests,
+                    "threads={threads}: final checker snapshots diverge"
+                );
+            }
+        }
+    }
+}
+
+/// The multi-topic backend now runs on the partitioned executor too;
+/// the same zipf + churn workload must be thread-count-invariant there
+/// (rebalancing is a sharded-only mechanism — the builder setting is
+/// ignored — but the partitioned execution must still be exact).
+#[test]
+fn multi_backend_is_byte_identical_across_thread_counts() {
+    let base = zipf_churn_spec("rebalance-determinism-multi");
+    let mut reference: Option<(scenario::ScenarioOutcome, Vec<String>)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let spec = base.clone().threads(threads);
+        let mut ps = scenario::builder_for(&spec).build_multi();
+        let out = scenario::run_on(&mut ps, &spec, 1);
+        assert!(
+            out.report.ok(),
+            "threads={threads}: {}",
+            out.report.to_json()
+        );
+        let digests: Vec<String> = (0..spec.topics)
+            .map(|t| snapshot_digest(&ps.snapshot(TopicId(t))))
+            .collect();
+        match &reference {
+            None => reference = Some((out, digests)),
+            Some((ref_out, ref_digests)) => {
+                assert_eq!(
+                    out.delivered, ref_out.delivered,
+                    "threads={threads}: delivered sets diverge"
+                );
+                assert_eq!(
+                    out.report.stats, ref_out.report.stats,
+                    "threads={threads}: traffic stats diverge"
+                );
+                assert_eq!(
+                    &digests, ref_digests,
+                    "threads={threads}: final checker snapshots diverge"
+                );
+            }
+        }
+    }
+}
+
+/// Snapshot round-trip mid-handoff: run a skewed population until the
+/// first rebalance decision fires (forwarding tombstones live, clients
+/// freshly migrated), save, restore, re-save — the re-saved snapshot
+/// must be byte-equal — then continue both runs and require identical
+/// stats, rebalance counts, and checker digests.
+#[test]
+fn snapshot_round_trips_mid_handoff() {
+    let topics: u32 = 8;
+    let build = || {
+        SystemBuilder::new(0xAB5EED)
+            .topics(topics)
+            .shards(4)
+            .rebalance_every(5)
+            .build_sharded()
+    };
+    let mut ps = build();
+    // Skewed population: half the clients on topic 0 (trailing-zeros
+    // popularity), so one shard starts overloaded.
+    let mut publishers = Vec::new();
+    for i in 0u64..48 {
+        let t = TopicId((i + 1).trailing_zeros().min(topics - 1));
+        let id = ps.subscribe(t);
+        if i < 4 {
+            publishers.push((id, t));
+        }
+    }
+    let mut round = 0u8;
+    while ps.rebalances() == 0 {
+        assert!(round < 100, "skew never triggered a rebalance");
+        for &(id, t) in &publishers {
+            ps.publish(id, t, vec![round]);
+        }
+        ps.step();
+        round += 1;
+    }
+
+    let saved = ps.save_snapshot().expect("sharded snapshots");
+    let reparsed = skippub_core::pubsub::BackendSnapshot::from_text(saved.as_text())
+        .expect("serialized snapshot must reparse");
+    let mut restored = skippub_core::pubsub::restore(&reparsed).expect("restore");
+    let resaved = restored.save_snapshot().expect("re-save");
+    assert_eq!(
+        saved.as_text(),
+        resaved.as_text(),
+        "mid-handoff snapshot must re-serialize byte-identically"
+    );
+
+    // Both runs continue through more traffic and further rebalance
+    // decisions; every observable must stay identical.
+    let continue_run = |ps: &mut dyn PubSub| {
+        for r in 0..50u8 {
+            for &(id, t) in &publishers {
+                ps.publish(id, t, vec![200u8.wrapping_add(r)]);
+            }
+            ps.step();
+        }
+    };
+    continue_run(&mut ps);
+    continue_run(restored.as_mut());
+    assert_eq!(ps.stats(), restored.stats(), "continued stats diverge");
+    let digests = |ps: &dyn PubSub| -> Vec<String> {
+        (0..topics)
+            .map(|t| snapshot_digest(&ps.snapshot(TopicId(t))))
+            .collect()
+    };
+    assert_eq!(
+        digests(&ps),
+        digests(restored.as_ref()),
+        "continued checker snapshots diverge"
+    );
+    assert_eq!(
+        ps.save_snapshot().expect("final").as_text(),
+        restored.save_snapshot().expect("final").as_text(),
+        "continued final snapshots diverge"
+    );
+}

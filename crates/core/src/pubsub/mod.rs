@@ -39,7 +39,7 @@ pub use sim::SimBackend;
 use crate::topics::TopicId;
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
-use skippub_sim::{ChaosConfig, NodeId, World};
+use skippub_sim::{ChaosConfig, FaultCounts, FaultSpec, NodeId, World};
 pub use skippub_snapshot::BackendSnapshot;
 use skippub_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use skippub_trie::{PatriciaTrie, Publication};
@@ -78,6 +78,16 @@ pub struct Stats {
     /// (a deterministic, thread-count-invariant upper bound on the true
     /// simultaneous peak); 0 for backends that do not track it.
     pub peak_in_flight: u64,
+    /// Messages discarded by the link-fault plane (loss rules and
+    /// scheduled partitions); disjoint from `dropped`, which counts the
+    /// protocol-level drops (crashed / unknown receivers).
+    pub dropped_by_fault: u64,
+    /// Extra copies injected by duplication faults.
+    pub duplicated: u64,
+    /// Messages pushed out of arrival order by reordering faults.
+    pub reordered: u64,
+    /// Messages held back extra rounds by delay faults.
+    pub delayed: u64,
     /// Per-partition counters, indexed by partition (= shard) — empty
     /// for unpartitioned backends. The existing total fields above stay
     /// the sum over partitions, so parallel runs remain comparable with
@@ -149,6 +159,30 @@ pub struct PartitionStats {
     /// inbound drain plus one per non-empty outbound batch — data-
     /// determined, so identical across thread counts.
     pub lock_acquisitions: u64,
+    /// Messages this partition's fault plane discarded.
+    pub dropped_by_fault: u64,
+    /// Extra copies this partition's fault plane injected.
+    pub duplicated: u64,
+    /// Messages this partition's fault plane reordered.
+    pub reordered: u64,
+    /// Messages this partition's fault plane delayed.
+    pub delayed: u64,
+}
+
+/// Copies simulator [`FaultCounts`] onto the matching [`Stats`] fields.
+pub(crate) fn apply_fault_counts(stats: &mut Stats, c: FaultCounts) {
+    stats.dropped_by_fault = c.dropped_by_fault;
+    stats.duplicated = c.duplicated;
+    stats.reordered = c.reordered;
+    stats.delayed = c.delayed;
+}
+
+/// Copies one partition's [`FaultCounts`] onto its [`PartitionStats`].
+pub(crate) fn apply_partition_fault_counts(p: &mut PartitionStats, c: FaultCounts) {
+    p.dropped_by_fault = c.dropped_by_fault;
+    p.duplicated = c.duplicated;
+    p.reordered = c.reordered;
+    p.delayed = c.delayed;
 }
 
 /// The simulated backends a [`SystemBuilder`] can construct behind a
@@ -281,6 +315,23 @@ pub trait PubSub {
             "backend {:?} does not support snapshots",
             self.backend_name()
         ))
+    }
+
+    /// Arms (or disarms, with `None`) the deterministic link-fault
+    /// plane: from the *current* step on, messages cross channels that
+    /// may drop, duplicate, reorder, or delay them, and scheduled
+    /// partitions sever edge sets for bounded windows — all drawn from
+    /// per-link SplitMix64 streams seeded by `spec.seed`, so outcomes
+    /// are byte-identical across worker-thread counts. Backends without
+    /// fault injection (the threaded `NetBackend`) ignore the call.
+    fn set_faults(&mut self, spec: Option<FaultSpec>) {
+        let _ = spec;
+    }
+
+    /// Cumulative fault-plane counters (all zero when no plane is
+    /// armed or the backend does not support injection).
+    fn fault_counts(&self) -> FaultCounts {
+        FaultCounts::default()
     }
 
     /// Number of supervisor replicas behind each logical supervisor
@@ -462,7 +513,7 @@ pub(crate) fn stats_of(m: &skippub_sim::Metrics, peak_in_flight: u64) -> Stats {
         delivered: m.delivered_total,
         dropped: m.dropped,
         peak_in_flight,
-        per_partition: Vec::new(),
+        ..Stats::default()
     }
 }
 
@@ -482,7 +533,7 @@ pub(crate) fn stats_of(m: &skippub_sim::Metrics, peak_in_flight: u64) -> Stats {
 /// assert!(ps.until_pubs_converged(100).1);
 /// assert_eq!(ps.drain_events(bob).len(), 1);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SystemBuilder {
     seed: u64,
     topics: u32,
@@ -494,6 +545,7 @@ pub struct SystemBuilder {
     protocol: ProtocolConfig,
     chaos: Option<ChaosConfig>,
     budget: Option<u32>,
+    faults: Option<FaultSpec>,
 }
 
 impl SystemBuilder {
@@ -513,6 +565,7 @@ impl SystemBuilder {
             protocol: ProtocolConfig::default(),
             chaos: None,
             budget: None,
+            faults: None,
         }
     }
 
@@ -600,6 +653,21 @@ impl SystemBuilder {
         self
     }
 
+    /// Arms the deterministic link-fault plane at build time: every
+    /// simulated backend starts with the given loss / duplication /
+    /// reordering / delay rules and scheduled partitions, with windows
+    /// relative to round 0. `None` (the default) keeps channels perfect
+    /// and trajectories byte-identical to builds without the knob.
+    pub fn faults(mut self, spec: Option<FaultSpec>) -> Self {
+        self.faults = spec;
+        self
+    }
+
+    /// The configured fault spec, if any.
+    pub fn faults_value(&self) -> Option<&FaultSpec> {
+        self.faults.as_ref()
+    }
+
     /// The configured RNG seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -632,6 +700,7 @@ impl SystemBuilder {
         let mut b = SimBackend::new(self.seed, self.protocol, None);
         b.set_delivery_budget(self.budget);
         b.set_replicas(self.replicas);
+        b.set_faults(self.faults.clone());
         b
     }
 
@@ -646,6 +715,7 @@ impl SystemBuilder {
         );
         b.set_delivery_budget(self.budget);
         b.set_replicas(self.replicas);
+        b.set_faults(self.faults.clone());
         b
     }
 
@@ -659,6 +729,7 @@ impl SystemBuilder {
             MultiTopicBackend::new(self.seed, self.topics, self.shards, self.threads, self.protocol);
         b.set_delivery_budget(self.budget);
         b.set_replicas(self.replicas);
+        b.set_faults(self.faults.clone());
         b
     }
 
@@ -678,6 +749,7 @@ impl SystemBuilder {
         b.set_delivery_budget(self.budget);
         b.set_replicas(self.replicas);
         b.set_rebalance_every(self.rebalance_every);
+        b.set_faults(self.faults.clone());
         b
     }
 

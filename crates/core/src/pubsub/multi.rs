@@ -23,10 +23,13 @@ use crate::scenarios::SUPERVISOR;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig, Supervisor};
 use skippub_bits::BitStr;
-use skippub_sim::{Metrics, NodeId, NodeView, PartitionedState, PartitionedWorld, World};
+use skippub_sim::{
+    FaultCounts, FaultSpec, Metrics, NodeId, NodeView, PartitionedState, PartitionedWorld, World,
+};
 use skippub_snapshot::{Snap, SnapWriter};
 use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 
 /// The multi-topic simulator backend (§4): clients subscribe to any
 /// subset of `TopicId(0..topic_count)`; the supervisor's per-timeout
@@ -46,6 +49,10 @@ pub struct MultiTopicBackend {
     /// supervisor). One group covers every topic: the replica log tags
     /// each operation with its topic.
     group: Option<ReplicaGroup>,
+    /// Sever windows (by index in the armed spec) that already took the
+    /// supervisor endpoint down — each scheduled partition isolating
+    /// the supervisor fires the failover exactly once, at rising edge.
+    sever_fired: BTreeSet<u64>,
 }
 
 impl MultiTopicBackend {
@@ -67,6 +74,7 @@ impl MultiTopicBackend {
             inc: RefCell::new(IncChecker::new(topics)),
             interner: PayloadInterner::new(),
             group: None,
+            sever_fired: BTreeSet::new(),
         }
     }
 
@@ -178,6 +186,7 @@ impl MultiTopicBackend {
         let world = PartitionedState::<MultiActor>::load(&mut r).map_err(err)?;
         let cursor = EventCursor::load(&mut r).map_err(err)?;
         let group = Option::<ReplicaGroup>::load(&mut r).map_err(err)?;
+        let sever_fired = BTreeSet::<u64>::load(&mut r).map_err(err)?;
         r.finish().map_err(err)?;
         let mut inc = IncChecker::new(topics);
         inc.invalidate_all();
@@ -190,6 +199,7 @@ impl MultiTopicBackend {
             inc: RefCell::new(inc),
             interner,
             group,
+            sever_fired,
         })
     }
 
@@ -404,6 +414,14 @@ impl PubSub for MultiTopicBackend {
     fn step(&mut self) {
         self.world.run_round();
         self.sync_group();
+        // A scheduled partition isolating the supervisor endpoint fires
+        // the replica-group failover once, at the window's rising edge
+        // — a partition, not a scripted crash, triggers the election.
+        if let Some(idx) = self.world.active_sever_containing(SUPERVISOR) {
+            if self.sever_fired.insert(idx as u64) {
+                self.crash_supervisor(TopicId(0));
+            }
+        }
     }
 
     fn is_legitimate(&self) -> bool {
@@ -448,10 +466,11 @@ impl PubSub for MultiTopicBackend {
     fn stats(&self) -> Stats {
         let mut stats =
             super::stats_of(&self.world.metrics(), self.world.peak_in_flight() as u64);
+        super::apply_fault_counts(&mut stats, self.world.fault_counts());
         stats.per_partition = (0..self.world.partition_count())
             .map(|i| {
                 let m = self.world.partition_metrics(i);
-                PartitionStats {
+                let mut p = PartitionStats {
                     sent: m.sent_total,
                     delivered: m.delivered_total,
                     dropped: m.dropped,
@@ -459,10 +478,21 @@ impl PubSub for MultiTopicBackend {
                     peak_in_flight: self.world.partition_peak_in_flight(i) as u64,
                     stepped: self.world.partition_stepped(i),
                     lock_acquisitions: self.world.partition_lock_acquisitions(i),
-                }
+                    ..PartitionStats::default()
+                };
+                super::apply_partition_fault_counts(&mut p, self.world.partition_fault_counts(i));
+                p
             })
             .collect();
         stats
+    }
+
+    fn set_faults(&mut self, spec: Option<FaultSpec>) {
+        self.world.set_faults(spec);
+    }
+
+    fn fault_counts(&self) -> FaultCounts {
+        self.world.fault_counts()
     }
 
     fn save_snapshot(&self) -> Result<BackendSnapshot, String> {
@@ -474,6 +504,7 @@ impl PubSub for MultiTopicBackend {
         self.world.export_state().save(&mut w);
         self.cursor.save(&mut w);
         self.group.save(&mut w);
+        self.sever_fired.save(&mut w);
         Ok(w.finish(self.backend_name()))
     }
 

@@ -20,11 +20,11 @@ use crate::sharding::SupervisorShards;
 use crate::topics::{MultiActor, TopicId};
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
-use skippub_sim::{Metrics, NodeId, PartitionedState, PartitionedWorld, World};
+use skippub_sim::{FaultCounts, FaultSpec, Metrics, NodeId, PartitionedState, PartitionedWorld, World};
 use skippub_snapshot::{Snap, SnapVec, SnapWriter};
 use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Base of the supervisor ID range. Client IDs count up from 1 exactly
 /// as on every other backend (so publication keys agree across
@@ -78,6 +78,11 @@ pub struct ShardedBackend {
     /// the baseline that turns cumulative counters into per-window
     /// deltas.
     last_delivered: Vec<u64>,
+    /// `(sever index, shard index)` pairs whose scheduled partition has
+    /// already taken that shard's supervisor down: each sever window
+    /// isolating a shard endpoint fires its replica-group failover
+    /// exactly once, at the window's rising edge.
+    sever_fired: BTreeSet<(u64, u64)>,
 }
 
 impl ShardedBackend {
@@ -113,6 +118,7 @@ impl ShardedBackend {
             rebalance_every: 0,
             rebalances: 0,
             last_delivered: vec![0; shard_count],
+            sever_fired: BTreeSet::new(),
         }
     }
 
@@ -316,6 +322,7 @@ impl ShardedBackend {
         let rebalance_every = u64::load(&mut r).map_err(err)?;
         let rebalances = u64::load(&mut r).map_err(err)?;
         let last_delivered = SnapVec::<u64>::load(&mut r).map_err(err)?.0;
+        let sever_fired = BTreeSet::<(u64, u64)>::load(&mut r).map_err(err)?;
         r.finish().map_err(err)?;
         if sup_ids.is_empty() || vnodes == 0 {
             return Err("sharded snapshot needs >=1 supervisor and >=1 ring point".to_string());
@@ -346,6 +353,7 @@ impl ShardedBackend {
             rebalance_every,
             rebalances,
             last_delivered,
+            sever_fired,
         })
     }
 
@@ -376,6 +384,7 @@ impl ShardedBackend {
             // order), and replay is per-topic, so the replicated state
             // is identical.
             self.sync_groups();
+            self.watch_severs();
         } else {
             // Rebalance decisions fire at fixed round numbers, so a
             // batch must hit the same boundaries as n single steps.
@@ -389,6 +398,23 @@ impl ShardedBackend {
     /// Partition index of the shard owned by supervisor `sup`.
     fn shard_index(&self, sup: NodeId) -> u32 {
         (sup.0 - SHARD_SUPERVISOR_BASE) as u32
+    }
+
+    /// Fires replica-group failovers for shards whose supervisor sits
+    /// inside an active sever window — once per `(sever, shard)` pair,
+    /// at the window's rising edge: the scheduled *partition* (not a
+    /// scripted crash) is what takes the primary down. Sampled at
+    /// stepping boundaries, so the edge is seen on the first step
+    /// inside the window.
+    fn watch_severs(&mut self) {
+        for i in 0..self.sup_ids.len() {
+            let Some(idx) = self.world.active_sever_containing(self.sup_ids[i]) else {
+                continue;
+            };
+            if self.sever_fired.insert((idx as u64, i as u64)) {
+                self.fail_shard(i);
+            }
+        }
     }
 
     /// Records that `id` was routed to `shard` (detector-feed routing).
@@ -714,6 +740,7 @@ impl PubSub for ShardedBackend {
         self.world.run_round();
         self.sync_groups();
         self.maybe_rebalance();
+        self.watch_severs();
     }
 
     fn is_legitimate(&self) -> bool {
@@ -758,10 +785,11 @@ impl PubSub for ShardedBackend {
     fn stats(&self) -> Stats {
         let mut stats =
             super::stats_of(&self.world.metrics(), self.world.peak_in_flight() as u64);
+        super::apply_fault_counts(&mut stats, self.world.fault_counts());
         stats.per_partition = (0..self.world.partition_count())
             .map(|i| {
                 let m = self.world.partition_metrics(i);
-                PartitionStats {
+                let mut p = PartitionStats {
                     sent: m.sent_total,
                     delivered: m.delivered_total,
                     dropped: m.dropped,
@@ -769,10 +797,21 @@ impl PubSub for ShardedBackend {
                     peak_in_flight: self.world.partition_peak_in_flight(i) as u64,
                     stepped: self.world.partition_stepped(i),
                     lock_acquisitions: self.world.partition_lock_acquisitions(i),
-                }
+                    ..PartitionStats::default()
+                };
+                super::apply_partition_fault_counts(&mut p, self.world.partition_fault_counts(i));
+                p
             })
             .collect();
         stats
+    }
+
+    fn set_faults(&mut self, spec: Option<FaultSpec>) {
+        self.world.set_faults(spec);
+    }
+
+    fn fault_counts(&self) -> FaultCounts {
+        self.world.fault_counts()
     }
 
     fn save_snapshot(&self) -> Result<BackendSnapshot, String> {
@@ -798,6 +837,7 @@ impl PubSub for ShardedBackend {
         self.rebalance_every.save(&mut w);
         self.rebalances.save(&mut w);
         SnapVec(self.last_delivered.clone()).save(&mut w);
+        self.sever_fired.save(&mut w);
         Ok(w.finish(self.backend_name()))
     }
 

@@ -12,10 +12,11 @@ use crate::scenarios::SUPERVISOR;
 use crate::topics::TopicId;
 use crate::{Actor, ProtocolConfig};
 use skippub_bits::BitStr;
-use skippub_sim::{ChaosConfig, Metrics, NodeId, World, WorldState};
+use skippub_sim::{ChaosConfig, FaultCounts, FaultSpec, Metrics, NodeId, World, WorldState};
 use skippub_snapshot::{Snap, SnapWriter};
 use skippub_trie::{PayloadInterner, Publication};
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 
 /// The deterministic-simulator backend: one supervisor, one topic
 /// (`TopicId(0)`), driven in synchronous rounds — or chaos rounds
@@ -31,6 +32,11 @@ pub struct SimBackend {
     /// Supervisor replica group (`None` = the paper's unreplicated
     /// supervisor: zero logging, zero overhead).
     group: Option<ReplicaGroup>,
+    /// Sever windows (by index in the armed spec) that have already
+    /// taken down the supervisor endpoint: a scheduled partition
+    /// isolating the supervisor counts as a process failure exactly
+    /// once, at its rising edge.
+    sever_fired: BTreeSet<u64>,
 }
 
 /// The one topic a single-topic backend serves.
@@ -51,6 +57,7 @@ impl SimBackend {
             cursor: EventCursor::new(),
             inc: RefCell::new(SimChecker::new()),
             group: None,
+            sever_fired: BTreeSet::new(),
         }
     }
 
@@ -63,6 +70,7 @@ impl SimBackend {
             cursor: EventCursor::new(),
             inc: RefCell::new(SimChecker::new()),
             group: None,
+            sever_fired: BTreeSet::new(),
         }
     }
 
@@ -180,6 +188,7 @@ impl SimBackend {
         let world = WorldState::<Actor>::load(&mut r).map_err(err)?;
         let cursor = EventCursor::load(&mut r).map_err(err)?;
         let group = Option::<ReplicaGroup>::load(&mut r).map_err(err)?;
+        let sever_fired = BTreeSet::<u64>::load(&mut r).map_err(err)?;
         r.finish().map_err(err)?;
         if chaos.is_some() != (snap.kind == "chaos") {
             return Err("snapshot kind disagrees with chaos config presence".to_string());
@@ -192,6 +201,7 @@ impl SimBackend {
             cursor,
             inc: RefCell::new(inc),
             group,
+            sever_fired,
         })
     }
 }
@@ -287,6 +297,16 @@ impl PubSub for SimBackend {
             None => self.sim.run_round(),
         }
         self.sync_group();
+        // A scheduled partition that isolates the supervisor endpoint
+        // is a process failure from the clients' point of view: at the
+        // window's rising edge (once per sever), the replica group runs
+        // its election — a *partition*, not a scripted crash, triggers
+        // the failover. Unreplicated supervisors ride the window out.
+        if let Some(idx) = self.sim.world().active_sever_containing(SUPERVISOR) {
+            if self.sever_fired.insert(idx as u64) {
+                self.crash_supervisor(TOPIC);
+            }
+        }
     }
 
     fn is_legitimate(&self) -> bool {
@@ -331,7 +351,17 @@ impl PubSub for SimBackend {
     }
 
     fn stats(&self) -> Stats {
-        super::stats_of(self.sim.metrics(), self.sim.peak_in_flight() as u64)
+        let mut stats = super::stats_of(self.sim.metrics(), self.sim.peak_in_flight() as u64);
+        super::apply_fault_counts(&mut stats, self.sim.world().fault_counts());
+        stats
+    }
+
+    fn set_faults(&mut self, spec: Option<FaultSpec>) {
+        self.sim.world_mut().set_faults(spec);
+    }
+
+    fn fault_counts(&self) -> FaultCounts {
+        self.sim.world().fault_counts()
     }
 
     fn save_snapshot(&self) -> Result<BackendSnapshot, String> {
@@ -343,6 +373,7 @@ impl PubSub for SimBackend {
         self.sim.world().export_state().save(&mut w);
         self.cursor.save(&mut w);
         self.group.save(&mut w);
+        self.sever_fired.save(&mut w);
         Ok(w.finish(self.backend_name()))
     }
 

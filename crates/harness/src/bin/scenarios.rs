@@ -18,6 +18,11 @@
 //!
 //! # supervisor failover, oracle-checked against a never-crashing run:
 //! scenarios supervisor-crash supervisor-crash-churn --backend all
+//!
+//! # link faults: run a builtin's fault schedule, or inject one ad hoc
+//! scenarios fault-storm fault-storm-loss --backend all
+//! scenarios fault-storm partition-kills-primary
+//! scenarios steady-state --faults 'seed=7;rule=0..10,all,0.2,0,0,0,0,0'
 //! ```
 //!
 //! Running a scenario on multiple backends asserts the conformance
@@ -29,14 +34,44 @@
 //! unreadable/unwritable paths).
 
 use skippub_harness::scenario::{
-    self, builtin, builtins, BackendKind, ScenarioSpec, Trace, WarmStart,
+    self, builtin, builtins, BackendKind, FaultSpec, ScenarioSpec, Trace, WarmStart,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <name|all|replay FILE|crash-recovery NAME|supervisor-crash NAME> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--rounds N] [--threads N] [--rebalance N] [--out DIR] [--trace FILE] [--snapshot-at R --out-snapshot FILE] [--from-snapshot FILE] [--corrupt K] [--list]"
+        "usage: scenarios <name|all|replay FILE|crash-recovery NAME|supervisor-crash NAME|fault-storm NAME> [--backend sim|chaos|multi-topic|sharded|threaded|all] [--seed N] [--rounds N] [--threads N] [--rebalance N] [--faults SPEC] [--out DIR] [--trace FILE] [--snapshot-at R --out-snapshot FILE] [--from-snapshot FILE] [--corrupt K] [--list]"
     );
     std::process::exit(2);
+}
+
+/// Flag-compatibility guards for `--faults`: the flag injects a fault
+/// schedule into the spec, which is meaningless (or worse, silently
+/// double-applied) in modes that already carry one.
+fn faults_flag_conflict(
+    faults: bool,
+    replay: bool,
+    from_snapshot: bool,
+    threaded: bool,
+) -> Option<&'static str> {
+    if !faults {
+        return None;
+    }
+    if replay {
+        return Some("replay takes no --faults (the trace header carries the fault schedule)");
+    }
+    if from_snapshot {
+        return Some(
+            "--from-snapshot takes no --faults (the snapshot carries the already-armed plane; \
+             re-arming would rewind its RNG streams)",
+        );
+    }
+    if threaded {
+        return Some(
+            "the threaded runtime cannot deterministically fault real channels; \
+             --faults needs an in-process backend",
+        );
+    }
+    None
 }
 
 fn fail(msg: &str) -> ! {
@@ -128,8 +163,10 @@ fn main() {
     let mut out_snapshot: Option<String> = None;
     let mut from_snapshot: Option<String> = None;
     let mut corrupt: usize = 25;
+    let mut faults_arg: Option<String> = None;
     let mut recovery = false;
     let mut failover = false;
+    let mut storm = false;
     let mut list = false;
     let mut i = 0;
     while i < args.len() {
@@ -209,8 +246,13 @@ fn main() {
                     .unwrap_or_else(|_| fail("--corrupt needs a count"));
                 i += 1;
             }
+            "--faults" => {
+                faults_arg = Some(take(&args, i, "--faults"));
+                i += 1;
+            }
             "crash-recovery" if name.is_none() && !recovery => recovery = true,
             "supervisor-crash" if name.is_none() && !failover => failover = true,
+            "fault-storm" if name.is_none() && !storm => storm = true,
             "replay" if name.is_none() => {
                 replay_file = Some(take(&args, i, "replay"));
                 i += 1;
@@ -243,6 +285,9 @@ fn main() {
         // rather than ignore.
         if backend_set || seed.is_some() || threads.is_some() || rebalance.is_some() || trace_path.is_some() {
             fail("replay takes no --backend/--seed/--threads/--rebalance/--trace (the trace header fixes them)");
+        }
+        if let Some(msg) = faults_flag_conflict(faults_arg.is_some(), true, false, false) {
+            fail(msg);
         }
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
@@ -284,6 +329,18 @@ fn main() {
         Some(parse_target(&backend).unwrap_or_else(|| fail(&format!("unknown backend {backend:?}"))))
     };
 
+    if let Some(msg) = faults_flag_conflict(
+        faults_arg.is_some(),
+        false,
+        from_snapshot.is_some(),
+        chosen == Some(Target::Threaded),
+    ) {
+        fail(msg);
+    }
+    let faults_spec: Option<FaultSpec> = faults_arg.as_deref().map(|s| {
+        FaultSpec::parse_line(s).unwrap_or_else(|e| fail(&format!("--faults: {e}")))
+    });
+
     // --- checkpoint / warm-start / crash-recovery modes ---
     if snapshot_at.is_some() != out_snapshot.is_some() {
         fail("--snapshot-at and --out-snapshot go together");
@@ -291,9 +348,10 @@ fn main() {
     let modes = snapshot_at.is_some() as usize
         + from_snapshot.is_some() as usize
         + recovery as usize
-        + failover as usize;
+        + failover as usize
+        + storm as usize;
     if modes > 1 {
-        fail("--snapshot-at, --from-snapshot, crash-recovery, and supervisor-crash are mutually exclusive");
+        fail("--snapshot-at, --from-snapshot, crash-recovery, supervisor-crash, and fault-storm are mutually exclusive");
     }
     if modes == 1 {
         if specs.len() != 1 {
@@ -314,6 +372,9 @@ fn main() {
         }
         if let Some(r) = rebalance {
             spec = spec.rebalance_every(r);
+        }
+        if let Some(f) = &faults_spec {
+            spec = spec.faults(f.clone());
         }
 
         // Capture: run to completion, writing the warm-start file.
@@ -399,6 +460,42 @@ fn main() {
             std::process::exit(if failed { 1 } else { 0 });
         }
 
+        // Link-fault-storm oracle: run the scenario's fault schedule
+        // (builtin or injected via --faults), run the same schedule on
+        // perfect links, and self-assert healing — re-legitimization,
+        // re-convergence, partition-triggered failovers, and (for
+        // loss/delay-only schedules) delivered-set equality. Exit 1 on
+        // a failed verdict.
+        if storm {
+            let kinds: Vec<BackendKind> = match chosen {
+                Some(Target::InProcess(k)) => vec![k],
+                Some(Target::Threaded) => {
+                    fail("the threaded runtime cannot run the fault-storm oracle")
+                }
+                None => spec.supported_backends(),
+            };
+            let mut failed = false;
+            for kind in kinds {
+                let started = std::time::Instant::now();
+                let report = scenario::run_fault_storm(&spec, kind).unwrap_or_else(|e| fail(&e));
+                eprintln!(
+                    "=== fault-storm {} on {} ({:.2?}) {}",
+                    spec.name,
+                    kind.name(),
+                    started.elapsed(),
+                    if report.ok() { "ok" } else { "FAILED" }
+                );
+                println!("{}", report.to_json());
+                if let Some(dir) = &out_dir {
+                    let path = format!("{dir}/{}.{}.faultstorm.json", spec.name, kind.name());
+                    std::fs::write(&path, report.to_json())
+                        .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+                }
+                failed |= !report.ok();
+            }
+            std::process::exit(if failed { 1 } else { 0 });
+        }
+
         // Crash recovery: checkpoint mid-run, restore, corrupt, re-legit.
         let kinds: Vec<BackendKind> = match chosen {
             Some(Target::InProcess(k)) => vec![k],
@@ -448,6 +545,11 @@ fn main() {
         if let Some(r) = rebalance {
             spec = spec.rebalance_every(r);
         }
+        // Ad-hoc link-fault schedule, armed at the run phase exactly
+        // like a builtin's.
+        if let Some(f) = &faults_spec {
+            spec = spec.faults(f.clone());
+        }
         let targets: Vec<Target> = match chosen {
             None => spec
                 .supported_backends()
@@ -455,6 +557,16 @@ fn main() {
                 .map(Target::InProcess)
                 .collect(),
             Some(t) => {
+                // A faulted builtin on the threaded runtime would
+                // silently run fault-free (real channels cannot be
+                // deterministically faulted) — skip, don't mislead.
+                if t == Target::Threaded && spec.faults.is_some() {
+                    eprintln!(
+                        "=== {} skipped on threaded (fault schedules need an in-process backend)",
+                        spec.name
+                    );
+                    continue;
+                }
                 let supported = match t {
                     Target::InProcess(kind) => spec.supported(kind),
                     Target::Threaded => spec.topics == 1,
@@ -518,5 +630,34 @@ fn main() {
     if failures > 0 {
         eprintln!("{failures} scenario run(s) FAILED");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_flag_is_rejected_with_replay() {
+        let msg = faults_flag_conflict(true, true, false, false).expect("conflict");
+        assert!(msg.contains("replay"), "{msg}");
+    }
+
+    #[test]
+    fn faults_flag_is_rejected_with_from_snapshot() {
+        let msg = faults_flag_conflict(true, false, true, false).expect("conflict");
+        assert!(msg.contains("--from-snapshot"), "{msg}");
+    }
+
+    #[test]
+    fn faults_flag_is_rejected_on_the_threaded_backend() {
+        let msg = faults_flag_conflict(true, false, false, true).expect("conflict");
+        assert!(msg.contains("threaded"), "{msg}");
+    }
+
+    #[test]
+    fn faults_flag_alone_is_accepted_and_absence_conflicts_with_nothing() {
+        assert!(faults_flag_conflict(true, false, false, false).is_none());
+        assert!(faults_flag_conflict(false, true, true, true).is_none());
     }
 }

@@ -539,6 +539,16 @@ fn run_phases(
 
     // 4. run
     rec.phase("run");
+    // Arm the link-fault plane at the run phase's first round: fault
+    // windows are relative to here, and populate/warm/seed ran
+    // fault-free. Resumed runs restore the already-armed plane (RNG
+    // stream states included) inside the backend snapshot — re-arming
+    // would rewind those streams.
+    if fresh {
+        if let Some(f) = &spec.faults {
+            ps.set_faults(Some(f.clone()));
+        }
+    }
     let mut captured: Option<Result<WarmStart, String>> = None;
     for (idx, ops) in schedule.rounds.iter().enumerate() {
         if idx < start_round {

@@ -9,7 +9,9 @@
 //! backends.
 
 use super::spec::{Burst, BurstKind, Popularity, ScenarioSpec, Stop};
+use skippub_core::pubsub::SHARD_SUPERVISOR_BASE;
 use skippub_core::ProtocolConfig;
+use skippub_sim::{FaultRule, FaultSpec, LinkClass, Sever};
 
 /// `steady-state`: a warm system under constant publish load, no churn.
 /// Baseline for throughput and for the "closure" property — a
@@ -256,6 +258,141 @@ pub fn supervisor_crash_shards() -> ScenarioSpec {
         .settle(3_000)
 }
 
+/// `fault-storm-loss`: every link drops 30% of its messages for the
+/// first ten scheduled rounds while publishers keep publishing, then
+/// the links heal. Loss/delay-only, so the fault-storm oracle requires
+/// the delivered sets to *equal* the perfect-link twin's
+/// (`scenarios fault-storm fault-storm-loss`).
+pub fn fault_storm_loss() -> ScenarioSpec {
+    ScenarioSpec::new("fault-storm-loss", 0xFA017)
+        .population(12)
+        .publishers(3)
+        .publish_prob(0.3)
+        .rounds(16)
+        .faults(FaultSpec {
+            seed: 0xFA017,
+            rules: vec![FaultRule {
+                drop: 0.3,
+                ..FaultRule::pass(0, 10, LinkClass::All)
+            }],
+            severs: vec![],
+        })
+        .stop(Stop::UntilLegit { max_extra: 6_000 })
+        .settle(2_000)
+}
+
+/// `fault-storm-mix`: loss, duplication, bounded reordering, and extra
+/// delivery delay all at once — the full fault vocabulary — with the
+/// windows closing mid-schedule. The oracle requires healing
+/// (re-legitimization + re-convergence); set equality is waived because
+/// dup/reorder may converge along a different correct trajectory.
+pub fn fault_storm_mix() -> ScenarioSpec {
+    ScenarioSpec::new("fault-storm-mix", 0xFA01A)
+        .population(12)
+        .publishers(3)
+        .publish_prob(0.3)
+        .rounds(18)
+        .faults(FaultSpec {
+            seed: 0xFA01A,
+            rules: vec![
+                FaultRule {
+                    drop: 0.15,
+                    dup: 0.1,
+                    ..FaultRule::pass(0, 12, LinkClass::All)
+                },
+                FaultRule {
+                    delay: 0.25,
+                    delay_rounds: 2,
+                    reorder: 0.2,
+                    reorder_max: 3,
+                    ..FaultRule::pass(4, 12, LinkClass::AnyCross)
+                },
+            ],
+            severs: vec![],
+        })
+        .stop(Stop::UntilLegit { max_extra: 8_000 })
+        .settle(2_500)
+}
+
+/// `fault-heal-partition`: a scheduled partition cuts four subscribers
+/// off for six rounds (no probabilistic faults at all — severs count as
+/// loss/delay-only), then the partition heals and the ring must
+/// reconverge to the twin's delivered sets. The chosen IDs exist on
+/// every backend: the engine spawns subscribers with ascending IDs from
+/// 1.
+pub fn fault_heal_partition() -> ScenarioSpec {
+    ScenarioSpec::new("fault-heal-partition", 0xFA07B)
+        .population(12)
+        .publishers(3)
+        .publish_prob(0.25)
+        .rounds(16)
+        .faults(FaultSpec {
+            seed: 0xFA07B,
+            rules: vec![],
+            severs: vec![Sever {
+                from_round: 3,
+                to_round: 9,
+                group: vec![5, 6, 7, 8],
+            }],
+        })
+        .stop(Stop::UntilLegit { max_extra: 8_000 })
+        .settle(2_500)
+}
+
+/// `partition-kills-primary`: a sever window isolates the supervisor
+/// endpoint of a 3-replica group — failover is triggered by the
+/// *partition* (the backend's sever watch), not by any scripted
+/// `crash_supervisor`. The oracle requires `failovers == 1` and full
+/// healing once the window closes. Runs on every single-topic backend
+/// (`NodeId(0)` is the supervisor endpoint on all of them).
+pub fn partition_kills_primary() -> ScenarioSpec {
+    ScenarioSpec::new("partition-kills-primary", 0xFA0DE)
+        .population(10)
+        .publishers(3)
+        .publish_prob(0.3)
+        .rounds(16)
+        .replicas(3)
+        .faults(FaultSpec {
+            seed: 0xFA0DE,
+            rules: vec![],
+            severs: vec![Sever {
+                from_round: 4,
+                to_round: 9,
+                group: vec![0],
+            }],
+        })
+        .stop(Stop::UntilLegit { max_extra: 8_000 })
+        .settle(2_500)
+}
+
+/// `partition-kills-shard`: the sharded flavour of
+/// `partition-kills-primary` — 6 topics on 3 shards, each shard backed
+/// by a 3-replica group, and a sever window isolating shard 1's
+/// supervisor endpoint mid-run. Failover must stay shard-local.
+/// Multi-topic/sharded backends only (the endpoint ID only exists
+/// there).
+pub fn partition_kills_shard() -> ScenarioSpec {
+    ScenarioSpec::new("partition-kills-shard", 0xFA0D5)
+        .topics(6)
+        .shards(3)
+        .population(18)
+        .publishers(6)
+        .publish_prob(0.25)
+        .rounds(16)
+        .replicas(3)
+        .faults(FaultSpec {
+            seed: 0xFA0D5,
+            rules: vec![],
+            severs: vec![Sever {
+                from_round: 4,
+                to_round: 9,
+                group: vec![SHARD_SUPERVISOR_BASE + 1],
+            }],
+        })
+        .stop(Stop::UntilLegit { max_extra: 10_000 })
+        .settle(3_000)
+}
+
 /// Every built-in scenario, in documentation order.
 pub fn builtins() -> Vec<ScenarioSpec> {
     vec![
@@ -272,6 +409,11 @@ pub fn builtins() -> Vec<ScenarioSpec> {
         supervisor_crash_storm(),
         supervisor_crash_cold(),
         supervisor_crash_shards(),
+        fault_storm_loss(),
+        fault_storm_mix(),
+        fault_heal_partition(),
+        partition_kills_primary(),
+        partition_kills_shard(),
     ]
 }
 

@@ -48,6 +48,7 @@
 
 pub mod engine;
 pub mod failover;
+pub mod faultstorm;
 pub mod library;
 pub mod recovery;
 pub mod report;
@@ -60,6 +61,7 @@ pub use engine::{
     run_spec_with_snapshot, run_threaded, DeliveredItem, DeliveredSet, ScenarioOutcome, WarmStart,
 };
 pub use failover::{run_supervisor_crash, FailoverReport};
+pub use faultstorm::{run_fault_storm, severed_primaries, FaultStormReport};
 pub use library::{builtin, builtins};
 pub use recovery::{run_crash_recovery, CrashRecoveryReport};
 pub use report::{OpCounts, ScenarioReport, TopicReport};
@@ -70,3 +72,6 @@ pub use trace::{Trace, TraceLine};
 // Backend selection is part of the scenario vocabulary; re-export it so
 // scenario scripts need only this module.
 pub use skippub_core::BackendKind;
+
+// So are fault schedules (the `.faults(...)` setter's vocabulary).
+pub use skippub_sim::{FaultCounts, FaultRule, FaultSpec, LinkClass, Sever};

@@ -192,11 +192,15 @@ impl ScenarioReport {
         // the byte-identical-replay contract.
         let _ = write!(
             j,
-            "  \"stats\": {{\"steps\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"peak_in_flight\": {}, \"lock_acquisitions\": {}, \"delivered_imbalance\": {:.4}, \"stepped_imbalance\": {:.4}, \"per_partition\": [",
+            "  \"stats\": {{\"steps\": {}, \"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"faults\": {{\"dropped\": {}, \"duplicated\": {}, \"reordered\": {}, \"delayed\": {}}}, \"peak_in_flight\": {}, \"lock_acquisitions\": {}, \"delivered_imbalance\": {:.4}, \"stepped_imbalance\": {:.4}, \"per_partition\": [",
             self.stats.steps,
             self.stats.sent,
             self.stats.delivered,
             self.stats.dropped,
+            self.stats.dropped_by_fault,
+            self.stats.duplicated,
+            self.stats.reordered,
+            self.stats.delayed,
             self.stats.peak_in_flight,
             self.stats.lock_acquisitions(),
             self.stats.delivered_imbalance(),
@@ -205,10 +209,14 @@ impl ScenarioReport {
         for (i, p) in self.stats.per_partition.iter().enumerate() {
             let _ = write!(
                 j,
-                "{{\"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"cross_envelopes\": {}, \"peak_in_flight\": {}, \"stepped\": {}, \"lock_acquisitions\": {}}}{}",
+                "{{\"sent\": {}, \"delivered\": {}, \"dropped\": {}, \"faults\": {{\"dropped\": {}, \"duplicated\": {}, \"reordered\": {}, \"delayed\": {}}}, \"cross_envelopes\": {}, \"peak_in_flight\": {}, \"stepped\": {}, \"lock_acquisitions\": {}}}{}",
                 p.sent,
                 p.delivered,
                 p.dropped,
+                p.dropped_by_fault,
+                p.duplicated,
+                p.reordered,
+                p.delayed,
                 p.cross_envelopes,
                 p.peak_in_flight,
                 p.stepped,
@@ -265,6 +273,10 @@ mod tests {
                 sent: 100,
                 delivered: 90,
                 dropped: 0,
+                dropped_by_fault: 2,
+                duplicated: 1,
+                reordered: 3,
+                delayed: 4,
                 peak_in_flight: 42,
                 per_partition: vec![
                     PartitionStats {
@@ -275,6 +287,10 @@ mod tests {
                         peak_in_flight: 30,
                         stepped: 100,
                         lock_acquisitions: 9,
+                        dropped_by_fault: 2,
+                        duplicated: 1,
+                        reordered: 3,
+                        delayed: 4,
                     },
                     PartitionStats {
                         sent: 40,
@@ -284,6 +300,7 @@ mod tests {
                         peak_in_flight: 12,
                         stepped: 80,
                         lock_acquisitions: 7,
+                        ..PartitionStats::default()
                     },
                 ],
             },
@@ -306,7 +323,8 @@ mod tests {
             "\"publishes\": 4",
             "\"peak_in_flight\": 42",
             "\"lock_acquisitions\": 16, \"delivered_imbalance\": 1.2222, \"stepped_imbalance\": 1.1111",
-            "\"per_partition\": [{\"sent\": 60, \"delivered\": 55, \"dropped\": 0, \"cross_envelopes\": 3, \"peak_in_flight\": 30, \"stepped\": 100, \"lock_acquisitions\": 9}, {\"sent\": 40, \"delivered\": 35, \"dropped\": 0, \"cross_envelopes\": 1, \"peak_in_flight\": 12, \"stepped\": 80, \"lock_acquisitions\": 7}]",
+            "\"faults\": {\"dropped\": 2, \"duplicated\": 1, \"reordered\": 3, \"delayed\": 4}",
+            "\"per_partition\": [{\"sent\": 60, \"delivered\": 55, \"dropped\": 0, \"faults\": {\"dropped\": 2, \"duplicated\": 1, \"reordered\": 3, \"delayed\": 4}, \"cross_envelopes\": 3, \"peak_in_flight\": 30, \"stepped\": 100, \"lock_acquisitions\": 9}, {\"sent\": 40, \"delivered\": 35, \"dropped\": 0, \"faults\": {\"dropped\": 0, \"duplicated\": 0, \"reordered\": 0, \"delayed\": 0}, \"cross_envelopes\": 1, \"peak_in_flight\": 12, \"stepped\": 80, \"lock_acquisitions\": 7}]",
         ] {
             assert!(a.contains(needle), "missing {needle} in {a}");
         }

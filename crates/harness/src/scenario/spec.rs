@@ -9,6 +9,7 @@
 //! [`PubSub`](skippub_core::PubSub) backend.
 
 use skippub_core::{BackendKind, ProtocolConfig};
+use skippub_sim::FaultSpec;
 
 /// How subscribers (initial population and arrivals) pick their topic.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -159,6 +160,12 @@ pub struct ScenarioSpec {
     /// stripped of them compiles to the byte-identical remaining
     /// schedule — the failover oracle's never-crashing baseline.
     pub sup_crashes: Vec<(u64, u32)>,
+    /// Link-fault schedule armed at the start of the **run** phase
+    /// (populate/warm/seed run fault-free, and fault-window rounds are
+    /// relative to the run phase's first round). `None` = perfect links.
+    /// Ignored by the threaded backend (real channels cannot be
+    /// deterministically faulted).
+    pub faults: Option<FaultSpec>,
     /// Protocol knobs applied to every subscriber.
     pub protocol: ProtocolConfig,
     /// Initial subscriber population (slots `0..population`).
@@ -224,6 +231,7 @@ impl ScenarioSpec {
             replicas: 1,
             rebalance_every: 0,
             sup_crashes: Vec::new(),
+            faults: None,
             protocol: ProtocolConfig::default(),
             population: 0,
             popularity: Popularity::Uniform,
@@ -284,6 +292,24 @@ impl ScenarioSpec {
     pub fn sup_crash(mut self, at: u64, topic: u32) -> Self {
         self.sup_crashes.push((at, topic));
         self
+    }
+
+    /// Arms a link-fault schedule for the run phase (normalized so the
+    /// header line and the armed plane are canonical).
+    pub fn faults(mut self, mut spec: FaultSpec) -> Self {
+        spec.normalize();
+        self.faults = Some(spec);
+        self
+    }
+
+    /// A copy of this spec with the fault schedule stripped — the
+    /// fault-storm oracle's perfect-link twin. Fault arming happens
+    /// outside the schedule compiler, so the twin compiles to the
+    /// byte-identical op schedule.
+    pub fn without_faults(&self) -> Self {
+        let mut twin = self.clone();
+        twin.faults = None;
+        twin
     }
 
     /// Sets the protocol knobs.

@@ -19,7 +19,7 @@ use super::spec::{ScenarioSpec, Stop};
 use skippub_core::pubsub::ops;
 use skippub_core::pubsub::{Delivery, Op};
 use skippub_core::{BackendKind, ProbeMode, ProtocolConfig, PubSub, SystemBuilder};
-use skippub_sim::NodeId;
+use skippub_sim::{FaultSpec, NodeId};
 use std::collections::BTreeMap;
 
 /// One body line of a trace.
@@ -60,6 +60,10 @@ pub struct Trace {
     /// Topic→shard rebalancing cadence (recorded so replays re-enable
     /// the rebalancer — placement moves are part of the trajectory).
     pub rebalance_every: u64,
+    /// Link-fault schedule armed at the run phase (recorded so replays
+    /// re-arm the same seeded plane — fault fates are part of the
+    /// trajectory). `None` = perfect links.
+    pub faults: Option<FaultSpec>,
     /// Whether the run had a warm phase (replay needs it to reproduce
     /// the `warm_ok` verdict).
     pub warm: bool,
@@ -101,6 +105,7 @@ impl Trace {
             threads: spec.threads,
             replicas: spec.replicas,
             rebalance_every: spec.rebalance_every,
+            faults: spec.faults.clone(),
             warm: spec.warm,
             stop: spec.stop,
             protocol: spec.protocol,
@@ -120,6 +125,9 @@ impl Trace {
         s.push_str(&format!("threads {}\n", self.threads));
         s.push_str(&format!("replicas {}\n", self.replicas));
         s.push_str(&format!("rebalance {}\n", self.rebalance_every));
+        if let Some(f) = &self.faults {
+            s.push_str(&format!("faults {}\n", f.to_line()));
+        }
         s.push_str(&format!("warm {}\n", self.warm));
         s.push_str(&format!("stop {} {}\n", self.stop.name(), self.stop.max_extra()));
         let p = &self.protocol;
@@ -163,6 +171,7 @@ impl Trace {
         let mut threads = None;
         let mut replicas = None;
         let mut rebalance = None;
+        let mut faults = None;
         let mut warm = None;
         let mut stop = None;
         let mut protocol = None;
@@ -183,6 +192,7 @@ impl Trace {
                 "threads" => threads = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
                 "replicas" => replicas = Some(rest.parse::<usize>().map_err(|e| e.to_string())?),
                 "rebalance" => rebalance = Some(rest.parse::<u64>().map_err(|e| e.to_string())?),
+                "faults" => faults = Some(FaultSpec::parse_line(rest)?),
                 "warm" => warm = Some(rest.parse::<bool>().map_err(|e| e.to_string())?),
                 "stop" => {
                     let (name, max) = rest
@@ -251,6 +261,10 @@ impl Trace {
             // Absent in traces recorded before rebalancing existed; a
             // fixed ring placement reproduces them exactly.
             rebalance_every: rebalance.unwrap_or(0),
+            // Absent in traces recorded before the fault plane existed
+            // (and in every fault-free trace); perfect links reproduce
+            // them exactly.
+            faults,
             warm: warm.ok_or("missing warm header")?,
             stop: stop.ok_or("missing stop header")?,
             protocol: protocol.ok_or("missing protocol header")?,
@@ -329,6 +343,14 @@ impl Trace {
                         end_phase(phase, ps);
                     }
                     phase = phase_key(name)?;
+                    // Mirror the live engine: the plane arms at the run
+                    // phase's first round, so replayed fault fates draw
+                    // from the identical per-link streams.
+                    if phase == "run" {
+                        if let Some(f) = &self.faults {
+                            ps.set_faults(Some(f.clone()));
+                        }
+                    }
                 }
                 TraceLine::Op(op) => {
                     ops.record(op);
@@ -453,6 +475,46 @@ mod tests {
             out.report.to_json(),
             "multi-topic replay must be byte-identical, empty topics included"
         );
+    }
+
+    #[test]
+    fn faulted_trace_replays_byte_identically_and_parses_leniently() {
+        use skippub_sim::{FaultRule, LinkClass};
+        let spec = spec().faults(FaultSpec {
+            seed: 3,
+            rules: vec![FaultRule {
+                drop: 0.25,
+                ..FaultRule::pass(0, 5, LinkClass::All)
+            }],
+            severs: vec![],
+        });
+        let (out, trace) = run_recorded(&spec, BackendKind::Sim).unwrap();
+        assert!(
+            out.report.stats.dropped_by_fault > 0,
+            "the plane must actually bite for this to test anything"
+        );
+        let text = trace.serialize();
+        assert!(text.contains("\nfaults seed=3"), "header line missing:\n{text}");
+        let replayed = Trace::parse(&text)
+            .expect("parse")
+            .replay()
+            .expect("replay");
+        assert_eq!(
+            replayed.to_json(),
+            out.report.to_json(),
+            "faulted replay must re-arm the identical plane"
+        );
+        // Lenient parse: traces recorded before the fault plane existed
+        // carry no `faults` line and must still parse (as perfect links).
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("faults "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = Trace::parse(&stripped).expect("lenient parse");
+        assert!(parsed.faults.is_none());
+        // And corrupted fault lines are rejected, not ignored.
+        assert!(Trace::parse(&text.replace("faults seed=3", "faults seed=x")).is_err());
     }
 
     #[test]

@@ -188,9 +188,10 @@ impl PubSub for NetBackend {
             delivered,
             dropped,
             // The threaded transport has no synchronized round boundary
-            // to sample a coherent in-flight total at.
+            // to sample a coherent in-flight total at, and no fault
+            // plane (real channels cannot be deterministically faulted).
             peak_in_flight: 0,
-            per_partition: Vec::new(),
+            ..Stats::default()
         }
     }
 }

@@ -25,6 +25,7 @@
 //! `protos[s]` and clear (not drop) `channels[s]`, so a rejoin reuses
 //! both the slot and its channel capacity.
 
+use crate::faults::{Fate, FaultCounts, FaultPlane, FaultSpec};
 use crate::fx::FxBuildHasher;
 use crate::state::{NodeState, PartitionState};
 use crate::Metrics;
@@ -356,6 +357,10 @@ pub(crate) struct Partition<P: Protocol> {
     scratch_out: Vec<(NodeId, P::Msg)>,
     /// Scratch: inbound envelope batch taken from the mailbox.
     scratch_inbound: Vec<Envelope<P::Msg>>,
+    /// The armed link-fault plane (`None` = perfect channels — the
+    /// fault-free path is byte-identical to the pre-fault engine and
+    /// consumes zero fault-stream draws).
+    faults: Option<FaultPlane<P::Msg>>,
 }
 
 impl<P: Protocol> Partition<P> {
@@ -386,6 +391,7 @@ impl<P: Protocol> Partition<P> {
             scratch_kept: Vec::new(),
             scratch_out: Vec::new(),
             scratch_inbound: Vec::new(),
+            faults: None,
         }
     }
 
@@ -543,12 +549,16 @@ impl<P: Protocol> Partition<P> {
             .map_or(0, |s| self.channels[s as usize].len())
     }
 
-    /// Total in-flight messages in this partition's channels.
+    /// Total in-flight messages in this partition's channels, plus
+    /// messages the fault plane is holding for later release (they are
+    /// still in flight — drain/settle loops must not conclude early).
     pub(crate) fn in_flight(&self) -> usize {
+        let held = self.faults.as_ref().map_or(0, |fp| fp.pending.len());
         self.order
             .iter()
             .map(|&(_, s)| self.channels[s as usize].len())
-            .sum()
+            .sum::<usize>()
+            + held
     }
 
     /// Cumulative metrics of this partition.
@@ -596,6 +606,53 @@ impl<P: Protocol> Partition<P> {
         self.budget
     }
 
+    /// Arms (or disarms) the link-fault plane for this partition;
+    /// window offsets in `spec` are relative to the current round.
+    /// `me` is this partition's index (0 for the serial world).
+    pub(crate) fn set_faults(&mut self, spec: Option<FaultSpec>, me: u32) {
+        self.faults = spec.map(|s| FaultPlane::new(s, self.round, me));
+    }
+
+    /// The armed fault plane, if any.
+    pub(crate) fn fault_plane(&self) -> Option<&FaultPlane<P::Msg>> {
+        self.faults.as_ref()
+    }
+
+    /// This partition's fault accounting (zeros when no plane armed).
+    pub(crate) fn fault_counts(&self) -> FaultCounts {
+        self.faults.as_ref().map(|fp| fp.counts).unwrap_or_default()
+    }
+
+    /// Index of the first sever window active *now* that contains
+    /// `id`, if any — backends watch this to turn a scheduled
+    /// partition into a supervisor failover.
+    pub(crate) fn active_sever_containing(&self, id: NodeId) -> Option<usize> {
+        self.faults
+            .as_ref()
+            .and_then(|fp| fp.active_sever_containing(self.round, id.0))
+    }
+
+    /// Moves held messages whose release round has come into their
+    /// destination channels (or the cross-partition outbox), in
+    /// deterministic `(release round, insertion order)`. Runs at the
+    /// top of every round, after the round counter advances and before
+    /// any activation, so a released message is visible to its
+    /// destination's very next inbox take.
+    fn release_due(&mut self) {
+        let Some(mut fp) = self.faults.take() else {
+            return;
+        };
+        let due = fp.pending.partition_point(|e| e.0 <= self.round);
+        for (_, _, to, msg) in fp.pending.drain(..due) {
+            match self.slot_of.get(&to.0) {
+                Some(&s) => self.channels[s as usize].push((0, msg)),
+                None if self.local_only => self.metrics.dropped += 1,
+                None => self.outbox.push((to, msg)),
+            }
+        }
+        self.faults = Some(fp);
+    }
+
     /// High-water mark of in-flight messages, sampled at round starts.
     pub(crate) fn peak_in_flight(&self) -> usize {
         self.peak_in_flight
@@ -624,7 +681,7 @@ impl<P: Protocol> Partition<P> {
             dirty: &mut self.dirty,
         };
         let r = f(proto, &mut ctx);
-        self.route_from(midx, &mut out);
+        self.route_from(id, midx, &mut out);
         self.scratch_out = out;
         Some(r)
     }
@@ -633,13 +690,61 @@ impl<P: Protocol> Partition<P> {
     /// buffer is left empty for reuse by the caller. Unknown
     /// destinations are dropped in local-only mode and staged in the
     /// cross-partition outbox otherwise.
-    fn route_from(&mut self, from_midx: u32, out: &mut Vec<(NodeId, P::Msg)>) {
+    ///
+    /// With a fault plane armed this is the **sender-side** injection
+    /// point: sever windows cut the edge `from – to` outright (pure
+    /// set membership, zero draws), and rules resolvable at the sender
+    /// (`All`/`AnyLocal`/`Local` for local destinations, `Group` edge
+    /// sets for any destination) decide drop/duplicate/hold fates from
+    /// the partition's local fault stream.
+    fn route_from(&mut self, from: NodeId, from_midx: u32, out: &mut Vec<(NodeId, P::Msg)>) {
+        let round = self.round;
         for (to, msg) in out.drain(..) {
             self.metrics.note_sent_at(from_midx, P::msg_kind(&msg));
-            match self.slot_of.get(&to.0) {
-                Some(&s) => self.channels[s as usize].push((0, msg)),
-                None if self.local_only => self.metrics.dropped += 1,
-                None => self.outbox.push((to, msg)),
+            let local_slot = self.slot_of.get(&to.0).copied();
+            if local_slot.is_none() && self.local_only {
+                // §3.3: the destination exists nowhere — no link for
+                // the fault plane to act on.
+                self.metrics.dropped += 1;
+                continue;
+            }
+            let fate = match self.faults.as_mut() {
+                Some(fp) => {
+                    if fp.severed(round, from.0, to.0) {
+                        fp.counts.dropped_by_fault += 1;
+                        continue;
+                    }
+                    fp.sender_fate(round, from.0, to.0, local_slot.is_some())
+                }
+                None => Fate::Deliver,
+            };
+            match fate {
+                Fate::Deliver => match local_slot {
+                    Some(s) => self.channels[s as usize].push((0, msg)),
+                    None => self.outbox.push((to, msg)),
+                },
+                Fate::Drop => {
+                    let fp = self.faults.as_mut().expect("fate from armed plane");
+                    fp.counts.dropped_by_fault += 1;
+                }
+                Fate::Duplicate => {
+                    match local_slot {
+                        Some(s) => self.channels[s as usize].push((0, msg.clone())),
+                        None => self.outbox.push((to, msg.clone())),
+                    }
+                    let fp = self.faults.as_mut().expect("fate from armed plane");
+                    fp.counts.duplicated += 1;
+                    fp.defer(round + 2, to, msg);
+                }
+                Fate::Hold { extra, reorder } => {
+                    let fp = self.faults.as_mut().expect("fate from armed plane");
+                    if reorder {
+                        fp.counts.reordered += 1;
+                    } else {
+                        fp.counts.delayed += 1;
+                    }
+                    fp.defer(round + 1 + extra as u64, to, msg);
+                }
             }
         }
     }
@@ -664,7 +769,7 @@ impl<P: Protocol> Partition<P> {
             dirty: &mut self.dirty,
         };
         proto.on_message(&mut ctx, msg);
-        self.route_from(midx, &mut out);
+        self.route_from(NodeId(id), midx, &mut out);
         self.scratch_out = out;
     }
 
@@ -686,7 +791,7 @@ impl<P: Protocol> Partition<P> {
             dirty: &mut self.dirty,
         };
         proto.on_timeout(&mut ctx);
-        self.route_from(midx, &mut out);
+        self.route_from(NodeId(id), midx, &mut out);
         self.scratch_out = out;
     }
 
@@ -746,6 +851,7 @@ impl<P: Protocol> Partition<P> {
     pub(crate) fn run_round(&mut self) {
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
         self.round += 1;
+        self.release_due();
         let order = self.shuffled_order();
         for &s in &order {
             let Some(mut inbox) = self.take_inbox(s) else {
@@ -802,6 +908,7 @@ impl<P: Protocol> Partition<P> {
     pub(crate) fn run_chaos_round(&mut self, cfg: ChaosConfig) {
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
         self.round += 1;
+        self.release_due();
         let cap = self.budget.map_or(usize::MAX, |b| b as usize);
         let order = self.shuffled_order();
         for &s in &order {
@@ -849,10 +956,43 @@ impl<P: Protocol> Partition<P> {
         self.lock_acquisitions += 1;
         mem::swap(&mut batch, &mut *mailbox.lock().expect("mailbox poisoned"));
         batch.sort_unstable_by_key(|e| (e.src, e.seq));
+        let round = self.round;
         for env in batch.drain(..) {
-            match self.slot_of.get(&env.to.0) {
-                Some(&s) => self.channels[s as usize].push((0, env.msg)),
-                None => self.metrics.dropped += 1,
+            // Receiver-side fault injection: rules classed
+            // `All`/`AnyCross`/`Cross` draw from the per-source-
+            // partition stream, in the canonical post-sort order — so
+            // fates are data-determined and thread-count-invariant.
+            let fate = match self.faults.as_mut() {
+                Some(fp) => fp.cross_fate(round, env.src),
+                None => Fate::Deliver,
+            };
+            match fate {
+                Fate::Deliver => match self.slot_of.get(&env.to.0) {
+                    Some(&s) => self.channels[s as usize].push((0, env.msg)),
+                    None => self.metrics.dropped += 1,
+                },
+                Fate::Drop => {
+                    let fp = self.faults.as_mut().expect("fate from armed plane");
+                    fp.counts.dropped_by_fault += 1;
+                }
+                Fate::Duplicate => {
+                    match self.slot_of.get(&env.to.0) {
+                        Some(&s) => self.channels[s as usize].push((0, env.msg.clone())),
+                        None => self.metrics.dropped += 1,
+                    }
+                    let fp = self.faults.as_mut().expect("fate from armed plane");
+                    fp.counts.duplicated += 1;
+                    fp.defer(round + 2, env.to, env.msg);
+                }
+                Fate::Hold { extra, reorder } => {
+                    let fp = self.faults.as_mut().expect("fate from armed plane");
+                    if reorder {
+                        fp.counts.reordered += 1;
+                    } else {
+                        fp.counts.delayed += 1;
+                    }
+                    fp.defer(round + 1 + extra as u64, env.to, env.msg);
+                }
             }
         }
         self.scratch_inbound = batch;
@@ -944,6 +1084,7 @@ impl<P: Protocol> Partition<P> {
             cross_sent: self.cross_sent,
             stepped: self.stepped,
             lock_acquisitions: self.lock_acquisitions,
+            faults: self.faults.clone(),
         }
     }
 
@@ -971,6 +1112,7 @@ impl<P: Protocol> Partition<P> {
         p.cross_sent = state.cross_sent;
         p.stepped = state.stepped;
         p.lock_acquisitions = state.lock_acquisitions;
+        p.faults = state.faults;
         p
     }
 

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod faults;
 mod fx;
 mod metrics;
 mod partitioned;
@@ -31,6 +32,7 @@ pub mod testing;
 mod world;
 
 pub use engine::{ChaosConfig, Ctx, DirtyTable, Envelope, NodeId, Protocol};
+pub use faults::{FaultCounts, FaultPlane, FaultRule, FaultSpec, LinkClass, Sever};
 pub use metrics::{Metrics, MetricsState};
 pub use partitioned::{NodeView, PartitionedWorld};
 pub use state::{NodeState, PartitionState, PartitionedState, WorldState};

@@ -361,6 +361,50 @@ impl<P: Protocol> PartitionedWorld<P> {
         self.partitions.first().and_then(|p| p.budget())
     }
 
+    /// Arms (or disarms) the link-fault plane on every partition.
+    /// Window offsets in `spec` are relative to the **current round**
+    /// (the arming base). Each partition derives its own fault streams
+    /// from `(spec seed, partition index)`, so outcomes are
+    /// byte-identical for every worker-thread count.
+    pub fn set_faults(&mut self, spec: Option<crate::FaultSpec>) {
+        for (i, p) in self.partitions.iter_mut().enumerate() {
+            p.set_faults(spec.clone(), i as u32);
+        }
+    }
+
+    /// The armed fault spec, if any.
+    pub fn fault_spec(&self) -> Option<&crate::FaultSpec> {
+        self.partitions
+            .first()
+            .and_then(|p| p.fault_plane())
+            .map(|fp| &fp.spec)
+    }
+
+    /// Aggregated fault accounting over all partitions (zeros when no
+    /// plane is armed).
+    pub fn fault_counts(&self) -> crate::FaultCounts {
+        let mut agg = crate::FaultCounts::default();
+        for p in &self.partitions {
+            agg.merge(&p.fault_counts());
+        }
+        agg
+    }
+
+    /// Partition `i`'s own fault accounting.
+    pub fn partition_fault_counts(&self, i: usize) -> crate::FaultCounts {
+        self.partitions[i].fault_counts()
+    }
+
+    /// Index of the first sever window active at the current round
+    /// that contains `id` — the hook backends watch to turn a
+    /// scheduled partition into a supervisor failover. Every partition
+    /// shares the same spec and base, so partition 0 answers for all.
+    pub fn active_sever_containing(&self, id: NodeId) -> Option<usize> {
+        self.partitions
+            .first()
+            .and_then(|p| p.active_sever_containing(id))
+    }
+
     /// Partition `i`'s own cumulative metrics.
     pub fn partition_metrics(&self, i: usize) -> &Metrics {
         self.partitions[i].metrics()
@@ -803,6 +847,179 @@ mod tests {
                 "move at round {move_at} changed per-node delivery counts"
             );
         }
+    }
+
+    fn storm_spec() -> crate::FaultSpec {
+        crate::FaultSpec {
+            seed: 77,
+            rules: vec![
+                crate::FaultRule {
+                    from_round: 5,
+                    to_round: 30,
+                    link: crate::LinkClass::All,
+                    drop: 0.2,
+                    dup: 0.1,
+                    delay: 0.15,
+                    delay_rounds: 2,
+                    reorder: 0.1,
+                    reorder_max: 3,
+                },
+                crate::FaultRule {
+                    drop: 0.5,
+                    ..crate::FaultRule::pass(10, 20, crate::LinkClass::Cross { src: 0, dst: 1 })
+                },
+            ],
+            severs: vec![crate::Sever {
+                from_round: 12,
+                to_round: 18,
+                group: vec![2, 3],
+            }],
+        }
+    }
+
+    #[test]
+    fn faulted_results_are_identical_for_every_thread_count() {
+        let run = |threads: usize| {
+            let mut w = ring(24, 6, threads, 7);
+            w.set_faults(Some(storm_spec()));
+            w.inject(NodeId(5), Token(400));
+            w.inject(NodeId(11), Token(400));
+            w.run_rounds(80);
+            let states: Vec<(NodeId, Toy)> =
+                w.iter().map(|(id, t)| (id, t.clone())).collect();
+            let per_part: Vec<crate::FaultCounts> =
+                (0..6).map(|i| w.partition_fault_counts(i)).collect();
+            (states, per_part, w.fault_counts(), w.metrics(), w.in_flight())
+        };
+        let reference = run(1);
+        let total = reference.2;
+        assert!(
+            total.dropped_by_fault > 0
+                && total.duplicated > 0
+                && total.delayed > 0
+                && total.reordered > 0,
+            "storm spec must exercise every fault kind: {total:?}"
+        );
+        // Per-partition counts must sum to the aggregate.
+        let mut summed = crate::FaultCounts::default();
+        for c in &reference.1 {
+            summed.merge(c);
+        }
+        assert_eq!(summed, total);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), reference, "threads={threads} diverged");
+        }
+    }
+
+    /// Arming an *empty* spec must not perturb anything: fault streams
+    /// are separate from the protocol RNG and a no-match lookup
+    /// consumes no draws.
+    #[test]
+    fn empty_fault_plane_is_byte_identical_to_no_plane() {
+        let run = |armed: bool| {
+            let mut w = ring(12, 3, 2, 9);
+            if armed {
+                w.set_faults(Some(crate::FaultSpec::default()));
+            }
+            w.inject(NodeId(0), Token(60));
+            w.run_rounds(40);
+            let states: Vec<(NodeId, Toy)> =
+                w.iter().map(|(id, t)| (id, t.clone())).collect();
+            (states, w.metrics())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// A `drop: 1.0` rule on a group's boundary edge set is
+    /// byte-identical to the equivalent scheduled sever: both consume
+    /// zero draws and drop at the same sender-side point.
+    #[test]
+    fn full_drop_group_rule_equals_scheduled_sever() {
+        let group = vec![1u64, 2, 4];
+        let run = |spec: crate::FaultSpec| {
+            let mut w = ring(12, 4, 2, 21);
+            w.set_faults(Some(spec));
+            w.inject(NodeId(0), Token(500));
+            w.inject(NodeId(6), Token(500));
+            w.run_rounds(50);
+            let states: Vec<(NodeId, Toy)> =
+                w.iter().map(|(id, t)| (id, t.clone())).collect();
+            (states, w.metrics(), w.fault_counts())
+        };
+        let as_rule = run(crate::FaultSpec {
+            seed: 3,
+            rules: vec![crate::FaultRule {
+                drop: 1.0,
+                ..crate::FaultRule::pass(10, 25, crate::LinkClass::Group(group.clone()))
+            }],
+            severs: vec![],
+        });
+        let as_sever = run(crate::FaultSpec {
+            seed: 3,
+            rules: vec![],
+            severs: vec![crate::Sever {
+                from_round: 10,
+                to_round: 25,
+                group,
+            }],
+        });
+        assert_eq!(as_rule, as_sever);
+        assert!(as_rule.2.dropped_by_fault > 0, "the window must bite");
+    }
+
+    /// Pure delay (probability 1) holds every message but loses none:
+    /// the token still makes all its hops, just later, and held
+    /// messages count as in flight until released.
+    #[test]
+    fn full_delay_releases_everything_and_counts_in_flight() {
+        let mut w = ring(6, 3, 2, 33);
+        w.set_faults(Some(crate::FaultSpec {
+            seed: 1,
+            rules: vec![crate::FaultRule {
+                delay: 1.0,
+                delay_rounds: 4,
+                ..crate::FaultRule::pass(0, 400, crate::LinkClass::All)
+            }],
+            severs: vec![],
+        }));
+        w.inject(NodeId(0), Token(10));
+        w.run_rounds(3);
+        assert!(w.in_flight() > 0, "held messages are still in flight");
+        w.run_rounds(120);
+        let total: u64 = w.iter().map(|(_, t)| t.tokens_seen).sum();
+        assert_eq!(total, 11, "delay must not lose hops");
+        assert_eq!(w.in_flight(), 0);
+        let c = w.fault_counts();
+        assert_eq!(c.delayed, 10, "every forwarded hop was delayed: {c:?}");
+        assert_eq!(c.dropped_by_fault, 0);
+    }
+
+    /// A sever window cuts boundary traffic while it is open and heals
+    /// after: a token that must cross the cut stalls during the window
+    /// (dropped hops) but post-heal traffic flows again.
+    #[test]
+    fn sever_window_cuts_then_heals() {
+        let mut w = ring(4, 2, 1, 55);
+        w.set_faults(Some(crate::FaultSpec {
+            seed: 0,
+            rules: vec![],
+            severs: vec![crate::Sever {
+                from_round: 0,
+                to_round: 10,
+                group: vec![0, 2],
+            }],
+        }));
+        // Ring 0→1→2→3→0: every hop crosses the {0,2} boundary.
+        w.inject(NodeId(0), Token(100));
+        w.run_rounds(10);
+        let during: u64 = w.iter().map(|(_, t)| t.tokens_seen).sum();
+        assert_eq!(during, 1, "token dies on its first severed hop");
+        assert!(w.fault_counts().dropped_by_fault >= 1);
+        // Healed: a fresh token circulates freely.
+        w.inject(NodeId(0), Token(20));
+        w.run_rounds(40);
+        let after: u64 = w.iter().map(|(_, t)| t.tokens_seen).sum();
+        assert_eq!(after, during + 21, "post-heal hops must all land");
     }
 
     /// A move to the node's current partition and a move of an unknown

@@ -20,6 +20,7 @@
 //! world packs nodes densely and still replays the original trajectory.
 
 use crate::engine::Envelope;
+use crate::faults::FaultPlane;
 use crate::metrics::MetricsState;
 use crate::{NodeId, Protocol};
 
@@ -58,6 +59,10 @@ pub struct PartitionState<P: Protocol> {
     pub stepped: u64,
     /// Cumulative mailbox lock acquisitions (batched flushes + drains).
     pub lock_acquisitions: u64,
+    /// The armed link-fault plane — spec, stream states, counters, and
+    /// held messages — captured verbatim so a mid-fault-window restore
+    /// continues byte-identically. `None` = perfect channels.
+    pub faults: Option<FaultPlane<P::Msg>>,
 }
 
 /// Exact state of a serial [`crate::World`].
@@ -225,6 +230,61 @@ mod tests {
             restored.metrics().sent_by(NodeId(2)),
             reference.metrics().sent_by(NodeId(2))
         );
+    }
+
+    /// A snapshot taken *inside* a fault window — stream states
+    /// advanced, messages held in the pending buffer — must restore
+    /// and continue byte-identically, and re-exporting right after the
+    /// restore must reproduce the same state.
+    #[test]
+    fn mid_fault_window_restore_continues_byte_identically() {
+        let spec = crate::FaultSpec {
+            seed: 13,
+            rules: vec![crate::FaultRule {
+                from_round: 0,
+                to_round: 40,
+                link: crate::LinkClass::All,
+                drop: 0.05,
+                dup: 0.1,
+                delay: 0.45,
+                delay_rounds: 3,
+                reorder: 0.2,
+                reorder_max: 4,
+            }],
+            severs: vec![crate::Sever {
+                from_round: 10,
+                to_round: 25,
+                group: vec![1, 3],
+            }],
+        };
+        let seed_tokens = |w: &mut World<Toy>| {
+            for n in [0u64, 2, 4, 6] {
+                w.inject(NodeId(n), Token(300));
+            }
+        };
+        let mut reference = ring(8, 19);
+        reference.set_faults(Some(spec.clone()));
+        seed_tokens(&mut reference);
+        for _ in 0..50 {
+            reference.run_round();
+        }
+
+        let mut original = ring(8, 19);
+        original.set_faults(Some(spec));
+        seed_tokens(&mut original);
+        for _ in 0..15 {
+            original.run_round();
+        }
+        // Mid-window: pending buffer should be non-empty.
+        let snap = original.export_state();
+        let fp = snap.partition.faults.as_ref().expect("plane armed");
+        assert!(!fp.pending.is_empty(), "snapshot must catch held messages");
+        let mut restored = World::from_state(snap);
+        for _ in 0..35 {
+            restored.run_round();
+        }
+        assert_eq!(digest(&restored), digest(&reference));
+        assert_eq!(restored.fault_counts(), reference.fault_counts());
     }
 
     #[test]

@@ -139,6 +139,31 @@ impl<P: Protocol> World<P> {
         self.p.budget()
     }
 
+    /// Arms (or disarms) the link-fault plane. Window offsets in
+    /// `spec` are relative to the **current round** (the arming base),
+    /// so the same spec means the same schedule regardless of warm-up
+    /// length. `None` (the default) is perfect channels and is
+    /// byte-identical to the pre-fault engine.
+    pub fn set_faults(&mut self, spec: Option<crate::FaultSpec>) {
+        self.p.set_faults(spec, 0);
+    }
+
+    /// The armed fault spec, if any.
+    pub fn fault_spec(&self) -> Option<&crate::FaultSpec> {
+        self.p.fault_plane().map(|fp| &fp.spec)
+    }
+
+    /// Fault accounting (zeros when no plane is armed).
+    pub fn fault_counts(&self) -> crate::FaultCounts {
+        self.p.fault_counts()
+    }
+
+    /// Index of the first sever window active at the current round
+    /// that contains `id` — the hook for partition-triggered failover.
+    pub fn active_sever_containing(&self, id: NodeId) -> Option<usize> {
+        self.p.active_sever_containing(id)
+    }
+
     /// Cumulative metrics.
     pub fn metrics(&self) -> &Metrics {
         self.p.metrics()

@@ -6,8 +6,8 @@
 use crate::codec::{Snap, SnapError, SnapReader, SnapWriter};
 use skippub_bits::{BitStr, Hash128};
 use skippub_sim::{
-    ChaosConfig, Envelope, MetricsState, NodeId, NodeState, PartitionState, PartitionedState,
-    Protocol, WorldState,
+    ChaosConfig, Envelope, FaultCounts, FaultPlane, FaultRule, FaultSpec, LinkClass, MetricsState,
+    NodeId, NodeState, PartitionState, PartitionedState, Protocol, Sever, WorldState,
 };
 use skippub_ringmath::Label;
 use skippub_trie::{NodeSummary, PatriciaTrie, PayloadInterner, Publication};
@@ -377,6 +377,167 @@ impl Snap for ChaosConfig {
     }
 }
 
+impl Snap for LinkClass {
+    fn save(&self, w: &mut SnapWriter) {
+        match self {
+            LinkClass::All => w.put_u64(0),
+            LinkClass::AnyCross => w.put_u64(1),
+            LinkClass::AnyLocal => w.put_u64(2),
+            LinkClass::Cross { src, dst } => {
+                w.put_u64(3);
+                src.save(w);
+                dst.save(w);
+            }
+            LinkClass::Local { partition } => {
+                w.put_u64(4);
+                partition.save(w);
+            }
+            LinkClass::Group(ids) => {
+                w.put_u64(5);
+                SnapVec(ids.clone()).save(w);
+            }
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u64()? {
+            0 => LinkClass::All,
+            1 => LinkClass::AnyCross,
+            2 => LinkClass::AnyLocal,
+            3 => LinkClass::Cross {
+                src: Snap::load(r)?,
+                dst: Snap::load(r)?,
+            },
+            4 => LinkClass::Local {
+                partition: Snap::load(r)?,
+            },
+            5 => LinkClass::Group(SnapVec::load(r)?.0),
+            n => {
+                return Err(SnapError::Malformed(format!("unknown link class tag {n}")));
+            }
+        })
+    }
+}
+
+impl Snap for FaultRule {
+    fn save(&self, w: &mut SnapWriter) {
+        self.from_round.save(w);
+        self.to_round.save(w);
+        self.link.save(w);
+        self.drop.save(w);
+        self.dup.save(w);
+        self.delay.save(w);
+        self.delay_rounds.save(w);
+        self.reorder.save(w);
+        self.reorder_max.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FaultRule {
+            from_round: Snap::load(r)?,
+            to_round: Snap::load(r)?,
+            link: Snap::load(r)?,
+            drop: Snap::load(r)?,
+            dup: Snap::load(r)?,
+            delay: Snap::load(r)?,
+            delay_rounds: Snap::load(r)?,
+            reorder: Snap::load(r)?,
+            reorder_max: Snap::load(r)?,
+        })
+    }
+}
+
+impl Snap for Sever {
+    fn save(&self, w: &mut SnapWriter) {
+        self.from_round.save(w);
+        self.to_round.save(w);
+        SnapVec(self.group.clone()).save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Sever {
+            from_round: Snap::load(r)?,
+            to_round: Snap::load(r)?,
+            group: SnapVec::load(r)?.0,
+        })
+    }
+}
+
+impl Snap for FaultSpec {
+    fn save(&self, w: &mut SnapWriter) {
+        self.seed.save(w);
+        SnapVec(self.rules.clone()).save(w);
+        SnapVec(self.severs.clone()).save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FaultSpec {
+            seed: Snap::load(r)?,
+            rules: SnapVec::load(r)?.0,
+            severs: SnapVec::load(r)?.0,
+        })
+    }
+}
+
+impl Snap for FaultCounts {
+    fn save(&self, w: &mut SnapWriter) {
+        self.dropped_by_fault.save(w);
+        self.duplicated.save(w);
+        self.reordered.save(w);
+        self.delayed.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FaultCounts {
+            dropped_by_fault: Snap::load(r)?,
+            duplicated: Snap::load(r)?,
+            reordered: Snap::load(r)?,
+            delayed: Snap::load(r)?,
+        })
+    }
+}
+
+/// The full armed plane: spec, arming base, SplitMix64 stream states,
+/// counters, and held messages — so a mid-fault-window snapshot
+/// restores and re-saves byte-exactly.
+impl<M: Snap> Snap for FaultPlane<M> {
+    fn save(&self, w: &mut SnapWriter) {
+        self.spec.save(w);
+        self.base.save(w);
+        self.me.save(w);
+        SnapVec(self.cross.clone()).save(w);
+        self.local.save(w);
+        self.pending_seq.save(w);
+        self.counts.save(w);
+        w.put_u64(self.pending.len() as u64);
+        for (release, seq, to, msg) in &self.pending {
+            release.save(w);
+            seq.save(w);
+            to.save(w);
+            msg.save(w);
+        }
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(FaultPlane {
+            spec: Snap::load(r)?,
+            base: Snap::load(r)?,
+            me: Snap::load(r)?,
+            cross: SnapVec::load(r)?.0,
+            local: Snap::load(r)?,
+            pending_seq: Snap::load(r)?,
+            counts: Snap::load(r)?,
+            pending: {
+                let len = r.u64()? as usize;
+                (0..len)
+                    .map(|_| {
+                        Ok((
+                            Snap::load(r)?,
+                            Snap::load(r)?,
+                            Snap::load(r)?,
+                            Snap::load(r)?,
+                        ))
+                    })
+                    .collect::<Result<_, SnapError>>()?
+            },
+        })
+    }
+}
+
 impl<M: Snap> Snap for Envelope<M> {
     fn save(&self, w: &mut SnapWriter) {
         self.src.save(w);
@@ -433,6 +594,7 @@ where
         self.cross_sent.save(w);
         self.stepped.save(w);
         self.lock_acquisitions.save(w);
+        self.faults.save(w);
     }
     fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         let len = r.u64()? as usize;
@@ -451,6 +613,7 @@ where
             cross_sent: Snap::load(r)?,
             stepped: Snap::load(r)?,
             lock_acquisitions: Snap::load(r)?,
+            faults: Snap::load(r)?,
         })
     }
 }

@@ -11,7 +11,9 @@ use skippub_core::{BackendKind, PubSub, SystemBuilder, TopicId};
 // `DeliveredItem`/`DeliveredSet` are the scenario engine's canonical
 // comparable "delivered publication" shape — shared here so the script
 // test and the spec tests can never drift apart.
-use skippub_harness::scenario::{self, library, DeliveredSet, Trace};
+use skippub_harness::scenario::{
+    self, library, DeliveredSet, FaultRule, FaultSpec, LinkClass, Sever, Trace,
+};
 use skippub_net::NetBackend;
 use skippub_sim::NodeId;
 
@@ -790,6 +792,238 @@ fn restored_interner_still_pools_known_payloads() {
         (1, 2),
         "a restored pool must satisfy a re-publish from the pool"
     );
+}
+
+// ---------------------------------------------------------------------
+// Link-fault conformance: an armed fault plane (loss, duplication,
+// delay, reordering, scheduled partitions) is part of the deterministic
+// state machine — faulted runs are byte-identical across worker-thread
+// counts, the per-partition fault counters sum to the world totals, and
+// a snapshot taken *mid-fault-window* (per-link streams advanced,
+// delayed envelopes parked, a sever active) restores byte-exactly.
+// ---------------------------------------------------------------------
+
+/// The parallel-determinism workload with a full-spectrum fault
+/// schedule riding on it: loss+duplication early, delay+reordering in a
+/// second (disjoint — the first matching rule wins) window, and a
+/// three-node partition that heals mid-run. All windows close by round
+/// 12 of 16, so until-legit can settle on clean links.
+fn faulted_parallel_spec() -> scenario::ScenarioSpec {
+    let faults = FaultSpec {
+        seed: 0xFA21,
+        rules: vec![
+            FaultRule {
+                drop: 0.15,
+                dup: 0.1,
+                ..FaultRule::pass(0, 6, LinkClass::All)
+            },
+            FaultRule {
+                delay: 0.25,
+                delay_rounds: 2,
+                reorder: 0.2,
+                reorder_max: 3,
+                ..FaultRule::pass(6, 12, LinkClass::All)
+            },
+        ],
+        severs: vec![Sever {
+            from_round: 3,
+            to_round: 8,
+            group: vec![10, 11, 12],
+        }],
+    };
+    parallel_determinism_spec().faults(faults)
+}
+
+/// The faulted crash-storm + churn spec is byte-identical across 1, 2,
+/// 4, and 8 sharded worker threads — delivered sets, fingerprints,
+/// stats (fault counters included), and checker digests — and still
+/// delivers the same set as the serial multi-topic backend: the fault
+/// plane degrades trajectories, never outcomes or determinism.
+#[test]
+fn faulted_sharded_runs_are_byte_identical_across_thread_counts() {
+    let base = faulted_parallel_spec();
+    let serial = scenario::run_spec(&base, BackendKind::MultiTopic).expect("supported");
+    assert!(serial.report.ok(), "{}", serial.report.to_json());
+
+    let mut reference: Option<(scenario::ScenarioOutcome, Vec<String>)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let spec = base.clone().threads(threads);
+        let mut ps = scenario::builder_for(&spec).build_sharded();
+        let out = scenario::run_on(&mut ps, &spec, 1);
+        assert!(
+            out.report.ok(),
+            "threads={threads}: {}",
+            out.report.to_json()
+        );
+        let digests: Vec<String> = (0..spec.topics)
+            .map(|t| snapshot_digest(&ps.snapshot(TopicId(t))))
+            .collect();
+        assert_eq!(
+            out.delivered, serial.delivered,
+            "threads={threads}: faulted sharded delivered sets diverge from the serial backend"
+        );
+        match &reference {
+            None => reference = Some((out, digests)),
+            Some((ref_out, ref_digests)) => {
+                assert_eq!(
+                    out.report.delivered_fingerprint, ref_out.report.delivered_fingerprint,
+                    "threads={threads}: faulted delivered fingerprint diverges"
+                );
+                assert_eq!(
+                    out.report.stats, ref_out.report.stats,
+                    "threads={threads}: stats (incl. fault counters) diverge"
+                );
+                assert_eq!(
+                    &digests, ref_digests,
+                    "threads={threads}: faulted final checker snapshots diverge"
+                );
+            }
+        }
+    }
+
+    // The schedule must have actually exercised every fault model, and
+    // the per-partition accounting must tie out to the world totals.
+    let (ref_out, _) = reference.expect("at least one thread count ran");
+    let s = &ref_out.report.stats;
+    assert!(s.dropped_by_fault > 0, "the loss model never fired");
+    assert!(s.duplicated > 0, "the duplication model never fired");
+    assert!(s.delayed > 0, "the delay model never fired");
+    assert!(s.reordered > 0, "the reorder model never fired");
+    let sums = s.per_partition.iter().fold((0u64, 0u64, 0u64, 0u64), |a, p| {
+        (
+            a.0 + p.dropped_by_fault,
+            a.1 + p.duplicated,
+            a.2 + p.reordered,
+            a.3 + p.delayed,
+        )
+    });
+    assert_eq!(
+        sums,
+        (s.dropped_by_fault, s.duplicated, s.reordered, s.delayed),
+        "per-partition fault counters must sum to the world totals"
+    );
+}
+
+/// Fault schedule for the mid-window snapshot test: high delay (parks
+/// envelopes at the boundary), light loss, duplication and reordering,
+/// plus a sever that is still open when the snapshot is taken. Windows
+/// are relative to the arming round.
+fn mid_window_faults() -> FaultSpec {
+    FaultSpec {
+        seed: 0xFA117,
+        rules: vec![FaultRule {
+            drop: 0.05,
+            dup: 0.15,
+            delay: 0.5,
+            delay_rounds: 3,
+            reorder: 0.2,
+            reorder_max: 4,
+            ..FaultRule::pass(0, 40, LinkClass::All)
+        }],
+        severs: vec![Sever {
+            from_round: 0,
+            to_round: 40,
+            group: vec![4, 5],
+        }],
+    }
+}
+
+/// Phase 1: bootstrap, arm the plane mid-run, publish into the faulty
+/// window, then step deep enough that delayed envelopes are parked and
+/// the per-link streams have advanced — the snapshot boundary lands
+/// mid-fault-window with the sever still active.
+fn fault_window_phase1(ps: &mut dyn PubSub) -> Vec<NodeId> {
+    let k = ps.topic_count();
+    let ids: Vec<NodeId> = (0..5).map(|i| ps.subscribe(TopicId(i % k))).collect();
+    for _ in 0..30 {
+        ps.step();
+    }
+    ps.set_faults(Some(mid_window_faults()));
+    ps.publish(ids[0], TopicId(0), b"faulted alpha".to_vec())
+        .expect("alive author");
+    ps.publish(ids[1], TopicId(1 % k), b"faulted beta".to_vec())
+        .expect("alive author");
+    for _ in 0..12 {
+        ps.step();
+    }
+    ids
+}
+
+/// Phase 2: run past the window's close (heal), drain every member, and
+/// capture the fault counters plus the final snapshot text.
+fn fault_window_phase2(
+    ps: &mut dyn PubSub,
+    ids: &[NodeId],
+) -> (Vec<DeliveredSet>, scenario::FaultCounts, String) {
+    for _ in 0..60 {
+        ps.step();
+    }
+    let mut sets = Vec::new();
+    for &m in ids {
+        let set: DeliveredSet = ps
+            .drain_events(m)
+            .into_iter()
+            .map(|d| (d.author, d.payload, d.key.to_string()))
+            .collect();
+        sets.push(set);
+    }
+    let counts = ps.fault_counts();
+    let final_snap = ps
+        .save_snapshot()
+        .expect("snapshot-capable backend")
+        .as_text()
+        .to_string();
+    (sets, counts, final_snap)
+}
+
+/// A snapshot captured mid-fault-window must continue byte-identically
+/// to the uninterrupted run on every simulated backend: same delivered
+/// sets, same fault counters (the restored streams resume, not restart),
+/// and a byte-exact final snapshot.
+#[test]
+fn mid_fault_window_snapshot_restores_byte_exactly() {
+    for kind in BackendKind::all() {
+        let topics = match kind {
+            BackendKind::Sim | BackendKind::Chaos => 1,
+            _ => 3,
+        };
+        let make = move || -> Box<dyn PubSub> {
+            SystemBuilder::new(0xFA57_C0DE)
+                .topics(topics)
+                .shards(2)
+                .build(kind)
+        };
+        let name = kind.name();
+
+        let mut reference = make();
+        let ids = fault_window_phase1(reference.as_mut());
+        let want = fault_window_phase2(reference.as_mut(), &ids);
+        assert!(
+            want.1.delayed > 0,
+            "{name}: the delay model must have parked envelopes"
+        );
+        assert!(want.1.dropped_by_fault > 0, "{name}: the loss model never fired");
+
+        let mut original = make();
+        let ids2 = fault_window_phase1(original.as_mut());
+        assert_eq!(ids, ids2, "{name}: phase 1 must be deterministic");
+        let saved = original.save_snapshot().expect("snapshot-capable backend");
+        drop(original);
+        let reparsed = skippub_core::pubsub::BackendSnapshot::from_text(saved.as_text())
+            .expect("a mid-fault-window snapshot must reparse");
+        let mut restored = skippub_core::pubsub::restore(&reparsed).expect("restore");
+        let got = fault_window_phase2(restored.as_mut(), &ids);
+
+        assert_eq!(got.0, want.0, "{name}: delivered sets diverged under faults");
+        assert_eq!(
+            got.1, want.1,
+            "{name}: fault counters diverged — restored streams must resume, not restart"
+        );
+        assert_eq!(
+            got.2, want.2,
+            "{name}: final snapshots diverged — mid-window restore is not exact"
+        );
+    }
 }
 
 /// The threaded backend opts out of snapshots with an error, not a
